@@ -1,0 +1,25 @@
+//! Application-level models: what a speed-of-light ISP buys end users.
+//!
+//! §7 and §8 of the paper quantify cISP's benefit for two application
+//! classes and then argue that the value per gigabyte far exceeds the
+//! network's cost per gigabyte:
+//!
+//! * [`web`] — a Mahimahi-style page-load replay model over a synthetic page
+//!   corpus: page load times and object load times under the baseline
+//!   Internet, under cISP (all RTTs scaled to 1/3), and under the
+//!   "cISP-selective" variant where only client→server traffic rides the
+//!   low-latency network (Fig. 13).
+//! * [`gaming`] — frame-time models for fat-client and thin-client
+//!   (speculative-execution) online gaming, with and without a low-latency
+//!   augmentation of the conventional connectivity (Fig. 12).
+//! * [`value`] — the §8 back-of-the-envelope value-per-GB estimates for Web
+//!   search, e-commerce and gaming, compared against the network's cost per
+//!   GB.
+
+pub mod gaming;
+pub mod value;
+pub mod web;
+
+pub use gaming::{frame_time_ms, GameModel};
+pub use value::{cost_benefit_table, ValueEstimate};
+pub use web::{PageCorpus, ReplayScenario, WebReplayReport};

@@ -1,0 +1,111 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the fiber-oracle candidate elimination (with vs without),
+//! * the greedy scoring rule (absolute gain vs gain per tower),
+//! * the 2×-budget pruning + swap polish of the full cISP heuristic vs the
+//!   plain greedy.
+//!
+//! Each variant is timed on the same synthetic input; the companion
+//! correctness comparisons live in the `cisp-core` test-suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cisp_core::design::{DesignConfig, DesignInput, Designer, GreedyScore};
+use cisp_core::links::CandidateLink;
+use cisp_geo::{geodesic, GeoPoint};
+
+fn synthetic_input(n: usize) -> DesignInput {
+    let sites: Vec<GeoPoint> = (0..n)
+        .map(|i| {
+            GeoPoint::new(
+                30.0 + ((i * 5) % 17) as f64,
+                -120.0 + ((i * 13) % 41) as f64 * 1.3,
+            )
+        })
+        .collect();
+    let traffic: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| if i == j { 0.0 } else { 1.0 + ((i + j) % 5) as f64 })
+                .collect()
+        })
+        .collect();
+    let fiber_km: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                .collect()
+        })
+        .collect();
+    let mut candidates = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let geo = geodesic::distance_km(sites[i], sites[j]);
+            let towers = ((geo / 70.0).ceil() as usize).max(1);
+            candidates.push(CandidateLink {
+                site_a: i,
+                site_b: j,
+                mw_length_km: geo * 1.05,
+                tower_count: towers,
+                tower_path: (0..towers).collect(),
+            });
+        }
+    }
+    DesignInput {
+        sites,
+        traffic,
+        fiber_km,
+        candidates,
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    let input = synthetic_input(25);
+    let budget = 180.0;
+
+    group.bench_function("greedy_absolute_gain", |b| {
+        b.iter(|| {
+            Designer::with_config(
+                &input,
+                DesignConfig {
+                    score: GreedyScore::AbsoluteGain,
+                    ..DesignConfig::default()
+                },
+            )
+            .greedy(budget)
+        })
+    });
+    group.bench_function("greedy_gain_per_tower", |b| {
+        b.iter(|| {
+            Designer::with_config(
+                &input,
+                DesignConfig {
+                    score: GreedyScore::GainPerTower,
+                    ..DesignConfig::default()
+                },
+            )
+            .greedy(budget)
+        })
+    });
+    group.bench_function("cisp_full_heuristic", |b| {
+        b.iter(|| Designer::new(&input).cisp(budget))
+    });
+    group.bench_function("cisp_no_swap_polish", |b| {
+        b.iter(|| {
+            Designer::with_config(
+                &input,
+                DesignConfig {
+                    max_swap_passes: 0,
+                    ..DesignConfig::default()
+                },
+            )
+            .cisp(budget)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion companion to the Fig. 2 scaling experiment: the cISP heuristic
+//! vs the exact subset search on small synthetic instances, and the heuristic
+//! alone at larger sizes. Uses synthetic collinear-city inputs so the bench
+//! measures the designers, not the terrain pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cisp_core::design::{DesignInput, Designer};
+use cisp_core::ilp::exact_subset_search;
+use cisp_core::links::CandidateLink;
+use cisp_geo::{geodesic, GeoPoint};
+
+/// A synthetic design input with `n` sites scattered over the central US.
+fn synthetic_input(n: usize) -> DesignInput {
+    let sites: Vec<GeoPoint> = (0..n)
+        .map(|i| {
+            GeoPoint::new(
+                32.0 + ((i * 7) % 13) as f64,
+                -115.0 + ((i * 11) % 37) as f64 * 1.2,
+            )
+        })
+        .collect();
+    let traffic: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+        .collect();
+    let fiber_km: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                .collect()
+        })
+        .collect();
+    let mut candidates = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let geo = geodesic::distance_km(sites[i], sites[j]);
+            let towers = ((geo / 70.0).ceil() as usize).max(1);
+            candidates.push(CandidateLink {
+                site_a: i,
+                site_b: j,
+                mw_length_km: geo * 1.05,
+                tower_count: towers,
+                tower_path: (0..towers).collect(),
+            });
+        }
+    }
+    DesignInput {
+        sites,
+        traffic,
+        fiber_km,
+        candidates,
+    }
+}
+
+fn bench_designers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_scaling");
+    group.sample_size(10);
+
+    for &n in &[5usize, 8, 12, 20, 30] {
+        let input = synthetic_input(n);
+        let budget = 8.0 * n as f64;
+        group.bench_with_input(BenchmarkId::new("cisp_heuristic", n), &n, |b, _| {
+            b.iter(|| Designer::new(&input).cisp(budget))
+        });
+    }
+    for &n in &[5usize, 7, 9] {
+        let input = synthetic_input(n);
+        let budget = 8.0 * n as f64;
+        group.bench_with_input(BenchmarkId::new("exact_subset_search", n), &n, |b, _| {
+            b.iter(|| exact_subset_search(&input, budget, 10_000_000).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_designers);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the computational kernels the design pipeline leans
+//! on: geodesic math, Fresnel/LOS profile evaluation, terrain sampling,
+//! Dijkstra over the tower graph, and the simplex solver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cisp_data::cities::us_top_cities;
+use cisp_data::towers::{TowerRegistry, TowerRegistryConfig};
+use cisp_geo::{fresnel, geodesic, GeoPoint};
+use cisp_graph::{dijkstra, Graph};
+use cisp_lp::model::{Problem, VarKind};
+use cisp_lp::simplex::solve_lp;
+use cisp_terrain::{clutter::ClutterModel, profile, TerrainModel};
+
+fn bench_geodesic(c: &mut Criterion) {
+    let a = GeoPoint::new(40.7128, -74.0060);
+    let b = GeoPoint::new(34.0522, -118.2437);
+    c.bench_function("geodesic_distance", |bench| {
+        bench.iter(|| geodesic::distance_km(black_box(a), black_box(b)))
+    });
+    c.bench_function("geodesic_sample_path_64", |bench| {
+        bench.iter(|| geodesic::sample_path(black_box(a), black_box(b), 64))
+    });
+}
+
+fn bench_los_profile(c: &mut Criterion) {
+    let terrain = TerrainModel::united_states(42);
+    let clutter = ClutterModel::with_seed(42);
+    let a = GeoPoint::new(39.5, -105.0);
+    let b = GeoPoint::new(39.3, -104.0);
+    c.bench_function("terrain_elevation", |bench| {
+        bench.iter(|| terrain.elevation_m(black_box(a)))
+    });
+    c.bench_function("obstruction_profile_90km", |bench| {
+        bench.iter(|| profile::obstruction_profile(&terrain, &clutter, a, b, 91))
+    });
+    let obstacles = profile::obstruction_profile(&terrain, &clutter, a, b, 91);
+    c.bench_function("fresnel_clearance_evaluation", |bench| {
+        bench.iter(|| {
+            let samples =
+                fresnel::evaluate_profile(90.0, 2000.0, 2000.0, black_box(&obstacles), 11.0, 1.3);
+            fresnel::profile_is_clear(&samples)
+        })
+    });
+}
+
+fn bench_tower_queries(c: &mut Criterion) {
+    let cities = us_top_cities(30);
+    let registry = TowerRegistry::synthesize(
+        7,
+        (24.5, 49.5, -125.0, -66.5),
+        &cities,
+        &TowerRegistryConfig {
+            raw_count: 4_000,
+            ..TowerRegistryConfig::default()
+        },
+    );
+    let p = GeoPoint::new(39.0, -95.0);
+    c.bench_function("towers_within_100km", |bench| {
+        bench.iter(|| registry.towers_within(black_box(p), 100.0))
+    });
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    // A 60×60 grid graph, similar in size to a regional tower graph.
+    let n = 60usize;
+    let id = |r: usize, col: usize| r * n + col;
+    let mut g = Graph::new(n * n);
+    for r in 0..n {
+        for col in 0..n {
+            if col + 1 < n {
+                g.add_undirected_edge(id(r, col), id(r, col + 1), 1.0 + ((r + col) % 7) as f64);
+            }
+            if r + 1 < n {
+                g.add_undirected_edge(id(r, col), id(r + 1, col), 1.0 + ((r * col) % 5) as f64);
+            }
+        }
+    }
+    c.bench_function("dijkstra_3600_node_grid", |bench| {
+        bench.iter(|| dijkstra::shortest_path(&g, 0, n * n - 1))
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // A 20-variable, 30-constraint random-ish LP.
+    let mut p = Problem::minimize();
+    let vars: Vec<_> = (0..20)
+        .map(|i| p.add_var(&format!("x{i}"), VarKind::Continuous, ((i % 7) as f64) - 3.0))
+        .collect();
+    for k in 0..30 {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i + k) % 3 == 0)
+            .map(|(i, &v)| (v, 1.0 + ((i * k) % 5) as f64))
+            .collect();
+        p.add_le(terms, 50.0 + k as f64);
+    }
+    for &v in &vars {
+        p.add_le(vec![(v, 1.0)], 10.0);
+    }
+    c.bench_function("simplex_20x30", |bench| {
+        bench.iter(|| solve_lp(black_box(&p)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_geodesic,
+    bench_los_profile,
+    bench_tower_queries,
+    bench_dijkstra,
+    bench_simplex
+);
+criterion_main!(benches);

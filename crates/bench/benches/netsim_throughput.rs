@@ -1,0 +1,99 @@
+//! Packet-simulator throughput benchmarks: events processed per second for a
+//! single bottleneck and for a small multi-node topology, plus the TCP
+//! speed-mismatch experiment at a short duration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cisp_netsim::flows::ArrivalProcess;
+use cisp_netsim::network::{LinkSpec, Network};
+use cisp_netsim::routing::Demand;
+use cisp_netsim::sim::{SimConfig, Simulation};
+use cisp_netsim::tcp::{run_speed_mismatch, SpeedMismatchConfig};
+
+fn bottleneck_network() -> (Network, Vec<Demand>) {
+    let mut net = Network::new(2);
+    net.add_link(LinkSpec {
+        from: 0,
+        to: 1,
+        rate_bps: 100e6,
+        propagation_s: 0.010,
+        buffer_bytes: 1e6,
+    });
+    let demands = vec![Demand {
+        src: 0,
+        dst: 1,
+        amount_bps: 70e6,
+    }];
+    (net, demands)
+}
+
+fn star_network(nodes: usize) -> (Network, Vec<Demand>) {
+    let mut net = Network::new(nodes + 1);
+    for i in 0..nodes {
+        net.add_bidirectional_link(LinkSpec {
+            from: i,
+            to: nodes,
+            rate_bps: 1e9,
+            propagation_s: 0.003,
+            buffer_bytes: 1e6,
+        });
+    }
+    let mut demands = Vec::new();
+    for i in 0..nodes {
+        demands.push(Demand {
+            src: i,
+            dst: (i + 1) % nodes,
+            amount_bps: 50e6,
+        });
+    }
+    (net, demands)
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+
+    group.bench_function("bottleneck_0p2s_cbr", |b| {
+        b.iter(|| {
+            let (net, demands) = bottleneck_network();
+            let mut sim = Simulation::new(
+                net,
+                demands,
+                SimConfig {
+                    duration_s: 0.2,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run()
+        })
+    });
+
+    group.bench_function("star10_0p1s_poisson", |b| {
+        b.iter(|| {
+            let (net, demands) = star_network(10);
+            let mut sim = Simulation::new(
+                net,
+                demands,
+                SimConfig {
+                    duration_s: 0.1,
+                    arrivals: ArrivalProcess::Poisson,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run()
+        })
+    });
+
+    group.bench_function("speed_mismatch_1s", |b| {
+        b.iter(|| {
+            run_speed_mismatch(&SpeedMismatchConfig {
+                duration_s: 1.0,
+                ..SpeedMismatchConfig::mismatch_10gbps(false, 3)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

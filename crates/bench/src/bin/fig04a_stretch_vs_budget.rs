@@ -1,0 +1,40 @@
+//! Fig. 4(a) — mean stretch vs tower budget, for 100 km and 70 km hops.
+//!
+//! A single greedy design run at the largest budget produces the whole curve:
+//! every greedy step records the cumulative tower cost and the mean stretch
+//! at that point. Two curves are produced, one per maximum hop length.
+
+use cisp_bench::{print_series, Scale};
+use cisp_core::hops::HopConfig;
+use cisp_core::scenario::{Scenario, ScenarioConfig};
+use cisp_data::towers::TowerRegistryConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 4(a) reproduction — scale: {}", scale.label());
+
+    let max_budget = scale.us_budget_towers() * 2.5;
+    for &range_km in &[100.0, 70.0] {
+        let mut config = ScenarioConfig::us_paper(42);
+        config.max_sites = scale.us_sites();
+        config.towers = TowerRegistryConfig {
+            raw_count: scale.raw_towers(),
+            ..TowerRegistryConfig::default()
+        };
+        config.hops = HopConfig {
+            max_range_km: range_km,
+            ..HopConfig::paper_baseline()
+        };
+        let scenario = Scenario::build(&config);
+        let outcome = scenario.design_greedy(max_budget);
+
+        let mut points = vec![(0.0, scenario.design_input().empty_topology().mean_stretch())];
+        points.extend(
+            outcome
+                .history
+                .iter()
+                .map(|s| (s.cumulative_towers as f64, s.mean_stretch)),
+        );
+        print_series(&format!("stretch vs budget, {range_km:.0} km hops"), &points);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 4(c) — cost per GB vs aggregate throughput (city-city traffic).
+//!
+//! One design at the scale's tower budget, provisioned for a sweep of
+//! aggregate throughputs; the cost per GB falls as throughput rises because
+//! the (fixed) latency-driven build is amortised over more traffic, then
+//! flattens once bandwidth augmentation dominates. The paper sweeps up to
+//! 1 Tbps and reports $0.81/GB at 100 Gbps.
+
+use cisp_bench::{print_series, us_scenario, Scale};
+use cisp_core::cost::CostModel;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 4(c) reproduction — scale: {}", scale.label());
+
+    let scenario = us_scenario(scale, 42);
+    let outcome = scenario.design(scale.us_budget_towers());
+    let cost_model = CostModel::default();
+
+    let throughputs: Vec<f64> = match scale {
+        Scale::Tiny => vec![5.0, 10.0, 25.0, 50.0, 100.0],
+        Scale::Reduced => vec![5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 600.0, 1000.0],
+        Scale::Full => vec![
+            5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 300.0, 400.0, 600.0, 800.0, 1000.0,
+        ],
+    };
+
+    let points: Vec<(f64, f64)> = throughputs
+        .iter()
+        .map(|&gbps| {
+            let provisioned = scenario.provision(&outcome, gbps, &cost_model);
+            (gbps, provisioned.cost_per_gb)
+        })
+        .collect();
+    print_series("cost per GB ($) vs aggregate throughput (Gbps)", &points);
+    println!(
+        "# design: {} MW links, {} towers, mean stretch {:.3}",
+        outcome.selected.len(),
+        outcome.total_towers,
+        outcome.mean_stretch
+    );
+}

@@ -1,0 +1,118 @@
+//! Fig. 9 — cost per GB under different traffic models (§6.3).
+//!
+//! Three deployment scenarios are designed with the same methodology and
+//! budget, then provisioned across a throughput sweep:
+//!
+//! * **City–City** — the population-product matrix (the default, and the most
+//!   expensive because its footprint is the widest);
+//! * **DC–DC** — equal traffic between the six Google US data-center sites
+//!   (represented by the population centers closest to them);
+//! * **City–DC** — every city exchanges traffic with its closest data center,
+//!   proportional to its population.
+//!
+//! The paper finds both DC scenarios cost less per GB than City–City.
+
+use cisp_bench::{print_series, us_scenario, Scale};
+use cisp_core::cost::CostModel;
+use cisp_core::design::{DesignInput, Designer};
+use cisp_core::scenario::population_product_traffic;
+use cisp_data::datacenters::google_us_datacenters;
+use cisp_geo::geodesic;
+
+/// Index of the scenario site closest to each data center.
+fn dc_proxy_sites(sites: &[cisp_geo::GeoPoint]) -> Vec<usize> {
+    google_us_datacenters()
+        .iter()
+        .map(|dc| {
+            (0..sites.len())
+                .min_by(|&a, &b| {
+                    geodesic::distance_km(sites[a], dc.location)
+                        .partial_cmp(&geodesic::distance_km(sites[b], dc.location))
+                        .unwrap()
+                })
+                .unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 9 reproduction — scale: {}", scale.label());
+
+    let scenario = us_scenario(scale, 42);
+    let base_input = scenario.design_input();
+    let n = base_input.sites.len();
+    let dcs = dc_proxy_sites(&base_input.sites);
+    println!(
+        "# data-center proxy sites: {:?}",
+        dcs.iter()
+            .map(|&i| scenario.cities()[i].name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // The three traffic models over the same site set.
+    let city_city = population_product_traffic(scenario.cities());
+    let mut dc_dc = vec![vec![0.0; n]; n];
+    for &a in &dcs {
+        for &b in &dcs {
+            if a != b {
+                dc_dc[a][b] = 1.0;
+            }
+        }
+    }
+    let mut city_dc = vec![vec![0.0; n]; n];
+    for (i, city) in scenario.cities().iter().enumerate() {
+        let closest = *dcs
+            .iter()
+            .min_by(|&&a, &&b| {
+                geodesic::distance_km(base_input.sites[i], base_input.sites[a])
+                    .partial_cmp(&geodesic::distance_km(
+                        base_input.sites[i],
+                        base_input.sites[b],
+                    ))
+                    .unwrap()
+            })
+            .unwrap();
+        if closest != i {
+            city_dc[i][closest] += city.population as f64;
+            city_dc[closest][i] += city.population as f64;
+        }
+    }
+
+    let budget = scale.us_budget_towers();
+    let throughputs: Vec<f64> = vec![5.0, 10.0, 25.0, 50.0, 100.0, 150.0, 200.0];
+    let cost_model = CostModel::default();
+
+    for (label, traffic) in [
+        ("City-City", city_city),
+        ("DC-DC", dc_dc),
+        ("City-DC", city_dc),
+    ] {
+        let input = DesignInput {
+            sites: base_input.sites.clone(),
+            traffic,
+            fiber_km: base_input.fiber_km.clone(),
+            candidates: base_input.candidates.clone(),
+        };
+        let outcome = Designer::new(&input).cisp(budget);
+        let points: Vec<(f64, f64)> = throughputs
+            .iter()
+            .map(|&gbps| {
+                let aug = cisp_core::augment::augment_for_throughput(
+                    &outcome.topology,
+                    gbps,
+                    &Default::default(),
+                );
+                let inventory = aug.inventory(&outcome.topology);
+                (gbps, cost_model.cost_per_gb(&inventory, gbps))
+            })
+            .collect();
+        println!(
+            "# {label}: {} links, {} towers, stretch {:.3}",
+            outcome.selected.len(),
+            outcome.total_towers,
+            outcome.mean_stretch
+        );
+        print_series(&format!("cost per GB ($) vs Gbps, {label}"), &points);
+    }
+}

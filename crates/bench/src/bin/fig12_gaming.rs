@@ -1,0 +1,26 @@
+//! Fig. 12 — thin-client gaming frame time vs conventional latency.
+//!
+//! Frame time (input → observed output) for a speculative-execution
+//! thin-client game, with conventional connectivity only and with a parallel
+//! low-latency augmentation carrying the "which speculation branch happened"
+//! messages at one third of the conventional RTT.
+
+use cisp_apps::gaming::{frame_time_sweep, GameModel};
+use cisp_bench::{print_series, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# Fig. 12 reproduction — scale: {}", scale.label());
+
+    let model = GameModel::default();
+    println!(
+        "# processing {} ms, speculation hit rate {}, low-latency RTT fraction {:.2}, bandwidth overhead {}x",
+        model.processing_ms, model.speculation_hit_rate, model.lowlat_rtt_fraction, model.bandwidth_overhead
+    );
+    let rows = frame_time_sweep(&model, 300.0, 25.0);
+
+    let conventional: Vec<(f64, f64)> = rows.iter().map(|&(r, c, _)| (r, c)).collect();
+    let augmented: Vec<(f64, f64)> = rows.iter().map(|&(r, _, a)| (r, a)).collect();
+    print_series("frame time (ms), conventional connectivity only", &conventional);
+    print_series("frame time (ms), with low-latency augmentation", &augmented);
+}

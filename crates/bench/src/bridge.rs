@@ -1,0 +1,175 @@
+//! Bridge from a designed topology to a packet-level simulation.
+//!
+//! §5 of the paper simulates the designed cISP at the site level: parallel
+//! tower series are aggregated into a single link per site pair with the
+//! provisioned capacity, fiber links are assumed plentiful, and the traffic
+//! matrix is scaled to a fraction of the design capacity. This module
+//! performs exactly that conversion so the Fig. 5 / Fig. 11 binaries and the
+//! netsim Criterion bench share one definition.
+
+use cisp_core::augment::{augment_for_throughput, AugmentConfig};
+use cisp_core::topology::HybridTopology;
+use cisp_geo::units::SPEED_OF_LIGHT_KM_PER_S;
+use cisp_netsim::network::{LinkSpec, Network};
+use cisp_netsim::routing::Demand;
+
+/// Capacity assumed for fiber links in the simulation (bps) — effectively
+/// unconstrained relative to the MW links, as in the paper.
+const FIBER_RATE_BPS: f64 = 400e9;
+
+/// Per-link drop-tail buffer, in bytes (≈100 packets of 500 B at each MW
+/// link, the regime in which Fig. 5's losses appear under overload).
+const BUFFER_BYTES: f64 = 50_000.0;
+
+/// Build a packet-level network and demand set from a designed topology.
+///
+/// * The network is provisioned (capacity-augmented) for
+///   `design_aggregate_gbps` using the topology's own traffic matrix.
+/// * The offered demands follow `offered_traffic` (which may differ from the
+///   designed-for matrix — that is the whole point of Figs. 5 and 11), scaled
+///   so their sum is `load_fraction × design_aggregate_gbps`.
+pub fn build_simulation_inputs(
+    topology: &HybridTopology,
+    offered_traffic: &[Vec<f64>],
+    design_aggregate_gbps: f64,
+    load_fraction: f64,
+) -> (Network, Vec<Demand>) {
+    assert!(load_fraction >= 0.0);
+    let n = topology.num_sites();
+    assert_eq!(offered_traffic.len(), n);
+
+    // Provision MW links for the design target.
+    let augmentation =
+        augment_for_throughput(topology, design_aggregate_gbps, &AugmentConfig::default());
+
+    let mut network = Network::new(n);
+    // Microwave links: provisioned capacity, near-c propagation.
+    for provision in &augmentation.links {
+        let link = &topology.mw_links()[provision.link_index];
+        let capacity_bps = (provision.series * provision.series) as f64 * 1e9;
+        network.add_bidirectional_link(LinkSpec {
+            from: link.site_a,
+            to: link.site_b,
+            rate_bps: capacity_bps,
+            propagation_s: link.mw_length_km / SPEED_OF_LIGHT_KM_PER_S,
+            buffer_bytes: BUFFER_BYTES,
+        });
+    }
+    // Fiber links between every pair (plentiful bandwidth, 1.5×-slowed
+    // propagation already baked into the latency-equivalent distance).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = topology.fiber_km(i, j);
+            if d.is_finite() {
+                network.add_bidirectional_link(LinkSpec {
+                    from: i,
+                    to: j,
+                    rate_bps: FIBER_RATE_BPS,
+                    propagation_s: d / SPEED_OF_LIGHT_KM_PER_S,
+                    buffer_bytes: 10.0 * BUFFER_BYTES,
+                });
+            }
+        }
+    }
+
+    // Offered demands.
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += offered_traffic[i][j];
+        }
+    }
+    assert!(total > 0.0, "offered traffic matrix is empty");
+    let scale = design_aggregate_gbps * load_fraction / total;
+    let mut demands = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let gbps = offered_traffic[i][j] * scale;
+            if gbps > 0.0 {
+                // Split the pair demand across both directions.
+                demands.push(Demand {
+                    src: i,
+                    dst: j,
+                    amount_bps: gbps * 1e9 / 2.0,
+                });
+                demands.push(Demand {
+                    src: j,
+                    dst: i,
+                    amount_bps: gbps * 1e9 / 2.0,
+                });
+            }
+        }
+    }
+    (network, demands)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisp_core::links::CandidateLink;
+    use cisp_geo::{geodesic, GeoPoint};
+
+    fn small_topology() -> HybridTopology {
+        let sites = vec![
+            GeoPoint::new(40.0, -100.0),
+            GeoPoint::new(40.0, -96.0),
+            GeoPoint::new(37.0, -96.0),
+        ];
+        let traffic = vec![
+            vec![0.0, 1.0, 0.5],
+            vec![1.0, 0.0, 0.8],
+            vec![0.5, 0.8, 0.0],
+        ];
+        let fiber: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        let geo = geodesic::distance_km(sites[0], sites[1]);
+        topo.add_mw_link(CandidateLink {
+            site_a: 0,
+            site_b: 1,
+            mw_length_km: geo * 1.03,
+            tower_count: 5,
+            tower_path: vec![0, 1, 2, 3, 4],
+        });
+        topo
+    }
+
+    #[test]
+    fn bridge_builds_links_and_demands() {
+        let topo = small_topology();
+        let (net, demands) = build_simulation_inputs(&topo, topo.traffic(), 10.0, 0.5);
+        // 1 MW link + 3 fiber pairs, all bidirectional = 8 directed links.
+        assert_eq!(net.num_links(), 8);
+        // 3 pairs × 2 directions.
+        assert_eq!(demands.len(), 6);
+        let total_bps: f64 = demands.iter().map(|d| d.amount_bps).sum();
+        assert!((total_bps - 5e9).abs() < 1.0, "total {total_bps}");
+    }
+
+    #[test]
+    fn mw_links_are_faster_than_fiber() {
+        let topo = small_topology();
+        let (net, _) = build_simulation_inputs(&topo, topo.traffic(), 10.0, 0.5);
+        // First two directed links are the MW pair; find a fiber link between
+        // the same sites and compare propagation delay.
+        let mw = net.link(0);
+        let fiber = (0..net.num_links())
+            .map(|l| net.link(l))
+            .find(|l| l.from == 0 && l.to == 1 && l.rate_bps > 1e11)
+            .expect("fiber link exists");
+        assert!(mw.propagation_s < fiber.propagation_s);
+    }
+
+    #[test]
+    fn higher_design_target_gives_more_capacity() {
+        let topo = small_topology();
+        let (small, _) = build_simulation_inputs(&topo, topo.traffic(), 4.0, 0.5);
+        let (large, _) = build_simulation_inputs(&topo, topo.traffic(), 100.0, 0.5);
+        assert!(large.link(0).rate_bps >= small.link(0).rate_bps);
+    }
+}

@@ -1,0 +1,432 @@
+//! Step 3: routing traffic and augmenting capacity (§3.3, §4 Step 3).
+//!
+//! A single series of towers carries about 1 Gbps (§2). Once the topology is
+//! designed, the traffic matrix is scaled to the target aggregate throughput
+//! and routed over shortest paths; every microwave link whose load exceeds
+//! one series' capacity is augmented with parallel series of towers. Thanks
+//! to the k² trick (connecting each tower of `k` parallel series to the next
+//! tower of every series, Fig. 1), `k` series provide `k²` Gbps, so the number
+//! of series needed for a load `L` is `ceil(sqrt(L / capacity))`.
+//!
+//! Each additional series re-uses the link's route but needs new towers along
+//! it (the paper charges one new tower per tower position per extra series,
+//! which is deliberately conservative — §4 notes existing towers can often be
+//! found). The resulting [`BuildInventory`] feeds the [`crate::cost`] model.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::BuildInventory;
+use crate::topology::HybridTopology;
+
+/// Configuration of the augmentation step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Capacity of a single series of towers, in Gbps (paper: 1 Gbps).
+    pub per_series_gbps: f64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            per_series_gbps: 1.0,
+        }
+    }
+}
+
+/// Provisioning decision for one built microwave link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProvision {
+    /// Index of the link in `topology.mw_links()`.
+    pub link_index: usize,
+    /// Traffic carried by the link, in Gbps (sum over both directions).
+    pub load_gbps: f64,
+    /// Number of parallel tower series provisioned (≥ 1).
+    pub series: usize,
+}
+
+impl LinkProvision {
+    /// Number of *additional* series beyond the first.
+    pub fn extra_series(&self) -> usize {
+        self.series.saturating_sub(1)
+    }
+
+    /// Capacity provided by the provisioned series under the k² rule.
+    pub fn capacity_gbps(&self, config: &AugmentConfig) -> f64 {
+        (self.series * self.series) as f64 * config.per_series_gbps
+    }
+}
+
+/// The result of routing and augmentation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Augmentation {
+    /// Per-link provisioning, indexed like `topology.mw_links()`.
+    pub links: Vec<LinkProvision>,
+    /// Aggregate throughput the network was provisioned for, in Gbps.
+    pub aggregate_gbps: f64,
+    /// Fraction of total traffic that rides at least one microwave link.
+    pub mw_traffic_fraction: f64,
+}
+
+impl Augmentation {
+    /// Histogram of links by number of extra series: `result[k]` is the number
+    /// of links needing `k` additional series (Fig. 3's link classes).
+    pub fn extra_series_histogram(&self) -> Vec<usize> {
+        let max_extra = self.links.iter().map(|l| l.extra_series()).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_extra + 1];
+        for l in &self.links {
+            hist[l.extra_series()] += 1;
+        }
+        hist
+    }
+
+    /// Build inventory for the cost model.
+    pub fn inventory(&self, topology: &HybridTopology) -> BuildInventory {
+        let mut hop_installations = 0usize;
+        let mut new_towers_built = 0usize;
+        let mut existing: HashSet<usize> = HashSet::new();
+        for provision in &self.links {
+            let link = &topology.mw_links()[provision.link_index];
+            let hops_per_series = link.tower_count + 1;
+            hop_installations += hops_per_series * provision.series;
+            // Extra series need a new tower at each tower position.
+            new_towers_built += link.tower_count * provision.extra_series();
+            existing.extend(link.tower_path.iter().copied());
+        }
+        BuildInventory {
+            hop_installations,
+            existing_towers_used: existing.len(),
+            new_towers_built,
+        }
+    }
+}
+
+/// Scale a relative traffic matrix so that the sum over unordered pairs
+/// equals `aggregate_gbps`. Returns the per-pair demand matrix in Gbps.
+pub fn scale_traffic(traffic: &[Vec<f64>], aggregate_gbps: f64) -> Vec<Vec<f64>> {
+    assert!(aggregate_gbps >= 0.0);
+    let n = traffic.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += traffic[i][j];
+        }
+    }
+    assert!(total > 0.0, "traffic matrix has no positive entries");
+    let factor = aggregate_gbps / total;
+    (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { traffic[i][j] * factor }).collect())
+        .collect()
+}
+
+/// Per-pair routing over the built topology: for every unordered pair, the
+/// shortest latency-equivalent path over fiber plus built MW links, recording
+/// which MW links it uses.
+///
+/// Routing uses a Dijkstra over the *site* graph whose edges are all fiber
+/// pairs plus the built MW links, matching how the paper's simulations
+/// aggregate parallel tower series into site-to-site links (§5).
+pub fn route_demands(
+    topology: &HybridTopology,
+    demands_gbps: &[Vec<f64>],
+    config: &AugmentConfig,
+    aggregate_gbps: f64,
+) -> Augmentation {
+    let n = topology.num_sites();
+    assert_eq!(demands_gbps.len(), n);
+
+    // Adjacency: (neighbor, length_km, Some(mw link index) or None for fiber).
+    let mut adjacency: Vec<Vec<(usize, f64, Option<usize>)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && topology.fiber_km(i, j).is_finite() {
+                adjacency[i].push((j, topology.fiber_km(i, j), None));
+            }
+        }
+    }
+    for (idx, link) in topology.mw_links().iter().enumerate() {
+        adjacency[link.site_a].push((link.site_b, link.mw_length_km, Some(idx)));
+        adjacency[link.site_b].push((link.site_a, link.mw_length_km, Some(idx)));
+    }
+
+    let mut loads = vec![0.0f64; topology.mw_links().len()];
+    let mut mw_traffic = 0.0f64;
+    let mut total_traffic = 0.0f64;
+
+    for s in 0..n {
+        // Dijkstra from s, remembering the incoming edge kind.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<(usize, Option<usize>)>> = vec![None; n];
+        let mut settled = vec![false; n];
+        dist[s] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((ordered_float(0.0), s)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            let d = d.0;
+            if settled[u] {
+                continue;
+            }
+            settled[u] = true;
+            for &(v, w, link) in &adjacency[u] {
+                let nd = d + w;
+                if nd < dist[v] - 1e-12 {
+                    dist[v] = nd;
+                    prev[v] = Some((u, link));
+                    heap.push(std::cmp::Reverse((ordered_float(nd), v)));
+                }
+            }
+        }
+
+        for t in (s + 1)..n {
+            let demand = demands_gbps[s][t];
+            if demand <= 0.0 {
+                continue;
+            }
+            total_traffic += demand;
+            // Walk the predecessor chain, accumulating MW link loads.
+            let mut used_mw = false;
+            let mut cur = t;
+            while cur != s {
+                match prev[cur] {
+                    Some((p, link)) => {
+                        if let Some(idx) = link {
+                            loads[idx] += demand;
+                            used_mw = true;
+                        }
+                        cur = p;
+                    }
+                    None => break, // unreachable pair: demand stays on (absent) fiber
+                }
+            }
+            if used_mw {
+                mw_traffic += demand;
+            }
+        }
+    }
+
+    let links = loads
+        .iter()
+        .enumerate()
+        .map(|(link_index, &load_gbps)| {
+            let series = if load_gbps <= 0.0 {
+                1
+            } else {
+                (load_gbps / config.per_series_gbps).sqrt().ceil().max(1.0) as usize
+            };
+            LinkProvision {
+                link_index,
+                load_gbps,
+                series,
+            }
+        })
+        .collect();
+
+    Augmentation {
+        links,
+        aggregate_gbps,
+        mw_traffic_fraction: if total_traffic > 0.0 {
+            mw_traffic / total_traffic
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Route a topology's own traffic matrix at a target aggregate throughput and
+/// provision the links (the common entry point).
+pub fn augment_for_throughput(
+    topology: &HybridTopology,
+    aggregate_gbps: f64,
+    config: &AugmentConfig,
+) -> Augmentation {
+    let demands = scale_traffic(topology.traffic(), aggregate_gbps);
+    route_demands(topology, &demands, config, aggregate_gbps)
+}
+
+/// A totally ordered f64 wrapper for the binary heap (all values are finite).
+fn ordered_float(v: f64) -> OrderedF64 {
+    OrderedF64(v)
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::CandidateLink;
+    use cisp_geo::{geodesic, GeoPoint};
+
+    fn three_site_topology() -> HybridTopology {
+        let sites = vec![
+            GeoPoint::new(40.0, -100.0),
+            GeoPoint::new(40.0, -95.0),
+            GeoPoint::new(40.0, -90.0),
+        ];
+        let traffic = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+        ];
+        let fiber: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let geo12 = geodesic::distance_km(sites[1], sites[2]);
+        topo.add_mw_link(CandidateLink {
+            site_a: 0,
+            site_b: 1,
+            mw_length_km: geo01 * 1.03,
+            tower_count: 6,
+            tower_path: vec![0, 1, 2, 3, 4, 5],
+        });
+        topo.add_mw_link(CandidateLink {
+            site_a: 1,
+            site_b: 2,
+            mw_length_km: geo12 * 1.03,
+            tower_count: 6,
+            tower_path: vec![6, 7, 8, 9, 10, 11],
+        });
+        topo
+    }
+
+    #[test]
+    fn scale_traffic_hits_aggregate() {
+        let traffic = vec![
+            vec![0.0, 1.0, 3.0],
+            vec![1.0, 0.0, 1.0],
+            vec![3.0, 1.0, 0.0],
+        ];
+        let scaled = scale_traffic(&traffic, 100.0);
+        let total: f64 = (0..3)
+            .flat_map(|i| ((i + 1)..3).map(move |j| (i, j)))
+            .map(|(i, j)| scaled[i][j])
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        // Proportions preserved.
+        assert!((scaled[0][2] / scaled[0][1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routing_uses_mw_links_and_counts_loads() {
+        let topo = three_site_topology();
+        let aug = augment_for_throughput(&topo, 10.0, &AugmentConfig::default());
+        assert_eq!(aug.links.len(), 2);
+        // All traffic rides MW (it is always faster than the 2× fiber).
+        assert!((aug.mw_traffic_fraction - 1.0).abs() < 1e-9);
+        // The 0–2 demand traverses both links, so each link's load is the
+        // sum of its own pair demand plus the transit demand.
+        let total: f64 = aug.links.iter().map(|l| l.load_gbps).sum();
+        assert!(total > 10.0, "transit demand must be counted on both links");
+    }
+
+    #[test]
+    fn series_follow_k_squared_rule() {
+        let topo = three_site_topology();
+        // At 100 Gbps aggregate, the busier link carries tens of Gbps and
+        // needs several series, but far fewer than load/1Gbps.
+        let aug = augment_for_throughput(&topo, 100.0, &AugmentConfig::default());
+        for l in &aug.links {
+            let k = l.series as f64;
+            assert!(k * k >= l.load_gbps - 1e-9, "k²={} < load {}", k * k, l.load_gbps);
+            assert!((k - 1.0) * (k - 1.0) < l.load_gbps || l.series == 1);
+            assert!(l.capacity_gbps(&AugmentConfig::default()) >= l.load_gbps - 1e-9);
+        }
+    }
+
+    #[test]
+    fn idle_link_still_gets_one_series() {
+        let sites = vec![
+            GeoPoint::new(40.0, -100.0),
+            GeoPoint::new(40.0, -99.0),
+            GeoPoint::new(20.0, -60.0),
+        ];
+        // Traffic only between 0 and 1.
+        let traffic = vec![
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let fiber: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        topo.add_mw_link(CandidateLink {
+            site_a: 0,
+            site_b: 1,
+            mw_length_km: 100.0,
+            tower_count: 1,
+            tower_path: vec![0],
+        });
+        topo.add_mw_link(CandidateLink {
+            site_a: 0,
+            site_b: 2,
+            mw_length_km: 4000.0,
+            tower_count: 40,
+            tower_path: (1..41).collect(),
+        });
+        let aug = augment_for_throughput(&topo, 5.0, &AugmentConfig::default());
+        assert_eq!(aug.links[1].load_gbps, 0.0);
+        assert_eq!(aug.links[1].series, 1);
+    }
+
+    #[test]
+    fn inventory_counts_hops_and_new_towers() {
+        let topo = three_site_topology();
+        let aug = augment_for_throughput(&topo, 50.0, &AugmentConfig::default());
+        let inv = aug.inventory(&topo);
+        // 12 distinct towers across the two links.
+        assert_eq!(inv.existing_towers_used, 12);
+        // Hop installations: (6+1) hops per series per link.
+        let expected_hops: usize = aug
+            .links
+            .iter()
+            .map(|l| (topo.mw_links()[l.link_index].tower_count + 1) * l.series)
+            .sum();
+        assert_eq!(inv.hop_installations, expected_hops);
+        // New towers appear only when extra series exist.
+        let expected_new: usize = aug
+            .links
+            .iter()
+            .map(|l| topo.mw_links()[l.link_index].tower_count * l.extra_series())
+            .sum();
+        assert_eq!(inv.new_towers_built, expected_new);
+    }
+
+    #[test]
+    fn higher_throughput_needs_no_fewer_series() {
+        let topo = three_site_topology();
+        let low = augment_for_throughput(&topo, 10.0, &AugmentConfig::default());
+        let high = augment_for_throughput(&topo, 200.0, &AugmentConfig::default());
+        for (l, h) in low.links.iter().zip(high.links.iter()) {
+            assert!(h.series >= l.series);
+        }
+        let hist = high.extra_series_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), high.links.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scale_traffic_rejects_all_zero_matrix() {
+        scale_traffic(&vec![vec![0.0; 3]; 3], 10.0);
+    }
+}

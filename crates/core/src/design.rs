@@ -1,0 +1,516 @@
+//! Step 2: topology design under a tower budget (§3.2).
+//!
+//! Given the candidate site-to-site microwave links (with their
+//! latency-equivalent lengths `m_ij` and tower costs `c_ij`), the
+//! always-available fiber distances `o_ij`, and a traffic matrix `h_ij`, pick
+//! the subset of links to build within a tower budget `B` so that the
+//! traffic-weighted mean stretch is minimised.
+//!
+//! Two design procedures are provided:
+//!
+//! * [`Designer::greedy`] — the scalable greedy: repeatedly add the candidate
+//!   link that lowers mean stretch the most (the paper's pruning heuristic),
+//!   implemented with lazy re-evaluation so that only a handful of candidates
+//!   are re-scored per iteration.
+//! * [`Designer::cisp`] — the full cISP heuristic: run the greedy with an
+//!   inflated (2×) budget to identify a candidate pool, then re-select within
+//!   the real budget and polish with budget-respecting swap local search.
+//!   (The paper hands the pruned pool to Gurobi; our pool-restricted
+//!   selection plus swaps plays that role, and [`crate::ilp`] provides the
+//!   exact formulation for the small instances where it is tractable.)
+//!
+//! Both procedures start by applying the paper's "fiber oracle" elimination:
+//! a candidate MW link whose length is no better than the fiber distance
+//! between its endpoints can never improve any route and is dropped outright.
+//! This is exact, not an approximation.
+
+use cisp_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::links::CandidateLink;
+use crate::topology::HybridTopology;
+
+/// How the greedy scores a candidate link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GreedyScore {
+    /// Absolute reduction in mean stretch (the paper's rule).
+    AbsoluteGain,
+    /// Reduction in mean stretch per tower of cost (cost-aware variant,
+    /// used in the ablation benchmarks).
+    GainPerTower,
+}
+
+/// Configuration of the design procedures.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Scoring rule for the greedy.
+    pub score: GreedyScore,
+    /// Budget-inflation factor for the candidate-pruning phase of the cISP
+    /// heuristic (paper: 2×).
+    pub pruning_budget_factor: f64,
+    /// Maximum number of improving swap passes in the polishing phase.
+    pub max_swap_passes: usize,
+    /// Minimum mean-stretch gain for a link to be worth adding.
+    pub min_gain: f64,
+}
+
+impl Default for DesignConfig {
+    fn default() -> Self {
+        Self {
+            score: GreedyScore::AbsoluteGain,
+            pruning_budget_factor: 2.0,
+            max_swap_passes: 3,
+            min_gain: 1e-9,
+        }
+    }
+}
+
+/// One step of the greedy build-out: the cumulative tower cost and the mean
+/// stretch after adding the step's link. Recording every step lets a single
+/// design run produce the whole stretch-vs-budget curve of Fig. 4(a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignStep {
+    /// Index into the candidate list of the link added at this step.
+    pub candidate_index: usize,
+    /// Cumulative tower cost after this step.
+    pub cumulative_towers: usize,
+    /// Traffic-weighted mean stretch after this step.
+    pub mean_stretch: f64,
+}
+
+/// The inputs of the design problem.
+#[derive(Debug, Clone)]
+pub struct DesignInput {
+    /// Site locations.
+    pub sites: Vec<GeoPoint>,
+    /// Traffic weights `h_ij` (symmetric, zero diagonal).
+    pub traffic: Vec<Vec<f64>>,
+    /// Latency-equivalent fiber distances `o_ij` (km, symmetric).
+    pub fiber_km: Vec<Vec<f64>>,
+    /// Candidate direct MW links from step 1.
+    pub candidates: Vec<CandidateLink>,
+}
+
+impl DesignInput {
+    /// A fresh topology with no MW links built.
+    pub fn empty_topology(&self) -> HybridTopology {
+        HybridTopology::new(self.sites.clone(), self.traffic.clone(), self.fiber_km.clone())
+    }
+
+    /// Indices of candidates that survive the fiber-oracle elimination: the
+    /// MW link must be strictly shorter (latency-equivalent) than the fiber
+    /// distance between its endpoints.
+    pub fn useful_candidates(&self) -> Vec<usize> {
+        self.candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.mw_length_km < self.fiber_km[l.site_a][l.site_b])
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The result of a design run.
+#[derive(Debug, Clone)]
+pub struct DesignOutcome {
+    /// Indices (into the input candidate list) of the links selected.
+    pub selected: Vec<usize>,
+    /// The resulting topology with the selected links built.
+    pub topology: HybridTopology,
+    /// Total tower cost of the selected links.
+    pub total_towers: usize,
+    /// Final traffic-weighted mean stretch.
+    pub mean_stretch: f64,
+    /// The greedy build-out history (empty for non-greedy methods).
+    pub history: Vec<DesignStep>,
+}
+
+/// The topology designer.
+pub struct Designer<'a> {
+    input: &'a DesignInput,
+    config: DesignConfig,
+}
+
+impl<'a> Designer<'a> {
+    /// Create a designer with the default configuration.
+    pub fn new(input: &'a DesignInput) -> Self {
+        Self::with_config(input, DesignConfig::default())
+    }
+
+    /// Create a designer with an explicit configuration.
+    pub fn with_config(input: &'a DesignInput, config: DesignConfig) -> Self {
+        assert!(config.pruning_budget_factor >= 1.0);
+        Self { input, config }
+    }
+
+    fn score(&self, gain: f64, cost: usize) -> f64 {
+        match self.config.score {
+            GreedyScore::AbsoluteGain => gain,
+            GreedyScore::GainPerTower => gain / (cost.max(1) as f64),
+        }
+    }
+
+    /// Greedy design over an explicit candidate pool (indices into the input
+    /// candidate list), with lazy gain re-evaluation.
+    fn greedy_over(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
+        let mut topology = self.input.empty_topology();
+        let mut selected = Vec::new();
+        let mut history = Vec::new();
+        let mut total_towers = 0usize;
+        let mut current_stretch = topology.mean_stretch();
+
+        // (stale score, candidate index); refreshed lazily.
+        let mut queue: Vec<(f64, usize)> = pool
+            .iter()
+            .map(|&idx| {
+                let link = &self.input.candidates[idx];
+                let gain = current_stretch - topology.mean_stretch_with(link);
+                (self.score(gain, link.tower_count), idx)
+            })
+            .collect();
+
+        loop {
+            // Sort stale scores descending (deterministic tie-break on index).
+            queue.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            // Lazily find the best affordable candidate with a fresh score.
+            let mut chosen: Option<(usize, f64, usize)> = None; // (queue pos, gain, idx)
+            for pos in 0..queue.len() {
+                let (stale_score, idx) = queue[pos];
+                if stale_score <= self.config.min_gain {
+                    break;
+                }
+                let link = &self.input.candidates[idx];
+                if total_towers + link.tower_count > budget_towers.floor() as usize {
+                    continue;
+                }
+                let fresh_gain = current_stretch - topology.mean_stretch_with(link);
+                let fresh_score = self.score(fresh_gain, link.tower_count);
+                queue[pos].0 = fresh_score;
+                // Fresh score still at least as good as the next stale score
+                // ⇒ it is the true maximum (scores only shrink as links are
+                // added, so stale scores are upper bounds).
+                let next_stale = queue
+                    .iter()
+                    .enumerate()
+                    .filter(|&(p, _)| p != pos)
+                    .map(|(_, &(s, _))| s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if fresh_score >= next_stale - 1e-12 {
+                    if fresh_gain > self.config.min_gain {
+                        chosen = Some((pos, fresh_gain, idx));
+                    }
+                    break;
+                }
+                // Otherwise keep scanning; the re-sorted queue is handled on
+                // the next outer iteration.
+            }
+
+            match chosen {
+                Some((pos, _gain, idx)) => {
+                    let link = self.input.candidates[idx].clone();
+                    total_towers += link.tower_count;
+                    topology.add_mw_link(link);
+                    current_stretch = topology.mean_stretch();
+                    selected.push(idx);
+                    history.push(DesignStep {
+                        candidate_index: idx,
+                        cumulative_towers: total_towers,
+                        mean_stretch: current_stretch,
+                    });
+                    queue.remove(pos);
+                }
+                None => {
+                    // No affordable candidate with fresh max score this pass;
+                    // check whether any stale entry could still qualify.
+                    let any_affordable = queue.iter().any(|&(score, idx)| {
+                        score > self.config.min_gain
+                            && total_towers + self.input.candidates[idx].tower_count
+                                <= budget_towers.floor() as usize
+                    });
+                    if !any_affordable {
+                        break;
+                    }
+                    // Re-sort happens at the top of the loop; to guarantee
+                    // progress, refresh every score once.
+                    for entry in queue.iter_mut() {
+                        let link = &self.input.candidates[entry.1];
+                        let gain = current_stretch - topology.mean_stretch_with(link);
+                        entry.0 = self.score(gain, link.tower_count);
+                    }
+                    let best = queue
+                        .iter()
+                        .copied()
+                        .filter(|&(score, idx)| {
+                            score > self.config.min_gain
+                                && total_towers + self.input.candidates[idx].tower_count
+                                    <= budget_towers.floor() as usize
+                        })
+                        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+                    match best {
+                        Some((_, idx)) => {
+                            let pos = queue.iter().position(|&(_, i)| i == idx).unwrap();
+                            let link = self.input.candidates[idx].clone();
+                            total_towers += link.tower_count;
+                            topology.add_mw_link(link);
+                            current_stretch = topology.mean_stretch();
+                            selected.push(idx);
+                            history.push(DesignStep {
+                                candidate_index: idx,
+                                cumulative_towers: total_towers,
+                                mean_stretch: current_stretch,
+                            });
+                            queue.remove(pos);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        DesignOutcome {
+            selected,
+            mean_stretch: topology.mean_stretch(),
+            total_towers,
+            topology,
+            history,
+        }
+    }
+
+    /// Pure greedy design at the given tower budget (all useful candidates).
+    pub fn greedy(&self, budget_towers: f64) -> DesignOutcome {
+        assert!(budget_towers >= 0.0);
+        self.greedy_over(&self.input.useful_candidates(), budget_towers)
+    }
+
+    /// The full cISP heuristic: greedy pruning at an inflated budget, then
+    /// re-selection within the real budget, then swap-based polishing.
+    pub fn cisp(&self, budget_towers: f64) -> DesignOutcome {
+        assert!(budget_towers >= 0.0);
+        // Phase 1: candidate pruning at inflated budget.
+        let pruning = self.greedy_over(
+            &self.input.useful_candidates(),
+            budget_towers * self.config.pruning_budget_factor,
+        );
+        let pool = pruning.selected.clone();
+        // Phase 2: selection within the real budget, restricted to the pool.
+        let mut outcome = self.greedy_over(&pool, budget_towers);
+        // Phase 3: swap local search within the pool.
+        self.swap_polish(&mut outcome, &pool, budget_towers);
+        outcome
+    }
+
+    /// First-improvement swap local search: try replacing one selected link
+    /// with one unselected pool link if it lowers mean stretch within budget.
+    fn swap_polish(&self, outcome: &mut DesignOutcome, pool: &[usize], budget_towers: f64) {
+        let budget = budget_towers.floor() as usize;
+        for _ in 0..self.config.max_swap_passes {
+            let mut improved = false;
+            let selected_set: Vec<usize> = outcome.selected.clone();
+            for &out_idx in &selected_set {
+                for &in_idx in pool {
+                    if outcome.selected.contains(&in_idx) || in_idx == out_idx {
+                        continue;
+                    }
+                    let out_cost = self.input.candidates[out_idx].tower_count;
+                    let in_cost = self.input.candidates[in_idx].tower_count;
+                    if outcome.total_towers - out_cost + in_cost > budget {
+                        continue;
+                    }
+                    // Evaluate the swap by rebuilding a trial topology.
+                    let mut trial = self.input.empty_topology();
+                    for &idx in &outcome.selected {
+                        if idx != out_idx {
+                            trial.add_mw_link(self.input.candidates[idx].clone());
+                        }
+                    }
+                    trial.add_mw_link(self.input.candidates[in_idx].clone());
+                    let stretch = trial.mean_stretch();
+                    if stretch + 1e-12 < outcome.mean_stretch {
+                        outcome.selected.retain(|&i| i != out_idx);
+                        outcome.selected.push(in_idx);
+                        outcome.total_towers = outcome.total_towers - out_cost + in_cost;
+                        outcome.mean_stretch = stretch;
+                        outcome.topology = trial;
+                        improved = true;
+                        break;
+                    }
+                }
+                if improved {
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisp_geo::geodesic;
+
+    /// Build a synthetic design input: `n` sites on a line, fiber at 2×
+    /// geodesic equivalent, uniform traffic, and a direct MW candidate for
+    /// every pair at 1.05× geodesic costing 1 tower per 40 km.
+    fn synthetic_input(n: usize) -> DesignInput {
+        let sites: Vec<GeoPoint> = (0..n)
+            .map(|i| GeoPoint::new(38.0 + (i % 3) as f64, -100.0 + i as f64 * 2.0))
+            .collect();
+        let traffic: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+            .collect();
+        let fiber_km: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let geo = geodesic::distance_km(sites[i], sites[j]);
+                let towers = (geo / 40.0).ceil() as usize;
+                candidates.push(CandidateLink {
+                    site_a: i,
+                    site_b: j,
+                    mw_length_km: geo * 1.05,
+                    tower_count: towers.max(1),
+                    tower_path: (0..towers.max(1)).collect(),
+                });
+            }
+        }
+        DesignInput {
+            sites,
+            traffic,
+            fiber_km,
+            candidates,
+        }
+    }
+
+    #[test]
+    fn zero_budget_builds_nothing() {
+        let input = synthetic_input(6);
+        let outcome = Designer::new(&input).greedy(0.0);
+        assert!(outcome.selected.is_empty());
+        assert_eq!(outcome.total_towers, 0);
+        // Fiber-only stretch is 2× by construction.
+        assert!((outcome.mean_stretch - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_reduces_stretch() {
+        let input = synthetic_input(8);
+        let budget = 30.0;
+        let outcome = Designer::new(&input).greedy(budget);
+        assert!(outcome.total_towers as f64 <= budget);
+        assert!(outcome.mean_stretch < 2.0);
+        assert!(!outcome.selected.is_empty());
+        // History is monotone: cost non-decreasing, stretch non-increasing.
+        for w in outcome.history.windows(2) {
+            assert!(w[0].cumulative_towers <= w[1].cumulative_towers);
+            assert!(w[0].mean_stretch >= w[1].mean_stretch - 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_hurts() {
+        let input = synthetic_input(8);
+        let designer = Designer::new(&input);
+        let small = designer.greedy(15.0);
+        let large = designer.greedy(60.0);
+        assert!(large.mean_stretch <= small.mean_stretch + 1e-9);
+    }
+
+    #[test]
+    fn unlimited_budget_approaches_mw_stretch() {
+        let input = synthetic_input(8);
+        let outcome = Designer::new(&input).greedy(10_000.0);
+        // With every useful link built, every pair rides a 1.05× MW path (or
+        // better, via concatenation).
+        assert!(outcome.mean_stretch <= 1.06, "stretch {}", outcome.mean_stretch);
+    }
+
+    #[test]
+    fn oracle_removes_useless_candidates() {
+        let mut input = synthetic_input(5);
+        // Make one candidate worse than fiber; it must never be selected.
+        input.candidates[0].mw_length_km = input.fiber_km[input.candidates[0].site_a]
+            [input.candidates[0].site_b]
+            * 1.1;
+        let useful = input.useful_candidates();
+        assert!(!useful.contains(&0));
+        let outcome = Designer::new(&input).greedy(1_000.0);
+        assert!(!outcome.selected.contains(&0));
+    }
+
+    #[test]
+    fn cisp_heuristic_is_at_least_as_good_as_plain_greedy() {
+        let input = synthetic_input(9);
+        let designer = Designer::new(&input);
+        let budget = 40.0;
+        let greedy = designer.greedy(budget);
+        let cisp = designer.cisp(budget);
+        assert!(cisp.total_towers as f64 <= budget);
+        assert!(cisp.mean_stretch <= greedy.mean_stretch + 1e-9);
+    }
+
+    #[test]
+    fn gain_per_tower_scoring_changes_selection_order() {
+        let input = synthetic_input(8);
+        let abs = Designer::with_config(
+            &input,
+            DesignConfig {
+                score: GreedyScore::AbsoluteGain,
+                ..DesignConfig::default()
+            },
+        )
+        .greedy(25.0);
+        let per = Designer::with_config(
+            &input,
+            DesignConfig {
+                score: GreedyScore::GainPerTower,
+                ..DesignConfig::default()
+            },
+        )
+        .greedy(25.0);
+        // Both are valid designs within budget.
+        assert!(abs.total_towers <= 25 && per.total_towers <= 25);
+        // The cost-aware variant never selects a *more* expensive first link.
+        if let (Some(a), Some(p)) = (abs.history.first(), per.history.first()) {
+            let ca = input.candidates[a.candidate_index].tower_count;
+            let cp = input.candidates[p.candidate_index].tower_count;
+            assert!(cp <= ca);
+        }
+    }
+
+    #[test]
+    fn design_is_deterministic() {
+        let input = synthetic_input(8);
+        let a = Designer::new(&input).cisp(30.0);
+        let b = Designer::new(&input).cisp(30.0);
+        assert_eq!(a.selected, b.selected);
+        assert!((a.mean_stretch - b.mean_stretch).abs() < 1e-15);
+    }
+
+    #[test]
+    fn selected_links_are_within_candidate_range_and_unique() {
+        let input = synthetic_input(7);
+        let outcome = Designer::new(&input).cisp(35.0);
+        let mut seen = std::collections::HashSet::new();
+        for &idx in &outcome.selected {
+            assert!(idx < input.candidates.len());
+            assert!(seen.insert(idx), "duplicate selection of candidate {idx}");
+        }
+        // Reported totals are consistent.
+        let cost: usize = outcome
+            .selected
+            .iter()
+            .map(|&i| input.candidates[i].tower_count)
+            .sum();
+        assert_eq!(cost, outcome.total_towers);
+        assert!((outcome.topology.mean_stretch() - outcome.mean_stretch).abs() < 1e-12);
+    }
+}

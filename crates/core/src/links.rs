@@ -1,0 +1,324 @@
+//! Step 1(b): build candidate site-to-site microwave links.
+//!
+//! After hop feasibility has produced the tower-to-tower hop graph, the
+//! designer finds, for every pair of sites, the shortest path through that
+//! graph (§3.1: "for each pair of sites, we find the shortest path through a
+//! graph containing these hops, which we call a link"). The path's length is
+//! the link's latency-equivalent distance `m_ij` and its tower count is the
+//! link's cost `c_ij`, the two inputs the topology optimiser needs.
+//!
+//! Sites are attached to the tower graph through every tower within a
+//! configurable radius of the site, reflecting the paper's observation that
+//! each city hosts plenty of towers suitable as path starting points.
+
+use cisp_data::towers::TowerRegistry;
+use cisp_geo::{geodesic, GeoPoint};
+use cisp_graph::{dijkstra, Graph};
+use serde::{Deserialize, Serialize};
+
+use crate::hops::FeasibleHop;
+
+/// A candidate direct microwave link between two sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateLink {
+    /// Index of the first site (lower index).
+    pub site_a: usize,
+    /// Index of the second site (higher index).
+    pub site_b: usize,
+    /// Length of the microwave path in kilometres (`m_ij` in the paper).
+    pub mw_length_km: f64,
+    /// Number of towers used by the path (`c_ij`, the link's cost in towers).
+    pub tower_count: usize,
+    /// The tower indices along the path, in order from `site_a` to `site_b`.
+    pub tower_path: Vec<usize>,
+}
+
+impl CandidateLink {
+    /// Stretch of the microwave path over the geodesic between the sites.
+    pub fn stretch_over(&self, geodesic_km: f64) -> f64 {
+        if geodesic_km <= 0.0 {
+            1.0
+        } else {
+            self.mw_length_km / geodesic_km
+        }
+    }
+}
+
+/// Configuration for attaching sites to the tower graph.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkBuilderConfig {
+    /// Towers within this distance of a site can serve as the first/last
+    /// tower of its links.
+    pub site_attach_radius_km: f64,
+}
+
+impl Default for LinkBuilderConfig {
+    fn default() -> Self {
+        Self {
+            site_attach_radius_km: 25.0,
+        }
+    }
+}
+
+/// Builds candidate links from sites, towers and feasible hops.
+pub struct LinkBuilder<'a> {
+    sites: &'a [GeoPoint],
+    towers: &'a TowerRegistry,
+    graph: Graph,
+    config: LinkBuilderConfig,
+}
+
+impl<'a> LinkBuilder<'a> {
+    /// Construct the combined tower + site graph.
+    ///
+    /// Graph layout: nodes `0..T` are towers, nodes `T..T+S` are sites.
+    pub fn new(
+        sites: &'a [GeoPoint],
+        towers: &'a TowerRegistry,
+        hops: &[FeasibleHop],
+        config: LinkBuilderConfig,
+    ) -> Self {
+        assert!(!sites.is_empty(), "need at least one site");
+        assert!(config.site_attach_radius_km > 0.0);
+        let t = towers.len();
+        let mut graph = Graph::new(t + sites.len());
+        for hop in hops {
+            graph.add_undirected_edge(hop.tower_a, hop.tower_b, hop.length_km);
+        }
+        for (s, &site) in sites.iter().enumerate() {
+            for tower_idx in towers.towers_within(site, config.site_attach_radius_km) {
+                let d = geodesic::distance_km(site, towers.towers()[tower_idx].location);
+                graph.add_undirected_edge(t + s, tower_idx, d);
+            }
+        }
+        Self {
+            sites,
+            towers,
+            graph,
+            config,
+        }
+    }
+
+    /// The node id of a site in the combined graph.
+    pub fn site_node(&self, site: usize) -> usize {
+        self.towers.len() + site
+    }
+
+    /// The combined tower + site graph (towers first, then sites).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> LinkBuilderConfig {
+        self.config
+    }
+
+    /// Number of towers attached to a given site.
+    pub fn attached_towers(&self, site: usize) -> usize {
+        self.graph.neighbors(self.site_node(site)).len()
+    }
+
+    /// Find the candidate link between two sites, if the tower graph connects
+    /// them.
+    pub fn candidate_link(&self, a: usize, b: usize) -> Option<CandidateLink> {
+        assert!(a < self.sites.len() && b < self.sites.len());
+        if a == b {
+            return None;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let path = dijkstra::shortest_path(&self.graph, self.site_node(a), self.site_node(b))?;
+        let tower_path: Vec<usize> = path
+            .interior_nodes()
+            .iter()
+            .copied()
+            .filter(|&n| n < self.towers.len())
+            .collect();
+        Some(CandidateLink {
+            site_a: a,
+            site_b: b,
+            mw_length_km: path.cost,
+            tower_count: tower_path.len(),
+            tower_path,
+        })
+    }
+
+    /// Compute candidate links for every connected pair of sites.
+    ///
+    /// Runs one Dijkstra per site over the combined graph and extracts every
+    /// site-to-site path, so the overall cost is `S` single-source runs
+    /// rather than `S²` point-to-point runs.
+    pub fn all_candidate_links(&self) -> Vec<CandidateLink> {
+        let n = self.sites.len();
+        let mut links = Vec::new();
+        for a in 0..n {
+            let tree = dijkstra::shortest_path_tree(&self.graph, self.site_node(a), None);
+            for b in (a + 1)..n {
+                if let Some(path) = tree.path_to(self.site_node(b)) {
+                    let tower_path: Vec<usize> = path
+                        .interior_nodes()
+                        .iter()
+                        .copied()
+                        .filter(|&n| n < self.towers.len())
+                        .collect();
+                    // Paths that route *through* another site node are still
+                    // valid microwave paths (the intermediate site hosts
+                    // towers); we only count towers for cost purposes.
+                    links.push(CandidateLink {
+                        site_a: a,
+                        site_b: b,
+                        mw_length_km: path.cost,
+                        tower_count: tower_path.len(),
+                        tower_path,
+                    });
+                }
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hops::{HopConfig, HopFeasibility};
+    use cisp_data::towers::{Tower, TowerSource};
+    use cisp_terrain::{clutter::ClutterModel, TerrainModel};
+
+    fn tower(lat: f64, lon: f64) -> Tower {
+        Tower {
+            location: GeoPoint::new(lat, lon),
+            height_m: 200.0,
+            source: TowerSource::RentalCompany,
+        }
+    }
+
+    /// Two sites 300 km apart along latitude 40°N with a chain of towers
+    /// every ~50 km between them, plus towers at each site.
+    fn chain_setup() -> (Vec<GeoPoint>, TowerRegistry) {
+        let site_a = GeoPoint::new(40.0, -100.0);
+        let site_b = GeoPoint::new(40.0, -96.5); // ~298 km east
+        let mut towers = Vec::new();
+        for i in 0..=6 {
+            let frac = i as f64 / 6.0;
+            let p = geodesic::intermediate(site_a, site_b, frac);
+            towers.push(tower(p.lat_deg, p.lon_deg));
+        }
+        (vec![site_a, site_b], TowerRegistry::from_towers(towers))
+    }
+
+    fn feasible_hops(reg: &TowerRegistry) -> Vec<crate::hops::FeasibleHop> {
+        let terrain = TerrainModel::flat();
+        let clutter = ClutterModel::none();
+        let engine = HopFeasibility::new(reg, &terrain, &clutter, HopConfig::default());
+        engine.all_feasible_hops()
+    }
+
+    #[test]
+    fn chain_of_towers_yields_near_geodesic_link() {
+        let (sites, reg) = chain_setup();
+        let hops = feasible_hops(&reg);
+        assert!(!hops.is_empty());
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let link = builder.candidate_link(0, 1).expect("link should exist");
+        let geo = geodesic::distance_km(sites[0], sites[1]);
+        assert!(link.stretch_over(geo) < 1.05, "stretch {}", link.stretch_over(geo));
+        assert!(link.tower_count >= 5, "towers {}", link.tower_count);
+        assert_eq!(link.site_a, 0);
+        assert_eq!(link.site_b, 1);
+    }
+
+    #[test]
+    fn unreachable_sites_have_no_link() {
+        let site_a = GeoPoint::new(40.0, -100.0);
+        let site_b = GeoPoint::new(40.0, -90.0); // ~850 km away, no towers
+        let reg = TowerRegistry::from_towers(vec![tower(40.0, -100.05)]);
+        let hops = feasible_hops(&reg);
+        let sites = vec![site_a, site_b];
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        assert!(builder.candidate_link(0, 1).is_none());
+        assert_eq!(builder.all_candidate_links().len(), 0);
+    }
+
+    #[test]
+    fn all_candidate_links_matches_pointwise_queries() {
+        let (sites, reg) = chain_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let all = builder.all_candidate_links();
+        assert_eq!(all.len(), 1);
+        let single = builder.candidate_link(0, 1).unwrap();
+        assert_eq!(all[0], single);
+    }
+
+    #[test]
+    fn same_site_has_no_link_and_panics_out_of_range() {
+        let (sites, reg) = chain_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        assert!(builder.candidate_link(0, 0).is_none());
+        assert_eq!(builder.attached_towers(0), 1);
+    }
+
+    #[test]
+    fn site_attach_radius_controls_connectivity() {
+        // Towers strictly in the interior of the corridor, ~50 km from each
+        // site: with the default 25 km attach radius neither site can reach
+        // the tower chain, with a generous 60 km radius both can.
+        let site_a = GeoPoint::new(40.0, -100.0);
+        let site_b = GeoPoint::new(40.0, -96.5);
+        let towers: Vec<Tower> = (1..=5)
+            .map(|i| {
+                let p = geodesic::intermediate(site_a, site_b, i as f64 / 6.0);
+                tower(p.lat_deg, p.lon_deg)
+            })
+            .collect();
+        let reg = TowerRegistry::from_towers(towers);
+        let hops = feasible_hops(&reg);
+        let sites = vec![site_a, site_b];
+        let narrow = LinkBuilder::new(
+            &sites,
+            &reg,
+            &hops,
+            LinkBuilderConfig {
+                site_attach_radius_km: 25.0,
+            },
+        );
+        assert!(narrow.candidate_link(0, 1).is_none());
+        let wide = LinkBuilder::new(
+            &sites,
+            &reg,
+            &hops,
+            LinkBuilderConfig {
+                site_attach_radius_km: 60.0,
+            },
+        );
+        assert!(wide.candidate_link(0, 1).is_some());
+    }
+
+    #[test]
+    fn tower_path_is_ordered_from_site_a() {
+        let (sites, reg) = chain_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let link = builder.candidate_link(0, 1).unwrap();
+        // Towers were created west-to-east, so the path indices must be
+        // increasing.
+        let mut sorted = link.tower_path.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, link.tower_path);
+    }
+
+    #[test]
+    fn stretch_over_zero_geodesic_is_one() {
+        let link = CandidateLink {
+            site_a: 0,
+            site_b: 1,
+            mw_length_km: 10.0,
+            tower_count: 2,
+            tower_path: vec![0, 1],
+        };
+        assert_eq!(link.stretch_over(0.0), 1.0);
+        assert!((link.stretch_over(8.0) - 1.25).abs() < 1e-12);
+    }
+}

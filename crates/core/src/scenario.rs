@@ -1,0 +1,380 @@
+//! End-to-end deployment scenarios: the full design pipeline wired together.
+//!
+//! A [`Scenario`] bundles everything §4 and §6.2 of the paper need: the
+//! population centers of a region, a synthetic terrain, clutter, tower
+//! registry and fiber network, the feasible-hop assessment, the candidate
+//! city-to-city links, and the population-product traffic matrix. From a
+//! built scenario, [`Scenario::design`] runs the cISP heuristic at a tower
+//! budget and [`Scenario::provision`] augments capacity and prices the
+//! result.
+//!
+//! The heavyweight paper-scale configurations ([`ScenarioConfig::us_paper`],
+//! [`ScenarioConfig::europe_paper`]) are used by the benchmark binaries;
+//! [`ScenarioConfig::tiny_test`] is a miniature (a dozen south-central US
+//! cities, flat terrain) that exercises the identical code path in
+//! milliseconds for tests and doctests.
+
+use cisp_data::{
+    cities::{europe_population_centers, us_population_centers, City, Region},
+    fiber::{FiberConfig, FiberNetwork},
+    towers::{TowerRegistry, TowerRegistryConfig},
+};
+use cisp_geo::GeoPoint;
+use cisp_terrain::{clutter::ClutterModel, TerrainModel};
+use serde::{Deserialize, Serialize};
+
+use crate::augment::{augment_for_throughput, AugmentConfig, Augmentation};
+use crate::cost::{CostBreakdown, CostModel};
+use crate::design::{DesignConfig, DesignInput, DesignOutcome, Designer};
+use crate::hops::{HopConfig, HopFeasibility};
+use crate::links::{LinkBuilder, LinkBuilderConfig};
+
+/// Which terrain model a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerrainKind {
+    /// The region's synthetic terrain (mountains and all).
+    Regional,
+    /// Flat terrain (tests and controlled experiments).
+    Flat,
+}
+
+/// Full configuration of a deployment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed for all synthetic datasets.
+    pub seed: u64,
+    /// Region to deploy in.
+    pub region: Region,
+    /// Keep only the `max_sites` most populous centers (None = all).
+    pub max_sites: Option<usize>,
+    /// Restrict sites to a bounding box `(min_lat, max_lat, min_lon, max_lon)`
+    /// (None = whole region). Used by the miniature test scenario.
+    pub site_bbox: Option<(f64, f64, f64, f64)>,
+    /// Terrain choice.
+    pub terrain: TerrainKind,
+    /// Tower-registry generation parameters.
+    pub towers: TowerRegistryConfig,
+    /// Hop feasibility parameters.
+    pub hops: HopConfig,
+    /// Fiber synthesis parameters.
+    pub fiber: FiberConfig,
+    /// Site-to-tower attachment parameters.
+    pub links: LinkBuilderConfig,
+    /// Design heuristic parameters.
+    pub design: DesignConfig,
+}
+
+impl ScenarioConfig {
+    /// The paper's US scenario: all population centers, regional terrain,
+    /// full-size tower registry.
+    pub fn us_paper(seed: u64) -> Self {
+        Self {
+            seed,
+            region: Region::UnitedStates,
+            max_sites: None,
+            site_bbox: None,
+            terrain: TerrainKind::Regional,
+            towers: TowerRegistryConfig::default(),
+            hops: HopConfig::paper_baseline(),
+            fiber: FiberConfig::default(),
+            links: LinkBuilderConfig::default(),
+            design: DesignConfig::default(),
+        }
+    }
+
+    /// The paper's European scenario (§6.2).
+    pub fn europe_paper(seed: u64) -> Self {
+        Self {
+            region: Region::Europe,
+            ..Self::us_paper(seed)
+        }
+    }
+
+    /// A miniature scenario for tests and doctests: the south-central US
+    /// (Texas and neighbours), flat terrain, a small tower registry.
+    pub fn tiny_test() -> Self {
+        Self {
+            seed: 7,
+            region: Region::UnitedStates,
+            max_sites: Some(12),
+            site_bbox: Some((27.0, 37.0, -103.0, -89.0)),
+            terrain: TerrainKind::Flat,
+            towers: TowerRegistryConfig {
+                raw_count: 1_500,
+                ..TowerRegistryConfig::default()
+            },
+            hops: HopConfig::paper_baseline(),
+            fiber: FiberConfig::default(),
+            links: LinkBuilderConfig::default(),
+            design: DesignConfig::default(),
+        }
+    }
+
+    /// A reduced US scenario with the `n` most populous centers — the knob
+    /// used by the Fig. 2 scaling experiment.
+    pub fn us_subset(seed: u64, n: usize) -> Self {
+        Self {
+            max_sites: Some(n),
+            ..Self::us_paper(seed)
+        }
+    }
+}
+
+/// A fully built scenario, ready for design runs.
+pub struct Scenario {
+    config: ScenarioConfig,
+    cities: Vec<City>,
+    towers: TowerRegistry,
+    fiber: FiberNetwork,
+    input: DesignInput,
+}
+
+impl Scenario {
+    /// Build the scenario: synthesise datasets, assess hop feasibility and
+    /// construct every candidate link. This is the expensive step; design
+    /// runs on the built scenario are comparatively cheap.
+    pub fn build(config: &ScenarioConfig) -> Self {
+        let mut cities = match config.region {
+            Region::UnitedStates => us_population_centers(),
+            Region::Europe => europe_population_centers(),
+        };
+        if let Some((min_lat, max_lat, min_lon, max_lon)) = config.site_bbox {
+            cities.retain(|c| {
+                c.location.lat_deg >= min_lat
+                    && c.location.lat_deg <= max_lat
+                    && c.location.lon_deg >= min_lon
+                    && c.location.lon_deg <= max_lon
+            });
+        }
+        if let Some(max) = config.max_sites {
+            cities.truncate(max);
+        }
+        assert!(cities.len() >= 2, "scenario needs at least two sites");
+
+        let bbox = config.site_bbox.unwrap_or_else(|| config.region.bounding_box());
+        let terrain = match (config.terrain, config.region) {
+            (TerrainKind::Flat, _) => TerrainModel::flat(),
+            (TerrainKind::Regional, Region::UnitedStates) => TerrainModel::united_states(config.seed),
+            (TerrainKind::Regional, Region::Europe) => TerrainModel::europe(config.seed),
+        };
+        let clutter = match config.terrain {
+            TerrainKind::Flat => ClutterModel::none(),
+            TerrainKind::Regional => ClutterModel::with_seed(config.seed),
+        };
+
+        let towers = TowerRegistry::synthesize(config.seed, bbox, &cities, &config.towers);
+        let fiber = FiberNetwork::synthesize(config.seed, &cities, &config.fiber);
+
+        let sites: Vec<GeoPoint> = cities.iter().map(|c| c.location).collect();
+        let feasibility = HopFeasibility::new(&towers, &terrain, &clutter, config.hops);
+        let hops = feasibility.all_feasible_hops();
+        let builder = LinkBuilder::new(&sites, &towers, &hops, config.links);
+        let candidates = builder.all_candidate_links();
+
+        let traffic = population_product_traffic(&cities);
+        let fiber_km = fiber.latency_equivalent_matrix();
+
+        let input = DesignInput {
+            sites,
+            traffic,
+            fiber_km,
+            candidates,
+        };
+
+        Self {
+            config: config.clone(),
+            cities,
+            towers,
+            fiber,
+            input,
+        }
+    }
+
+    /// The scenario's configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The population centers (sites) of the scenario.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// The synthetic tower registry.
+    pub fn towers(&self) -> &TowerRegistry {
+        &self.towers
+    }
+
+    /// The synthetic fiber network.
+    pub fn fiber(&self) -> &FiberNetwork {
+        &self.fiber
+    }
+
+    /// The assembled design input (sites, traffic, fiber, candidates).
+    pub fn design_input(&self) -> &DesignInput {
+        &self.input
+    }
+
+    /// Run the cISP design heuristic at a tower budget.
+    pub fn design(&self, budget_towers: f64) -> DesignOutcome {
+        Designer::with_config(&self.input, self.config.design).cisp(budget_towers)
+    }
+
+    /// Run the plain greedy designer (used for budget-sweep curves, which
+    /// fall out of the greedy history in a single run).
+    pub fn design_greedy(&self, budget_towers: f64) -> DesignOutcome {
+        Designer::with_config(&self.input, self.config.design).greedy(budget_towers)
+    }
+
+    /// Provision a designed topology for an aggregate throughput and price it.
+    pub fn provision(
+        &self,
+        outcome: &DesignOutcome,
+        aggregate_gbps: f64,
+        cost_model: &CostModel,
+    ) -> ProvisionedNetwork {
+        let augmentation =
+            augment_for_throughput(&outcome.topology, aggregate_gbps, &AugmentConfig::default());
+        let inventory = augmentation.inventory(&outcome.topology);
+        let breakdown = cost_model.breakdown(&inventory);
+        let cost_per_gb = cost_model.cost_per_gb(&inventory, aggregate_gbps);
+        ProvisionedNetwork {
+            augmentation,
+            breakdown,
+            cost_per_gb,
+        }
+    }
+}
+
+/// The provisioned (capacity-augmented, priced) network.
+#[derive(Debug, Clone)]
+pub struct ProvisionedNetwork {
+    /// Per-link provisioning and routing outcome.
+    pub augmentation: Augmentation,
+    /// Cost breakdown over the amortisation horizon.
+    pub breakdown: CostBreakdown,
+    /// Amortised cost per gigabyte.
+    pub cost_per_gb: f64,
+}
+
+/// The paper's default traffic model: `h_ij` proportional to the product of
+/// the populations of the two cities (§4).
+pub fn population_product_traffic(cities: &[City]) -> Vec<Vec<f64>> {
+    let n = cities.len();
+    // Normalise by the maximum product so weights are in (0, 1].
+    let mut matrix = vec![vec![0.0; n]; n];
+    let mut max_product: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let p = cities[i].population as f64 * cities[j].population as f64;
+                matrix[i][j] = p;
+                max_product = max_product.max(p);
+            }
+        }
+    }
+    if max_product > 0.0 {
+        for row in &mut matrix {
+            for v in row.iter_mut() {
+                *v /= max_product;
+            }
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::build(&ScenarioConfig::tiny_test())
+    }
+
+    #[test]
+    fn tiny_scenario_builds_candidates() {
+        let s = tiny();
+        assert!(s.cities().len() >= 6, "got {} cities", s.cities().len());
+        assert!(
+            !s.design_input().candidates.is_empty(),
+            "no candidate MW links were found"
+        );
+        // Candidate MW links should be close to geodesic on flat terrain.
+        for link in &s.design_input().candidates {
+            let geo = cisp_geo::geodesic::distance_km(
+                s.design_input().sites[link.site_a],
+                s.design_input().sites[link.site_b],
+            );
+            assert!(link.mw_length_km >= geo - 1e-6);
+            assert!(link.stretch_over(geo) < 1.6, "very indirect candidate");
+        }
+    }
+
+    #[test]
+    fn design_improves_with_budget() {
+        let s = tiny();
+        let none = s.design(0.0);
+        let some = s.design(150.0);
+        let more = s.design(400.0);
+        assert!(some.mean_stretch <= none.mean_stretch + 1e-9);
+        assert!(more.mean_stretch <= some.mean_stretch + 1e-9);
+        assert!(more.mean_stretch >= 1.0);
+    }
+
+    #[test]
+    fn provisioning_prices_the_network() {
+        let s = tiny();
+        let outcome = s.design(300.0);
+        let cost_model = CostModel::default();
+        let provisioned = s.provision(&outcome, 20.0, &cost_model);
+        assert!(provisioned.cost_per_gb > 0.0);
+        assert!(provisioned.breakdown.total_usd() > 0.0);
+        assert_eq!(
+            provisioned.augmentation.links.len(),
+            outcome.topology.mw_links().len()
+        );
+        // Higher aggregate throughput lowers cost per GB (same design).
+        let cheaper = s.provision(&outcome, 100.0, &cost_model);
+        assert!(cheaper.cost_per_gb < provisioned.cost_per_gb);
+    }
+
+    #[test]
+    fn population_product_traffic_is_symmetric_normalised() {
+        let s = tiny();
+        let t = population_product_traffic(s.cities());
+        let n = s.cities().len();
+        for i in 0..n {
+            assert_eq!(t[i][i], 0.0);
+            for j in 0..n {
+                assert!((t[i][j] - t[j][i]).abs() < 1e-12);
+                assert!(t[i][j] <= 1.0 + 1e-12);
+            }
+        }
+        // The two most populous cities share the maximum weight 1.0.
+        let mut max = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                max = max.max(t[i][j]);
+            }
+        }
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_build_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.design_input().candidates.len(), b.design_input().candidates.len());
+        assert_eq!(a.towers().len(), b.towers().len());
+        let da = a.design(200.0);
+        let db = b.design(200.0);
+        assert_eq!(da.selected, db.selected);
+    }
+
+    #[test]
+    fn us_subset_config_limits_sites() {
+        let config = ScenarioConfig::us_subset(3, 5);
+        let s = Scenario::build(&config);
+        assert_eq!(s.cities().len(), 5);
+    }
+}

@@ -1,0 +1,422 @@
+//! The hybrid microwave + fiber topology and its latency evaluation.
+//!
+//! A [`HybridTopology`] holds the designed network: the sites, the
+//! latency-equivalent fiber distance between every pair (always available, at
+//! negligible cost), and the subset of direct microwave links that were
+//! built. Its central operation is the all-pairs *effective distance* — the
+//! shortest latency-equivalent distance over any mix of fiber and built MW
+//! links — from which per-pair stretch and the traffic-weighted mean stretch
+//! (the design objective) follow.
+//!
+//! The same incremental-update primitive the evaluation uses
+//! ([`improve_with_link`]) is what makes the greedy designer fast: adding a
+//! single edge to a metric-closed distance matrix can only reroute a pair
+//! through that edge once, so the update `D'[s][t] = min(D[s][t],
+//! D[s][i]+m+D[j][t], D[s][j]+m+D[i][t])` is exact.
+
+use cisp_geo::{geodesic, latency, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::links::CandidateLink;
+
+/// Apply the exact one-edge improvement to a metric-closed distance matrix.
+///
+/// `matrix` must be symmetric and satisfy the triangle inequality (which the
+/// fiber matrix and every matrix produced by repeated application of this
+/// function do). Returns the number of pairs whose distance improved.
+pub fn improve_with_link(matrix: &mut [Vec<f64>], i: usize, j: usize, length: f64) -> usize {
+    let n = matrix.len();
+    assert!(i < n && j < n && i != j);
+    assert!(length >= 0.0);
+    let mut improved = 0;
+    for s in 0..n {
+        // Pre-read column entries to avoid aliasing issues.
+        let d_si = matrix[s][i];
+        let d_sj = matrix[s][j];
+        for t in 0..n {
+            let via_ij = d_si + length + matrix[j][t];
+            let via_ji = d_sj + length + matrix[i][t];
+            let best = via_ij.min(via_ji);
+            if best < matrix[s][t] {
+                matrix[s][t] = best;
+                improved += 1;
+            }
+        }
+    }
+    improved
+}
+
+/// The designed hybrid network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridTopology {
+    /// Site locations.
+    sites: Vec<GeoPoint>,
+    /// Traffic weight `h_ij ∈ [0, 1]` for each unordered pair, stored as a
+    /// full symmetric matrix with zero diagonal.
+    traffic: Vec<Vec<f64>>,
+    /// Geodesic distance between every pair of sites (km).
+    geodesic_km: Vec<Vec<f64>>,
+    /// Latency-equivalent fiber distance between every pair (km, already
+    /// including the 1.5× propagation factor). `INFINITY` if no fiber.
+    fiber_km: Vec<Vec<f64>>,
+    /// Built microwave links.
+    mw_links: Vec<CandidateLink>,
+    /// Cached effective distance matrix (fiber ∪ built MW links).
+    effective_km: Vec<Vec<f64>>,
+}
+
+impl HybridTopology {
+    /// Create a topology with no microwave links built yet.
+    ///
+    /// `traffic` and `fiber_km` must be `n × n`; the traffic matrix is used
+    /// as weights and is not required to be normalised.
+    pub fn new(sites: Vec<GeoPoint>, traffic: Vec<Vec<f64>>, fiber_km: Vec<Vec<f64>>) -> Self {
+        let n = sites.len();
+        assert!(n >= 2, "need at least two sites");
+        assert_eq!(traffic.len(), n);
+        assert_eq!(fiber_km.len(), n);
+        for row in traffic.iter().chain(fiber_km.iter()) {
+            assert_eq!(row.len(), n);
+        }
+        let geodesic_km: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]))
+                    .collect()
+            })
+            .collect();
+        let effective_km = fiber_km.clone();
+        Self {
+            sites,
+            traffic,
+            geodesic_km,
+            fiber_km,
+            mw_links: Vec::new(),
+            effective_km,
+        }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site locations.
+    pub fn sites(&self) -> &[GeoPoint] {
+        &self.sites
+    }
+
+    /// The built microwave links.
+    pub fn mw_links(&self) -> &[CandidateLink] {
+        &self.mw_links
+    }
+
+    /// The traffic weight matrix.
+    pub fn traffic(&self) -> &[Vec<f64>] {
+        &self.traffic
+    }
+
+    /// Geodesic distance between two sites in km.
+    pub fn geodesic_km(&self, a: usize, b: usize) -> f64 {
+        self.geodesic_km[a][b]
+    }
+
+    /// Latency-equivalent fiber distance between two sites in km.
+    pub fn fiber_km(&self, a: usize, b: usize) -> f64 {
+        self.fiber_km[a][b]
+    }
+
+    /// Effective latency-equivalent distance between two sites in km over the
+    /// built network.
+    pub fn effective_km(&self, a: usize, b: usize) -> f64 {
+        self.effective_km[a][b]
+    }
+
+    /// The full effective distance matrix.
+    pub fn effective_matrix(&self) -> &[Vec<f64>] {
+        &self.effective_km
+    }
+
+    /// One-way latency between two sites in milliseconds over the built
+    /// network.
+    pub fn latency_ms(&self, a: usize, b: usize) -> f64 {
+        latency::c_latency_ms(self.effective_km[a][b])
+    }
+
+    /// Add a microwave link to the topology, updating the effective distance
+    /// matrix incrementally (exact).
+    pub fn add_mw_link(&mut self, link: CandidateLink) {
+        assert!(link.site_a < self.num_sites() && link.site_b < self.num_sites());
+        improve_with_link(
+            &mut self.effective_km,
+            link.site_a,
+            link.site_b,
+            link.mw_length_km,
+        );
+        self.mw_links.push(link);
+    }
+
+    /// Stretch of a pair over the built network (effective latency relative
+    /// to c-latency of the geodesic).
+    pub fn stretch(&self, a: usize, b: usize) -> f64 {
+        latency::distance_stretch(self.effective_km[a][b], self.geodesic_km[a][b])
+    }
+
+    /// Traffic-weighted mean stretch over all pairs — the design objective.
+    /// Pairs with zero traffic or zero geodesic distance are skipped.
+    pub fn mean_stretch(&self) -> f64 {
+        let n = self.num_sites();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let h = self.traffic[i][j];
+                if h > 0.0 && self.geodesic_km[i][j] > 0.0 && self.effective_km[i][j].is_finite() {
+                    pairs.push((h, self.stretch(i, j)));
+                }
+            }
+        }
+        latency::weighted_mean_stretch(&pairs).unwrap_or(1.0)
+    }
+
+    /// Unweighted stretch values for every pair with positive geodesic
+    /// distance (used for CDFs such as Fig. 7).
+    pub fn all_stretches(&self) -> Vec<f64> {
+        let n = self.num_sites();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.geodesic_km[i][j] > 0.0 && self.effective_km[i][j].is_finite() {
+                    out.push(self.stretch(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean stretch that would result from additionally building `link`,
+    /// without mutating the topology. Used by the greedy designer to score
+    /// candidates.
+    pub fn mean_stretch_with(&self, link: &CandidateLink) -> f64 {
+        let n = self.num_sites();
+        let (i, j, m) = (link.site_a, link.site_b, link.mw_length_km);
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for s in 0..n {
+            let d_si = self.effective_km[s][i];
+            let d_sj = self.effective_km[s][j];
+            for t in (s + 1)..n {
+                let h = self.traffic[s][t];
+                let geo = self.geodesic_km[s][t];
+                if h <= 0.0 || geo <= 0.0 {
+                    continue;
+                }
+                let current = self.effective_km[s][t];
+                let candidate = (d_si + m + self.effective_km[j][t])
+                    .min(d_sj + m + self.effective_km[i][t])
+                    .min(current);
+                if candidate.is_finite() {
+                    num += h * candidate / geo;
+                    den += h;
+                }
+            }
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            1.0
+        }
+    }
+
+    /// Total cost, in towers, of the built microwave links (the budget
+    /// currency of the design problem).
+    pub fn total_tower_cost(&self) -> usize {
+        self.mw_links.iter().map(|l| l.tower_count).sum()
+    }
+
+    /// Rebuild the effective matrix from scratch (fiber plus all built MW
+    /// links). Only needed by callers that mutate links wholesale, e.g. the
+    /// weather failure analysis which removes links.
+    pub fn recompute_effective(&mut self) {
+        self.effective_km = self.fiber_km.clone();
+        let links = self.mw_links.clone();
+        for l in &links {
+            improve_with_link(&mut self.effective_km, l.site_a, l.site_b, l.mw_length_km);
+        }
+    }
+
+    /// Effective distance matrix that would result from disabling the given
+    /// subset of built MW links (by index into [`Self::mw_links`]); the
+    /// topology itself is not modified. Used for weather-failure analysis.
+    pub fn effective_matrix_without(&self, disabled: &[usize]) -> Vec<Vec<f64>> {
+        let mut matrix = self.fiber_km.clone();
+        for (idx, l) in self.mw_links.iter().enumerate() {
+            if !disabled.contains(&idx) {
+                improve_with_link(&mut matrix, l.site_a, l.site_b, l.mw_length_km);
+            }
+        }
+        matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three sites in a line: A (west), B (middle), C (east), ~400 km apart.
+    fn line_sites() -> Vec<GeoPoint> {
+        vec![
+            GeoPoint::new(40.0, -100.0),
+            GeoPoint::new(40.0, -95.3),
+            GeoPoint::new(40.0, -90.6),
+        ]
+    }
+
+    fn uniform_traffic(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+            .collect()
+    }
+
+    /// Fiber at 2× geodesic-equivalent (circuitous + slow).
+    fn fiber_matrix(sites: &[GeoPoint]) -> Vec<Vec<f64>> {
+        (0..sites.len())
+            .map(|i| {
+                (0..sites.len())
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn mw_link(a: usize, b: usize, length: f64, towers: usize) -> CandidateLink {
+        CandidateLink {
+            site_a: a.min(b),
+            site_b: a.max(b),
+            mw_length_km: length,
+            tower_count: towers,
+            tower_path: (0..towers).collect(),
+        }
+    }
+
+    #[test]
+    fn fiber_only_topology_has_fiber_stretch() {
+        let sites = line_sites();
+        let fiber = fiber_matrix(&sites);
+        let topo = HybridTopology::new(sites.clone(), uniform_traffic(3), fiber);
+        // Stretch = 2.0 everywhere by construction.
+        assert!((topo.mean_stretch() - 2.0).abs() < 1e-9);
+        assert!((topo.stretch(0, 2) - 2.0).abs() < 1e-9);
+        assert_eq!(topo.total_tower_cost(), 0);
+    }
+
+    #[test]
+    fn adding_a_direct_mw_link_reduces_stretch_for_that_pair() {
+        let sites = line_sites();
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 2, geo02 * 1.02, 8));
+        assert!((topo.stretch(0, 2) - 1.02).abs() < 1e-9);
+        // Other pairs may also improve (via the new link), never get worse.
+        assert!(topo.stretch(0, 1) <= 2.0 + 1e-9);
+        assert!(topo.mean_stretch() < 2.0);
+        assert_eq!(topo.total_tower_cost(), 8);
+    }
+
+    #[test]
+    fn mw_links_compose_across_hops() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let geo12 = geodesic::distance_km(sites[1], sites[2]);
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.01, 5));
+        topo.add_mw_link(mw_link(1, 2, geo12 * 1.01, 5));
+        // A–C should now route over the two MW links (sites are collinear, so
+        // the concatenation is ≈1.01× the A–C geodesic).
+        let stretch = topo.stretch(0, 2);
+        assert!(stretch < 1.05, "stretch = {stretch}");
+        assert!((topo.effective_km(0, 2) - (geo01 + geo12) * 1.01).abs() < 1e-6);
+        assert!(topo.effective_km(0, 2) < geo02 * 2.0);
+    }
+
+    #[test]
+    fn mean_stretch_with_matches_actual_addition() {
+        let sites = line_sites();
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        let topo = HybridTopology::new(sites.clone(), uniform_traffic(3), fiber.clone());
+        let link = mw_link(0, 2, geo02 * 1.03, 8);
+        let predicted = topo.mean_stretch_with(&link);
+        let mut topo2 = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo2.add_mw_link(link);
+        assert!((predicted - topo2.mean_stretch()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improve_with_link_is_exact_vs_recompute() {
+        let sites = line_sites();
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites.clone(), uniform_traffic(3), fiber);
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let geo12 = geodesic::distance_km(sites[1], sites[2]);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.02, 4));
+        topo.add_mw_link(mw_link(1, 2, geo12 * 1.04, 4));
+        let incremental = topo.effective_matrix().to_vec();
+        topo.recompute_effective();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((incremental[i][j] - topo.effective_km(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_matrix_without_disables_links() {
+        let sites = line_sites();
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 2, geo02 * 1.02, 8));
+        let without = topo.effective_matrix_without(&[0]);
+        assert!((without[0][2] - geo02 * 2.0).abs() < 1e-9, "back to fiber");
+        // Disabling nothing reproduces the current matrix.
+        let with = topo.effective_matrix_without(&[]);
+        assert!((with[0][2] - geo02 * 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_never_below_one_with_sane_links() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.0, 3));
+        for s in topo.all_stretches() {
+            assert!(s >= 1.0 - 1e-9, "stretch {s} below physical bound");
+        }
+    }
+
+    #[test]
+    fn traffic_weights_bias_mean_stretch() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let fiber = fiber_matrix(&sites);
+        // Heavy traffic on the 0–1 pair only.
+        let mut traffic = uniform_traffic(3);
+        traffic[0][1] = 100.0;
+        traffic[1][0] = 100.0;
+        let mut topo = HybridTopology::new(sites, traffic, fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.01, 3));
+        // Mean stretch is dominated by the improved pair.
+        assert!(topo.mean_stretch() < 1.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_matrix_sizes_panic() {
+        let sites = line_sites();
+        HybridTopology::new(sites, uniform_traffic(2), vec![vec![0.0; 3]; 3]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Data-center sites for the inter-DC and DC-edge traffic models.
+//!
+//! §6.3 of the paper uses the six publicly known Google data-center locations
+//! in the United States: Berkeley County SC, Council Bluffs IA, Douglas
+//! County GA, Lenoir NC, Mayes County OK, and The Dalles OR.
+
+use cisp_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A wide-area data-center site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenter {
+    /// Site name.
+    pub name: String,
+    /// Location.
+    pub location: GeoPoint,
+}
+
+impl DataCenter {
+    /// Construct a data center.
+    pub fn new(name: &str, lat: f64, lon: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            location: GeoPoint::new(lat, lon),
+        }
+    }
+}
+
+/// The six US Google data-center sites used by the paper (§6.3).
+pub fn google_us_datacenters() -> Vec<DataCenter> {
+    vec![
+        DataCenter::new("Berkeley County, SC", 33.0632, -80.0433),
+        DataCenter::new("Council Bluffs, IA", 41.2619, -95.8608),
+        DataCenter::new("Douglas County, GA", 33.7515, -84.7477),
+        DataCenter::new("Lenoir, NC", 35.9140, -81.5390),
+        DataCenter::new("Mayes County, OK", 36.3021, -95.3261),
+        DataCenter::new("The Dalles, OR", 45.5946, -121.1787),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisp_geo::geodesic;
+
+    #[test]
+    fn there_are_six_sites() {
+        assert_eq!(google_us_datacenters().len(), 6);
+    }
+
+    #[test]
+    fn sites_are_spread_across_the_country() {
+        let dcs = google_us_datacenters();
+        // The Dalles (OR) and Berkeley County (SC) are roughly transcontinental.
+        let west = dcs.iter().find(|d| d.name.contains("Dalles")).unwrap();
+        let east = dcs.iter().find(|d| d.name.contains("Berkeley")).unwrap();
+        let d = geodesic::distance_km(west.location, east.location);
+        assert!(d > 3000.0, "d = {d}");
+    }
+
+    #[test]
+    fn sites_are_within_the_contiguous_us() {
+        for dc in google_us_datacenters() {
+            assert!(dc.location.lat_deg > 24.0 && dc.location.lat_deg < 50.0);
+            assert!(dc.location.lon_deg > -125.0 && dc.location.lon_deg < -66.0);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Synthetic long-haul fiber conduit network.
+//!
+//! The paper computes fiber latencies as shortest paths over the InterTubes
+//! dataset of US long-haul conduits, finding that even latency-optimal fiber
+//! paths average 1.93× the c-latency (§1), i.e. about 1.29× geodesic route
+//! length on top of the 1.5× propagation-speed penalty. InterTubes cannot be
+//! redistributed here, so this module synthesises a conduit graph with the
+//! same two properties the design pipeline depends on:
+//!
+//! * conduits follow a road-like neighbour graph between population centers
+//!   (each city is connected to a handful of its nearest neighbours), and
+//! * individual conduit segments are 1.15–1.45× longer than the geodesic
+//!   between their endpoints, so that end-to-end shortest fiber routes come
+//!   out ≈1.2–1.4× circuitous, matching the measured InterTubes behaviour.
+//!
+//! For Europe the paper lacks conduit data and simply assumes the same
+//! inflation as in the US (§6.2); [`FiberNetwork::synthesize`] works for any
+//! city set, so we model Europe the same way.
+
+use cisp_geo::{geodesic, units::FIBER_LATENCY_FACTOR, GeoPoint};
+use cisp_graph::{dijkstra, Graph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cities::City;
+use crate::rng::seeded_rng;
+
+/// A fiber conduit segment between two cities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiberLink {
+    /// Index of one endpoint city.
+    pub a: usize,
+    /// Index of the other endpoint city.
+    pub b: usize,
+    /// Physical route length of the conduit, in kilometres (≥ geodesic).
+    pub route_km: f64,
+}
+
+/// Configuration of the synthetic conduit generator.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FiberConfig {
+    /// Number of nearest neighbours each city is connected to.
+    pub neighbors_per_city: usize,
+    /// Minimum per-segment circuitousness factor (route / geodesic).
+    pub min_circuitousness: f64,
+    /// Maximum per-segment circuitousness factor.
+    pub max_circuitousness: f64,
+}
+
+impl Default for FiberConfig {
+    fn default() -> Self {
+        Self {
+            neighbors_per_city: 4,
+            min_circuitousness: 1.15,
+            max_circuitousness: 1.45,
+        }
+    }
+}
+
+/// The synthetic fiber conduit network over a set of sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FiberNetwork {
+    sites: Vec<GeoPoint>,
+    links: Vec<FiberLink>,
+}
+
+impl FiberNetwork {
+    /// Synthesise a conduit network over the given cities.
+    pub fn synthesize(seed: u64, cities: &[City], config: &FiberConfig) -> Self {
+        assert!(cities.len() >= 2, "need at least two cities");
+        assert!(config.neighbors_per_city >= 1);
+        assert!(config.min_circuitousness >= 1.0);
+        assert!(config.max_circuitousness >= config.min_circuitousness);
+
+        let sites: Vec<GeoPoint> = cities.iter().map(|c| c.location).collect();
+        let mut rng = seeded_rng(seed, "fiber");
+        let n = sites.len();
+        let mut links: Vec<FiberLink> = Vec::new();
+        let mut have: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+
+        let add_link = |a: usize,
+                            b: usize,
+                            links: &mut Vec<FiberLink>,
+                            have: &mut std::collections::HashSet<(usize, usize)>,
+                            rng: &mut rand::rngs::StdRng| {
+            let key = (a.min(b), a.max(b));
+            if a != b && have.insert(key) {
+                let geo = geodesic::distance_km(sites[a], sites[b]);
+                let factor = config.min_circuitousness
+                    + rng.gen::<f64>() * (config.max_circuitousness - config.min_circuitousness);
+                links.push(FiberLink {
+                    a: key.0,
+                    b: key.1,
+                    route_km: geo * factor,
+                });
+            }
+        };
+
+        // k-nearest-neighbour edges.
+        for i in 0..n {
+            let mut by_distance: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (geodesic::distance_km(sites[i], sites[j]), j))
+                .collect();
+            by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            for &(_, j) in by_distance.iter().take(config.neighbors_per_city) {
+                add_link(i, j, &mut links, &mut have, &mut rng);
+            }
+        }
+
+        // Connectivity fallback: chain the cities in longitude order, which
+        // guarantees a connected conduit graph even for sparse configurations.
+        let mut by_lon: Vec<usize> = (0..n).collect();
+        by_lon.sort_by(|&a, &b| {
+            sites[a]
+                .lon_deg
+                .partial_cmp(&sites[b].lon_deg)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        for w in by_lon.windows(2) {
+            add_link(w[0], w[1], &mut links, &mut have, &mut rng);
+        }
+
+        Self { sites, links }
+    }
+
+    /// Build a network from explicit parts (used in tests).
+    pub fn from_parts(sites: Vec<GeoPoint>, links: Vec<FiberLink>) -> Self {
+        for l in &links {
+            assert!(l.a < sites.len() && l.b < sites.len());
+        }
+        Self { sites, links }
+    }
+
+    /// Site locations, in the order used by link indices.
+    pub fn sites(&self) -> &[GeoPoint] {
+        &self.sites
+    }
+
+    /// Conduit segments.
+    pub fn links(&self) -> &[FiberLink] {
+        &self.links
+    }
+
+    /// Graph with conduit route lengths (km) as edge weights.
+    pub fn route_graph(&self) -> Graph {
+        let mut g = Graph::new(self.sites.len());
+        for l in &self.links {
+            g.add_undirected_edge(l.a, l.b, l.route_km);
+        }
+        g
+    }
+
+    /// Shortest fiber *route length* (km, physical conduit distance) between
+    /// two sites, if connected.
+    pub fn shortest_route_km(&self, from: usize, to: usize) -> Option<f64> {
+        dijkstra::shortest_path(&self.route_graph(), from, to).map(|p| p.cost)
+    }
+
+    /// All-pairs shortest fiber route lengths, as a matrix in kilometres
+    /// (`f64::INFINITY` where unconnected).
+    pub fn route_distance_matrix(&self) -> Vec<Vec<f64>> {
+        let g = self.route_graph();
+        (0..self.sites.len())
+            .map(|i| dijkstra::shortest_path_costs(&g, i))
+            .collect()
+    }
+
+    /// All-pairs *latency-equivalent* fiber distances: physical route length
+    /// times the 1.5× fiber propagation factor. This is the `o_ij` input of
+    /// the paper's design formulation (§3.2).
+    pub fn latency_equivalent_matrix(&self) -> Vec<Vec<f64>> {
+        self.route_distance_matrix()
+            .into_iter()
+            .map(|row| row.into_iter().map(|d| d * FIBER_LATENCY_FACTOR).collect())
+            .collect()
+    }
+
+    /// Mean stretch of shortest fiber paths relative to c-latency across all
+    /// connected pairs (the paper's InterTubes number is 1.93×).
+    pub fn mean_latency_stretch(&self) -> f64 {
+        let matrix = self.route_distance_matrix();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.sites.len() {
+            for j in (i + 1)..self.sites.len() {
+                let geo = geodesic::distance_km(self.sites[i], self.sites[j]);
+                if geo < 1.0 || !matrix[i][j].is_finite() {
+                    continue;
+                }
+                total += matrix[i][j] * FIBER_LATENCY_FACTOR / geo;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::NAN
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cities::us_population_centers;
+
+    fn us_network() -> FiberNetwork {
+        FiberNetwork::synthesize(11, &us_population_centers(), &FiberConfig::default())
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = us_network();
+        let b = us_network();
+        assert_eq!(a.links().len(), b.links().len());
+        assert_eq!(a.links()[0], b.links()[0]);
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let net = us_network();
+        let matrix = net.route_distance_matrix();
+        for row in &matrix {
+            for &d in row {
+                assert!(d.is_finite(), "fiber network must be connected");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_lengths_exceed_geodesics() {
+        let net = us_network();
+        for l in net.links() {
+            let geo = geodesic::distance_km(net.sites()[l.a], net.sites()[l.b]);
+            assert!(l.route_km >= geo * 1.1, "conduit suspiciously straight");
+            assert!(l.route_km <= geo * 1.5 + 1e-9, "conduit too circuitous");
+        }
+    }
+
+    #[test]
+    fn mean_latency_stretch_matches_intertubes_ballpark() {
+        let net = us_network();
+        let stretch = net.mean_latency_stretch();
+        // Paper: 1.93×. The synthetic network should land in the same band.
+        assert!(
+            stretch > 1.7 && stretch < 2.3,
+            "mean fiber stretch = {stretch}"
+        );
+    }
+
+    #[test]
+    fn latency_matrix_is_1_5x_route_matrix() {
+        let net = us_network();
+        let routes = net.route_distance_matrix();
+        let latencies = net.latency_equivalent_matrix();
+        assert!((latencies[0][1] - routes[0][1] * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shortest_route_is_symmetric() {
+        let net = us_network();
+        let a = net.shortest_route_km(0, 10).unwrap();
+        let b = net.shortest_route_km(10, 0).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_on_shortest_routes() {
+        let net = us_network();
+        let m = net.route_distance_matrix();
+        // Spot-check a handful of triples.
+        for &(i, j, k) in &[(0, 5, 10), (3, 20, 40), (1, 2, 3), (7, 30, 60)] {
+            assert!(m[i][k] <= m[i][j] + m[j][k] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_indices() {
+        let sites = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)];
+        let net = FiberNetwork::from_parts(
+            sites,
+            vec![FiberLink {
+                a: 0,
+                b: 1,
+                route_km: 200.0,
+            }],
+        );
+        assert_eq!(net.shortest_route_km(0, 1), Some(200.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_bad_indices() {
+        FiberNetwork::from_parts(
+            vec![GeoPoint::new(0.0, 0.0)],
+            vec![FiberLink {
+                a: 0,
+                b: 3,
+                route_km: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    fn europe_network_also_connected() {
+        let cities = crate::cities::europe_population_centers();
+        let net = FiberNetwork::synthesize(5, &cities, &FiberConfig::default());
+        let m = net.route_distance_matrix();
+        assert!(m.iter().all(|row| row.iter().all(|d| d.is_finite())));
+    }
+}

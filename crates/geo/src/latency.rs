@@ -1,0 +1,150 @@
+//! Distance ↔ latency conversions and the paper's central "stretch" metric.
+//!
+//! *c-latency* is the one-way propagation time along the geodesic at the
+//! speed of light; *stretch* is the ratio of an actual path's latency to the
+//! c-latency of its endpoints. A stretch of 1.0 means "as fast as physics
+//! allows"; today's Internet averages 3–4× and fiber shortest paths ~1.9×.
+
+use crate::units::{FIBER_LATENCY_FACTOR, SPEED_OF_LIGHT_KM_PER_S};
+
+/// One-way propagation latency of `distance_km` at the speed of light, in
+/// milliseconds.
+#[inline]
+pub fn c_latency_ms(distance_km: f64) -> f64 {
+    distance_km / SPEED_OF_LIGHT_KM_PER_S * 1_000.0
+}
+
+/// One-way propagation latency of `distance_km` at the speed of light, in
+/// microseconds.
+#[inline]
+pub fn c_latency_us(distance_km: f64) -> f64 {
+    distance_km / SPEED_OF_LIGHT_KM_PER_S * 1_000_000.0
+}
+
+/// One-way propagation latency of a *fiber route* of physical length
+/// `route_km`, in milliseconds — i.e. with the ~2c/3 propagation speed of
+/// light in silica applied.
+#[inline]
+pub fn fiber_latency_ms(route_km: f64) -> f64 {
+    c_latency_ms(route_km * FIBER_LATENCY_FACTOR)
+}
+
+/// Round-trip time in milliseconds of a one-way path latency.
+#[inline]
+pub fn rtt_ms(one_way_ms: f64) -> f64 {
+    2.0 * one_way_ms
+}
+
+/// Stretch of an achieved latency relative to the c-latency of the geodesic
+/// distance between the endpoints.
+///
+/// Returns 1.0 for a zero-length geodesic (co-located endpoints), matching
+/// the convention used when aggregating over city pairs.
+#[inline]
+pub fn stretch(achieved_latency_ms: f64, geodesic_km: f64) -> f64 {
+    let ideal = c_latency_ms(geodesic_km);
+    if ideal <= 0.0 {
+        1.0
+    } else {
+        achieved_latency_ms / ideal
+    }
+}
+
+/// Stretch expressed purely in distances: the "equivalent free-space length"
+/// of the path divided by the geodesic length. This is the form used in the
+/// design optimisation where everything is kept in kilometres.
+#[inline]
+pub fn distance_stretch(path_equivalent_km: f64, geodesic_km: f64) -> f64 {
+    if geodesic_km <= 0.0 {
+        1.0
+    } else {
+        path_equivalent_km / geodesic_km
+    }
+}
+
+/// Mean stretch weighted by traffic volume: `Σ h_i · s_i / Σ h_i`.
+///
+/// This is the objective the paper's design problem minimises (per-unit
+/// traffic mean stretch). Pairs with non-positive weight are ignored; returns
+/// `None` if the total weight is zero.
+pub fn weighted_mean_stretch(pairs: &[(f64, f64)]) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(weight, stretch) in pairs {
+        if weight > 0.0 {
+            num += weight * stretch;
+            den += weight;
+        }
+    }
+    if den > 0.0 {
+        Some(num / den)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_latency_of_known_distances() {
+        // 299.792458 km in 1 ms.
+        assert!((c_latency_ms(299.792458) - 1.0).abs() < 1e-12);
+        // NYC-LA ≈ 3936 km → ≈ 13.1 ms one-way.
+        let ms = c_latency_ms(3936.0);
+        assert!((ms - 13.13).abs() < 0.05, "ms = {ms}");
+        // Microseconds variant is 1000× the milliseconds variant.
+        assert!((c_latency_us(123.0) - c_latency_ms(123.0) * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fiber_is_fifty_percent_slower() {
+        let d = 1000.0;
+        assert!((fiber_latency_ms(d) / c_latency_ms(d) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtt_doubles() {
+        assert_eq!(rtt_ms(7.25), 14.5);
+    }
+
+    #[test]
+    fn stretch_of_direct_path_is_one() {
+        let d = 1234.0;
+        assert!((stretch(c_latency_ms(d), d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_of_fiber_path_is_1_5_times_circuitousness() {
+        // A fiber route 1.3× longer than the geodesic has stretch 1.95.
+        let geo = 1000.0;
+        let route = 1300.0;
+        let s = stretch(fiber_latency_ms(route), geo);
+        assert!((s - 1.95).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn stretch_handles_zero_geodesic() {
+        assert_eq!(stretch(5.0, 0.0), 1.0);
+        assert_eq!(distance_stretch(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn weighted_mean_stretch_basic() {
+        let pairs = [(1.0, 1.0), (1.0, 2.0)];
+        assert!((weighted_mean_stretch(&pairs).unwrap() - 1.5).abs() < 1e-12);
+
+        // Heavier weight pulls the mean.
+        let pairs = [(3.0, 1.0), (1.0, 2.0)];
+        assert!((weighted_mean_stretch(&pairs).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mean_stretch_ignores_nonpositive_weights() {
+        let pairs = [(0.0, 100.0), (-1.0, 100.0), (2.0, 1.5)];
+        assert!((weighted_mean_stretch(&pairs).unwrap() - 1.5).abs() < 1e-12);
+        assert!(weighted_mean_stretch(&[(0.0, 1.0)]).is_none());
+        assert!(weighted_mean_stretch(&[]).is_none());
+    }
+}

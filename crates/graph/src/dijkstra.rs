@@ -1,0 +1,268 @@
+//! Dijkstra shortest paths with deterministic tie-breaking.
+//!
+//! The designer runs Dijkstra over graphs with up to a few hundred thousand
+//! edges (the tower hop graph), once per city, so the implementation uses the
+//! standard binary-heap formulation with lazy deletion.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId};
+
+/// A path through a graph: the node sequence (including both endpoints) and
+/// its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Nodes from source to target inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Sum of edge weights along the path.
+    pub cost: f64,
+}
+
+impl Path {
+    /// Number of edges (hops) in the path.
+    pub fn hop_count(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Interior nodes (everything but the two endpoints).
+    pub fn interior_nodes(&self) -> &[NodeId] {
+        if self.nodes.len() <= 2 {
+            &[]
+        } else {
+            &self.nodes[1..self.nodes.len() - 1]
+        }
+    }
+}
+
+/// Heap entry: min-heap by cost, ties broken by node index for determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering for a min-heap; costs are finite by construction.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Distances from a single source to every node (infinity where unreachable),
+/// along with the predecessor array for path reconstruction.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// Source node the tree was grown from.
+    pub source: NodeId,
+    /// `dist[v]` is the cost of the shortest path source → v.
+    pub dist: Vec<f64>,
+    /// `prev[v]` is the predecessor of `v` on its shortest path, if reached.
+    pub prev: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Extract the path from the tree's source to `target`, if reachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if !self.dist[target].is_finite() {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.prev[cur] {
+            nodes.push(p);
+            cur = p;
+        }
+        if cur != self.source {
+            return None;
+        }
+        nodes.reverse();
+        Some(Path {
+            nodes,
+            cost: self.dist[target],
+        })
+    }
+}
+
+/// Run Dijkstra from `source`, optionally stopping early once `target` is
+/// settled.
+pub fn shortest_path_tree(graph: &Graph, source: NodeId, target: Option<NodeId>) -> ShortestPathTree {
+    let n = graph.node_count();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if settled[node] {
+            continue;
+        }
+        settled[node] = true;
+        if Some(node) == target {
+            break;
+        }
+        for edge in graph.neighbors(node) {
+            let next_cost = cost + edge.weight;
+            if next_cost < dist[edge.to] {
+                dist[edge.to] = next_cost;
+                prev[edge.to] = Some(node);
+                heap.push(HeapEntry {
+                    cost: next_cost,
+                    node: edge.to,
+                });
+            }
+        }
+    }
+
+    ShortestPathTree { source, dist, prev }
+}
+
+/// Shortest path between two nodes, if one exists.
+pub fn shortest_path(graph: &Graph, source: NodeId, target: NodeId) -> Option<Path> {
+    assert!(target < graph.node_count(), "target out of range");
+    if source == target {
+        return Some(Path {
+            nodes: vec![source],
+            cost: 0.0,
+        });
+    }
+    shortest_path_tree(graph, source, Some(target)).path_to(target)
+}
+
+/// Cost of the shortest path from `source` to every node (infinity where
+/// unreachable).
+pub fn shortest_path_costs(graph: &Graph, source: NodeId) -> Vec<f64> {
+    shortest_path_tree(graph, source, None).dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_undirected_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn path_on_line_graph() {
+        let g = line_graph(6);
+        let p = shortest_path(&g, 0, 5).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.cost, 5.0);
+        assert_eq!(p.hop_count(), 5);
+        assert_eq!(p.interior_nodes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prefers_cheaper_multi_hop_route() {
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 3, 10.0);
+        g.add_undirected_edge(0, 1, 2.0);
+        g.add_undirected_edge(1, 2, 2.0);
+        g.add_undirected_edge(2, 3, 2.0);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.cost, 6.0);
+        assert_eq!(p.nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        assert!(shortest_path(&g, 0, 3).is_none());
+        let costs = shortest_path_costs(&g, 0);
+        assert!(costs[3].is_infinite());
+        assert_eq!(costs[1], 1.0);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = line_graph(3);
+        let p = shortest_path(&g, 1, 1).unwrap();
+        assert_eq!(p.nodes, vec![1]);
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.hop_count(), 0);
+        assert!(p.interior_nodes().is_empty());
+    }
+
+    #[test]
+    fn costs_from_source_are_monotone_on_line() {
+        let g = line_graph(10);
+        let costs = shortest_path_costs(&g, 0);
+        for i in 0..10 {
+            assert_eq!(costs[i], i as f64);
+        }
+    }
+
+    #[test]
+    fn directed_edges_are_respected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert!(shortest_path(&g, 0, 2).is_some());
+        assert!(shortest_path(&g, 2, 0).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths 0-1-3 and 0-2-3; the algorithm must return the
+        // same one every run.
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(0, 2, 1.0);
+        g.add_undirected_edge(1, 3, 1.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        let first = shortest_path(&g, 0, 3).unwrap();
+        for _ in 0..10 {
+            assert_eq!(shortest_path(&g, 0, 3).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn tree_path_to_unreached_node_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let tree = shortest_path_tree(&g, 0, None);
+        assert!(tree.path_to(2).is_none());
+        assert!(tree.path_to(1).is_some());
+    }
+
+    #[test]
+    fn early_exit_matches_full_run() {
+        let mut g = Graph::new(50);
+        // A grid-ish random-free structure: chain plus shortcuts.
+        for i in 0..49 {
+            g.add_undirected_edge(i, i + 1, 1.0);
+        }
+        for i in (0..45).step_by(5) {
+            g.add_undirected_edge(i, i + 5, 3.0);
+        }
+        let full = shortest_path_tree(&g, 0, None);
+        let early = shortest_path(&g, 0, 30).unwrap();
+        assert_eq!(early.cost, full.dist[30]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph data structures and path algorithms for the cISP designer.
+//!
+//! The network-design pipeline builds several large sparse graphs: the
+//! tower-to-tower hop graph (hundreds of thousands of edges), the city-level
+//! candidate-link graph used by the topology optimiser, and the designed
+//! topology used for routing and failure analysis. This crate provides the
+//! shared machinery:
+//!
+//! * [`Graph`] — a compact adjacency-list weighted graph,
+//! * [`dijkstra`] — single-source shortest paths with path extraction,
+//! * [`kshortest`] — Yen's algorithm for k shortest loopless paths,
+//! * [`disjoint`] — iterative node-disjoint shortest paths (the procedure
+//!   behind Fig. 4(b): find a path, delete its interior towers, repeat).
+//!
+//! All algorithms are deterministic: ties are broken by node index.
+//!
+//! # Example
+//!
+//! ```
+//! use cisp_graph::{Graph, dijkstra};
+//!
+//! let mut g = Graph::new(4);
+//! g.add_undirected_edge(0, 1, 1.0);
+//! g.add_undirected_edge(1, 2, 1.0);
+//! g.add_undirected_edge(0, 2, 5.0);
+//! g.add_undirected_edge(2, 3, 1.0);
+//!
+//! let sp = dijkstra::shortest_path(&g, 0, 3).unwrap();
+//! assert_eq!(sp.nodes, vec![0, 1, 2, 3]);
+//! assert_eq!(sp.cost, 3.0);
+//! ```
+
+pub mod dijkstra;
+pub mod disjoint;
+pub mod graph;
+pub mod kshortest;
+
+pub use dijkstra::{shortest_path, shortest_path_costs, Path};
+pub use graph::Graph;

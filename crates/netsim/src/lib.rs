@@ -1,0 +1,38 @@
+//! A discrete-event packet-level network simulator (the ns-3 stand-in).
+//!
+//! §5 and §6.4 of the paper run ns-3 simulations of the designed cISP
+//! topology: UDP traffic with 500-byte packets over the site-level network
+//! (parallel tower series aggregated into one link per site pair), measuring
+//! mean delay, loss rate and link utilisation under several routing schemes;
+//! and a separate TCP experiment (§5 "Speed mismatch", Fig. 6) studying queue
+//! build-up at a cISP ingress when edge links are much faster than the core.
+//!
+//! This crate implements the pieces of ns-3 those experiments use:
+//!
+//! * [`network`] — nodes, links (rate, propagation delay, finite buffer) and
+//!   source-routed packet forwarding with FIFO queueing.
+//! * [`routing`] — route computation over the topology: latency-shortest
+//!   paths, minimise-maximum-link-utilisation, and throughput-optimal
+//!   (load-balancing) routing.
+//! * [`flows`] — constant-bit-rate / Poisson UDP flow generators with
+//!   configurable packet size.
+//! * [`monitor`] — the FlowMonitor equivalent: per-flow delay and loss plus
+//!   per-link utilisation and queueing statistics.
+//! * [`sim`] — the event-driven engine tying it together.
+//! * [`tcp`] — the simplified window-based TCP (with and without pacing) used
+//!   by the speed-mismatch experiment.
+//!
+//! The simulator is deterministic given a seed and is validated against
+//! closed-form M/D/1 and link-saturation results in its test-suite.
+
+pub mod flows;
+pub mod monitor;
+pub mod network;
+pub mod routing;
+pub mod sim;
+pub mod tcp;
+
+pub use monitor::SimReport;
+pub use network::{LinkSpec, Network};
+pub use routing::RoutingScheme;
+pub use sim::{SimConfig, Simulation};

@@ -1,0 +1,204 @@
+//! The FlowMonitor equivalent: delay, loss and utilisation statistics.
+//!
+//! The paper uses ns-3's FlowMonitor to measure delay and loss rate and adds
+//! a custom module for link-level utilisation (§5). This module accumulates
+//! the same statistics during a simulation run and summarises them into the
+//! quantities the figures plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulator for scalar samples (delay, queue occupancy, …).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleStats {
+    values: Vec<f64>,
+}
+
+impl SampleStats {
+    /// Record a sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of the samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on sorted samples.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+}
+
+/// The simulation-wide monitor.
+#[derive(Debug, Clone, Default)]
+pub struct FlowMonitor {
+    /// End-to-end one-way delays of delivered packets, in seconds.
+    pub delays: SampleStats,
+    /// Per-packet total queueing delay, in seconds.
+    pub queue_delays: SampleStats,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+}
+
+impl FlowMonitor {
+    /// Record a delivered packet.
+    pub fn record_delivery(&mut self, delay_s: f64, queue_delay_s: f64) {
+        self.delays.record(delay_s);
+        self.queue_delays.record(queue_delay_s);
+        self.delivered += 1;
+    }
+
+    /// Record a dropped packet.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Loss rate over all offered packets.
+    pub fn loss_rate(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / total as f64
+        }
+    }
+
+    /// Summarise into a report.
+    pub fn report(&self, link_utilizations: Vec<f64>) -> SimReport {
+        SimReport {
+            mean_delay_ms: self.delays.mean() * 1e3,
+            p95_delay_ms: self.delays.quantile(0.95) * 1e3,
+            mean_queue_delay_ms: self.queue_delays.mean() * 1e3,
+            loss_rate: self.loss_rate(),
+            delivered: self.delivered,
+            dropped: self.dropped,
+            mean_link_utilization: if link_utilizations.is_empty() {
+                0.0
+            } else {
+                link_utilizations.iter().sum::<f64>() / link_utilizations.len() as f64
+            },
+            max_link_utilization: link_utilizations.iter().copied().fold(0.0, f64::max),
+            link_utilizations,
+        }
+    }
+}
+
+/// Summary of a simulation run — the numbers the paper's Figs. 5, 6 and 11
+/// plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Mean one-way packet delay in milliseconds.
+    pub mean_delay_ms: f64,
+    /// 95th-percentile one-way delay in milliseconds.
+    pub p95_delay_ms: f64,
+    /// Mean total queueing delay per packet in milliseconds.
+    pub mean_queue_delay_ms: f64,
+    /// Fraction of offered packets lost.
+    pub loss_rate: f64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Mean utilisation across links.
+    pub mean_link_utilization: f64,
+    /// Maximum utilisation across links.
+    pub max_link_utilization: f64,
+    /// Per-link utilisation.
+    pub link_utilizations: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_basics() {
+        let mut s = SampleStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn quantile_is_order_insensitive() {
+        let mut a = SampleStats::default();
+        let mut b = SampleStats::default();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            a.record(v);
+        }
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            b.record(v);
+        }
+        assert_eq!(a.quantile(0.95), b.quantile(0.95));
+    }
+
+    #[test]
+    fn loss_rate_and_report() {
+        let mut m = FlowMonitor::default();
+        for i in 0..90 {
+            m.record_delivery(0.010 + i as f64 * 1e-5, 1e-4);
+        }
+        for _ in 0..10 {
+            m.record_drop();
+        }
+        assert!((m.loss_rate() - 0.1).abs() < 1e-12);
+        let report = m.report(vec![0.5, 0.7]);
+        assert_eq!(report.delivered, 90);
+        assert_eq!(report.dropped, 10);
+        assert!(report.mean_delay_ms > 10.0 && report.mean_delay_ms < 11.0);
+        assert!((report.mean_link_utilization - 0.6).abs() < 1e-12);
+        assert!((report.max_link_utilization - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zeroes() {
+        let m = FlowMonitor::default();
+        assert_eq!(m.loss_rate(), 0.0);
+        let r = m.report(Vec::new());
+        assert_eq!(r.mean_delay_ms, 0.0);
+        assert_eq!(r.max_link_utilization, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range() {
+        SampleStats::default().quantile(1.5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Nodes, links and the FIFO queueing model.
+//!
+//! Links are unidirectional and characterised by a transmission rate, a
+//! propagation delay and a finite drop-tail buffer. The queueing model is the
+//! standard "virtual clock" formulation of FIFO store-and-forward: a link
+//! keeps the time at which its transmitter frees up; a packet arriving at
+//! time `t` starts transmission at `max(t, free_at)`, occupies the wire for
+//! `size / rate`, and is dropped if the backlog implied by `free_at − t`
+//! exceeds the buffer. This is exactly equivalent to simulating an explicit
+//! FIFO queue, at a fraction of the bookkeeping cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the simulated network.
+pub type NodeId = usize;
+/// Identifier of a (unidirectional) link.
+pub type LinkId = usize;
+
+/// Static description of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Transmission rate in bits per second.
+    pub rate_bps: f64,
+    /// Propagation delay in seconds.
+    pub propagation_s: f64,
+    /// Buffer size in bytes (drop-tail).
+    pub buffer_bytes: f64,
+}
+
+impl LinkSpec {
+    /// Serialisation (transmission) delay of a packet of `bytes` on this link.
+    pub fn serialization_s(&self, bytes: f64) -> f64 {
+        bytes * 8.0 / self.rate_bps
+    }
+}
+
+/// Dynamic state of a link during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
+    /// Time at which the transmitter becomes free.
+    pub free_at: f64,
+    /// Total bytes accepted for transmission (for utilisation).
+    pub bytes_sent: f64,
+    /// Total packets dropped at this link's buffer.
+    pub packets_dropped: u64,
+    /// Sum and count of queueing delays experienced at this link.
+    pub queue_delay_sum: f64,
+    /// Number of packets that experienced queueing at this link.
+    pub packets_forwarded: u64,
+    /// Maximum backlog observed, in bytes.
+    pub max_backlog_bytes: f64,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transmit {
+    /// The packet was accepted; it is fully received by the other end at the
+    /// given time.
+    Delivered {
+        /// Time the last bit arrives at the downstream node.
+        arrival: f64,
+        /// Queueing delay experienced before transmission began.
+        queue_delay: f64,
+    },
+    /// The packet was dropped because the buffer was full.
+    Dropped,
+}
+
+/// The simulated network: a set of nodes and unidirectional links.
+#[derive(Debug, Clone)]
+pub struct Network {
+    num_nodes: usize,
+    links: Vec<LinkSpec>,
+    states: Vec<LinkState>,
+}
+
+impl Network {
+    /// Create a network with `num_nodes` nodes and no links.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            links: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Add a unidirectional link; returns its id.
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        assert!(spec.from < self.num_nodes && spec.to < self.num_nodes);
+        assert!(spec.from != spec.to, "self-loops are not allowed");
+        assert!(spec.rate_bps > 0.0 && spec.propagation_s >= 0.0 && spec.buffer_bytes >= 0.0);
+        self.links.push(spec);
+        self.states.push(LinkState::default());
+        self.links.len() - 1
+    }
+
+    /// Add a bidirectional link (two mirrored unidirectional links); returns
+    /// the pair of ids `(forward, reverse)`.
+    pub fn add_bidirectional_link(&mut self, spec: LinkSpec) -> (LinkId, LinkId) {
+        let fwd = self.add_link(spec);
+        let rev = self.add_link(LinkSpec {
+            from: spec.to,
+            to: spec.from,
+            ..spec
+        });
+        (fwd, rev)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link specification.
+    pub fn link(&self, id: LinkId) -> &LinkSpec {
+        &self.links[id]
+    }
+
+    /// All link specifications.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Link runtime state (after a simulation run).
+    pub fn link_state(&self, id: LinkId) -> &LinkState {
+        &self.states[id]
+    }
+
+    /// All link states.
+    pub fn link_states(&self) -> &[LinkState] {
+        &self.states
+    }
+
+    /// Reset all dynamic state (between runs).
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            *s = LinkState::default();
+        }
+    }
+
+    /// Offer a packet of `bytes` to link `id` at time `now`.
+    pub fn transmit(&mut self, id: LinkId, now: f64, bytes: f64) -> Transmit {
+        let spec = self.links[id];
+        let state = &mut self.states[id];
+        // Backlog implied by the virtual clock.
+        let backlog_s = (state.free_at - now).max(0.0);
+        let backlog_bytes = backlog_s * spec.rate_bps / 8.0;
+        if backlog_bytes + bytes > spec.buffer_bytes && spec.buffer_bytes > 0.0 {
+            state.packets_dropped += 1;
+            return Transmit::Dropped;
+        }
+        let start = now.max(state.free_at);
+        let queue_delay = start - now;
+        let finish = start + spec.serialization_s(bytes);
+        state.free_at = finish;
+        state.bytes_sent += bytes;
+        state.queue_delay_sum += queue_delay;
+        state.packets_forwarded += 1;
+        state.max_backlog_bytes = state.max_backlog_bytes.max(backlog_bytes + bytes);
+        Transmit::Delivered {
+            arrival: finish + spec.propagation_s,
+            queue_delay,
+        }
+    }
+
+    /// Utilisation of a link over a run of `duration` seconds.
+    pub fn utilization(&self, id: LinkId, duration: f64) -> f64 {
+        assert!(duration > 0.0);
+        (self.states[id].bytes_sent * 8.0 / self.links[id].rate_bps / duration).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps_link(buffer_bytes: f64) -> LinkSpec {
+        LinkSpec {
+            from: 0,
+            to: 1,
+            rate_bps: 1e9,
+            propagation_s: 0.005,
+            buffer_bytes,
+        }
+    }
+
+    #[test]
+    fn serialization_delay_is_size_over_rate() {
+        let spec = gbps_link(1e6);
+        assert!((spec.serialization_s(1500.0) - 12e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_link_delivers_after_serialization_plus_propagation() {
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(1e6));
+        match net.transmit(l, 1.0, 500.0) {
+            Transmit::Delivered {
+                arrival,
+                queue_delay,
+            } => {
+                assert!((arrival - (1.0 + 4e-6 + 0.005)).abs() < 1e-12);
+                assert_eq!(queue_delay, 0.0);
+            }
+            Transmit::Dropped => panic!("should not drop"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(1e9));
+        let t0 = 0.0;
+        net.transmit(l, t0, 1500.0);
+        match net.transmit(l, t0, 1500.0) {
+            Transmit::Delivered { queue_delay, .. } => {
+                assert!((queue_delay - 12e-6).abs() < 1e-9);
+            }
+            _ => panic!(),
+        }
+        // The link state records one queued packet.
+        assert_eq!(net.link_state(l).packets_forwarded, 2);
+        assert!(net.link_state(l).queue_delay_sum > 0.0);
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let mut net = Network::new(2);
+        // Buffer of exactly 3000 bytes: two 1500 B packets in flight/queued OK,
+        // the third (arriving while both still occupy the horizon) is dropped.
+        let l = net.add_link(gbps_link(3000.0));
+        assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Delivered { .. }));
+        assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Delivered { .. }));
+        assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Dropped));
+        assert_eq!(net.link_state(l).packets_dropped, 1);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(3000.0));
+        net.transmit(l, 0.0, 1500.0);
+        net.transmit(l, 0.0, 1500.0);
+        // 30 µs later both have been transmitted; a new packet is accepted.
+        assert!(matches!(
+            net.transmit(l, 30e-6, 1500.0),
+            Transmit::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn utilization_accounts_bytes_sent() {
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(1e9));
+        for i in 0..1000 {
+            net.transmit(l, i as f64 * 1e-4, 1250.0);
+        }
+        // 1000 × 1250 B = 10 Mbit over 0.1 s on a 1 Gbps link ⇒ 10 % utilisation.
+        let u = net.utilization(l, 0.1);
+        assert!((u - 0.1).abs() < 0.01, "u = {u}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(1e6));
+        net.transmit(l, 0.0, 1500.0);
+        net.reset();
+        assert_eq!(net.link_state(l).bytes_sent, 0.0);
+        assert_eq!(net.link_state(l).packets_forwarded, 0);
+    }
+
+    #[test]
+    fn bidirectional_links_are_independent() {
+        let mut net = Network::new(2);
+        let (f, r) = net.add_bidirectional_link(gbps_link(1e6));
+        net.transmit(f, 0.0, 1500.0);
+        assert_eq!(net.link_state(f).packets_forwarded, 1);
+        assert_eq!(net.link_state(r).packets_forwarded, 0);
+        assert_eq!(net.link(r).from, 1);
+        assert_eq!(net.link(r).to, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        let mut net = Network::new(2);
+        net.add_link(LinkSpec {
+            from: 1,
+            to: 1,
+            rate_bps: 1e9,
+            propagation_s: 0.0,
+            buffer_bytes: 1e6,
+        });
+    }
+}

@@ -1,0 +1,338 @@
+//! Route computation over the simulated topology.
+//!
+//! §5: "Besides ns-3's default shortest path routing, we implement two other
+//! schemes — throughput optimal routing, and routing that minimizes the
+//! maximum link utilization". Routes are computed once per (scheme, demand
+//! set) and installed as source routes; the packet engine then replays them.
+//!
+//! * [`RoutingScheme::ShortestPath`] — minimum propagation latency.
+//! * [`RoutingScheme::MinMaxUtilization`] — greedy sequential placement of
+//!   demands (heaviest first) on the path minimising the resulting maximum
+//!   link utilisation, the classic traffic-engineering objective of [42].
+//! * [`RoutingScheme::ThroughputOptimal`] — load-balancing placement that
+//!   minimises the sum of squared link utilisations, spreading load so the
+//!   network can absorb the most additional traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{LinkId, Network, NodeId};
+
+/// The routing schemes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingScheme {
+    /// Latency-shortest paths (the design target).
+    ShortestPath,
+    /// Minimise the maximum link utilisation.
+    MinMaxUtilization,
+    /// Minimise the sum of squared utilisations (throughput-optimal /
+    /// load-balancing).
+    ThroughputOptimal,
+}
+
+/// A demand to be routed: `amount_bps` from `src` to `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Offered load in bits per second.
+    pub amount_bps: f64,
+}
+
+/// The routes chosen for a set of demands: `routes[k]` is the sequence of
+/// link ids demand `k` traverses.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    /// Per-demand link-level routes (empty when src == dst or unreachable).
+    pub routes: Vec<Vec<LinkId>>,
+}
+
+impl RoutingTable {
+    /// Propagation latency (seconds) of demand `k`'s route.
+    pub fn route_latency_s(&self, network: &Network, k: usize) -> f64 {
+        self.routes[k]
+            .iter()
+            .map(|&l| network.link(l).propagation_s)
+            .sum()
+    }
+
+    /// Offered utilisation of every link under the routed demands.
+    pub fn link_loads_bps(&self, network: &Network, demands: &[Demand]) -> Vec<f64> {
+        let mut loads = vec![0.0; network.num_links()];
+        for (route, demand) in self.routes.iter().zip(demands) {
+            for &l in route {
+                loads[l] += demand.amount_bps;
+            }
+        }
+        loads
+    }
+
+    /// Maximum link utilisation (load / rate) under the routed demands.
+    pub fn max_utilization(&self, network: &Network, demands: &[Demand]) -> f64 {
+        self.link_loads_bps(network, demands)
+            .iter()
+            .enumerate()
+            .map(|(l, &load)| load / network.link(l).rate_bps)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Dijkstra over links with arbitrary per-link costs; returns the link route.
+fn shortest_route(
+    network: &Network,
+    src: NodeId,
+    dst: NodeId,
+    cost: &dyn Fn(LinkId) -> f64,
+) -> Option<Vec<LinkId>> {
+    if src == dst {
+        return Some(Vec::new());
+    }
+    let n = network.num_nodes();
+    // adjacency by node
+    let mut out: Vec<Vec<LinkId>> = vec![Vec::new(); n];
+    for l in 0..network.num_links() {
+        out[network.link(l).from].push(l);
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    dist[src] = 0.0;
+    for _ in 0..n {
+        // Extract-min (linear scan keeps this dependency-free; the graphs in
+        // the simulator have at most a few hundred nodes).
+        let mut u = None;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !visited[v] && dist[v] < best {
+                best = dist[v];
+                u = Some(v);
+            }
+        }
+        let u = match u {
+            Some(u) => u,
+            None => break,
+        };
+        visited[u] = true;
+        if u == dst {
+            break;
+        }
+        for &l in &out[u] {
+            let v = network.link(l).to;
+            let c = cost(l);
+            if dist[u] + c < dist[v] {
+                dist[v] = dist[u] + c;
+                prev[v] = Some(l);
+            }
+        }
+    }
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut route = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let l = prev[cur]?;
+        route.push(l);
+        cur = network.link(l).from;
+    }
+    route.reverse();
+    Some(route)
+}
+
+/// Compute routes for a set of demands under a scheme.
+pub fn compute_routes(
+    network: &Network,
+    demands: &[Demand],
+    scheme: RoutingScheme,
+) -> RoutingTable {
+    match scheme {
+        RoutingScheme::ShortestPath => {
+            let routes = demands
+                .iter()
+                .map(|d| {
+                    shortest_route(network, d.src, d.dst, &|l| network.link(l).propagation_s)
+                        .unwrap_or_default()
+                })
+                .collect();
+            RoutingTable { routes }
+        }
+        RoutingScheme::MinMaxUtilization | RoutingScheme::ThroughputOptimal => {
+            // Sequential placement, heaviest demands first, each on the path
+            // that minimises the scheme's congestion cost given the load
+            // already placed.
+            let mut order: Vec<usize> = (0..demands.len()).collect();
+            order.sort_by(|&a, &b| {
+                demands[b]
+                    .amount_bps
+                    .partial_cmp(&demands[a].amount_bps)
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            let mut loads = vec![0.0f64; network.num_links()];
+            let mut routes = vec![Vec::new(); demands.len()];
+            for &k in &order {
+                let d = demands[k];
+                let cost = |l: LinkId| -> f64 {
+                    let rate = network.link(l).rate_bps;
+                    let u_after = (loads[l] + d.amount_bps) / rate;
+                    match scheme {
+                        // Penalise high post-placement utilisation steeply so
+                        // the max is pushed down; the latency term breaks ties
+                        // towards short paths.
+                        RoutingScheme::MinMaxUtilization => {
+                            u_after.powi(4) + 1e-6 * network.link(l).propagation_s
+                        }
+                        // Marginal increase of Σ u²  (∝ 2·load + demand).
+                        RoutingScheme::ThroughputOptimal => {
+                            (2.0 * loads[l] + d.amount_bps) / rate
+                                + 1e-6 * network.link(l).propagation_s
+                        }
+                        RoutingScheme::ShortestPath => unreachable!(),
+                    }
+                };
+                if let Some(route) = shortest_route(network, d.src, d.dst, &cost) {
+                    for &l in &route {
+                        loads[l] += d.amount_bps;
+                    }
+                    routes[k] = route;
+                }
+            }
+            RoutingTable { routes }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LinkSpec;
+
+    /// Two nodes connected by a fast short path (via node 2) and a slow long
+    /// path (via node 3): 0—2—1 with 5 ms links, 0—3—1 with 15 ms links.
+    fn two_path_network(short_rate: f64, long_rate: f64) -> Network {
+        let mut net = Network::new(4);
+        for (a, b, delay, rate) in [
+            (0, 2, 0.005, short_rate),
+            (2, 1, 0.005, short_rate),
+            (0, 3, 0.015, long_rate),
+            (3, 1, 0.015, long_rate),
+        ] {
+            net.add_bidirectional_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: rate,
+                propagation_s: delay,
+                buffer_bytes: 1e9,
+            });
+        }
+        net
+    }
+
+    #[test]
+    fn shortest_path_picks_low_latency_route() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 1e8,
+        }];
+        let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        assert!((table.route_latency_s(&net, 0) - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_splits_demands_across_paths() {
+        let net = two_path_network(1e9, 1e9);
+        // Two demands of 600 Mbps each: on one path they exceed capacity,
+        // min-max routing must place them on different paths.
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 1,
+                amount_bps: 6e8,
+            },
+            Demand {
+                src: 0,
+                dst: 1,
+                amount_bps: 6e8,
+            },
+        ];
+        let sp = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        let mm = compute_routes(&net, &demands, RoutingScheme::MinMaxUtilization);
+        assert!(sp.max_utilization(&net, &demands) > 1.0);
+        assert!(mm.max_utilization(&net, &demands) <= 0.65);
+        // The price of balancing: mean latency goes up.
+        let sp_lat: f64 = (0..2).map(|k| sp.route_latency_s(&net, k)).sum();
+        let mm_lat: f64 = (0..2).map(|k| mm.route_latency_s(&net, k)).sum();
+        assert!(mm_lat > sp_lat);
+    }
+
+    #[test]
+    fn throughput_optimal_also_balances() {
+        let net = two_path_network(1e9, 1e9);
+        let demands: Vec<Demand> = (0..4)
+            .map(|_| Demand {
+                src: 0,
+                dst: 1,
+                amount_bps: 3e8,
+            })
+            .collect();
+        let to = compute_routes(&net, &demands, RoutingScheme::ThroughputOptimal);
+        assert!(to.max_utilization(&net, &demands) <= 0.65);
+    }
+
+    #[test]
+    fn unreachable_demand_gets_empty_route() {
+        let mut net = Network::new(3);
+        net.add_link(LinkSpec {
+            from: 0,
+            to: 1,
+            rate_bps: 1e9,
+            propagation_s: 0.001,
+            buffer_bytes: 1e6,
+        });
+        let demands = vec![Demand {
+            src: 0,
+            dst: 2,
+            amount_bps: 1e6,
+        }];
+        let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        assert!(table.routes[0].is_empty());
+    }
+
+    #[test]
+    fn link_loads_accumulate_over_demands() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 1,
+                amount_bps: 1e8,
+            },
+            Demand {
+                src: 1,
+                dst: 0,
+                amount_bps: 2e8,
+            },
+        ];
+        let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        let loads = table.link_loads_bps(&net, &demands);
+        let total: f64 = loads.iter().sum();
+        // Each demand crosses two links.
+        assert!((total - 2.0 * (1e8 + 2e8)).abs() < 1.0);
+    }
+
+    #[test]
+    fn same_src_dst_demand_has_empty_route() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![Demand {
+            src: 2,
+            dst: 2,
+            amount_bps: 1e6,
+        }];
+        let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        assert!(table.routes[0].is_empty());
+        assert_eq!(table.route_latency_s(&net, 0), 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! The event-driven UDP simulation engine.
+//!
+//! Packets are source-routed: each flow's route (a sequence of link ids) is
+//! computed up front by [`crate::routing`], and the engine replays every
+//! packet's journey hop by hop through the FIFO link model of
+//! [`crate::network`]. Events are processed in timestamp order from a binary
+//! heap, so cross-traffic interleaves correctly at shared links.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flows::{emission_times, ArrivalProcess, FlowSpec};
+use crate::monitor::{FlowMonitor, SimReport};
+use crate::network::{Network, Transmit};
+use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated duration in seconds (paper: 1 s).
+    pub duration_s: f64,
+    /// Packet size in bytes (paper: 500 B).
+    pub packet_bytes: f64,
+    /// Packet arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Routing scheme.
+    pub routing: RoutingScheme,
+    /// RNG seed for arrival processes.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 1.0,
+            packet_bytes: 500.0,
+            arrivals: ArrivalProcess::ConstantBitRate,
+            routing: RoutingScheme::ShortestPath,
+            seed: 1,
+        }
+    }
+}
+
+/// A scheduled packet-at-link event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    /// Time the packet arrives at the head of this hop.
+    time: f64,
+    /// Flow (demand) index.
+    flow: usize,
+    /// Position within the flow's route.
+    hop: usize,
+    /// Time the packet originally entered the network.
+    sent_at: f64,
+    /// Accumulated queueing delay so far.
+    queue_delay: f64,
+}
+
+/// Heap ordering: earliest time first, then deterministic tie-breaks.
+#[derive(PartialEq)]
+struct HeapKey(f64, usize, usize);
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+            .then(self.2.cmp(&other.2))
+    }
+}
+
+/// A complete simulation: network, demands, routes and configuration.
+pub struct Simulation {
+    network: Network,
+    demands: Vec<Demand>,
+    routes: RoutingTable,
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Build a simulation: routes are computed for the demands under the
+    /// configured scheme.
+    pub fn new(network: Network, demands: Vec<Demand>, config: SimConfig) -> Self {
+        let routes = compute_routes(&network, &demands, config.routing);
+        Self {
+            network,
+            demands,
+            routes,
+            config,
+        }
+    }
+
+    /// The computed routing table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The network (lets callers inspect link state after a run).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Mean propagation-only latency across demands, weighted by demand rate.
+    /// This is the zero-load baseline the queueing delays add to.
+    pub fn weighted_propagation_ms(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (k, d) in self.demands.iter().enumerate() {
+            if !self.routes.routes[k].is_empty() {
+                num += d.amount_bps * self.routes.route_latency_s(&self.network, k);
+                den += d.amount_bps;
+            }
+        }
+        if den > 0.0 {
+            num / den * 1e3
+        } else {
+            0.0
+        }
+    }
+
+    /// Run the simulation and produce a report.
+    pub fn run(&mut self) -> SimReport {
+        self.network.reset();
+        let mut monitor = FlowMonitor::default();
+        let mut heap: BinaryHeap<Reverse<(HeapKey, EventBox)>> = BinaryHeap::new();
+
+        // Schedule every packet emission.
+        for (k, demand) in self.demands.iter().enumerate() {
+            if self.routes.routes[k].is_empty() || demand.amount_bps <= 0.0 {
+                continue;
+            }
+            let flow = FlowSpec {
+                src: demand.src,
+                dst: demand.dst,
+                rate_bps: demand.amount_bps,
+                packet_bytes: self.config.packet_bytes,
+            };
+            for t in emission_times(
+                &flow,
+                k,
+                self.config.duration_s,
+                self.config.arrivals,
+                self.config.seed,
+            ) {
+                let ev = Event {
+                    time: t,
+                    flow: k,
+                    hop: 0,
+                    sent_at: t,
+                    queue_delay: 0.0,
+                };
+                heap.push(Reverse((HeapKey(t, k, 0), EventBox(ev))));
+            }
+        }
+
+        // Process events.
+        while let Some(Reverse((_, EventBox(ev)))) = heap.pop() {
+            let route = &self.routes.routes[ev.flow];
+            if ev.hop >= route.len() {
+                // Packet has arrived at its destination.
+                monitor.record_delivery(ev.time - ev.sent_at, ev.queue_delay);
+                continue;
+            }
+            let link = route[ev.hop];
+            match self
+                .network
+                .transmit(link, ev.time, self.config.packet_bytes)
+            {
+                Transmit::Delivered {
+                    arrival,
+                    queue_delay,
+                } => {
+                    let next = Event {
+                        time: arrival,
+                        flow: ev.flow,
+                        hop: ev.hop + 1,
+                        sent_at: ev.sent_at,
+                        queue_delay: ev.queue_delay + queue_delay,
+                    };
+                    heap.push(Reverse((
+                        HeapKey(arrival, next.flow, next.hop),
+                        EventBox(next),
+                    )));
+                }
+                Transmit::Dropped => monitor.record_drop(),
+            }
+        }
+
+        let utilizations: Vec<f64> = (0..self.network.num_links())
+            .map(|l| self.network.utilization(l, self.config.duration_s))
+            .collect();
+        monitor.report(utilizations)
+    }
+}
+
+/// Wrapper so `Event` can live in the heap alongside the ordering key.
+#[derive(PartialEq)]
+struct EventBox(Event);
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LinkSpec;
+
+    /// A single bottleneck link 0 → 1: 10 Mbps, 10 ms propagation.
+    fn single_link_net(buffer_bytes: f64) -> Network {
+        let mut net = Network::new(2);
+        net.add_link(LinkSpec {
+            from: 0,
+            to: 1,
+            rate_bps: 10e6,
+            propagation_s: 0.010,
+            buffer_bytes,
+        });
+        net
+    }
+
+    fn run_at_load(load: f64, buffer: f64, arrivals: ArrivalProcess) -> SimReport {
+        let net = single_link_net(buffer);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 10e6 * load,
+        }];
+        let mut sim = Simulation::new(
+            net,
+            demands,
+            SimConfig {
+                duration_s: 2.0,
+                arrivals,
+                ..SimConfig::default()
+            },
+        );
+        sim.run()
+    }
+
+    #[test]
+    fn light_load_delay_is_propagation_plus_serialization() {
+        let report = run_at_load(0.2, 1e6, ArrivalProcess::ConstantBitRate);
+        // 10 ms propagation + 0.4 ms serialisation of 500 B at 10 Mbps.
+        assert!((report.mean_delay_ms - 10.4).abs() < 0.05, "{}", report.mean_delay_ms);
+        assert_eq!(report.loss_rate, 0.0);
+        assert!((report.mean_link_utilization - 0.2).abs() < 0.02);
+    }
+
+    #[test]
+    fn overload_causes_loss_with_finite_buffer() {
+        let report = run_at_load(1.5, 20_000.0, ArrivalProcess::ConstantBitRate);
+        assert!(report.loss_rate > 0.2, "loss {}", report.loss_rate);
+        // Link saturates.
+        assert!(report.max_link_utilization > 0.95);
+    }
+
+    #[test]
+    fn poisson_at_moderate_load_has_small_queueing() {
+        let report = run_at_load(0.5, 1e9, ArrivalProcess::Poisson);
+        // M/D/1 mean wait at ρ=0.5 is ρ·S/(2(1−ρ)) = 0.5·0.4ms/1 = 0.2 ms.
+        assert!(report.mean_queue_delay_ms > 0.05);
+        assert!(report.mean_queue_delay_ms < 0.6, "{}", report.mean_queue_delay_ms);
+        assert_eq!(report.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn queueing_grows_with_load() {
+        let low = run_at_load(0.3, 1e9, ArrivalProcess::Poisson);
+        let high = run_at_load(0.9, 1e9, ArrivalProcess::Poisson);
+        assert!(high.mean_queue_delay_ms > low.mean_queue_delay_ms);
+    }
+
+    #[test]
+    fn multihop_delays_add_up() {
+        // 0 → 1 → 2, each hop 5 ms.
+        let mut net = Network::new(3);
+        for (a, b) in [(0, 1), (1, 2)] {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: 1e9,
+                propagation_s: 0.005,
+                buffer_bytes: 1e9,
+            });
+        }
+        let demands = vec![Demand {
+            src: 0,
+            dst: 2,
+            amount_bps: 1e6,
+        }];
+        let mut sim = Simulation::new(net, demands, SimConfig::default());
+        let report = sim.run();
+        assert!((report.mean_delay_ms - 10.0).abs() < 0.1, "{}", report.mean_delay_ms);
+        assert!((sim.weighted_propagation_ms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_traffic_interferes_at_shared_link() {
+        // Flows 0→2 and 1→2 share the 2→3 bottleneck.
+        let mut net = Network::new(4);
+        for (a, b, rate) in [(0, 2, 1e9), (1, 2, 1e9), (2, 3, 10e6)] {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: rate,
+                propagation_s: 0.001,
+                buffer_bytes: 30_000.0,
+            });
+        }
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 3,
+                amount_bps: 8e6,
+            },
+            Demand {
+                src: 1,
+                dst: 3,
+                amount_bps: 8e6,
+            },
+        ];
+        let mut sim = Simulation::new(net, demands, SimConfig::default());
+        let report = sim.run();
+        // Combined 16 Mbps into a 10 Mbps link: significant loss.
+        assert!(report.loss_rate > 0.2, "loss {}", report.loss_rate);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_at_load(0.8, 50_000.0, ArrivalProcess::Poisson);
+        let b = run_at_load(0.8, 50_000.0, ArrivalProcess::Poisson);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.dropped, b.dropped);
+        assert!((a.mean_delay_ms - b.mean_delay_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_demand_produces_no_packets() {
+        let net = single_link_net(1e6);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 0.0,
+        }];
+        let mut sim = Simulation::new(net, demands, SimConfig::default());
+        let report = sim.run();
+        assert_eq!(report.delivered + report.dropped, 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! The continental elevation model.
+//!
+//! A [`TerrainModel`] is a pure function from a [`GeoPoint`] to an elevation
+//! in metres above sea level. It is composed of:
+//!
+//! * a base field: low-amplitude fBm "rolling terrain" on top of a regional
+//!   baseline that rises gently towards the continental interior,
+//! * a set of [`MountainRange`]s: great-circle ridge segments with a Gaussian
+//!   cross-section and a ridged-noise crest, and
+//! * water masking is *not* modelled — the paper's own hop-feasibility example
+//!   (the 96 km hop across Lake Michigan) shows over-water hops are viable, so
+//!   water behaves like flat terrain at elevation ~0.
+//!
+//! The built-in [`TerrainModel::united_states`] and [`TerrainModel::europe`]
+//! configurations place the major ranges at their true locations so that the
+//! designed networks detour where the paper's do.
+
+use cisp_geo::{geodesic, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+use crate::noise::{fbm, ridged, FbmParams};
+
+/// A mountain range modelled as a ridge line with Gaussian cross-section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MountainRange {
+    /// Human-readable name (for diagnostics only).
+    pub name: String,
+    /// One end of the ridge axis.
+    pub start: GeoPoint,
+    /// Other end of the ridge axis.
+    pub end: GeoPoint,
+    /// Peak crest height added above the base terrain, in metres.
+    pub peak_m: f64,
+    /// Half-width of the range, in kilometres (Gaussian sigma).
+    pub half_width_km: f64,
+}
+
+impl MountainRange {
+    /// Convenience constructor.
+    pub fn new(
+        name: &str,
+        start: GeoPoint,
+        end: GeoPoint,
+        peak_m: f64,
+        half_width_km: f64,
+    ) -> Self {
+        assert!(peak_m > 0.0 && half_width_km > 0.0);
+        Self {
+            name: name.to_string(),
+            start,
+            end,
+            peak_m,
+            half_width_km,
+        }
+    }
+
+    /// Shortest distance from `p` to the ridge axis segment, in kilometres.
+    fn distance_to_axis_km(&self, p: GeoPoint) -> f64 {
+        let total = geodesic::distance_km(self.start, self.end);
+        if total < 1e-9 {
+            return geodesic::distance_km(self.start, p);
+        }
+        // Along-track projection of p onto the axis.
+        let d_sp = geodesic::distance_km(self.start, p);
+        let xt = geodesic::cross_track_distance_km(self.start, self.end, p);
+        // Along-track distance via the spherical right-triangle relation; for
+        // the continental scales involved the planar approximation is fine.
+        let at = (d_sp * d_sp - xt * xt).max(0.0).sqrt();
+        // Is p "before" the start? Compare bearings.
+        let bearing_axis = geodesic::initial_bearing_deg(self.start, self.end);
+        let bearing_p = geodesic::initial_bearing_deg(self.start, p);
+        let mut diff = (bearing_axis - bearing_p).abs();
+        if diff > 180.0 {
+            diff = 360.0 - diff;
+        }
+        let at_signed = if diff > 90.0 { -at } else { at };
+
+        if at_signed < 0.0 {
+            geodesic::distance_km(self.start, p)
+        } else if at_signed > total {
+            geodesic::distance_km(self.end, p)
+        } else {
+            xt
+        }
+    }
+
+    /// Ridge height contribution at `p`, before crest noise, in metres.
+    fn contribution_m(&self, p: GeoPoint) -> f64 {
+        let d = self.distance_to_axis_km(p);
+        // Ignore anything beyond 4 sigma: negligible and saves work.
+        if d > 4.0 * self.half_width_km {
+            return 0.0;
+        }
+        let x = d / self.half_width_km;
+        self.peak_m * (-0.5 * x * x).exp()
+    }
+}
+
+/// Parameters of the base (non-mountain) terrain field.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BaseTerrainParams {
+    /// Mean elevation of the lowlands, metres.
+    pub baseline_m: f64,
+    /// Amplitude of rolling-terrain noise, metres.
+    pub relief_m: f64,
+    /// Correlation length of the rolling terrain, in degrees of arc.
+    pub correlation_deg: f64,
+}
+
+impl Default for BaseTerrainParams {
+    fn default() -> Self {
+        Self {
+            baseline_m: 150.0,
+            relief_m: 220.0,
+            correlation_deg: 0.8,
+        }
+    }
+}
+
+/// The procedural elevation model. See the module docs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TerrainModel {
+    seed: u64,
+    base: BaseTerrainParams,
+    ranges: Vec<MountainRange>,
+    /// Extra crest-noise amplitude as a fraction of the local ridge height.
+    crest_noise_fraction: f64,
+}
+
+impl TerrainModel {
+    /// Build a model from explicit parts.
+    pub fn new(
+        seed: u64,
+        base: BaseTerrainParams,
+        ranges: Vec<MountainRange>,
+        crest_noise_fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&crest_noise_fraction));
+        Self {
+            seed,
+            base,
+            ranges,
+            crest_noise_fraction,
+        }
+    }
+
+    /// Perfectly flat terrain at sea level — useful for tests and for
+    /// isolating the pure-geometry behaviour of line-of-sight checks.
+    pub fn flat() -> Self {
+        Self {
+            seed: 0,
+            base: BaseTerrainParams {
+                baseline_m: 0.0,
+                relief_m: 0.0,
+                correlation_deg: 1.0,
+            },
+            ranges: Vec::new(),
+            crest_noise_fraction: 0.0,
+        }
+    }
+
+    /// The contiguous-United-States configuration: Rockies, Sierra Nevada,
+    /// Cascades, Appalachians, plus a high-plains uplift towards the west.
+    pub fn united_states(seed: u64) -> Self {
+        let ranges = vec![
+            MountainRange::new(
+                "Rocky Mountains (north)",
+                GeoPoint::new(48.8, -114.0),
+                GeoPoint::new(43.5, -110.0),
+                2600.0,
+                160.0,
+            ),
+            MountainRange::new(
+                "Rocky Mountains (central)",
+                GeoPoint::new(43.5, -110.0),
+                GeoPoint::new(38.5, -106.0),
+                2900.0,
+                170.0,
+            ),
+            MountainRange::new(
+                "Rocky Mountains (south)",
+                GeoPoint::new(38.5, -106.0),
+                GeoPoint::new(33.5, -105.5),
+                2400.0,
+                140.0,
+            ),
+            MountainRange::new(
+                "Sierra Nevada",
+                GeoPoint::new(40.5, -121.3),
+                GeoPoint::new(35.5, -118.0),
+                2700.0,
+                90.0,
+            ),
+            MountainRange::new(
+                "Cascades",
+                GeoPoint::new(48.8, -121.5),
+                GeoPoint::new(41.0, -122.0),
+                2200.0,
+                80.0,
+            ),
+            MountainRange::new(
+                "Wasatch / Great Basin",
+                GeoPoint::new(42.0, -112.0),
+                GeoPoint::new(37.5, -113.5),
+                1900.0,
+                150.0,
+            ),
+            MountainRange::new(
+                "Appalachians (north)",
+                GeoPoint::new(44.0, -72.5),
+                GeoPoint::new(38.5, -79.5),
+                900.0,
+                110.0,
+            ),
+            MountainRange::new(
+                "Appalachians (south)",
+                GeoPoint::new(38.5, -79.5),
+                GeoPoint::new(34.5, -84.0),
+                1100.0,
+                110.0,
+            ),
+            MountainRange::new(
+                "Ozarks",
+                GeoPoint::new(37.5, -93.0),
+                GeoPoint::new(35.5, -94.0),
+                450.0,
+                90.0,
+            ),
+        ];
+        Self::new(seed, BaseTerrainParams::default(), ranges, 0.35)
+    }
+
+    /// The European configuration: Alps, Pyrenees, Carpathians, Apennines,
+    /// Scandinavian mountains, Dinarides.
+    pub fn europe(seed: u64) -> Self {
+        let ranges = vec![
+            MountainRange::new(
+                "Alps",
+                GeoPoint::new(44.2, 6.8),
+                GeoPoint::new(47.5, 14.5),
+                3000.0,
+                110.0,
+            ),
+            MountainRange::new(
+                "Pyrenees",
+                GeoPoint::new(43.3, -1.8),
+                GeoPoint::new(42.4, 2.8),
+                2300.0,
+                60.0,
+            ),
+            MountainRange::new(
+                "Carpathians",
+                GeoPoint::new(49.5, 19.5),
+                GeoPoint::new(45.5, 25.5),
+                1800.0,
+                100.0,
+            ),
+            MountainRange::new(
+                "Apennines",
+                GeoPoint::new(44.5, 9.5),
+                GeoPoint::new(40.0, 16.0),
+                1700.0,
+                70.0,
+            ),
+            MountainRange::new(
+                "Dinarides",
+                GeoPoint::new(46.0, 14.0),
+                GeoPoint::new(42.5, 19.5),
+                1600.0,
+                80.0,
+            ),
+            MountainRange::new(
+                "Scandinavian Mountains",
+                GeoPoint::new(62.0, 9.0),
+                GeoPoint::new(68.0, 17.0),
+                1500.0,
+                130.0,
+            ),
+            MountainRange::new(
+                "Massif Central",
+                GeoPoint::new(45.8, 2.5),
+                GeoPoint::new(44.5, 3.8),
+                1200.0,
+                90.0,
+            ),
+        ];
+        Self::new(
+            seed,
+            BaseTerrainParams {
+                baseline_m: 120.0,
+                relief_m: 200.0,
+                correlation_deg: 0.7,
+            },
+            ranges,
+            0.35,
+        )
+    }
+
+    /// The model's seed (useful for reporting experiment provenance).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured mountain ranges.
+    pub fn ranges(&self) -> &[MountainRange] {
+        &self.ranges
+    }
+
+    /// Ground elevation (metres above sea level) at a point. Always finite
+    /// and non-negative.
+    pub fn elevation_m(&self, p: GeoPoint) -> f64 {
+        let mut elevation = self.base.baseline_m;
+        if self.base.relief_m > 0.0 {
+            let params = FbmParams {
+                octaves: 5,
+                base_frequency: 1.0 / self.base.correlation_deg,
+                lacunarity: 2.1,
+                gain: 0.5,
+            };
+            let rolling = fbm(p.lon_deg, p.lat_deg, self.seed, params);
+            elevation += self.base.relief_m * rolling;
+        }
+
+        for range in &self.ranges {
+            let ridge = range.contribution_m(p);
+            if ridge > 0.0 {
+                let crest_params = FbmParams {
+                    octaves: 4,
+                    base_frequency: 2.5,
+                    lacunarity: 2.0,
+                    gain: 0.55,
+                };
+                let crest = ridged(
+                    p.lon_deg,
+                    p.lat_deg,
+                    self.seed ^ 0xA11C_E5ED,
+                    crest_params,
+                );
+                let modulation = 1.0 - self.crest_noise_fraction + self.crest_noise_fraction * crest;
+                elevation += ridge * modulation;
+            }
+        }
+        elevation.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_terrain_is_zero_everywhere() {
+        let t = TerrainModel::flat();
+        for &(lat, lon) in &[(40.0, -100.0), (35.0, -80.0), (47.0, 8.0)] {
+            assert_eq!(t.elevation_m(GeoPoint::new(lat, lon)), 0.0);
+        }
+    }
+
+    #[test]
+    fn us_model_is_deterministic_per_seed() {
+        let t1 = TerrainModel::united_states(7);
+        let t2 = TerrainModel::united_states(7);
+        let t3 = TerrainModel::united_states(8);
+        let p = GeoPoint::new(39.0, -105.0);
+        assert_eq!(t1.elevation_m(p), t2.elevation_m(p));
+        assert_ne!(t1.elevation_m(p), t3.elevation_m(p));
+    }
+
+    #[test]
+    fn rockies_are_high_great_plains_are_not() {
+        let t = TerrainModel::united_states(42);
+        let rockies = t.elevation_m(GeoPoint::new(39.5, -106.0));
+        let kansas = t.elevation_m(GeoPoint::new(38.5, -98.0));
+        let florida = t.elevation_m(GeoPoint::new(28.5, -81.5));
+        assert!(rockies > 1800.0, "Rockies = {rockies}");
+        assert!(kansas < 800.0, "Kansas = {kansas}");
+        assert!(florida < 800.0, "Florida = {florida}");
+        assert!(rockies > kansas + 1000.0);
+    }
+
+    #[test]
+    fn appalachians_are_moderate() {
+        let t = TerrainModel::united_states(42);
+        let appalachia = t.elevation_m(GeoPoint::new(37.0, -81.5));
+        assert!(
+            appalachia > 400.0 && appalachia < 2000.0,
+            "Appalachia = {appalachia}"
+        );
+    }
+
+    #[test]
+    fn alps_dominate_european_lowlands() {
+        let t = TerrainModel::europe(42);
+        let alps = t.elevation_m(GeoPoint::new(46.5, 10.5));
+        let netherlands = t.elevation_m(GeoPoint::new(52.2, 5.3));
+        assert!(alps > 1800.0, "Alps = {alps}");
+        assert!(netherlands < 700.0, "NL = {netherlands}");
+    }
+
+    #[test]
+    fn elevation_is_nonnegative_and_finite_everywhere() {
+        let t = TerrainModel::united_states(3);
+        for i in 0..40 {
+            for j in 0..40 {
+                let lat = 25.0 + i as f64 * 0.6;
+                let lon = -124.0 + j as f64 * 1.4;
+                let e = t.elevation_m(GeoPoint::new(lat, lon));
+                assert!(e.is_finite() && e >= 0.0, "bad elevation {e} at {lat},{lon}");
+            }
+        }
+    }
+
+    #[test]
+    fn elevation_is_spatially_continuous() {
+        let t = TerrainModel::united_states(5);
+        // 100 m steps must not produce cliffs of more than a few metres of
+        // noise plus the mountain gradient (generous bound: 50 m).
+        let base = GeoPoint::new(39.7, -105.2);
+        let mut prev = t.elevation_m(base);
+        for i in 1..50 {
+            let p = GeoPoint::new(39.7, -105.2 + i as f64 * 0.001);
+            let e = t.elevation_m(p);
+            assert!((e - prev).abs() < 50.0, "cliff of {} m", (e - prev).abs());
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn mountain_range_distance_handles_off_axis_points() {
+        let range = MountainRange::new(
+            "test",
+            GeoPoint::new(40.0, -110.0),
+            GeoPoint::new(40.0, -105.0),
+            2000.0,
+            100.0,
+        );
+        // A point past the east end is measured to the endpoint, not the
+        // infinite great circle.
+        let east = GeoPoint::new(40.0, -100.0);
+        let d = range.distance_to_axis_km(east);
+        let expected = geodesic::distance_km(GeoPoint::new(40.0, -105.0), east);
+        assert!((d - expected).abs() < 1.0, "d = {d}, expected {expected}");
+
+        // A point near the middle of the axis is close to it (the great
+        // circle between two points at latitude 40° arcs slightly north of
+        // the parallel, hence the ~10 km tolerance) and gets essentially the
+        // full ridge contribution.
+        let on_axis = GeoPoint::new(40.0, -107.5);
+        assert!(range.distance_to_axis_km(on_axis) < 15.0);
+        assert!(range.contribution_m(on_axis) > 1900.0);
+
+        // Far away contributes nothing.
+        assert_eq!(range.contribution_m(GeoPoint::new(30.0, -85.0)), 0.0);
+    }
+
+    #[test]
+    fn contribution_decays_with_distance() {
+        let range = MountainRange::new(
+            "test",
+            GeoPoint::new(40.0, -110.0),
+            GeoPoint::new(40.0, -105.0),
+            2000.0,
+            100.0,
+        );
+        let near = range.contribution_m(GeoPoint::new(40.5, -107.5));
+        let far = range.contribution_m(GeoPoint::new(42.5, -107.5));
+        assert!(near > far, "near {near} vs far {far}");
+    }
+}

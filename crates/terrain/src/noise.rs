@@ -1,0 +1,222 @@
+//! Seeded, hash-based value noise and fractal Brownian motion (fBm).
+//!
+//! The terrain model needs a smooth pseudo-random field that is (a) fully
+//! deterministic given a seed, (b) cheap to evaluate at arbitrary points
+//! without storing a raster, and (c) free of external dependencies. Classic
+//! lattice value noise with quintic smoothing fits the bill. Perlin gradient
+//! noise would look marginally nicer but feasibility statistics only care
+//! about amplitude and correlation length, not visual aesthetics.
+
+/// A deterministic 64-bit mixer (SplitMix64 finaliser). Used to hash lattice
+/// coordinates plus the seed into pseudo-random values.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a 2-D integer lattice point and a seed to a float in `[0, 1)`.
+#[inline]
+fn lattice_value(ix: i64, iy: i64, seed: u64) -> f64 {
+    let h = mix64(
+        (ix as u64)
+            .wrapping_mul(0x8545_9F85_C592_9F3B)
+            .wrapping_add((iy as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(mix64(seed)),
+    );
+    // Take the top 53 bits for a uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Quintic smoothstep used to interpolate lattice values (C² continuous).
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * t * (t * (t * 6.0 - 15.0) + 10.0)
+}
+
+/// Single-octave 2-D value noise in `[0, 1]`, with unit lattice spacing.
+pub fn value_noise(x: f64, y: f64, seed: u64) -> f64 {
+    let ix = x.floor() as i64;
+    let iy = y.floor() as i64;
+    let fx = x - ix as f64;
+    let fy = y - iy as f64;
+
+    let v00 = lattice_value(ix, iy, seed);
+    let v10 = lattice_value(ix + 1, iy, seed);
+    let v01 = lattice_value(ix, iy + 1, seed);
+    let v11 = lattice_value(ix + 1, iy + 1, seed);
+
+    let sx = smooth(fx);
+    let sy = smooth(fy);
+
+    let a = v00 + (v10 - v00) * sx;
+    let b = v01 + (v11 - v01) * sx;
+    a + (b - a) * sy
+}
+
+/// Parameters for fractal Brownian motion.
+#[derive(Debug, Clone, Copy)]
+pub struct FbmParams {
+    /// Number of octaves to sum.
+    pub octaves: u32,
+    /// Spatial frequency of the first octave (cycles per unit distance).
+    pub base_frequency: f64,
+    /// Frequency multiplier between octaves (usually ~2).
+    pub lacunarity: f64,
+    /// Amplitude multiplier between octaves (usually ~0.5).
+    pub gain: f64,
+}
+
+impl Default for FbmParams {
+    fn default() -> Self {
+        Self {
+            octaves: 5,
+            base_frequency: 1.0,
+            lacunarity: 2.0,
+            gain: 0.5,
+        }
+    }
+}
+
+/// Fractal Brownian motion: a sum of value-noise octaves, normalised to
+/// `[0, 1]`.
+pub fn fbm(x: f64, y: f64, seed: u64, params: FbmParams) -> f64 {
+    assert!(params.octaves >= 1, "fBm needs at least one octave");
+    let mut total = 0.0;
+    let mut amplitude = 1.0;
+    let mut frequency = params.base_frequency;
+    let mut max_amplitude = 0.0;
+    for octave in 0..params.octaves {
+        let octave_seed = seed.wrapping_add(0x9E37 * octave as u64 + 1);
+        total += amplitude * value_noise(x * frequency, y * frequency, octave_seed);
+        max_amplitude += amplitude;
+        amplitude *= params.gain;
+        frequency *= params.lacunarity;
+    }
+    total / max_amplitude
+}
+
+/// Ridged multifractal noise in `[0, 1]`: sharp crests, useful for mountain
+/// ridge crest variation.
+pub fn ridged(x: f64, y: f64, seed: u64, params: FbmParams) -> f64 {
+    assert!(params.octaves >= 1);
+    let mut total = 0.0;
+    let mut amplitude = 1.0;
+    let mut frequency = params.base_frequency;
+    let mut max_amplitude = 0.0;
+    for octave in 0..params.octaves {
+        let octave_seed = seed.wrapping_add(0xC0FFEE * (octave as u64 + 1));
+        let n = value_noise(x * frequency, y * frequency, octave_seed);
+        let r = 1.0 - (2.0 * n - 1.0).abs(); // fold around the midpoint
+        total += amplitude * r * r;
+        max_amplitude += amplitude;
+        amplitude *= params.gain;
+        frequency *= params.lacunarity;
+    }
+    total / max_amplitude
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads_bits() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // A weak avalanche check: flipping one input bit flips many output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    fn value_noise_in_unit_interval_and_deterministic() {
+        for i in 0..200 {
+            let x = i as f64 * 0.37;
+            let y = i as f64 * 0.71 - 10.0;
+            let v = value_noise(x, y, 7);
+            assert!((0.0..=1.0).contains(&v), "noise out of range: {v}");
+            assert_eq!(v, value_noise(x, y, 7));
+        }
+    }
+
+    #[test]
+    fn value_noise_depends_on_seed() {
+        let mut differs = 0;
+        for i in 0..50 {
+            let x = i as f64 * 0.61;
+            if (value_noise(x, 3.3, 1) - value_noise(x, 3.3, 2)).abs() > 1e-6 {
+                differs += 1;
+            }
+        }
+        assert!(differs > 40, "seeds should decorrelate noise ({differs}/50)");
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Adjacent evaluations differ by a bounded amount.
+        let eps = 1e-4;
+        for i in 0..100 {
+            let x = i as f64 * 0.131;
+            let y = i as f64 * 0.377;
+            let d = (value_noise(x + eps, y, 3) - value_noise(x, y, 3)).abs();
+            assert!(d < 0.01, "discontinuity {d} at ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn value_noise_matches_lattice_at_integers() {
+        // At integer coordinates the interpolation weights collapse to a
+        // single lattice value, so the result must be that hash value.
+        let v = value_noise(5.0, -3.0, 11);
+        assert!((0.0..=1.0).contains(&v));
+        assert_eq!(v, value_noise(5.0, -3.0, 11));
+    }
+
+    #[test]
+    fn fbm_and_ridged_stay_in_range() {
+        let params = FbmParams::default();
+        for i in 0..200 {
+            let x = i as f64 * 0.17 - 10.0;
+            let y = i as f64 * 0.29 + 4.0;
+            let f = fbm(x, y, 99, params);
+            let r = ridged(x, y, 99, params);
+            assert!((0.0..=1.0).contains(&f), "fbm {f}");
+            assert!((0.0..=1.0).contains(&r), "ridged {r}");
+        }
+    }
+
+    #[test]
+    fn fbm_octaves_add_detail() {
+        // With more octaves the field has more high-frequency variance; test
+        // indirectly by checking the two parameterisations differ.
+        let one = FbmParams {
+            octaves: 1,
+            ..FbmParams::default()
+        };
+        let five = FbmParams::default();
+        let mut diff = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.123;
+            diff += (fbm(x, 0.5, 5, one) - fbm(x, 0.5, 5, five)).abs();
+        }
+        assert!(diff > 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fbm_rejects_zero_octaves() {
+        fbm(
+            0.0,
+            0.0,
+            1,
+            FbmParams {
+                octaves: 0,
+                ..FbmParams::default()
+            },
+        );
+    }
+}

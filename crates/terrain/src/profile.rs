@@ -1,0 +1,120 @@
+//! Elevation and obstruction profiles along great-circle paths.
+//!
+//! Line-of-sight feasibility (in `cisp-core`) needs the obstacle surface —
+//! ground elevation plus clutter — sampled along the straight path between
+//! two antennas. This module bundles the sampling logic so that terrain and
+//! clutter are always combined consistently.
+
+use cisp_geo::{geodesic, GeoPoint};
+
+use crate::clutter::ClutterModel;
+use crate::elevation::TerrainModel;
+
+/// Sample the ground elevation (metres ASL) at `n_samples` evenly spaced
+/// points along the great circle from `a` to `b`, including the endpoints.
+pub fn elevation_profile(
+    terrain: &TerrainModel,
+    a: GeoPoint,
+    b: GeoPoint,
+    n_samples: usize,
+) -> Vec<f64> {
+    geodesic::sample_path(a, b, n_samples)
+        .into_iter()
+        .map(|p| terrain.elevation_m(p))
+        .collect()
+}
+
+/// Sample the obstruction surface — ground elevation plus clutter — along the
+/// great circle from `a` to `b`.
+pub fn obstruction_profile(
+    terrain: &TerrainModel,
+    clutter: &ClutterModel,
+    a: GeoPoint,
+    b: GeoPoint,
+    n_samples: usize,
+) -> Vec<f64> {
+    geodesic::sample_path(a, b, n_samples)
+        .into_iter()
+        .map(|p| terrain.elevation_m(p) + clutter.clutter_m(p))
+        .collect()
+}
+
+/// Choose a sample count for a hop of the given length: roughly one sample
+/// per kilometre, clamped to a reasonable range. This mirrors the ~30 m SRTM
+/// posting only loosely — clearance errors from coarser sampling are absorbed
+/// by the Fresnel-zone margin, and the paper reports its own assessments are
+/// accurate to ~2 m against LIDAR.
+pub fn samples_for_hop(hop_km: f64) -> usize {
+    ((hop_km.ceil() as usize) + 1).clamp(16, 160)
+}
+
+/// Highest obstruction along a path (convenience for diagnostics).
+pub fn max_obstruction_m(
+    terrain: &TerrainModel,
+    clutter: &ClutterModel,
+    a: GeoPoint,
+    b: GeoPoint,
+    n_samples: usize,
+) -> f64 {
+    obstruction_profile(terrain, clutter, a, b, n_samples)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_requested_length_and_match_endpoints() {
+        let terrain = TerrainModel::united_states(11);
+        let a = GeoPoint::new(41.0, -100.0);
+        let b = GeoPoint::new(40.0, -98.0);
+        let profile = elevation_profile(&terrain, a, b, 33);
+        assert_eq!(profile.len(), 33);
+        assert!((profile[0] - terrain.elevation_m(a)).abs() < 1e-9);
+        assert!((profile[32] - terrain.elevation_m(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obstruction_is_at_least_elevation() {
+        let terrain = TerrainModel::united_states(11);
+        let clutter = ClutterModel::with_seed(11);
+        let a = GeoPoint::new(41.0, -100.0);
+        let b = GeoPoint::new(40.0, -98.0);
+        let bare = elevation_profile(&terrain, a, b, 21);
+        let full = obstruction_profile(&terrain, &clutter, a, b, 21);
+        for (g, o) in bare.iter().zip(full.iter()) {
+            assert!(o >= g);
+        }
+    }
+
+    #[test]
+    fn flat_terrain_profile_is_flat() {
+        let terrain = TerrainModel::flat();
+        let clutter = ClutterModel::none();
+        let a = GeoPoint::new(41.0, -100.0);
+        let b = GeoPoint::new(41.0, -99.0);
+        let profile = obstruction_profile(&terrain, &clutter, a, b, 10);
+        assert!(profile.iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn sample_count_scales_with_hop_length() {
+        assert_eq!(samples_for_hop(1.0), 16);
+        assert_eq!(samples_for_hop(50.0), 51);
+        assert_eq!(samples_for_hop(100.0), 101);
+        assert_eq!(samples_for_hop(1000.0), 160);
+    }
+
+    #[test]
+    fn max_obstruction_crossing_rockies_is_high() {
+        let terrain = TerrainModel::united_states(42);
+        let clutter = ClutterModel::none();
+        // Denver to Grand Junction crosses the central Rockies.
+        let denver = GeoPoint::new(39.74, -104.99);
+        let gj = GeoPoint::new(39.06, -108.55);
+        let peak = max_obstruction_m(&terrain, &clutter, denver, gj, 120);
+        assert!(peak > 2000.0, "peak = {peak}");
+    }
+}

@@ -1,0 +1,239 @@
+//! The traffic-matrix type.
+//!
+//! A [`TrafficMatrix`] is a symmetric matrix of non-negative pair weights
+//! with a zero diagonal. Weights are relative (the design optimises per unit
+//! traffic); [`TrafficMatrix::scaled_to_gbps`] converts them into absolute
+//! per-pair demands for capacity planning and packet simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// A symmetric traffic matrix over `n` sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    weights: Vec<Vec<f64>>,
+}
+
+impl TrafficMatrix {
+    /// Build from a full matrix; it is symmetrised (averaging the two
+    /// triangles) and the diagonal is zeroed.
+    pub fn from_matrix(weights: Vec<Vec<f64>>) -> Self {
+        let n = weights.len();
+        for row in &weights {
+            assert_eq!(row.len(), n, "traffic matrix must be square");
+            for &v in row {
+                assert!(v.is_finite() && v >= 0.0, "weights must be finite and ≥ 0");
+            }
+        }
+        let mut symmetric = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    symmetric[i][j] = 0.5 * (weights[i][j] + weights[j][i]);
+                }
+            }
+        }
+        Self { weights: symmetric }
+    }
+
+    /// An all-zero matrix over `n` sites.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            weights: vec![vec![0.0; n]; n],
+        }
+    }
+
+    /// A uniform matrix (weight 1 between every distinct pair).
+    pub fn uniform(n: usize) -> Self {
+        let weights = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
+            .collect();
+        Self { weights }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight of a pair.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.weights[i][j]
+    }
+
+    /// The underlying matrix.
+    pub fn as_matrix(&self) -> &Vec<Vec<f64>> {
+        &self.weights
+    }
+
+    /// Consume into the underlying matrix.
+    pub fn into_matrix(self) -> Vec<Vec<f64>> {
+        self.weights
+    }
+
+    /// Sum of weights over unordered pairs.
+    pub fn total_weight(&self) -> f64 {
+        let n = self.num_sites();
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += self.weights[i][j];
+            }
+        }
+        total
+    }
+
+    /// Normalise so that the maximum pair weight is 1 (no-op for an all-zero
+    /// matrix).
+    pub fn normalized(&self) -> Self {
+        let max = self
+            .weights
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return self.clone();
+        }
+        let weights = self
+            .weights
+            .iter()
+            .map(|row| row.iter().map(|v| v / max).collect())
+            .collect();
+        Self { weights }
+    }
+
+    /// Scale so the sum over unordered pairs equals `aggregate_gbps`,
+    /// yielding absolute per-pair demands in Gbps.
+    pub fn scaled_to_gbps(&self, aggregate_gbps: f64) -> Vec<Vec<f64>> {
+        assert!(aggregate_gbps >= 0.0);
+        let total = self.total_weight();
+        assert!(total > 0.0, "cannot scale an all-zero traffic matrix");
+        let factor = aggregate_gbps / total;
+        self.weights
+            .iter()
+            .map(|row| row.iter().map(|v| v * factor).collect())
+            .collect()
+    }
+
+    /// Weighted sum of several matrices over the same site set: the result is
+    /// `Σ weight_k · normalise_to_unit_total(matrix_k)`, so the given weights
+    /// are the *traffic shares* of each component (the 4:3:3 mixes of §6.4).
+    pub fn mix(components: &[(f64, &TrafficMatrix)]) -> Self {
+        assert!(!components.is_empty());
+        let n = components[0].1.num_sites();
+        for (share, m) in components {
+            assert!(*share >= 0.0);
+            assert_eq!(m.num_sites(), n, "mismatched site counts in mix");
+        }
+        let total_share: f64 = components.iter().map(|(s, _)| *s).sum();
+        assert!(total_share > 0.0);
+        let mut weights = vec![vec![0.0; n]; n];
+        for (share, m) in components {
+            let component_total = m.total_weight();
+            if component_total <= 0.0 {
+                continue;
+            }
+            let factor = share / total_share / component_total;
+            for i in 0..n {
+                for j in 0..n {
+                    weights[i][j] += m.weights[i][j] * factor;
+                }
+            }
+        }
+        Self { weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_matrix_symmetrises_and_zeroes_diagonal() {
+        let m = TrafficMatrix::from_matrix(vec![
+            vec![5.0, 2.0, 0.0],
+            vec![4.0, 7.0, 1.0],
+            vec![0.0, 3.0, 9.0],
+        ]);
+        assert_eq!(m.weight(0, 0), 0.0);
+        assert_eq!(m.weight(1, 1), 0.0);
+        assert_eq!(m.weight(0, 1), 3.0);
+        assert_eq!(m.weight(1, 0), 3.0);
+        assert_eq!(m.weight(1, 2), 2.0);
+    }
+
+    #[test]
+    fn uniform_and_zeros() {
+        let u = TrafficMatrix::uniform(4);
+        assert_eq!(u.total_weight(), 6.0);
+        let z = TrafficMatrix::zeros(4);
+        assert_eq!(z.total_weight(), 0.0);
+        assert_eq!(z.normalized().total_weight(), 0.0);
+    }
+
+    #[test]
+    fn normalization_caps_max_at_one() {
+        let m = TrafficMatrix::from_matrix(vec![
+            vec![0.0, 10.0, 2.0],
+            vec![10.0, 0.0, 5.0],
+            vec![2.0, 5.0, 0.0],
+        ])
+        .normalized();
+        assert!((m.weight(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.weight(0, 2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_hits_aggregate_and_preserves_ratios() {
+        let m = TrafficMatrix::from_matrix(vec![
+            vec![0.0, 1.0, 3.0],
+            vec![1.0, 0.0, 0.0],
+            vec![3.0, 0.0, 0.0],
+        ]);
+        let scaled = m.scaled_to_gbps(80.0);
+        let total: f64 = scaled[0][1] + scaled[0][2] + scaled[1][2];
+        assert!((total - 80.0).abs() < 1e-9);
+        assert!((scaled[0][2] / scaled[0][1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_respects_shares() {
+        // Component A: all traffic on pair (0,1); component B: all on (1,2).
+        let a = TrafficMatrix::from_matrix(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0],
+        ]);
+        let b = TrafficMatrix::from_matrix(vec![
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 1.0, 0.0],
+        ]);
+        let mixed = TrafficMatrix::mix(&[(4.0, &a), (3.0, &b)]);
+        let w01 = mixed.weight(0, 1);
+        let w12 = mixed.weight(1, 2);
+        assert!((w01 / w12 - 4.0 / 3.0).abs() < 1e-9);
+        // Total weight is 1 (shares normalised).
+        assert!((mixed.total_weight() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mix_rejects_mismatched_sizes() {
+        let a = TrafficMatrix::uniform(3);
+        let b = TrafficMatrix::uniform(4);
+        TrafficMatrix::mix(&[(1.0, &a), (1.0, &b)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_matrix_rejects_negative_weights() {
+        TrafficMatrix::from_matrix(vec![vec![0.0, -1.0], vec![-1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scaling_zero_matrix_panics() {
+        TrafficMatrix::zeros(3).scaled_to_gbps(10.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-interval link failures under a storm field.
+//!
+//! A built microwave link is a series of ~tens-of-km hops along the
+//! site-to-site path. The binary failure model of §6.1 marks the whole link
+//! failed if *any* of its hops exceeds its fade margin during the interval.
+//! Because the weather crate operates on the designed topology (which stores
+//! the site-to-site geometry rather than every tower position), hops are
+//! approximated as equal-length segments of the link's great-circle path —
+//! the same granularity at which the synthetic storm field varies.
+
+use cisp_core::topology::HybridTopology;
+use cisp_geo::geodesic;
+use serde::{Deserialize, Serialize};
+
+use crate::attenuation::FadeMargin;
+use crate::storms::StormField;
+
+/// Configuration of the failure model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FailureConfig {
+    /// Fade margin per hop.
+    pub fade_margin: FadeMargin,
+    /// Carrier frequency, GHz.
+    pub frequency_ghz: f64,
+    /// Nominal hop length used to segment links, km.
+    pub hop_length_km: f64,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        Self {
+            fade_margin: FadeMargin::default(),
+            frequency_ghz: 11.0,
+            hop_length_km: 75.0,
+        }
+    }
+}
+
+/// Indices (into `topology.mw_links()`) of links that fail under the given
+/// storm field.
+pub fn link_failures(
+    topology: &HybridTopology,
+    field: &StormField,
+    config: &FailureConfig,
+) -> Vec<usize> {
+    assert!(config.hop_length_km > 0.0);
+    let sites = topology.sites();
+    let mut failed = Vec::new();
+    for (idx, link) in topology.mw_links().iter().enumerate() {
+        let a = sites[link.site_a];
+        let b = sites[link.site_b];
+        let total_km = geodesic::distance_km(a, b);
+        let hops = (total_km / config.hop_length_km).ceil().max(1.0) as usize;
+        let hop_km = total_km / hops as f64;
+        let mut link_failed = false;
+        for h in 0..hops {
+            let start = geodesic::intermediate(a, b, h as f64 / hops as f64);
+            let end = geodesic::intermediate(a, b, (h + 1) as f64 / hops as f64);
+            // Worst-case rain over the hop drives its attenuation.
+            let rain = field.max_rain_along(start, end);
+            if !config
+                .fade_margin
+                .survives(hop_km, rain, config.frequency_ghz)
+            {
+                link_failed = true;
+                break;
+            }
+        }
+        if link_failed {
+            failed.push(idx);
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storms::Storm;
+    use cisp_core::links::CandidateLink;
+    use cisp_geo::GeoPoint;
+
+    fn topology_with_two_links() -> HybridTopology {
+        let sites = vec![
+            GeoPoint::new(40.0, -100.0),
+            GeoPoint::new(40.0, -95.0),
+            GeoPoint::new(35.0, -95.0),
+        ];
+        let traffic = vec![
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let fiber: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..3)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        for (a, b) in [(0usize, 1usize), (1usize, 2usize)] {
+            let geo = geodesic::distance_km(sites[a], sites[b]);
+            topo.add_mw_link(CandidateLink {
+                site_a: a,
+                site_b: b,
+                mw_length_km: geo * 1.03,
+                tower_count: 6,
+                tower_path: vec![0; 6],
+            });
+        }
+        topo
+    }
+
+    #[test]
+    fn clear_skies_fail_nothing() {
+        let topo = topology_with_two_links();
+        let failures = link_failures(&topo, &StormField::default(), &FailureConfig::default());
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn a_violent_storm_on_one_link_fails_only_that_link() {
+        let topo = topology_with_two_links();
+        // Storm centred on the midpoint of link 0 (40°N corridor).
+        let field = StormField {
+            storms: vec![Storm {
+                center: GeoPoint::new(40.05, -97.5),
+                radius_km: 60.0,
+                peak_mm_h: 100.0,
+            }],
+        };
+        let failures = link_failures(&topo, &field, &FailureConfig::default());
+        assert_eq!(failures, vec![0]);
+    }
+
+    #[test]
+    fn light_rain_does_not_fail_links() {
+        let topo = topology_with_two_links();
+        let field = StormField {
+            storms: vec![Storm {
+                center: GeoPoint::new(40.0, -97.5),
+                radius_km: 300.0,
+                peak_mm_h: 4.0,
+            }],
+        };
+        let failures = link_failures(&topo, &field, &FailureConfig::default());
+        assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn widespread_severe_weather_can_fail_everything() {
+        let topo = topology_with_two_links();
+        let field = StormField {
+            storms: vec![
+                Storm {
+                    center: GeoPoint::new(40.0, -97.5),
+                    radius_km: 400.0,
+                    peak_mm_h: 90.0,
+                },
+                Storm {
+                    center: GeoPoint::new(37.0, -95.0),
+                    radius_km: 400.0,
+                    peak_mm_h: 90.0,
+                },
+            ],
+        };
+        let failures = link_failures(&topo, &field, &FailureConfig::default());
+        assert_eq!(failures, vec![0, 1]);
+    }
+
+    #[test]
+    fn tighter_fade_margin_fails_more() {
+        let topo = topology_with_two_links();
+        let field = StormField {
+            storms: vec![Storm {
+                center: GeoPoint::new(40.0, -97.5),
+                radius_km: 80.0,
+                peak_mm_h: 35.0,
+            }],
+        };
+        let lenient = FailureConfig {
+            fade_margin: FadeMargin { margin_db: 40.0 },
+            ..FailureConfig::default()
+        };
+        let strict = FailureConfig {
+            fade_margin: FadeMargin { margin_db: 8.0 },
+            ..FailureConfig::default()
+        };
+        assert!(link_failures(&topo, &field, &lenient).len()
+            <= link_failures(&topo, &field, &strict).len());
+        assert!(!link_failures(&topo, &field, &strict).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Weather impairment analysis for microwave links (§6.1).
+//!
+//! Precipitation attenuates microwave signals. The paper treats the effect in
+//! a binary way: if rain attenuation along a link exceeds the fade margin the
+//! link is considered failed for that interval, and traffic falls back to the
+//! shortest surviving route (any mix of microwave and fiber). Using a year of
+//! NASA precipitation data sampled in 30-minute intervals, the paper shows
+//! that 99th-percentile latencies are nearly identical to fair-weather
+//! latencies and even the worst intervals stay well below fiber latency
+//! (Fig. 7).
+//!
+//! This crate provides:
+//!
+//! * [`attenuation`] — the ITU-R P.838 specific-attenuation model
+//!   (`γ = k·Rᵅ` dB/km) with coefficients around the paper's 11 GHz band and
+//!   an effective-path-length correction.
+//! * [`storms`] — a seeded synthetic precipitation year: seasonally modulated
+//!   storm systems with spatially correlated rain fields, standing in for the
+//!   TRMM/GPM rasters (see `DESIGN.md` §1).
+//! * [`failures`] — per-interval link-outage computation for a designed
+//!   topology.
+//! * [`reroute`] — per-pair latency/stretch statistics across a year of
+//!   intervals (best / 99th percentile / worst / fiber-only), i.e. the data
+//!   behind Fig. 7.
+
+pub mod attenuation;
+pub mod failures;
+pub mod reroute;
+pub mod storms;
+
+pub use attenuation::{rain_attenuation_db, specific_attenuation_db_per_km};
+pub use failures::{link_failures, FailureConfig};
+pub use reroute::{weather_year_analysis, WeatherYearReport};
+pub use storms::{StormField, StormYear, StormYearConfig};

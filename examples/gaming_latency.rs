@@ -1,0 +1,62 @@
+//! What does a speed-of-light network buy online gaming?
+//!
+//! Combines the designed network's measured latency improvement with the
+//! paper's two gaming models: fat clients (state updates ride cISP directly)
+//! and thin clients (speculative frame streaming with the branch-selection
+//! message on cISP). Also prints the §8 value-per-GB argument for gaming.
+//!
+//! Run with: `cargo run --release --example gaming_latency`
+
+use cisp::apps::gaming::{fat_client_latency_ms, frame_time_ms, frame_time_sweep, GameModel};
+use cisp::apps::value::gaming_value;
+use cisp::core::scenario::{Scenario, ScenarioConfig};
+use cisp::geo::latency;
+
+fn main() {
+    // How much faster is the designed network than today's Internet between
+    // its sites? Today's Internet averages 3–4× c-latency; our designed
+    // miniature network gets within a few percent of c.
+    let scenario = Scenario::build(&ScenarioConfig::tiny_test());
+    let outcome = scenario.design(300.0);
+    let topo = &outcome.topology;
+    let internet_stretch = 3.4; // typical median inflation (paper §1)
+
+    println!("per-pair gaming RTTs between the four largest centers:");
+    let n = scenario.cities().len().min(4);
+    let model = GameModel::default();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let geo_km = topo.geodesic_km(i, j);
+            let internet_rtt = latency::rtt_ms(latency::c_latency_ms(geo_km)) * internet_stretch;
+            let cisp_rtt = latency::rtt_ms(topo.latency_ms(i, j));
+            println!(
+                "  {:<14} ↔ {:<14} Internet RTT {:>6.1} ms → cISP RTT {:>5.1} ms | fat-client input lag {:>5.1} ms, thin-client frame {:>6.1} ms",
+                scenario.cities()[i].name,
+                scenario.cities()[j].name,
+                internet_rtt,
+                cisp_rtt,
+                fat_client_latency_ms(internet_rtt, true, cisp_rtt / internet_rtt),
+                frame_time_ms(
+                    &GameModel {
+                        lowlat_rtt_fraction: cisp_rtt / internet_rtt,
+                        ..model
+                    },
+                    internet_rtt
+                ),
+            );
+        }
+    }
+
+    println!("\nframe-time sweep (Fig. 12 shape), processing = {} ms:", model.processing_ms);
+    for (rtt, conventional, augmented) in frame_time_sweep(&model, 300.0, 75.0) {
+        println!(
+            "  conventional RTT {rtt:>5.0} ms: frame {conventional:>6.1} ms → {augmented:>6.1} ms with augmentation"
+        );
+    }
+
+    let value = gaming_value();
+    println!(
+        "\nvalue argument: gamers already pay the equivalent of ${:.2}–${:.2} per GB for latency (vs a network cost of well under $1/GB)",
+        value.low_usd_per_gb, value.high_usd_per_gb
+    );
+}

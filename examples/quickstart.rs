@@ -1,0 +1,67 @@
+//! Quickstart: design a small speed-of-light network end to end.
+//!
+//! Builds the miniature south-central-US scenario (a dozen population
+//! centers, synthetic towers and fiber), designs a hybrid microwave + fiber
+//! network under a 300-tower budget, provisions it for 20 Gbps and prints the
+//! headline numbers: mean stretch, per-pair latencies, and cost per GB.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cisp::core::cost::CostModel;
+use cisp::core::scenario::{Scenario, ScenarioConfig};
+use cisp::geo::latency;
+
+fn main() {
+    println!("building the miniature US scenario…");
+    let scenario = Scenario::build(&ScenarioConfig::tiny_test());
+    println!(
+        "  {} population centers, {} towers, {} candidate MW links",
+        scenario.cities().len(),
+        scenario.towers().len(),
+        scenario.design_input().candidates.len()
+    );
+
+    let budget = 300.0;
+    println!("designing with a budget of {budget} towers…");
+    let outcome = scenario.design(budget);
+    println!(
+        "  built {} MW links using {} towers, mean stretch {:.3} (fiber-only would be {:.2})",
+        outcome.selected.len(),
+        outcome.total_towers,
+        outcome.mean_stretch,
+        scenario.design_input().empty_topology().mean_stretch()
+    );
+
+    println!("\nlatency between the five largest centers (one-way, ms):");
+    let topo = &outcome.topology;
+    let n = scenario.cities().len().min(5);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &scenario.cities()[i];
+            let b = &scenario.cities()[j];
+            let achieved = topo.latency_ms(i, j);
+            let ideal = latency::c_latency_ms(topo.geodesic_km(i, j));
+            println!(
+                "  {:<14} ↔ {:<14}  {:>6.2} ms  (c-latency {:>5.2} ms, stretch {:.2})",
+                a.name,
+                b.name,
+                achieved,
+                ideal,
+                topo.stretch(i, j)
+            );
+        }
+    }
+
+    let provisioned = scenario.provision(&outcome, 20.0, &CostModel::default());
+    println!(
+        "\nprovisioned for 20 Gbps: {} hop installations, {} new towers, ${:.2} per GB",
+        provisioned
+            .augmentation
+            .links
+            .iter()
+            .map(|l| l.series)
+            .sum::<usize>(),
+        provisioned.augmentation.inventory(topo).new_towers_built,
+        provisioned.cost_per_gb
+    );
+}

@@ -1,0 +1,72 @@
+//! Design a US-wide low-latency backbone (a reduced version of the paper's
+//! Fig. 3 network) and inspect it.
+//!
+//! Uses the 40 most populous US centers, synthetic towers across the
+//! contiguous US, and a 1 200-tower budget, then reports the built links, how
+//! the stretch improved over a fiber-only network, and the cost structure at
+//! 100 Gbps. Pass `--full` to run at the paper's full 120-center scale
+//! (slower).
+//!
+//! Run with: `cargo run --release --example us_backbone`
+
+use cisp::core::cost::CostModel;
+use cisp::core::scenario::{Scenario, ScenarioConfig};
+use cisp::data::towers::TowerRegistryConfig;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut config = ScenarioConfig::us_paper(42);
+    if !full {
+        config.max_sites = Some(40);
+        config.towers = TowerRegistryConfig {
+            raw_count: 5_000,
+            ..TowerRegistryConfig::default()
+        };
+    }
+    let budget = if full { 3_000.0 } else { 1_200.0 };
+
+    println!("building the US scenario (this assesses every tower pair's line of sight)…");
+    let scenario = Scenario::build(&config);
+    println!(
+        "  {} centers, {} usable towers, {} candidate city-city MW links",
+        scenario.cities().len(),
+        scenario.towers().len(),
+        scenario.design_input().candidates.len()
+    );
+
+    let fiber_only = scenario.design_input().empty_topology().mean_stretch();
+    let outcome = scenario.design(budget);
+    println!(
+        "\ndesigned with {budget} towers: mean stretch {:.3} (fiber-only {:.2})",
+        outcome.mean_stretch, fiber_only
+    );
+
+    println!("\nthe ten longest built microwave links:");
+    let mut links: Vec<_> = outcome.topology.mw_links().to_vec();
+    links.sort_by(|a, b| b.mw_length_km.partial_cmp(&a.mw_length_km).unwrap());
+    for link in links.iter().take(10) {
+        println!(
+            "  {:<16} ↔ {:<16} {:>6.0} km over {:>3} towers",
+            scenario.cities()[link.site_a].name,
+            scenario.cities()[link.site_b].name,
+            link.mw_length_km,
+            link.tower_count
+        );
+    }
+
+    let cost_model = CostModel::default();
+    for gbps in [10.0, 100.0] {
+        let provisioned = scenario.provision(&outcome, gbps, &cost_model);
+        let hist = provisioned.augmentation.extra_series_histogram();
+        println!(
+            "\nat {gbps:>5.0} Gbps: cost ${:.2}/GB, links by extra parallel series {:?}",
+            provisioned.cost_per_gb, hist
+        );
+        println!(
+            "  capex ${:.1} M radios + ${:.1} M new towers, opex ${:.1} M rent over 5 years",
+            provisioned.breakdown.radio_capex_usd / 1e6,
+            provisioned.breakdown.tower_capex_usd / 1e6,
+            provisioned.breakdown.rent_opex_usd / 1e6
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! geodesic geometry, Fresnel clearance, the distance-matrix update used by
+//! the designer, the traffic-matrix algebra, the LP/MILP solver, and the
+//! packet-level link model.
+
+use cisp::core::links::CandidateLink;
+use cisp::core::topology::{improve_with_link, HybridTopology};
+use cisp::geo::{fresnel, geodesic, latency, GeoPoint};
+use cisp::lp::model::{Problem, VarKind};
+use cisp::lp::simplex::solve_lp;
+use cisp::netsim::network::{LinkSpec, Network, Transmit};
+use cisp::traffic::matrix::TrafficMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a latitude/longitude pair well inside the contiguous US, so the
+/// geometric properties are tested on the domain the pipeline actually uses.
+fn us_point() -> impl Strategy<Value = GeoPoint> {
+    (26.0..48.0f64, -123.0..-68.0f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn geodesic_symmetry_and_nonnegativity(a in us_point(), b in us_point()) {
+        let d_ab = geodesic::distance_km(a, b);
+        let d_ba = geodesic::distance_km(b, a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geodesic_triangle_inequality(a in us_point(), b in us_point(), c in us_point()) {
+        let ab = geodesic::distance_km(a, b);
+        let bc = geodesic::distance_km(b, c);
+        let ac = geodesic::distance_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn intermediate_points_lie_on_the_segment(a in us_point(), b in us_point(), f in 0.0..1.0f64) {
+        let p = geodesic::intermediate(a, b, f);
+        let d = geodesic::distance_km(a, p) + geodesic::distance_km(p, b);
+        prop_assert!((d - geodesic::distance_km(a, b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_distance_roundtrip(a in us_point(), bearing in 0.0..360.0f64, dist in 1.0..500.0f64) {
+        let p = geodesic::destination(a, bearing, dist);
+        prop_assert!((geodesic::distance_km(a, p) - dist).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fresnel_radius_peaks_at_midpoint(hop in 5.0..100.0f64, frac in 0.05..0.95f64, freq in 6.0..18.0f64) {
+        let d1 = hop * frac;
+        let r = fresnel::fresnel_radius_m(d1, hop - d1, freq);
+        let mid = fresnel::fresnel_radius_midpoint_m(hop, freq);
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= mid + 1e-9);
+    }
+
+    #[test]
+    fn earth_bulge_monotone_in_hop_length(short in 5.0..50.0f64, extra in 1.0..50.0f64, k in 1.0..1.6f64) {
+        let b_short = fresnel::earth_bulge_midpoint_m(short, k);
+        let b_long = fresnel::earth_bulge_midpoint_m(short + extra, k);
+        prop_assert!(b_long > b_short);
+    }
+
+    #[test]
+    fn stretch_is_scale_invariant(d in 10.0..5000.0f64, factor in 1.0..4.0f64) {
+        let s = latency::stretch(latency::c_latency_ms(d * factor), d);
+        prop_assert!((s - factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improve_with_link_never_increases_distances(
+        n in 3usize..8,
+        i in 0usize..8,
+        j in 0usize..8,
+        length in 1.0..2000.0f64,
+        seed in 0u64..1000,
+    ) {
+        let n = n.max(3);
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        // Build a random metric-ish matrix from points on a line with noise.
+        let positions: Vec<f64> = (0..n).map(|k| {
+            let h = (seed.wrapping_mul(k as u64 + 1)).wrapping_mul(0x9E3779B97F4A7C15);
+            (h >> 40) as f64 / 1e4 + k as f64 * 200.0
+        }).collect();
+        let mut matrix: Vec<Vec<f64>> = (0..n)
+            .map(|a| (0..n).map(|b| (positions[a] - positions[b]).abs() * 1.9).collect())
+            .collect();
+        let before = matrix.clone();
+        improve_with_link(&mut matrix, i, j, length);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert!(matrix[a][b] <= before[a][b] + 1e-9);
+            }
+        }
+        // The directly connected pair is at most the link length.
+        prop_assert!(matrix[i][j] <= length + 1e-9);
+    }
+
+    #[test]
+    fn adding_links_never_hurts_mean_stretch(
+        seed in 0u64..500,
+        mw_factor in 1.0..1.5f64,
+    ) {
+        // Four sites roughly on a line across the plains.
+        let sites: Vec<GeoPoint> = (0..4)
+            .map(|k| GeoPoint::new(38.0 + (seed % 3) as f64, -104.0 + k as f64 * 3.0))
+            .collect();
+        let traffic: Vec<Vec<f64>> = (0..4)
+            .map(|a| (0..4).map(|b| if a == b { 0.0 } else { 1.0 }).collect())
+            .collect();
+        let fiber: Vec<Vec<f64>> = (0..4)
+            .map(|a| (0..4).map(|b| geodesic::distance_km(sites[a], sites[b]) * 2.0).collect())
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        let mut last = topo.mean_stretch();
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (0, 3)] {
+            let geo = geodesic::distance_km(sites[a], sites[b]);
+            topo.add_mw_link(CandidateLink {
+                site_a: a,
+                site_b: b,
+                mw_length_km: geo * mw_factor,
+                tower_count: 3,
+                tower_path: vec![0, 1, 2],
+            });
+            let now = topo.mean_stretch();
+            prop_assert!(now <= last + 1e-9);
+            prop_assert!(now >= 1.0 - 1e-9);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn traffic_matrix_scaling_preserves_total(
+        w01 in 0.0..10.0f64, w02 in 0.0..10.0f64, w12 in 0.0..10.0f64, target in 1.0..500.0f64
+    ) {
+        prop_assume!(w01 + w02 + w12 > 0.01);
+        let m = TrafficMatrix::from_matrix(vec![
+            vec![0.0, w01, w02],
+            vec![w01, 0.0, w12],
+            vec![w02, w12, 0.0],
+        ]);
+        let scaled = m.scaled_to_gbps(target);
+        let total = scaled[0][1] + scaled[0][2] + scaled[1][2];
+        prop_assert!((total - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_solutions_are_feasible(c0 in -5.0..5.0f64, c1 in -5.0..5.0f64, rhs in 1.0..20.0f64) {
+        // minimise c0·x + c1·y subject to x + y ≤ rhs, x ≤ 10, y ≤ 10.
+        let mut p = Problem::minimize();
+        let x = p.add_bounded_var("x", VarKind::Continuous, c0, 10.0);
+        let y = p.add_bounded_var("y", VarKind::Continuous, c1, 10.0);
+        p.add_le(vec![(x, 1.0), (y, 1.0)], rhs);
+        let sol = solve_lp(&p).unwrap();
+        prop_assert!(p.is_feasible(&sol.values, 1e-6));
+        // The optimum is never worse than the origin (objective 0).
+        prop_assert!(sol.objective <= 1e-9);
+    }
+
+    #[test]
+    fn link_transmission_conserves_packets(offered in 1usize..200, rate_mbps in 1.0..1000.0f64) {
+        let mut net = Network::new(2);
+        let link = net.add_link(LinkSpec {
+            from: 0,
+            to: 1,
+            rate_bps: rate_mbps * 1e6,
+            propagation_s: 0.001,
+            buffer_bytes: 30_000.0,
+        });
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for k in 0..offered {
+            match net.transmit(link, k as f64 * 1e-4, 1000.0) {
+                Transmit::Delivered { arrival, queue_delay } => {
+                    prop_assert!(arrival > k as f64 * 1e-4);
+                    prop_assert!(queue_delay >= 0.0);
+                    delivered += 1;
+                }
+                Transmit::Dropped => dropped += 1,
+            }
+        }
+        prop_assert_eq!(delivered + dropped, offered as u64);
+        prop_assert_eq!(net.link_state(link).packets_forwarded, delivered);
+        prop_assert_eq!(net.link_state(link).packets_dropped, dropped);
+    }
+}

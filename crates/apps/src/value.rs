@@ -68,7 +68,7 @@ pub fn ecommerce_value() -> ValueEstimate {
     // Conversion-rate sensitivity per 100 ms: 1 %–7 % of profit.
     let low_gain = profit_per_year * 0.01 * 2.0; // 200 ms at 1 %/100 ms
     let high_gain = profit_per_year * 0.07 * 2.0 * 0.5; // 7 %/100ms, desktop+mobile blend
-    // Only ~10 % of the bytes need the fast path.
+                                                        // Only ~10 % of the bytes need the fast path.
     let gb_over_cisp = traffic_pb_per_year * 1e6 * 0.10;
     ValueEstimate {
         setting: "E-commerce".to_string(),
@@ -124,7 +124,11 @@ mod tests {
     fn ecommerce_value_matches_paper_band() {
         // Paper: $3.26–$22.82 per GB.
         let v = ecommerce_value();
-        assert!(v.low_usd_per_gb > 1.0 && v.low_usd_per_gb < 8.0, "low {}", v.low_usd_per_gb);
+        assert!(
+            v.low_usd_per_gb > 1.0 && v.low_usd_per_gb < 8.0,
+            "low {}",
+            v.low_usd_per_gb
+        );
         assert!(
             v.high_usd_per_gb > 8.0 && v.high_usd_per_gb < 40.0,
             "high {}",
@@ -136,7 +140,11 @@ mod tests {
     fn gaming_value_matches_paper_band() {
         // Paper: at least $3.7 per GB.
         let v = gaming_value();
-        assert!(v.low_usd_per_gb > 2.5 && v.low_usd_per_gb < 6.0, "low {}", v.low_usd_per_gb);
+        assert!(
+            v.low_usd_per_gb > 2.5 && v.low_usd_per_gb < 6.0,
+            "low {}",
+            v.low_usd_per_gb
+        );
         assert!(v.high_usd_per_gb > v.low_usd_per_gb);
     }
 

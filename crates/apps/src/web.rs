@@ -170,7 +170,11 @@ pub fn replay(corpus: &PageCorpus, scenario: ReplayScenario) -> WebReplayReport 
         // Completion time of each dependency level.
         let mut level_done = vec![0.0f64; max_depth + 2];
         for depth in 0..=max_depth {
-            let start = if depth == 0 { 0.0 } else { level_done[depth - 1] };
+            let start = if depth == 0 {
+                0.0
+            } else {
+                level_done[depth - 1]
+            };
             let mut level_finish = start;
             for obj in page.objects.iter().filter(|o| o.depth == depth) {
                 // Request (~600 B) travels client→server, response is the

@@ -10,9 +10,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use cisp_bench::all_pairs_candidates;
 use cisp_core::design::{DesignConfig, DesignInput, Designer, GreedyScore};
-use cisp_core::links::CandidateLink;
 use cisp_geo::{geodesic, GeoPoint};
+use cisp_graph::DistMatrix;
 
 fn synthetic_input(n: usize) -> DesignInput {
     let sites: Vec<GeoPoint> = (0..n)
@@ -23,34 +24,15 @@ fn synthetic_input(n: usize) -> DesignInput {
             )
         })
         .collect();
-    let traffic: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| if i == j { 0.0 } else { 1.0 + ((i + j) % 5) as f64 })
-                .collect()
-        })
-        .collect();
-    let fiber_km: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
-                .collect()
-        })
-        .collect();
-    let mut candidates = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let geo = geodesic::distance_km(sites[i], sites[j]);
-            let towers = ((geo / 70.0).ceil() as usize).max(1);
-            candidates.push(CandidateLink {
-                site_a: i,
-                site_b: j,
-                mw_length_km: geo * 1.05,
-                tower_count: towers,
-                tower_path: (0..towers).collect(),
-            });
+    let traffic = DistMatrix::from_fn(n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            1.0 + ((i + j) % 5) as f64
         }
-    }
+    });
+    let fiber_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 1.9);
+    let candidates = all_pairs_candidates(&sites, 1.05, 70.0);
     DesignInput {
         sites,
         traffic,

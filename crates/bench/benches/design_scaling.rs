@@ -5,10 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use cisp_bench::all_pairs_candidates;
 use cisp_core::design::{DesignInput, Designer};
 use cisp_core::ilp::exact_subset_search;
-use cisp_core::links::CandidateLink;
 use cisp_geo::{geodesic, GeoPoint};
+use cisp_graph::DistMatrix;
 
 /// A synthetic design input with `n` sites scattered over the central US.
 fn synthetic_input(n: usize) -> DesignInput {
@@ -20,30 +21,9 @@ fn synthetic_input(n: usize) -> DesignInput {
             )
         })
         .collect();
-    let traffic: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
-        .collect();
-    let fiber_km: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
-                .collect()
-        })
-        .collect();
-    let mut candidates = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let geo = geodesic::distance_km(sites[i], sites[j]);
-            let towers = ((geo / 70.0).ceil() as usize).max(1);
-            candidates.push(CandidateLink {
-                site_a: i,
-                site_b: j,
-                mw_length_km: geo * 1.05,
-                tower_count: towers,
-                tower_path: (0..towers).collect(),
-            });
-        }
-    }
+    let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+    let fiber_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 1.9);
+    let candidates = all_pairs_candidates(&sites, 1.05, 70.0);
     DesignInput {
         sites,
         traffic,

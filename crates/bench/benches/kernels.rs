@@ -2,12 +2,14 @@
 //! on: geodesic math, Fresnel/LOS profile evaluation, terrain sampling,
 //! Dijkstra over the tower graph, and the simplex solver.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use cisp_bench::all_pairs_candidates;
+use cisp_core::design::{score_candidates, DesignInput};
 use cisp_data::cities::us_top_cities;
 use cisp_data::towers::{TowerRegistry, TowerRegistryConfig};
 use cisp_geo::{fresnel, geodesic, GeoPoint};
-use cisp_graph::{dijkstra, Graph};
+use cisp_graph::{dijkstra, DistMatrix, Graph};
 use cisp_lp::model::{Problem, VarKind};
 use cisp_lp::simplex::solve_lp;
 use cisp_terrain::{clutter::ClutterModel, profile, TerrainModel};
@@ -85,7 +87,13 @@ fn bench_simplex(c: &mut Criterion) {
     // A 20-variable, 30-constraint random-ish LP.
     let mut p = Problem::minimize();
     let vars: Vec<_> = (0..20)
-        .map(|i| p.add_var(&format!("x{i}"), VarKind::Continuous, ((i % 7) as f64) - 3.0))
+        .map(|i| {
+            p.add_var(
+                &format!("x{i}"),
+                VarKind::Continuous,
+                ((i % 7) as f64) - 3.0,
+            )
+        })
         .collect();
     for k in 0..30 {
         let terms: Vec<_> = vars
@@ -104,12 +112,55 @@ fn bench_simplex(c: &mut Criterion) {
     });
 }
 
+/// A dense synthetic design input (`n` sites, all-pairs candidates) for the
+/// candidate-scoring kernel benchmarks.
+fn scoring_input(n: usize) -> DesignInput {
+    let sites: Vec<GeoPoint> = (0..n)
+        .map(|i| {
+            GeoPoint::new(
+                30.0 + ((i * 13) % 17) as f64,
+                -120.0 + ((i * 7) % 43) as f64 * 1.2,
+            )
+        })
+        .collect();
+    let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+    let fiber_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 2.0);
+    let candidates = all_pairs_candidates(&sites, 1.05, 60.0);
+    DesignInput {
+        sites,
+        traffic,
+        fiber_km,
+        candidates,
+    }
+}
+
+/// The greedy designer's inner loop: one O(n²) mean-stretch-with-link sweep
+/// per candidate, serial vs fanned out across cores. The parallel/serial
+/// ratio here is the speedup the design pipeline's scoring phases see.
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scoring");
+    group.sample_size(10);
+    for &n in &[30usize, 60, 90] {
+        let input = scoring_input(n);
+        let topology = input.empty_topology();
+        let pool = input.useful_candidates();
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| score_candidates(&topology, &input.candidates, black_box(&pool), false))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |b, _| {
+            b.iter(|| score_candidates(&topology, &input.candidates, black_box(&pool), true))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_geodesic,
     bench_los_profile,
     bench_tower_queries,
     bench_dijkstra,
-    bench_simplex
+    bench_simplex,
+    bench_candidate_scoring
 );
 criterion_main!(benches);

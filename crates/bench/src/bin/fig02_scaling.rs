@@ -38,17 +38,9 @@ fn main() {
         // Restrict the design input to the first n sites.
         let mut input = full_input.clone();
         input.sites.truncate(n);
-        input.traffic.truncate(n);
-        for row in &mut input.traffic {
-            row.truncate(n);
-        }
-        input.fiber_km.truncate(n);
-        for row in &mut input.fiber_km {
-            row.truncate(n);
-        }
-        input
-            .candidates
-            .retain(|l| l.site_a < n && l.site_b < n);
+        input.traffic = input.traffic.truncated(n);
+        input.fiber_km = input.fiber_km.truncated(n);
+        input.candidates.retain(|l| l.site_a < n && l.site_b < n);
 
         let budget = 25.0 * n as f64; // budget proportional to city count
 

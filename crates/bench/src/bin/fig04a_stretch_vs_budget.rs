@@ -35,6 +35,9 @@ fn main() {
                 .iter()
                 .map(|s| (s.cumulative_towers as f64, s.mean_stretch)),
         );
-        print_series(&format!("stretch vs budget, {range_km:.0} km hops"), &points);
+        print_series(
+            &format!("stretch vs budget, {range_km:.0} km hops"),
+            &points,
+        );
     }
 }

@@ -42,8 +42,12 @@ fn main() {
     // Rebuild the tower+site graph (the scenario's own parameters).
     let terrain = TerrainModel::united_states(scenario.config().seed);
     let clutter = ClutterModel::with_seed(scenario.config().seed);
-    let feasibility =
-        HopFeasibility::new(scenario.towers(), &terrain, &clutter, scenario.config().hops);
+    let feasibility = HopFeasibility::new(
+        scenario.towers(),
+        &terrain,
+        &clutter,
+        scenario.config().hops,
+    );
     let hops = feasibility.all_feasible_hops();
     let builder = LinkBuilder::new(
         &input.sites,

@@ -59,7 +59,10 @@ fn main() {
         } else {
             format!("gamma = {gamma}")
         };
-        print_series(&format!("mean delay (ms) vs load %, {label}"), &delay_points);
+        print_series(
+            &format!("mean delay (ms) vs load %, {label}"),
+            &delay_points,
+        );
         print_series(&format!("loss (%) vs load %, {label}"), &loss_points);
     }
 }

@@ -10,6 +10,9 @@
 use cisp_bench::{fmt, print_table, Scale};
 use cisp_netsim::tcp::{run_speed_mismatch, SpeedMismatchConfig};
 
+/// Builds a scenario configuration from a seed.
+type CaseBuilder = Box<dyn Fn(u64) -> SpeedMismatchConfig>;
+
 fn main() {
     let scale = Scale::from_args();
     println!("# Fig. 6 reproduction — scale: {}", scale.label());
@@ -20,7 +23,7 @@ fn main() {
         Scale::Full => (100, 10.0),
     };
 
-    let cases: Vec<(&str, Box<dyn Fn(u64) -> SpeedMismatchConfig>)> = vec![
+    let cases: Vec<(&str, CaseBuilder)> = vec![
         (
             "100M edge",
             Box::new(move |seed| SpeedMismatchConfig {

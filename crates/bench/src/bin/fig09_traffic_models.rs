@@ -85,8 +85,8 @@ fn main() {
 
     for (label, traffic) in [
         ("City-City", city_city),
-        ("DC-DC", dc_dc),
-        ("City-DC", city_dc),
+        ("DC-DC", dc_dc.into()),
+        ("City-DC", city_dc.into()),
     ] {
         let input = DesignInput {
             sites: base_input.sites.clone(),

@@ -11,14 +11,16 @@ use cisp_core::design::{DesignInput, Designer};
 use cisp_core::scenario::population_product_traffic;
 use cisp_data::datacenters::google_us_datacenters;
 use cisp_geo::geodesic;
+use cisp_graph::DistMatrix;
 use cisp_netsim::sim::{SimConfig, Simulation};
+use cisp_traffic::matrix::TrafficMatrix;
 
 /// Build the three component matrices over the scenario's sites, using the
 /// population centers closest to the six Google DCs as DC proxies.
 fn component_matrices(
     cities: &[cisp_data::cities::City],
     sites: &[cisp_geo::GeoPoint],
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+) -> (TrafficMatrix, TrafficMatrix, TrafficMatrix) {
     let n = sites.len();
     let dcs: Vec<usize> = google_us_datacenters()
         .iter()
@@ -32,16 +34,16 @@ fn component_matrices(
                 .unwrap()
         })
         .collect();
-    let city_city = population_product_traffic(cities);
-    let mut dc_dc = vec![vec![0.0; n]; n];
+    let city_city = TrafficMatrix::from_dist_matrix(population_product_traffic(cities));
+    let mut dc_dc = DistMatrix::zeros(n);
     for &a in &dcs {
         for &b in &dcs {
             if a != b {
-                dc_dc[a][b] = 1.0;
+                dc_dc.set(a, b, 1.0);
             }
         }
     }
-    let mut city_dc = vec![vec![0.0; n]; n];
+    let mut city_dc = DistMatrix::zeros(n);
     for i in 0..n {
         let closest = *dcs
             .iter()
@@ -52,34 +54,22 @@ fn component_matrices(
             })
             .unwrap();
         if closest != i {
-            city_dc[i][closest] += cities[i].population as f64;
-            city_dc[closest][i] += cities[i].population as f64;
+            let pop = cities[i].population as f64;
+            city_dc.set(i, closest, city_dc.get(i, closest) + pop);
+            city_dc.set(closest, i, city_dc.get(closest, i) + pop);
         }
     }
-    (city_city, city_dc, dc_dc)
+    (
+        city_city,
+        TrafficMatrix::from_dist_matrix(city_dc),
+        TrafficMatrix::from_dist_matrix(dc_dc),
+    )
 }
 
-/// Combine components with the given shares, each component normalised to
-/// unit total first.
-fn mix(components: &[(f64, &Vec<Vec<f64>>)]) -> Vec<Vec<f64>> {
-    let n = components[0].1.len();
-    let mut out = vec![vec![0.0; n]; n];
-    let share_total: f64 = components.iter().map(|(s, _)| s).sum();
-    for (share, m) in components {
-        let total: f64 = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .map(|(i, j)| m[i][j])
-            .sum();
-        if total <= 0.0 {
-            continue;
-        }
-        for i in 0..n {
-            for j in 0..n {
-                out[i][j] += m[i][j] / total * share / share_total;
-            }
-        }
-    }
-    out
+/// Combine components with the given shares via the shared traffic engine
+/// (each component is normalised to unit total before weighting).
+fn mix(components: &[(f64, &TrafficMatrix)]) -> DistMatrix {
+    TrafficMatrix::mix(components).into_matrix()
 }
 
 fn main() {
@@ -112,7 +102,7 @@ fn main() {
     };
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
 
-    let offered_mixes: Vec<(&str, Vec<Vec<f64>>)> = vec![
+    let offered_mixes: Vec<(&str, DistMatrix)> = vec![
         ("4:3:3", mix(&[(4.0, &cc), (3.0, &cdc), (3.0, &dcdc)])),
         ("5:3:3", mix(&[(5.0, &cc), (3.0, &cdc), (3.0, &dcdc)])),
         ("4:3:4", mix(&[(4.0, &cc), (3.0, &cdc), (4.0, &dcdc)])),
@@ -138,7 +128,10 @@ fn main() {
             delay_points.push((load * 100.0, report.mean_delay_ms));
             loss_points.push((load * 100.0, report.loss_rate * 100.0));
         }
-        print_series(&format!("mean delay (ms) vs load %, mix {label}"), &delay_points);
+        print_series(
+            &format!("mean delay (ms) vs load %, mix {label}"),
+            &delay_points,
+        );
         print_series(&format!("loss (%) vs load %, mix {label}"), &loss_points);
     }
 }

@@ -21,6 +21,9 @@ fn main() {
 
     let conventional: Vec<(f64, f64)> = rows.iter().map(|&(r, c, _)| (r, c)).collect();
     let augmented: Vec<(f64, f64)> = rows.iter().map(|&(r, _, a)| (r, a)).collect();
-    print_series("frame time (ms), conventional connectivity only", &conventional);
+    print_series(
+        "frame time (ms), conventional connectivity only",
+        &conventional,
+    );
     print_series("frame time (ms), with low-latency augmentation", &augmented);
 }

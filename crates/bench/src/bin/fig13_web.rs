@@ -31,11 +31,7 @@ fn main() {
     let mut medians = Vec::new();
     for (label, scenario) in scenarios {
         let report = replay(&corpus, scenario);
-        let mut plt_ms: Vec<f64> = report
-            .page_load_times_s
-            .iter()
-            .map(|&s| s * 1e3)
-            .collect();
+        let mut plt_ms: Vec<f64> = report.page_load_times_s.iter().map(|&s| s * 1e3).collect();
         plt_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut obj_ms: Vec<f64> = report
             .object_load_times_s

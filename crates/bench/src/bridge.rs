@@ -10,6 +10,7 @@
 use cisp_core::augment::{augment_for_throughput, AugmentConfig};
 use cisp_core::topology::HybridTopology;
 use cisp_geo::units::SPEED_OF_LIGHT_KM_PER_S;
+use cisp_graph::DistMatrix;
 use cisp_netsim::network::{LinkSpec, Network};
 use cisp_netsim::routing::Demand;
 
@@ -30,13 +31,13 @@ const BUFFER_BYTES: f64 = 50_000.0;
 ///   so their sum is `load_fraction × design_aggregate_gbps`.
 pub fn build_simulation_inputs(
     topology: &HybridTopology,
-    offered_traffic: &[Vec<f64>],
+    offered_traffic: &DistMatrix,
     design_aggregate_gbps: f64,
     load_fraction: f64,
 ) -> (Network, Vec<Demand>) {
     assert!(load_fraction >= 0.0);
     let n = topology.num_sites();
-    assert_eq!(offered_traffic.len(), n);
+    assert_eq!(offered_traffic.n(), n);
 
     // Provision MW links for the design target.
     let augmentation =
@@ -73,18 +74,13 @@ pub fn build_simulation_inputs(
     }
 
     // Offered demands.
-    let mut total = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            total += offered_traffic[i][j];
-        }
-    }
+    let total = offered_traffic.upper_triangle_sum();
     assert!(total > 0.0, "offered traffic matrix is empty");
     let scale = design_aggregate_gbps * load_fraction / total;
     let mut demands = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let gbps = offered_traffic[i][j] * scale;
+            let gbps = offered_traffic.get(i, j) * scale;
             if gbps > 0.0 {
                 // Split the pair demand across both directions.
                 demands.push(Demand {

@@ -82,6 +82,33 @@ impl Scale {
     }
 }
 
+/// A direct microwave candidate for every site pair: latency-equivalent
+/// length `mw_factor ×` geodesic, costing one tower per `tower_span_km` of
+/// geodesic distance (minimum one). The synthetic design inputs used by the
+/// criterion benches all share this builder so the candidate format lives in
+/// one place.
+pub fn all_pairs_candidates(
+    sites: &[cisp_geo::GeoPoint],
+    mw_factor: f64,
+    tower_span_km: f64,
+) -> Vec<cisp_core::links::CandidateLink> {
+    let mut candidates = Vec::new();
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            let geo = cisp_geo::geodesic::distance_km(sites[i], sites[j]);
+            let towers = ((geo / tower_span_km).ceil() as usize).max(1);
+            candidates.push(cisp_core::links::CandidateLink {
+                site_a: i,
+                site_b: j,
+                mw_length_km: geo * mw_factor,
+                tower_count: towers,
+                tower_path: (0..towers).collect(),
+            });
+        }
+    }
+    candidates
+}
+
 /// The shared US scenario at a given scale and seed.
 pub fn us_scenario(scale: Scale, seed: u64) -> Scenario {
     let mut config = ScenarioConfig::us_paper(seed);

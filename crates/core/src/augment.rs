@@ -15,6 +15,7 @@
 
 use std::collections::HashSet;
 
+use cisp_graph::DistMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::cost::BuildInventory;
@@ -73,7 +74,12 @@ impl Augmentation {
     /// Histogram of links by number of extra series: `result[k]` is the number
     /// of links needing `k` additional series (Fig. 3's link classes).
     pub fn extra_series_histogram(&self) -> Vec<usize> {
-        let max_extra = self.links.iter().map(|l| l.extra_series()).max().unwrap_or(0);
+        let max_extra = self
+            .links
+            .iter()
+            .map(|l| l.extra_series())
+            .max()
+            .unwrap_or(0);
         let mut hist = vec![0usize; max_extra + 1];
         for l in &self.links {
             hist[l.extra_series()] += 1;
@@ -104,20 +110,18 @@ impl Augmentation {
 
 /// Scale a relative traffic matrix so that the sum over unordered pairs
 /// equals `aggregate_gbps`. Returns the per-pair demand matrix in Gbps.
-pub fn scale_traffic(traffic: &[Vec<f64>], aggregate_gbps: f64) -> Vec<Vec<f64>> {
+pub fn scale_traffic(traffic: &DistMatrix, aggregate_gbps: f64) -> DistMatrix {
     assert!(aggregate_gbps >= 0.0);
-    let n = traffic.len();
-    let mut total = 0.0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            total += traffic[i][j];
-        }
-    }
+    let total = traffic.upper_triangle_sum();
     assert!(total > 0.0, "traffic matrix has no positive entries");
     let factor = aggregate_gbps / total;
-    (0..n)
-        .map(|i| (0..n).map(|j| if i == j { 0.0 } else { traffic[i][j] * factor }).collect())
-        .collect()
+    DistMatrix::from_fn(traffic.n(), |i, j| {
+        if i == j {
+            0.0
+        } else {
+            traffic.get(i, j) * factor
+        }
+    })
 }
 
 /// Per-pair routing over the built topology: for every unordered pair, the
@@ -129,19 +133,19 @@ pub fn scale_traffic(traffic: &[Vec<f64>], aggregate_gbps: f64) -> Vec<Vec<f64>>
 /// aggregate parallel tower series into site-to-site links (§5).
 pub fn route_demands(
     topology: &HybridTopology,
-    demands_gbps: &[Vec<f64>],
+    demands_gbps: &DistMatrix,
     config: &AugmentConfig,
     aggregate_gbps: f64,
 ) -> Augmentation {
     let n = topology.num_sites();
-    assert_eq!(demands_gbps.len(), n);
+    assert_eq!(demands_gbps.n(), n);
 
     // Adjacency: (neighbor, length_km, Some(mw link index) or None for fiber).
     let mut adjacency: Vec<Vec<(usize, f64, Option<usize>)>> = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, neighbors) in adjacency.iter_mut().enumerate() {
         for j in 0..n {
             if i != j && topology.fiber_km(i, j).is_finite() {
-                adjacency[i].push((j, topology.fiber_km(i, j), None));
+                neighbors.push((j, topology.fiber_km(i, j), None));
             }
         }
     }
@@ -307,11 +311,11 @@ mod tests {
 
     #[test]
     fn scale_traffic_hits_aggregate() {
-        let traffic = vec![
+        let traffic = DistMatrix::from_nested(vec![
             vec![0.0, 1.0, 3.0],
             vec![1.0, 0.0, 1.0],
             vec![3.0, 1.0, 0.0],
-        ];
+        ]);
         let scaled = scale_traffic(&traffic, 100.0);
         let total: f64 = (0..3)
             .flat_map(|i| ((i + 1)..3).map(move |j| (i, j)))
@@ -343,7 +347,12 @@ mod tests {
         let aug = augment_for_throughput(&topo, 100.0, &AugmentConfig::default());
         for l in &aug.links {
             let k = l.series as f64;
-            assert!(k * k >= l.load_gbps - 1e-9, "k²={} < load {}", k * k, l.load_gbps);
+            assert!(
+                k * k >= l.load_gbps - 1e-9,
+                "k²={} < load {}",
+                k * k,
+                l.load_gbps
+            );
             assert!((k - 1.0) * (k - 1.0) < l.load_gbps || l.series == 1);
             assert!(l.capacity_gbps(&AugmentConfig::default()) >= l.load_gbps - 1e-9);
         }
@@ -427,6 +436,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn scale_traffic_rejects_all_zero_matrix() {
-        scale_traffic(&vec![vec![0.0; 3]; 3], 10.0);
+        scale_traffic(&DistMatrix::zeros(3), 10.0);
     }
 }

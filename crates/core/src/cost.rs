@@ -77,8 +77,7 @@ impl CostModel {
         let radio_capex_usd = inventory.hop_installations as f64 * self.hop_cost_1gbps_usd;
         let tower_capex_usd = inventory.new_towers_built as f64 * self.new_tower_cost_usd;
         let towers_rented = (inventory.existing_towers_used + inventory.new_towers_built) as f64;
-        let rent_opex_usd =
-            towers_rented * self.tower_rent_per_year_usd * self.amortization_years;
+        let rent_opex_usd = towers_rented * self.tower_rent_per_year_usd * self.amortization_years;
         CostBreakdown {
             radio_capex_usd,
             tower_capex_usd,
@@ -127,7 +126,10 @@ mod tests {
         assert_eq!(b.radio_capex_usd, 1_500_000.0);
         assert_eq!(b.tower_capex_usd, 200_000.0);
         assert_eq!(b.rent_opex_usd, 10.0 * 37_500.0 * 5.0);
-        assert_eq!(b.total_usd(), b.radio_capex_usd + b.tower_capex_usd + b.rent_opex_usd);
+        assert_eq!(
+            b.total_usd(),
+            b.radio_capex_usd + b.tower_capex_usd + b.rent_opex_usd
+        );
     }
 
     #[test]

@@ -23,12 +23,27 @@
 //! a candidate MW link whose length is no better than the fiber distance
 //! between its endpoints can never improve any route and is dropped outright.
 //! This is exact, not an approximation.
+//!
+//! ## Parallelism and scratch buffers
+//!
+//! Candidate scoring — one O(n²) [`mean_stretch_with_link`] sweep per
+//! candidate — dominates design time and is embarrassingly parallel, so both
+//! the greedy's batch (re-)scoring and the swap polish's trial evaluation fan
+//! out across cores with `rayon` (see [`DesignConfig::parallel`]; results
+//! are bit-identical to the serial path because scoring never mutates and
+//! reductions are order-fixed). The swap polish additionally evaluates each
+//! trial against a reusable copy-on-write scratch matrix instead of
+//! rebuilding a full trial topology per `(out, in)` pair, turning each trial
+//! from "clone three matrices + recompute geodesics + k incremental updates"
+//! into one allocation-free scoring sweep.
 
 use cisp_geo::GeoPoint;
+use cisp_graph::DistMatrix;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::links::CandidateLink;
-use crate::topology::HybridTopology;
+use crate::topology::{improve_with_link, mean_stretch_with_link, HybridTopology};
 
 /// How the greedy scores a candidate link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +67,11 @@ pub struct DesignConfig {
     pub max_swap_passes: usize,
     /// Minimum mean-stretch gain for a link to be worth adding.
     pub min_gain: f64,
+    /// Fan candidate scoring out across cores. Scoring is read-only and the
+    /// reduction order is fixed, so parallel and serial runs select identical
+    /// designs; the flag exists for benchmarking and for debugging with a
+    /// deterministic single-threaded profile.
+    pub parallel: bool,
 }
 
 impl Default for DesignConfig {
@@ -61,6 +81,7 @@ impl Default for DesignConfig {
             pruning_budget_factor: 2.0,
             max_swap_passes: 3,
             min_gain: 1e-9,
+            parallel: true,
         }
     }
 }
@@ -84,9 +105,9 @@ pub struct DesignInput {
     /// Site locations.
     pub sites: Vec<GeoPoint>,
     /// Traffic weights `h_ij` (symmetric, zero diagonal).
-    pub traffic: Vec<Vec<f64>>,
+    pub traffic: DistMatrix,
     /// Latency-equivalent fiber distances `o_ij` (km, symmetric).
-    pub fiber_km: Vec<Vec<f64>>,
+    pub fiber_km: DistMatrix,
     /// Candidate direct MW links from step 1.
     pub candidates: Vec<CandidateLink>,
 }
@@ -94,7 +115,11 @@ pub struct DesignInput {
 impl DesignInput {
     /// A fresh topology with no MW links built.
     pub fn empty_topology(&self) -> HybridTopology {
-        HybridTopology::new(self.sites.clone(), self.traffic.clone(), self.fiber_km.clone())
+        HybridTopology::new(
+            self.sites.clone(),
+            self.traffic.clone(),
+            self.fiber_km.clone(),
+        )
     }
 
     /// Indices of candidates that survive the fiber-oracle elimination: the
@@ -104,7 +129,7 @@ impl DesignInput {
         self.candidates
             .iter()
             .enumerate()
-            .filter(|(_, l)| l.mw_length_km < self.fiber_km[l.site_a][l.site_b])
+            .filter(|(_, l)| l.mw_length_km < self.fiber_km.get(l.site_a, l.site_b))
             .map(|(i, _)| i)
             .collect()
     }
@@ -123,6 +148,56 @@ pub struct DesignOutcome {
     pub mean_stretch: f64,
     /// The greedy build-out history (empty for non-greedy methods).
     pub history: Vec<DesignStep>,
+}
+
+/// Score every candidate in `pool` against `topology`: the predicted mean
+/// stretch after adding each link, one O(n²) sweep per candidate. Runs the
+/// sweeps across cores when `parallel` is set; output order follows `pool`
+/// either way. Public so the kernel benchmarks can measure the serial vs
+/// parallel scorer on identical inputs.
+pub fn score_candidates(
+    topology: &HybridTopology,
+    candidates: &[CandidateLink],
+    pool: &[usize],
+    parallel: bool,
+) -> Vec<f64> {
+    score_pool_against(
+        topology.effective_matrix(),
+        topology.geodesic_matrix(),
+        topology.traffic(),
+        candidates,
+        pool,
+        parallel,
+    )
+}
+
+/// The one serial-vs-parallel scoring dispatch: predicted mean stretch of
+/// each `pool` candidate against explicit matrices (the cached topology
+/// matrices in the greedy, a scratch matrix in the swap polish).
+fn score_pool_against(
+    effective: &DistMatrix,
+    geodesic: &DistMatrix,
+    traffic: &DistMatrix,
+    candidates: &[CandidateLink],
+    pool: &[usize],
+    parallel: bool,
+) -> Vec<f64> {
+    let score_one = |&idx: &usize| {
+        let l = &candidates[idx];
+        mean_stretch_with_link(
+            effective,
+            geodesic,
+            traffic,
+            l.site_a,
+            l.site_b,
+            l.mw_length_km,
+        )
+    };
+    if parallel {
+        pool.par_iter().map(score_one).collect()
+    } else {
+        pool.iter().map(score_one).collect()
+    }
 }
 
 /// The topology designer.
@@ -150,6 +225,27 @@ impl<'a> Designer<'a> {
         }
     }
 
+    /// Score the whole pool against `topology` and return `(score, index)`
+    /// entries in pool order.
+    fn score_pool(
+        &self,
+        topology: &HybridTopology,
+        current_stretch: f64,
+        pool: &[usize],
+    ) -> Vec<(f64, usize)> {
+        score_candidates(topology, &self.input.candidates, pool, self.config.parallel)
+            .into_iter()
+            .zip(pool.iter().copied())
+            .map(|(with_link, idx)| {
+                let gain = current_stretch - with_link;
+                (
+                    self.score(gain, self.input.candidates[idx].tower_count),
+                    idx,
+                )
+            })
+            .collect()
+    }
+
     /// Greedy design over an explicit candidate pool (indices into the input
     /// candidate list), with lazy gain re-evaluation.
     fn greedy_over(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
@@ -159,15 +255,10 @@ impl<'a> Designer<'a> {
         let mut total_towers = 0usize;
         let mut current_stretch = topology.mean_stretch();
 
-        // (stale score, candidate index); refreshed lazily.
-        let mut queue: Vec<(f64, usize)> = pool
-            .iter()
-            .map(|&idx| {
-                let link = &self.input.candidates[idx];
-                let gain = current_stretch - topology.mean_stretch_with(link);
-                (self.score(gain, link.tower_count), idx)
-            })
-            .collect();
+        // (stale score, candidate index); refreshed lazily. The initial
+        // scoring of the whole pool is the designer's biggest single batch of
+        // O(n²) sweeps, so it fans out across cores.
+        let mut queue: Vec<(f64, usize)> = self.score_pool(&topology, current_stretch, pool);
 
         loop {
             // Sort stale scores descending (deterministic tie-break on index).
@@ -205,20 +296,10 @@ impl<'a> Designer<'a> {
                 // the next outer iteration.
             }
 
-            match chosen {
-                Some((pos, _gain, idx)) => {
-                    let link = self.input.candidates[idx].clone();
-                    total_towers += link.tower_count;
-                    topology.add_mw_link(link);
-                    current_stretch = topology.mean_stretch();
-                    selected.push(idx);
-                    history.push(DesignStep {
-                        candidate_index: idx,
-                        cumulative_towers: total_towers,
-                        mean_stretch: current_stretch,
-                    });
-                    queue.remove(pos);
-                }
+            // Resolve this iteration to one accepted (queue position,
+            // candidate) or stop.
+            let accepted: Option<(usize, usize)> = match chosen {
+                Some((pos, _gain, idx)) => Some((pos, idx)),
                 None => {
                     // No affordable candidate with fresh max score this pass;
                     // check whether any stale entry could still qualify.
@@ -231,13 +312,11 @@ impl<'a> Designer<'a> {
                         break;
                     }
                     // Re-sort happens at the top of the loop; to guarantee
-                    // progress, refresh every score once.
-                    for entry in queue.iter_mut() {
-                        let link = &self.input.candidates[entry.1];
-                        let gain = current_stretch - topology.mean_stretch_with(link);
-                        entry.0 = self.score(gain, link.tower_count);
-                    }
-                    let best = queue
+                    // progress, refresh every score once (in parallel — this
+                    // is a full batch of scoring sweeps).
+                    let remaining: Vec<usize> = queue.iter().map(|&(_, idx)| idx).collect();
+                    queue = self.score_pool(&topology, current_stretch, &remaining);
+                    queue
                         .iter()
                         .copied()
                         .filter(|&(score, idx)| {
@@ -245,25 +324,25 @@ impl<'a> Designer<'a> {
                                 && total_towers + self.input.candidates[idx].tower_count
                                     <= budget_towers.floor() as usize
                         })
-                        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
-                    match best {
-                        Some((_, idx)) => {
-                            let pos = queue.iter().position(|&(_, i)| i == idx).unwrap();
-                            let link = self.input.candidates[idx].clone();
-                            total_towers += link.tower_count;
-                            topology.add_mw_link(link);
-                            current_stretch = topology.mean_stretch();
-                            selected.push(idx);
-                            history.push(DesignStep {
-                                candidate_index: idx,
-                                cumulative_towers: total_towers,
-                                mean_stretch: current_stretch,
-                            });
-                            queue.remove(pos);
-                        }
-                        None => break,
-                    }
+                        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
+                        .map(|(_, idx)| (queue.iter().position(|&(_, i)| i == idx).unwrap(), idx))
                 }
+            };
+            match accepted {
+                Some((pos, idx)) => {
+                    let link = self.input.candidates[idx].clone();
+                    total_towers += link.tower_count;
+                    topology.add_mw_link(link);
+                    current_stretch = topology.mean_stretch();
+                    selected.push(idx);
+                    history.push(DesignStep {
+                        candidate_index: idx,
+                        cumulative_towers: total_towers,
+                        mean_stretch: current_stretch,
+                    });
+                    queue.remove(pos);
+                }
+                None => break,
             }
         }
 
@@ -299,48 +378,88 @@ impl<'a> Designer<'a> {
         outcome
     }
 
-    /// First-improvement swap local search: try replacing one selected link
-    /// with one unselected pool link if it lowers mean stretch within budget.
+    /// Swap local search: per pass, evaluate every budget-feasible
+    /// "replace one selected link with one unselected pool link" move and
+    /// apply the best improving one.
+    ///
+    /// For each `out` link, the effective matrix of the remaining selection
+    /// is rebuilt once into a reusable scratch buffer (copy-on-write from the
+    /// fiber matrix — no allocation after the first pass), and every `in`
+    /// candidate is then scored against that scratch with the allocation-free
+    /// one-link kernel, fanned out across cores. The seed implementation
+    /// rebuilt a full trial topology — three matrix clones plus an O(n²)
+    /// geodesic recomputation — per `(out, in)` pair.
     fn swap_polish(&self, outcome: &mut DesignOutcome, pool: &[usize], budget_towers: f64) {
         let budget = budget_towers.floor() as usize;
+        let geodesic = outcome.topology.geodesic_matrix().clone();
+        let mut scratch = outcome.topology.fiber_matrix().clone();
+
         for _ in 0..self.config.max_swap_passes {
-            let mut improved = false;
-            let selected_set: Vec<usize> = outcome.selected.clone();
-            for &out_idx in &selected_set {
-                for &in_idx in pool {
-                    if outcome.selected.contains(&in_idx) || in_idx == out_idx {
-                        continue;
-                    }
-                    let out_cost = self.input.candidates[out_idx].tower_count;
-                    let in_cost = self.input.candidates[in_idx].tower_count;
-                    if outcome.total_towers - out_cost + in_cost > budget {
-                        continue;
-                    }
-                    // Evaluate the swap by rebuilding a trial topology.
-                    let mut trial = self.input.empty_topology();
-                    for &idx in &outcome.selected {
-                        if idx != out_idx {
-                            trial.add_mw_link(self.input.candidates[idx].clone());
-                        }
-                    }
-                    trial.add_mw_link(self.input.candidates[in_idx].clone());
-                    let stretch = trial.mean_stretch();
-                    if stretch + 1e-12 < outcome.mean_stretch {
-                        outcome.selected.retain(|&i| i != out_idx);
-                        outcome.selected.push(in_idx);
-                        outcome.total_towers = outcome.total_towers - out_cost + in_cost;
-                        outcome.mean_stretch = stretch;
-                        outcome.topology = trial;
-                        improved = true;
-                        break;
+            // Best swap found this pass: (out_idx, in_idx, resulting stretch).
+            let mut best: Option<(usize, usize, f64)> = None;
+            let mut best_stretch = outcome.mean_stretch;
+
+            for &out_idx in &outcome.selected {
+                let out_cost = self.input.candidates[out_idx].tower_count;
+                let base_towers = outcome.total_towers - out_cost;
+
+                let trials: Vec<usize> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&in_idx| {
+                        in_idx != out_idx
+                            && !outcome.selected.contains(&in_idx)
+                            && base_towers + self.input.candidates[in_idx].tower_count <= budget
+                    })
+                    .collect();
+                if trials.is_empty() {
+                    continue;
+                }
+
+                // Effective matrix of the selection without `out_idx`.
+                scratch.copy_from(&self.input.fiber_km);
+                for &idx in &outcome.selected {
+                    if idx != out_idx {
+                        let l = &self.input.candidates[idx];
+                        improve_with_link(&mut scratch, l.site_a, l.site_b, l.mw_length_km);
                     }
                 }
-                if improved {
-                    break;
+
+                let stretches = score_pool_against(
+                    &scratch,
+                    &geodesic,
+                    &self.input.traffic,
+                    &self.input.candidates,
+                    &trials,
+                    self.config.parallel,
+                );
+
+                for (&in_idx, &stretch) in trials.iter().zip(&stretches) {
+                    if stretch + 1e-12 < best_stretch {
+                        best_stretch = stretch;
+                        best = Some((out_idx, in_idx, stretch));
+                    }
                 }
             }
-            if !improved {
-                break;
+
+            match best {
+                Some((out_idx, in_idx, _stretch)) => {
+                    let out_cost = self.input.candidates[out_idx].tower_count;
+                    let in_cost = self.input.candidates[in_idx].tower_count;
+                    outcome.selected.retain(|&i| i != out_idx);
+                    outcome.selected.push(in_idx);
+                    outcome.total_towers = outcome.total_towers - out_cost + in_cost;
+                    let mut topology = self.input.empty_topology();
+                    for &idx in &outcome.selected {
+                        topology.add_mw_link(self.input.candidates[idx].clone());
+                    }
+                    // Re-derive the stretch from the rebuilt topology so the
+                    // reported value is bit-identical to what
+                    // `topology.mean_stretch()` returns.
+                    outcome.mean_stretch = topology.mean_stretch();
+                    outcome.topology = topology;
+                }
+                None => break,
             }
         }
     }
@@ -358,16 +477,9 @@ mod tests {
         let sites: Vec<GeoPoint> = (0..n)
             .map(|i| GeoPoint::new(38.0 + (i % 3) as f64, -100.0 + i as f64 * 2.0))
             .collect();
-        let traffic: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
-            .collect();
-        let fiber_km: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 2.0)
-                    .collect()
-            })
-            .collect();
+        let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+        let fiber_km =
+            DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 2.0);
         let mut candidates = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
@@ -430,15 +542,20 @@ mod tests {
         let outcome = Designer::new(&input).greedy(10_000.0);
         // With every useful link built, every pair rides a 1.05× MW path (or
         // better, via concatenation).
-        assert!(outcome.mean_stretch <= 1.06, "stretch {}", outcome.mean_stretch);
+        assert!(
+            outcome.mean_stretch <= 1.06,
+            "stretch {}",
+            outcome.mean_stretch
+        );
     }
 
     #[test]
     fn oracle_removes_useless_candidates() {
         let mut input = synthetic_input(5);
         // Make one candidate worse than fiber; it must never be selected.
-        input.candidates[0].mw_length_km = input.fiber_km[input.candidates[0].site_a]
-            [input.candidates[0].site_b]
+        input.candidates[0].mw_length_km = input
+            .fiber_km
+            .get(input.candidates[0].site_a, input.candidates[0].site_b)
             * 1.1;
         let useful = input.useful_candidates();
         assert!(!useful.contains(&0));
@@ -496,6 +613,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_serial_scoring_select_identical_designs() {
+        let input = synthetic_input(9);
+        let parallel = Designer::with_config(
+            &input,
+            DesignConfig {
+                parallel: true,
+                ..DesignConfig::default()
+            },
+        )
+        .cisp(35.0);
+        let serial = Designer::with_config(
+            &input,
+            DesignConfig {
+                parallel: false,
+                ..DesignConfig::default()
+            },
+        )
+        .cisp(35.0);
+        assert_eq!(parallel.selected, serial.selected);
+        assert_eq!(parallel.total_towers, serial.total_towers);
+        assert!((parallel.mean_stretch - serial.mean_stretch).abs() < 1e-15);
+    }
+
+    #[test]
     fn selected_links_are_within_candidate_range_and_unique() {
         let input = synthetic_input(7);
         let outcome = Designer::new(&input).cisp(35.0);
@@ -512,5 +653,18 @@ mod tests {
             .sum();
         assert_eq!(cost, outcome.total_towers);
         assert!((outcome.topology.mean_stretch() - outcome.mean_stretch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_candidates_serial_and_parallel_agree() {
+        let input = synthetic_input(8);
+        let topology = input.empty_topology();
+        let pool = input.useful_candidates();
+        let serial = score_candidates(&topology, &input.candidates, &pool, false);
+        let parallel = score_candidates(&topology, &input.candidates, &pool, true);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert!((s - p).abs() == 0.0, "serial {s} vs parallel {p}");
+        }
     }
 }

@@ -121,8 +121,13 @@ impl<'a> HopFeasibility<'a> {
             + tb.height_m * self.config.usable_height_fraction;
 
         let n_samples = profile::samples_for_hop(length_km);
-        let obstacles =
-            profile::obstruction_profile(self.terrain, self.clutter, ta.location, tb.location, n_samples);
+        let obstacles = profile::obstruction_profile(
+            self.terrain,
+            self.clutter,
+            ta.location,
+            tb.location,
+            n_samples,
+        );
         let samples = fresnel::evaluate_profile(
             length_km,
             h_a,
@@ -191,10 +196,7 @@ mod tests {
     #[test]
     fn short_towers_cannot_span_long_hops() {
         // Two 60 m towers 90 km apart: Earth bulge (~156 m at K=1.3) blocks it.
-        let reg = registry(vec![
-            tower(40.0, -100.0, 60.0),
-            tower(40.0, -98.94, 60.0),
-        ]);
+        let reg = registry(vec![tower(40.0, -100.0, 60.0), tower(40.0, -98.94, 60.0)]);
         let terrain = TerrainModel::flat();
         let clutter = ClutterModel::none();
         let engine = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());
@@ -216,10 +218,7 @@ mod tests {
         // 128 km because the bulge (~320 m) exceeds the towers. Confirm the
         // range check is really what rejected the 100 km config by relaxing
         // range *and* raising towers.
-        let reg_tall = registry(vec![
-            tower(40.0, -100.0, 340.0),
-            tower(40.0, -98.5, 340.0),
-        ]);
+        let reg_tall = registry(vec![tower(40.0, -100.0, 340.0), tower(40.0, -98.5, 340.0)]);
         let cfg = HopConfig {
             max_range_km: 140.0,
             ..HopConfig::default()
@@ -239,12 +238,8 @@ mod tests {
         let clutter = ClutterModel::none();
         let full = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());
         assert!(full.assess_pair(0, 1).is_some());
-        let restricted = HopFeasibility::new(
-            &reg,
-            &terrain,
-            &clutter,
-            HopConfig::restricted(100.0, 0.45),
-        );
+        let restricted =
+            HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::restricted(100.0, 0.45));
         assert!(restricted.assess_pair(0, 1).is_none());
     }
 
@@ -264,10 +259,7 @@ mod tests {
     #[test]
     fn plains_hop_with_real_terrain_is_feasible() {
         // Kansas: gentle terrain, 150 m towers, 60 km hop.
-        let reg = registry(vec![
-            tower(38.5, -98.0, 150.0),
-            tower(38.5, -97.32, 150.0),
-        ]);
+        let reg = registry(vec![tower(38.5, -98.0, 150.0), tower(38.5, -97.32, 150.0)]);
         let terrain = TerrainModel::united_states(42);
         let clutter = ClutterModel::none();
         let engine = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());
@@ -276,10 +268,7 @@ mod tests {
 
     #[test]
     fn assess_pair_is_order_invariant() {
-        let reg = registry(vec![
-            tower(40.0, -100.0, 200.0),
-            tower(40.3, -99.3, 200.0),
-        ]);
+        let reg = registry(vec![tower(40.0, -100.0, 200.0), tower(40.3, -99.3, 200.0)]);
         let terrain = TerrainModel::flat();
         let clutter = ClutterModel::none();
         let engine = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());

@@ -94,7 +94,11 @@ impl IlpFormulation {
             .iter()
             .map(|&idx| {
                 let l = &input.candidates[idx];
-                problem.add_var(&format!("x_{}_{}", l.site_a, l.site_b), VarKind::Binary, 0.0)
+                problem.add_var(
+                    &format!("x_{}_{}", l.site_a, l.site_b),
+                    VarKind::Binary,
+                    0.0,
+                )
             })
             .collect();
 
@@ -108,14 +112,12 @@ impl IlpFormulation {
         );
 
         // Commodities: unordered pairs with positive traffic.
-        let mut commodities = Vec::new();
-        for s in 0..n {
-            for t in (s + 1)..n {
-                if input.traffic[s][t] > 0.0 {
-                    commodities.push((s, t));
-                }
-            }
-        }
+        let commodities: Vec<(usize, usize)> = input
+            .traffic
+            .upper_triangle()
+            .filter(|&(_, _, h)| h > 0.0)
+            .map(|(s, t, _)| (s, t))
+            .collect();
 
         let geodesic = |s: usize, t: usize| -> f64 {
             cisp_geo::geodesic::distance_km(input.sites[s], input.sites[t]).max(1e-6)
@@ -123,9 +125,9 @@ impl IlpFormulation {
 
         // Per-commodity flow variables and constraints.
         for &(s, t) in &commodities {
-            let h = input.traffic[s][t];
+            let h = input.traffic.get(s, t);
             let weight = h / geodesic(s, t);
-            let direct_fiber = input.fiber_km[s][t];
+            let direct_fiber = input.fiber_km.get(s, t);
 
             // Arc variable registry for this commodity:
             // (from, to, length, optional pool position for MW arcs).
@@ -288,6 +290,7 @@ pub fn exact_subset_search(
     let mut limit_hit = false;
 
     // Depth-first search with explicit stack: (depth, selection, cost).
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         input: &DesignInput,
         ordered: &[usize],
@@ -392,21 +395,15 @@ mod tests {
     use crate::design::Designer;
     use crate::links::CandidateLink;
     use cisp_geo::{geodesic, GeoPoint};
+    use cisp_graph::DistMatrix;
 
     fn synthetic_input(n: usize) -> DesignInput {
         let sites: Vec<GeoPoint> = (0..n)
             .map(|i| GeoPoint::new(37.0 + (i % 2) as f64 * 3.0, -105.0 + i as f64 * 3.0))
             .collect();
-        let traffic: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
-            .collect();
-        let fiber_km: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
-                    .collect()
-            })
-            .collect();
+        let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+        let fiber_km =
+            DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 1.9);
         let mut candidates = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {

@@ -222,7 +222,11 @@ mod tests {
         let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
         let link = builder.candidate_link(0, 1).expect("link should exist");
         let geo = geodesic::distance_km(sites[0], sites[1]);
-        assert!(link.stretch_over(geo) < 1.05, "stretch {}", link.stretch_over(geo));
+        assert!(
+            link.stretch_over(geo) < 1.05,
+            "stretch {}",
+            link.stretch_over(geo)
+        );
         assert!(link.tower_count >= 5, "towers {}", link.tower_count);
         assert_eq!(link.site_a, 0);
         assert_eq!(link.site_b, 1);

@@ -20,6 +20,7 @@ use cisp_data::{
     towers::{TowerRegistry, TowerRegistryConfig},
 };
 use cisp_geo::GeoPoint;
+use cisp_graph::DistMatrix;
 use cisp_terrain::{clutter::ClutterModel, TerrainModel};
 use serde::{Deserialize, Serialize};
 
@@ -151,10 +152,14 @@ impl Scenario {
         }
         assert!(cities.len() >= 2, "scenario needs at least two sites");
 
-        let bbox = config.site_bbox.unwrap_or_else(|| config.region.bounding_box());
+        let bbox = config
+            .site_bbox
+            .unwrap_or_else(|| config.region.bounding_box());
         let terrain = match (config.terrain, config.region) {
             (TerrainKind::Flat, _) => TerrainModel::flat(),
-            (TerrainKind::Regional, Region::UnitedStates) => TerrainModel::united_states(config.seed),
+            (TerrainKind::Regional, Region::UnitedStates) => {
+                TerrainModel::united_states(config.seed)
+            }
             (TerrainKind::Regional, Region::Europe) => TerrainModel::europe(config.seed),
         };
         let clutter = match config.terrain {
@@ -259,26 +264,19 @@ pub struct ProvisionedNetwork {
 
 /// The paper's default traffic model: `h_ij` proportional to the product of
 /// the populations of the two cities (§4).
-pub fn population_product_traffic(cities: &[City]) -> Vec<Vec<f64>> {
+pub fn population_product_traffic(cities: &[City]) -> DistMatrix {
     let n = cities.len();
     // Normalise by the maximum product so weights are in (0, 1].
-    let mut matrix = vec![vec![0.0; n]; n];
-    let mut max_product: f64 = 0.0;
-    for i in 0..n {
-        for j in 0..n {
-            if i != j {
-                let p = cities[i].population as f64 * cities[j].population as f64;
-                matrix[i][j] = p;
-                max_product = max_product.max(p);
-            }
+    let mut matrix = DistMatrix::from_fn(n, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            cities[i].population as f64 * cities[j].population as f64
         }
-    }
+    });
+    let max_product = matrix.max_value();
     if max_product > 0.0 {
-        for row in &mut matrix {
-            for v in row.iter_mut() {
-                *v /= max_product;
-            }
-        }
+        matrix.map_in_place(|v| v / max_product);
     }
     matrix
 }
@@ -364,7 +362,10 @@ mod tests {
     fn scenario_build_is_deterministic() {
         let a = tiny();
         let b = tiny();
-        assert_eq!(a.design_input().candidates.len(), b.design_input().candidates.len());
+        assert_eq!(
+            a.design_input().candidates.len(),
+            b.design_input().candidates.len()
+        );
         assert_eq!(a.towers().len(), b.towers().len());
         let da = a.design(200.0);
         let db = b.design(200.0);

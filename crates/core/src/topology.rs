@@ -8,6 +8,11 @@
 //! links — from which per-pair stretch and the traffic-weighted mean stretch
 //! (the design objective) follow.
 //!
+//! All matrices live in the flat row-major [`DistMatrix`] engine from
+//! `cisp_graph` — one contiguous allocation per matrix, slice-view rows, and
+//! a `memcpy`-refillable scratch representation — because these all-pairs
+//! sweeps are the design loop's hot path.
+//!
 //! The same incremental-update primitive the evaluation uses
 //! ([`improve_with_link`]) is what makes the greedy designer fast: adding a
 //! single edge to a metric-closed distance matrix can only reroute a pair
@@ -15,6 +20,7 @@
 //! D[s][i]+m+D[j][t], D[s][j]+m+D[i][t])` is exact.
 
 use cisp_geo::{geodesic, latency, GeoPoint};
+use cisp_graph::{BitSet, DistMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::links::CandidateLink;
@@ -24,26 +30,107 @@ use crate::links::CandidateLink;
 /// `matrix` must be symmetric and satisfy the triangle inequality (which the
 /// fiber matrix and every matrix produced by repeated application of this
 /// function do). Returns the number of pairs whose distance improved.
-pub fn improve_with_link(matrix: &mut [Vec<f64>], i: usize, j: usize, length: f64) -> usize {
-    let n = matrix.len();
+pub fn improve_with_link(matrix: &mut DistMatrix, i: usize, j: usize, length: f64) -> usize {
+    let n = matrix.n();
     assert!(i < n && j < n && i != j);
     assert!(length >= 0.0);
     let mut improved = 0;
+    let data = matrix.as_mut_slice();
+    let (row_i, row_j) = (i * n, j * n);
     for s in 0..n {
         // Pre-read column entries to avoid aliasing issues.
-        let d_si = matrix[s][i];
-        let d_sj = matrix[s][j];
+        let d_si = data[s * n + i];
+        let d_sj = data[s * n + j];
+        let row_s = s * n;
         for t in 0..n {
-            let via_ij = d_si + length + matrix[j][t];
-            let via_ji = d_sj + length + matrix[i][t];
+            let via_ij = d_si + length + data[row_j + t];
+            let via_ji = d_sj + length + data[row_i + t];
             let best = via_ij.min(via_ji);
-            if best < matrix[s][t] {
-                matrix[s][t] = best;
+            if best < data[row_s + t] {
+                data[row_s + t] = best;
                 improved += 1;
             }
         }
     }
     improved
+}
+
+/// Traffic-weighted mean stretch of `effective` against `geodesic`, weighted
+/// by `traffic`, over the strict upper triangle. Pairs with zero traffic,
+/// zero geodesic distance or non-finite effective distance are skipped;
+/// returns 1.0 when no pair qualifies.
+pub fn weighted_mean_stretch(
+    effective: &DistMatrix,
+    geodesic: &DistMatrix,
+    traffic: &DistMatrix,
+) -> f64 {
+    let n = effective.n();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for s in 0..n {
+        let eff_row = effective.row(s);
+        let geo_row = geodesic.row(s);
+        let h_row = traffic.row(s);
+        for t in (s + 1)..n {
+            let h = h_row[t];
+            let geo = geo_row[t];
+            if h > 0.0 && geo > 0.0 && eff_row[t].is_finite() {
+                num += h * (eff_row[t] / geo);
+                den += h;
+            }
+        }
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        1.0
+    }
+}
+
+/// Traffic-weighted mean stretch that would result from adding one link of
+/// latency-equivalent length `m` between `i` and `j` to the metric-closed
+/// matrix `effective`, without mutating anything. This is the designer's
+/// candidate-scoring kernel: O(n²), allocation-free, and safe to run from
+/// many threads against the same matrices.
+pub fn mean_stretch_with_link(
+    effective: &DistMatrix,
+    geodesic: &DistMatrix,
+    traffic: &DistMatrix,
+    i: usize,
+    j: usize,
+    m: f64,
+) -> f64 {
+    let n = effective.n();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let row_i = effective.row(i);
+    let row_j = effective.row(j);
+    for s in 0..n {
+        let d_si = effective.get(s, i);
+        let d_sj = effective.get(s, j);
+        let eff_row = effective.row(s);
+        let geo_row = geodesic.row(s);
+        let h_row = traffic.row(s);
+        for t in (s + 1)..n {
+            let h = h_row[t];
+            let geo = geo_row[t];
+            if h <= 0.0 || geo <= 0.0 {
+                continue;
+            }
+            let candidate = (d_si + m + row_j[t])
+                .min(d_sj + m + row_i[t])
+                .min(eff_row[t]);
+            if candidate.is_finite() {
+                num += h * candidate / geo;
+                den += h;
+            }
+        }
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        1.0
+    }
 }
 
 /// The designed hybrid network.
@@ -53,38 +140,36 @@ pub struct HybridTopology {
     sites: Vec<GeoPoint>,
     /// Traffic weight `h_ij ∈ [0, 1]` for each unordered pair, stored as a
     /// full symmetric matrix with zero diagonal.
-    traffic: Vec<Vec<f64>>,
+    traffic: DistMatrix,
     /// Geodesic distance between every pair of sites (km).
-    geodesic_km: Vec<Vec<f64>>,
+    geodesic_km: DistMatrix,
     /// Latency-equivalent fiber distance between every pair (km, already
     /// including the 1.5× propagation factor). `INFINITY` if no fiber.
-    fiber_km: Vec<Vec<f64>>,
+    fiber_km: DistMatrix,
     /// Built microwave links.
     mw_links: Vec<CandidateLink>,
     /// Cached effective distance matrix (fiber ∪ built MW links).
-    effective_km: Vec<Vec<f64>>,
+    effective_km: DistMatrix,
 }
 
 impl HybridTopology {
     /// Create a topology with no microwave links built yet.
     ///
-    /// `traffic` and `fiber_km` must be `n × n`; the traffic matrix is used
-    /// as weights and is not required to be normalised.
-    pub fn new(sites: Vec<GeoPoint>, traffic: Vec<Vec<f64>>, fiber_km: Vec<Vec<f64>>) -> Self {
+    /// `traffic` and `fiber_km` must be `n × n` (anything convertible into a
+    /// [`DistMatrix`], e.g. a nested `Vec<Vec<f64>>`); the traffic matrix is
+    /// used as weights and is not required to be normalised.
+    pub fn new(
+        sites: Vec<GeoPoint>,
+        traffic: impl Into<DistMatrix>,
+        fiber_km: impl Into<DistMatrix>,
+    ) -> Self {
+        let traffic = traffic.into();
+        let fiber_km = fiber_km.into();
         let n = sites.len();
         assert!(n >= 2, "need at least two sites");
-        assert_eq!(traffic.len(), n);
-        assert_eq!(fiber_km.len(), n);
-        for row in traffic.iter().chain(fiber_km.iter()) {
-            assert_eq!(row.len(), n);
-        }
-        let geodesic_km: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| geodesic::distance_km(sites[i], sites[j]))
-                    .collect()
-            })
-            .collect();
+        assert_eq!(traffic.n(), n, "traffic matrix must be n × n");
+        assert_eq!(fiber_km.n(), n, "fiber matrix must be n × n");
+        let geodesic_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]));
         let effective_km = fiber_km.clone();
         Self {
             sites,
@@ -112,35 +197,45 @@ impl HybridTopology {
     }
 
     /// The traffic weight matrix.
-    pub fn traffic(&self) -> &[Vec<f64>] {
+    pub fn traffic(&self) -> &DistMatrix {
         &self.traffic
+    }
+
+    /// The geodesic distance matrix (km).
+    pub fn geodesic_matrix(&self) -> &DistMatrix {
+        &self.geodesic_km
+    }
+
+    /// The fiber distance matrix (km, latency-equivalent).
+    pub fn fiber_matrix(&self) -> &DistMatrix {
+        &self.fiber_km
     }
 
     /// Geodesic distance between two sites in km.
     pub fn geodesic_km(&self, a: usize, b: usize) -> f64 {
-        self.geodesic_km[a][b]
+        self.geodesic_km.get(a, b)
     }
 
     /// Latency-equivalent fiber distance between two sites in km.
     pub fn fiber_km(&self, a: usize, b: usize) -> f64 {
-        self.fiber_km[a][b]
+        self.fiber_km.get(a, b)
     }
 
     /// Effective latency-equivalent distance between two sites in km over the
     /// built network.
     pub fn effective_km(&self, a: usize, b: usize) -> f64 {
-        self.effective_km[a][b]
+        self.effective_km.get(a, b)
     }
 
     /// The full effective distance matrix.
-    pub fn effective_matrix(&self) -> &[Vec<f64>] {
+    pub fn effective_matrix(&self) -> &DistMatrix {
         &self.effective_km
     }
 
     /// One-way latency between two sites in milliseconds over the built
     /// network.
     pub fn latency_ms(&self, a: usize, b: usize) -> f64 {
-        latency::c_latency_ms(self.effective_km[a][b])
+        latency::c_latency_ms(self.effective_km.get(a, b))
     }
 
     /// Add a microwave link to the topology, updating the effective distance
@@ -159,35 +254,22 @@ impl HybridTopology {
     /// Stretch of a pair over the built network (effective latency relative
     /// to c-latency of the geodesic).
     pub fn stretch(&self, a: usize, b: usize) -> f64 {
-        latency::distance_stretch(self.effective_km[a][b], self.geodesic_km[a][b])
+        latency::distance_stretch(self.effective_km.get(a, b), self.geodesic_km.get(a, b))
     }
 
     /// Traffic-weighted mean stretch over all pairs — the design objective.
     /// Pairs with zero traffic or zero geodesic distance are skipped.
     pub fn mean_stretch(&self) -> f64 {
-        let n = self.num_sites();
-        let mut pairs = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let h = self.traffic[i][j];
-                if h > 0.0 && self.geodesic_km[i][j] > 0.0 && self.effective_km[i][j].is_finite() {
-                    pairs.push((h, self.stretch(i, j)));
-                }
-            }
-        }
-        latency::weighted_mean_stretch(&pairs).unwrap_or(1.0)
+        weighted_mean_stretch(&self.effective_km, &self.geodesic_km, &self.traffic)
     }
 
     /// Unweighted stretch values for every pair with positive geodesic
     /// distance (used for CDFs such as Fig. 7).
     pub fn all_stretches(&self) -> Vec<f64> {
-        let n = self.num_sites();
         let mut out = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if self.geodesic_km[i][j] > 0.0 && self.effective_km[i][j].is_finite() {
-                    out.push(self.stretch(i, j));
-                }
+        for (i, j, eff) in self.effective_km.upper_triangle() {
+            if self.geodesic_km.get(i, j) > 0.0 && eff.is_finite() {
+                out.push(self.stretch(i, j));
             }
         }
         out
@@ -197,34 +279,14 @@ impl HybridTopology {
     /// without mutating the topology. Used by the greedy designer to score
     /// candidates.
     pub fn mean_stretch_with(&self, link: &CandidateLink) -> f64 {
-        let n = self.num_sites();
-        let (i, j, m) = (link.site_a, link.site_b, link.mw_length_km);
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for s in 0..n {
-            let d_si = self.effective_km[s][i];
-            let d_sj = self.effective_km[s][j];
-            for t in (s + 1)..n {
-                let h = self.traffic[s][t];
-                let geo = self.geodesic_km[s][t];
-                if h <= 0.0 || geo <= 0.0 {
-                    continue;
-                }
-                let current = self.effective_km[s][t];
-                let candidate = (d_si + m + self.effective_km[j][t])
-                    .min(d_sj + m + self.effective_km[i][t])
-                    .min(current);
-                if candidate.is_finite() {
-                    num += h * candidate / geo;
-                    den += h;
-                }
-            }
-        }
-        if den > 0.0 {
-            num / den
-        } else {
-            1.0
-        }
+        mean_stretch_with_link(
+            &self.effective_km,
+            &self.geodesic_km,
+            &self.traffic,
+            link.site_a,
+            link.site_b,
+            link.mw_length_km,
+        )
     }
 
     /// Total cost, in towers, of the built microwave links (the budget
@@ -237,24 +299,45 @@ impl HybridTopology {
     /// links). Only needed by callers that mutate links wholesale, e.g. the
     /// weather failure analysis which removes links.
     pub fn recompute_effective(&mut self) {
-        self.effective_km = self.fiber_km.clone();
-        let links = self.mw_links.clone();
-        for l in &links {
-            improve_with_link(&mut self.effective_km, l.site_a, l.site_b, l.mw_length_km);
+        self.effective_km.copy_from(&self.fiber_km);
+        for k in 0..self.mw_links.len() {
+            let (a, b, m) = {
+                let l = &self.mw_links[k];
+                (l.site_a, l.site_b, l.mw_length_km)
+            };
+            improve_with_link(&mut self.effective_km, a, b, m);
         }
     }
 
     /// Effective distance matrix that would result from disabling the given
     /// subset of built MW links (by index into [`Self::mw_links`]); the
     /// topology itself is not modified. Used for weather-failure analysis.
-    pub fn effective_matrix_without(&self, disabled: &[usize]) -> Vec<Vec<f64>> {
+    pub fn effective_matrix_without(&self, disabled: &[usize]) -> DistMatrix {
         let mut matrix = self.fiber_km.clone();
-        for (idx, l) in self.mw_links.iter().enumerate() {
-            if !disabled.contains(&idx) {
-                improve_with_link(&mut matrix, l.site_a, l.site_b, l.mw_length_km);
+        self.effective_matrix_without_into(disabled, &mut matrix);
+        matrix
+    }
+
+    /// Scratch-buffer variant of [`Self::effective_matrix_without`]: refills
+    /// `out` (reusing its allocation) with the effective matrix that results
+    /// from disabling the given links. Callers that evaluate many failure
+    /// sets — the year-long weather sweep — reuse one buffer across calls.
+    pub fn effective_matrix_without_into(&self, disabled: &[usize], out: &mut DistMatrix) {
+        out.copy_from(&self.fiber_km);
+        // Indices beyond the current link count are tolerated (a stale
+        // failure list simply has nothing to disable), matching the
+        // pre-bitset `contains` behaviour.
+        let mut mask = BitSet::new(self.mw_links.len());
+        for &idx in disabled {
+            if idx < self.mw_links.len() {
+                mask.insert(idx);
             }
         }
-        matrix
+        for (idx, l) in self.mw_links.iter().enumerate() {
+            if !mask.contains(idx) {
+                improve_with_link(out, l.site_a, l.site_b, l.mw_length_km);
+            }
+        }
     }
 }
 
@@ -363,11 +446,11 @@ mod tests {
         let geo12 = geodesic::distance_km(sites[1], sites[2]);
         topo.add_mw_link(mw_link(0, 1, geo01 * 1.02, 4));
         topo.add_mw_link(mw_link(1, 2, geo12 * 1.04, 4));
-        let incremental = topo.effective_matrix().to_vec();
+        let incremental = topo.effective_matrix().clone();
         topo.recompute_effective();
         for i in 0..3 {
             for j in 0..3 {
-                assert!((incremental[i][j] - topo.effective_km(i, j)).abs() < 1e-9);
+                assert!((incremental.get(i, j) - topo.effective_km(i, j)).abs() < 1e-9);
             }
         }
     }
@@ -384,6 +467,33 @@ mod tests {
         // Disabling nothing reproduces the current matrix.
         let with = topo.effective_matrix_without(&[]);
         assert!((with[0][2] - geo02 * 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_matrix_without_tolerates_stale_indices() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.02, 4));
+        // Indices beyond the link count (e.g. a stale failure list) disable
+        // nothing rather than panicking.
+        let matrix = topo.effective_matrix_without(&[7, 99]);
+        assert_eq!(&matrix, topo.effective_matrix());
+    }
+
+    #[test]
+    fn effective_matrix_without_into_reuses_buffer() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.02, 4));
+        let mut scratch = DistMatrix::zeros(3);
+        topo.effective_matrix_without_into(&[], &mut scratch);
+        assert_eq!(&scratch, topo.effective_matrix());
+        topo.effective_matrix_without_into(&[0], &mut scratch);
+        assert_eq!(&scratch, topo.fiber_matrix());
     }
 
     #[test]

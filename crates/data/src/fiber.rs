@@ -18,7 +18,7 @@
 //! city set, so we model Europe the same way.
 
 use cisp_geo::{geodesic, units::FIBER_LATENCY_FACTOR, GeoPoint};
-use cisp_graph::{dijkstra, Graph};
+use cisp_graph::{dijkstra, DistMatrix, Graph};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -79,10 +79,10 @@ impl FiberNetwork {
         let mut have: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
 
         let add_link = |a: usize,
-                            b: usize,
-                            links: &mut Vec<FiberLink>,
-                            have: &mut std::collections::HashSet<(usize, usize)>,
-                            rng: &mut rand::rngs::StdRng| {
+                        b: usize,
+                        links: &mut Vec<FiberLink>,
+                        have: &mut std::collections::HashSet<(usize, usize)>,
+                        rng: &mut rand::rngs::StdRng| {
             let key = (a.min(b), a.max(b));
             if a != b && have.insert(key) {
                 let geo = geodesic::distance_km(sites[a], sites[b]);
@@ -158,23 +158,25 @@ impl FiberNetwork {
         dijkstra::shortest_path(&self.route_graph(), from, to).map(|p| p.cost)
     }
 
-    /// All-pairs shortest fiber route lengths, as a matrix in kilometres
-    /// (`f64::INFINITY` where unconnected).
-    pub fn route_distance_matrix(&self) -> Vec<Vec<f64>> {
+    /// All-pairs shortest fiber route lengths, as a flat matrix in
+    /// kilometres (`f64::INFINITY` where unconnected).
+    pub fn route_distance_matrix(&self) -> DistMatrix {
         let g = self.route_graph();
-        (0..self.sites.len())
-            .map(|i| dijkstra::shortest_path_costs(&g, i))
-            .collect()
+        let n = self.sites.len();
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            data.extend(dijkstra::shortest_path_costs(&g, i));
+        }
+        DistMatrix::from_flat(n, data)
     }
 
     /// All-pairs *latency-equivalent* fiber distances: physical route length
     /// times the 1.5× fiber propagation factor. This is the `o_ij` input of
     /// the paper's design formulation (§3.2).
-    pub fn latency_equivalent_matrix(&self) -> Vec<Vec<f64>> {
-        self.route_distance_matrix()
-            .into_iter()
-            .map(|row| row.into_iter().map(|d| d * FIBER_LATENCY_FACTOR).collect())
-            .collect()
+    pub fn latency_equivalent_matrix(&self) -> DistMatrix {
+        let mut matrix = self.route_distance_matrix();
+        matrix.map_in_place(|d| d * FIBER_LATENCY_FACTOR);
+        matrix
     }
 
     /// Mean stretch of shortest fiber paths relative to c-latency across all
@@ -222,10 +224,8 @@ mod tests {
     fn network_is_connected() {
         let net = us_network();
         let matrix = net.route_distance_matrix();
-        for row in &matrix {
-            for &d in row {
-                assert!(d.is_finite(), "fiber network must be connected");
-            }
+        for &d in matrix.as_slice() {
+            assert!(d.is_finite(), "fiber network must be connected");
         }
     }
 
@@ -308,6 +308,6 @@ mod tests {
         let cities = crate::cities::europe_population_centers();
         let net = FiberNetwork::synthesize(5, &cities, &FiberConfig::default());
         let m = net.route_distance_matrix();
-        assert!(m.iter().all(|row| row.iter().all(|d| d.is_finite())));
+        assert!(m.as_slice().iter().all(|d| d.is_finite()));
     }
 }

@@ -193,7 +193,9 @@ impl TowerRegistry {
     pub fn from_towers(towers: Vec<Tower>) -> Self {
         let mut grid: HashMap<(i32, i32), Vec<usize>> = HashMap::new();
         for (i, t) in towers.iter().enumerate() {
-            grid.entry(t.location.grid_cell(CELL_DEG)).or_default().push(i);
+            grid.entry(t.location.grid_cell(CELL_DEG))
+                .or_default()
+                .push(i);
         }
         Self { towers, grid }
     }
@@ -298,7 +300,11 @@ mod tests {
         let reg = small_registry(3);
         for t in reg.towers() {
             if t.source == TowerSource::FccRegistration {
-                assert!(t.height_m >= 100.0, "FCC tower of {} m survived", t.height_m);
+                assert!(
+                    t.height_m >= 100.0,
+                    "FCC tower of {} m survived",
+                    t.height_m
+                );
             }
             assert!(t.height_m >= 60.0 && t.height_m <= 350.0);
         }
@@ -330,7 +336,10 @@ mod tests {
             near_nyc > near_rural,
             "NYC {near_nyc} towers vs rural Montana {near_rural}"
         );
-        assert!(near_nyc >= 5, "cities must host several towers ({near_nyc})");
+        assert!(
+            near_nyc >= 5,
+            "cities must host several towers ({near_nyc})"
+        );
     }
 
     #[test]
@@ -379,6 +388,8 @@ mod tests {
         let empty = TowerRegistry::from_towers(Vec::new());
         assert!(empty.is_empty());
         assert_eq!(empty.max_cell_occupancy(), 0);
-        assert!(empty.towers_within(GeoPoint::new(0.0, 0.0), 50.0).is_empty());
+        assert!(empty
+            .towers_within(GeoPoint::new(0.0, 0.0), 50.0)
+            .is_empty());
     }
 }

@@ -104,10 +104,7 @@ pub fn cross_track_distance_km(a: GeoPoint, b: GeoPoint, p: GeoPoint) -> f64 {
 /// Total length, in km, of a polyline of points (sum of consecutive
 /// great-circle segment lengths). Returns 0 for fewer than two points.
 pub fn path_length_km(points: &[GeoPoint]) -> f64 {
-    points
-        .windows(2)
-        .map(|w| distance_km(w[0], w[1]))
-        .sum()
+    points.windows(2).map(|w| distance_km(w[0], w[1])).sum()
 }
 
 #[cfg(test)]

@@ -67,6 +67,11 @@ pub fn distance_stretch(path_equivalent_km: f64, geodesic_km: f64) -> f64 {
 /// This is the objective the paper's design problem minimises (per-unit
 /// traffic mean stretch). Pairs with non-positive weight are ignored; returns
 /// `None` if the total weight is zero.
+///
+/// Note: the design engine computes this objective directly over flat
+/// matrices (`cisp_core::topology::weighted_mean_stretch`) without building a
+/// pair list; this slice-based helper remains for callers that already hold
+/// `(weight, stretch)` samples.
 pub fn weighted_mean_stretch(pairs: &[(f64, f64)]) -> Option<f64> {
     let mut num = 0.0;
     let mut den = 0.0;

@@ -13,7 +13,7 @@
 pub const SPEED_OF_LIGHT_KM_PER_S: f64 = 299_792.458;
 
 /// Mean Earth radius in kilometres (IUGG mean radius R₁).
-pub const EARTH_RADIUS_KM: f64 = 6_371.0088;
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
 
 /// Multiplier applied to fiber route distances to convert them into
 /// "equivalent free-space distance" for latency purposes.
@@ -69,6 +69,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn earth_radius_in_plausible_range() {
         assert!(EARTH_RADIUS_KM > 6_350.0 && EARTH_RADIUS_KM < 6_400.0);
     }

@@ -98,7 +98,11 @@ impl ShortestPathTree {
 
 /// Run Dijkstra from `source`, optionally stopping early once `target` is
 /// settled.
-pub fn shortest_path_tree(graph: &Graph, source: NodeId, target: Option<NodeId>) -> ShortestPathTree {
+pub fn shortest_path_tree(
+    graph: &Graph,
+    source: NodeId,
+    target: Option<NodeId>,
+) -> ShortestPathTree {
     let n = graph.node_count();
     assert!(source < n, "source out of range");
     let mut dist = vec![f64::INFINITY; n];
@@ -213,8 +217,8 @@ mod tests {
     fn costs_from_source_are_monotone_on_line() {
         let g = line_graph(10);
         let costs = shortest_path_costs(&g, 0);
-        for i in 0..10 {
-            assert_eq!(costs[i], i as f64);
+        for (i, &cost) in costs.iter().enumerate() {
+            assert_eq!(cost, i as f64);
         }
     }
 

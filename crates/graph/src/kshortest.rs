@@ -43,7 +43,9 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
             // to keep paths loopless.
             let removed_nodes: Vec<NodeId> = root_nodes[..i].to_vec();
 
-            let pruned = graph.without_edges(&removed_edges).without_nodes(&removed_nodes);
+            let pruned = graph
+                .without_edges(&removed_edges)
+                .without_nodes(&removed_nodes);
             if let Some(spur_path) = shortest_path(&pruned, spur_node, target) {
                 // Stitch root + spur.
                 let mut nodes = root_nodes[..i].to_vec();
@@ -56,7 +58,10 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
                     nodes,
                     cost: root_cost + spur_path.cost,
                 };
-                let duplicate = accepted.iter().chain(candidates.iter()).any(|p| p.nodes == total.nodes);
+                let duplicate = accepted
+                    .iter()
+                    .chain(candidates.iter())
+                    .any(|p| p.nodes == total.nodes);
                 if !duplicate {
                     candidates.push(total);
                 }

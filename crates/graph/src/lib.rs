@@ -10,7 +10,11 @@
 //! * [`dijkstra`] — single-source shortest paths with path extraction,
 //! * [`kshortest`] — Yen's algorithm for k shortest loopless paths,
 //! * [`disjoint`] — iterative node-disjoint shortest paths (the procedure
-//!   behind Fig. 4(b): find a path, delete its interior towers, repeat).
+//!   behind Fig. 4(b): find a path, delete its interior towers, repeat),
+//! * [`matrix`] — the flat row-major [`DistMatrix`] the design engine's
+//!   dense all-pairs sweeps run on, with the shared unordered-pair iterator,
+//! * [`bitset`] — O(1) membership over small index universes (disabled-link
+//!   sets in the failure analysis).
 //!
 //! All algorithms are deterministic: ties are broken by node index.
 //!
@@ -30,10 +34,14 @@
 //! assert_eq!(sp.cost, 3.0);
 //! ```
 
+pub mod bitset;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod graph;
 pub mod kshortest;
+pub mod matrix;
 
+pub use bitset::BitSet;
 pub use dijkstra::{shortest_path, shortest_path_costs, Path};
 pub use graph::Graph;
+pub use matrix::{pair_indices, DistMatrix};

@@ -1,0 +1,273 @@
+//! The flat, row-major symmetric distance/weight matrix the design engine
+//! runs on.
+//!
+//! The designer's hot loops — candidate scoring, the exact one-edge
+//! distance-matrix update, weather-failure re-evaluation — are all dense
+//! all-pairs sweeps. Storing an `n × n` matrix as `Vec<Vec<f64>>` costs one
+//! pointer chase and one bounds check per row on every access and scatters
+//! rows across the heap; [`DistMatrix`] stores the same data as a single
+//! contiguous `Vec<f64>` of length `n²`, so row access is a slice view, the
+//! whole matrix prefetches linearly, and a scratch matrix can be refilled
+//! with a single `memcpy` ([`DistMatrix::copy_from`]) instead of `n`
+//! allocations.
+//!
+//! `matrix[i][j]` indexing keeps working: `Index<usize>` returns the row as
+//! a `&[f64]` slice. Unordered-pair sweeps use [`DistMatrix::upper_triangle`]
+//! (or [`pair_indices`]) instead of hand-rolled nested loops.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Index, IndexMut};
+
+/// A dense square matrix of `f64` in one contiguous row-major allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistMatrix {
+    /// An `n × n` matrix filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Self {
+            n,
+            data: vec![value; n * n],
+        }
+    }
+
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self::filled(n, 0.0)
+    }
+
+    /// Build from a generator function over `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Build from a nested row-of-rows matrix; every row must have length
+    /// `n`. This is the bridge from hand-written test fixtures and external
+    /// data to the flat engine.
+    pub fn from_nested(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "matrix must be square");
+            data.extend_from_slice(&row);
+        }
+        Self { n, data }
+    }
+
+    /// Build from a flat row-major buffer of length `n²`.
+    pub fn from_flat(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "flat buffer must hold n² entries");
+        Self { n, data }
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set the entry at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.data[i * self.n + j] = value;
+    }
+
+    /// Set both `(i, j)` and `(j, i)`.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.set(i, j, value);
+        self.set(j, i, value);
+    }
+
+    /// Row `i` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The whole matrix as one row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The whole matrix as one mutable row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Overwrite this matrix with `other`'s contents without reallocating.
+    /// This is the copy-on-write primitive the designer's scratch buffers
+    /// use: one `memcpy` instead of `n` row clones.
+    pub fn copy_from(&mut self, other: &DistMatrix) {
+        if self.n == other.n {
+            self.data.copy_from_slice(&other.data);
+        } else {
+            self.n = other.n;
+            self.data.clear();
+            self.data.extend_from_slice(&other.data);
+        }
+    }
+
+    /// Iterate the strict upper triangle (`i < j`) in row-major order,
+    /// yielding `(i, j, value)`. This is the canonical unordered-pair sweep
+    /// for traffic-weighted objectives.
+    pub fn upper_triangle(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        pair_indices(self.n).map(move |(i, j)| (i, j, self.get(i, j)))
+    }
+
+    /// The top-left `m × m` principal submatrix (used to restrict a design
+    /// input to a site-count prefix, e.g. the Fig. 2 scaling sweep).
+    pub fn truncated(&self, m: usize) -> DistMatrix {
+        assert!(m <= self.n, "cannot truncate {n} to {m}", n = self.n);
+        DistMatrix::from_fn(m, |i, j| self.get(i, j))
+    }
+
+    /// Convert back to a nested row-of-rows matrix (boundary/debug use).
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        (0..self.n).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Map every entry through `f`, in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Maximum entry (0.0 for an empty matrix; NaN entries are ignored).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0_f64, f64::max)
+    }
+
+    /// Sum of the strict upper triangle — the total weight of an unordered
+    /// pair matrix.
+    pub fn upper_triangle_sum(&self) -> f64 {
+        self.upper_triangle().map(|(_, _, v)| v).sum()
+    }
+
+    /// `true` if every entry equals its transpose partner within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        pair_indices(self.n).all(|(i, j)| (self.get(i, j) - self.get(j, i)).abs() <= tol)
+    }
+}
+
+impl From<Vec<Vec<f64>>> for DistMatrix {
+    fn from(rows: Vec<Vec<f64>>) -> Self {
+        Self::from_nested(rows)
+    }
+}
+
+impl Index<usize> for DistMatrix {
+    type Output = [f64];
+    /// `matrix[i]` is row `i`, so `matrix[i][j]` keeps working on the flat
+    /// representation.
+    #[inline]
+    fn index(&self, i: usize) -> &[f64] {
+        self.row(i)
+    }
+}
+
+impl IndexMut<usize> for DistMatrix {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
+/// Iterate all unordered pair indices `(i, j)` with `i < j` over `0..n`,
+/// row-major. Shared by every traffic-pair sweep in the workspace.
+pub fn pair_indices(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i, j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_nested_round_trips() {
+        let nested = vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 3.0],
+            vec![2.0, 3.0, 0.0],
+        ];
+        let m = DistMatrix::from_nested(nested.clone());
+        assert_eq!(m.n(), 3);
+        assert_eq!(m.to_nested(), nested);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m[1][2], 3.0);
+    }
+
+    #[test]
+    fn index_mut_writes_through() {
+        let mut m = DistMatrix::zeros(3);
+        m[0][1] = 5.0;
+        m.set_sym(1, 2, 7.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(2, 1), 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+    }
+
+    #[test]
+    fn upper_triangle_visits_each_unordered_pair_once() {
+        let m = DistMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        let pairs: Vec<(usize, usize, f64)> = m.upper_triangle().collect();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0], (0, 1, 1.0));
+        assert_eq!(pairs[5], (2, 3, 23.0));
+        assert_eq!(pair_indices(4).count(), 6);
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation() {
+        let src = DistMatrix::from_fn(5, |i, j| (i + j) as f64);
+        let mut dst = DistMatrix::zeros(5);
+        let ptr_before = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr_before, "no reallocation");
+        // Size-changing copy still works.
+        let mut small = DistMatrix::zeros(2);
+        small.copy_from(&src);
+        assert_eq!(small, src);
+    }
+
+    #[test]
+    fn sums_and_symmetry() {
+        let m = DistMatrix::from_nested(vec![vec![0.0, 2.0], vec![2.0, 0.0]]);
+        assert!(m.is_symmetric(0.0));
+        assert_eq!(m.upper_triangle_sum(), 2.0);
+        assert_eq!(m.max_value(), 2.0);
+        let asym = DistMatrix::from_nested(vec![vec![0.0, 2.0], vec![1.0, 0.0]]);
+        assert!(!asym.is_symmetric(0.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_nested_matrix_panics() {
+        DistMatrix::from_nested(vec![vec![0.0, 1.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_flat_length_panics() {
+        DistMatrix::from_flat(3, vec![0.0; 8]);
+    }
+}

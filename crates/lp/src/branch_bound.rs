@@ -76,7 +76,10 @@ impl std::fmt::Display for MilpError {
             MilpError::Infeasible => write!(f, "MILP is infeasible"),
             MilpError::Unbounded => write!(f, "MILP relaxation is unbounded"),
             MilpError::LimitReached => {
-                write!(f, "node or time limit reached before finding a feasible solution")
+                write!(
+                    f,
+                    "node or time limit reached before finding a feasible solution"
+                )
             }
         }
     }
@@ -185,8 +188,7 @@ pub fn solve_milp(problem: &Problem, options: &MilpOptions) -> Result<MilpSoluti
         incumbent = Some((problem.objective_value(&r), r));
     }
     // The root relaxation may already be integral.
-    if most_fractional(problem, &root.values).is_none() && problem.is_feasible(&root.values, 1e-6)
-    {
+    if most_fractional(problem, &root.values).is_none() && problem.is_feasible(&root.values, 1e-6) {
         return Ok(MilpSolution {
             objective: root.objective,
             values: root.values,
@@ -325,7 +327,10 @@ mod tests {
         let vars: Vec<_> = (0..4)
             .map(|i| p.add_var(&format!("x{i}"), VarKind::Binary, -values[i]))
             .collect();
-        p.add_le(vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(), 10.0);
+        p.add_le(
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            10.0,
+        );
         let sol = solve_milp(&p, &MilpOptions::default()).unwrap();
         assert_close(sol.objective, -20.0);
         assert!(sol.proven_optimal);
@@ -348,6 +353,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn assignment_problem_is_integral() {
         // 3x3 assignment; costs chosen so optimum = 1 + 2 + 3 = 6 on the
         // diagonal of the permuted matrix.
@@ -400,7 +406,10 @@ mod tests {
         let vars: Vec<_> = (0..6)
             .map(|i| p.add_var(&format!("x{i}"), VarKind::Binary, -values[i]))
             .collect();
-        p.add_le(vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(), 23.0);
+        p.add_le(
+            vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect(),
+            23.0,
+        );
         let opts = MilpOptions {
             max_nodes: 1,
             ..Default::default()

@@ -81,7 +81,10 @@ impl Problem {
     /// Continuous and integer variables default to an infinite upper bound;
     /// binaries are bounded by 1.
     pub fn add_var(&mut self, name: &str, kind: VarKind, objective: f64) -> VarId {
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         let upper_bound = match kind {
             VarKind::Binary => 1.0,
             _ => f64::INFINITY,
@@ -131,7 +134,10 @@ impl Problem {
     pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, sense: Sense, rhs: f64) {
         assert!(rhs.is_finite(), "constraint rhs must be finite");
         for &(v, c) in &terms {
-            assert!(v.0 < self.variables.len(), "constraint references unknown variable");
+            assert!(
+                v.0 < self.variables.len(),
+                "constraint references unknown variable"
+            );
             assert!(c.is_finite(), "constraint coefficient must be finite");
         }
         self.constraints.push(Constraint { terms, sense, rhs });

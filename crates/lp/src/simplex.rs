@@ -83,8 +83,8 @@ impl Tableau {
         for i in 0..m {
             let cb = costs[self.basis[i]];
             if cb.abs() > 0.0 {
-                for j in 0..=self.n_total {
-                    obj[j] -= cb * self.rows[i][j];
+                for (o, r) in obj.iter_mut().zip(&self.rows[i]) {
+                    *o -= cb * r;
                 }
             }
         }
@@ -125,8 +125,7 @@ impl Tableau {
     fn optimize(&mut self, barred: &[bool], max_iters: usize) -> Result<(), LpError> {
         for _ in 0..max_iters {
             // Bland's rule: smallest-index column with negative reduced cost.
-            let entering = (0..self.n_total)
-                .find(|&j| !barred[j] && self.obj[j] < -EPS);
+            let entering = (0..self.n_total).find(|&j| !barred[j] && self.obj[j] < -EPS);
             let c = match entering {
                 Some(c) => c,
                 None => return Ok(()),
@@ -328,9 +327,7 @@ pub fn solve_lp(problem: &Problem) -> Result<LpSolution, LpError> {
         };
         for r in 0..m {
             if art_set[t.basis[r]] {
-                if let Some(c) =
-                    (0..t.n_total).find(|&j| !art_set[j] && t.rows[r][j].abs() > EPS)
-                {
+                if let Some(c) = (0..t.n_total).find(|&j| !art_set[j] && t.rows[r][j].abs() > EPS) {
                     t.pivot(r, c);
                 }
             }

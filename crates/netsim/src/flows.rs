@@ -78,7 +78,8 @@ pub fn emission_times(
             }
         }
         ArrivalProcess::Poisson => {
-            let mut rng = StdRng::seed_from_u64(seed ^ (flow_index as u64).wrapping_mul(0xABCD_EF12));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (flow_index as u64).wrapping_mul(0xABCD_EF12));
             let mut t = 0.0;
             loop {
                 let u: f64 = rng.gen::<f64>().max(1e-12);
@@ -122,7 +123,7 @@ mod tests {
         for w in times.windows(2) {
             assert!(w[1] > w[0]);
         }
-        assert!(times.iter().all(|&t| t >= 0.0 && t < 1.0));
+        assert!(times.iter().all(|&t| (0.0..1.0).contains(&t)));
     }
 
     #[test]

@@ -238,8 +238,14 @@ mod tests {
         // Buffer of exactly 3000 bytes: two 1500 B packets in flight/queued OK,
         // the third (arriving while both still occupy the horizon) is dropped.
         let l = net.add_link(gbps_link(3000.0));
-        assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Delivered { .. }));
-        assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Delivered { .. }));
+        assert!(matches!(
+            net.transmit(l, 0.0, 1500.0),
+            Transmit::Delivered { .. }
+        ));
+        assert!(matches!(
+            net.transmit(l, 0.0, 1500.0),
+            Transmit::Delivered { .. }
+        ));
         assert!(matches!(net.transmit(l, 0.0, 1500.0), Transmit::Dropped));
         assert_eq!(net.link_state(l).packets_dropped, 1);
     }

@@ -257,7 +257,11 @@ mod tests {
     fn light_load_delay_is_propagation_plus_serialization() {
         let report = run_at_load(0.2, 1e6, ArrivalProcess::ConstantBitRate);
         // 10 ms propagation + 0.4 ms serialisation of 500 B at 10 Mbps.
-        assert!((report.mean_delay_ms - 10.4).abs() < 0.05, "{}", report.mean_delay_ms);
+        assert!(
+            (report.mean_delay_ms - 10.4).abs() < 0.05,
+            "{}",
+            report.mean_delay_ms
+        );
         assert_eq!(report.loss_rate, 0.0);
         assert!((report.mean_link_utilization - 0.2).abs() < 0.02);
     }
@@ -275,7 +279,11 @@ mod tests {
         let report = run_at_load(0.5, 1e9, ArrivalProcess::Poisson);
         // M/D/1 mean wait at ρ=0.5 is ρ·S/(2(1−ρ)) = 0.5·0.4ms/1 = 0.2 ms.
         assert!(report.mean_queue_delay_ms > 0.05);
-        assert!(report.mean_queue_delay_ms < 0.6, "{}", report.mean_queue_delay_ms);
+        assert!(
+            report.mean_queue_delay_ms < 0.6,
+            "{}",
+            report.mean_queue_delay_ms
+        );
         assert_eq!(report.loss_rate, 0.0);
     }
 
@@ -306,7 +314,11 @@ mod tests {
         }];
         let mut sim = Simulation::new(net, demands, SimConfig::default());
         let report = sim.run();
-        assert!((report.mean_delay_ms - 10.0).abs() < 0.1, "{}", report.mean_delay_ms);
+        assert!(
+            (report.mean_delay_ms - 10.0).abs() < 0.1,
+            "{}",
+            report.mean_delay_ms
+        );
         assert!((sim.weighted_propagation_ms() - 10.0).abs() < 1e-9);
     }
 

@@ -299,7 +299,11 @@ mod tests {
             duration_s: 2.0,
             ..SpeedMismatchConfig::control_100mbps(true, 11)
         });
-        assert!(report.flows > 50, "expected many flows, got {}", report.flows);
+        assert!(
+            report.flows > 50,
+            "expected many flows, got {}",
+            report.flows
+        );
         // A 100 KB flow needs ≥ 3 slow-start rounds plus transmission: FCT
         // must exceed one RTT (20 ms).
         assert!(report.median_fct_ms > 20.0);

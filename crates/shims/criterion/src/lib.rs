@@ -1,0 +1,286 @@
+//! Offline stand-in for the subset of `criterion` the workspace's benches
+//! use: `Criterion::bench_function`, benchmark groups with `sample_size` /
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Benches are declared with
+//! `harness = false`, exactly as with real criterion, so swapping the real
+//! crate back in is a manifest-only change.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, the
+//! iteration count is calibrated so one sample takes ~`target_sample_time`,
+//! and the mean/min over the samples is printed as text. There is no HTML
+//! report and no statistical regression analysis — the point is a stable
+//! relative signal (e.g. serial vs parallel scoring) in an offline build.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once, so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample target time for calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(120);
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// `--test` mode: run each body once and skip measurement.
+    quick: bool,
+    /// Substring filter from the command line (first free argument).
+    filter: Option<String>,
+    /// Samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick =
+            args.iter().any(|a| a == "--test") || std::env::var_os("CISP_BENCH_QUICK").is_some();
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Self {
+            quick,
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(
+            name,
+            self.quick,
+            self.filter.as_deref(),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the per-sample measurement time (accepted for API parity).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(
+            &full,
+            self.criterion.quick,
+            self.criterion.filter.as_deref(),
+            samples,
+            f,
+        );
+        self
+    }
+
+    /// Run one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.to_string(), |b| f(b, input))
+    }
+
+    /// Close the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a displayable parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to the benchmark body; `iter` does the timing.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Mean nanoseconds per iteration over measured samples.
+    result_ns: Option<(f64, f64)>, // (mean, min)
+}
+
+enum BenchMode {
+    /// Run the routine exactly once (`--test`).
+    Once,
+    /// Calibrate then measure `samples` samples.
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    /// Time the routine.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+            }
+            BenchMode::Measure { samples } => {
+                // Warm-up + calibration: find an iteration count whose batch
+                // takes roughly TARGET_SAMPLE_TIME.
+                let mut iters: u64 = 1;
+                let per_iter_ns = loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(20) || iters >= 1 << 24 {
+                        break elapsed.as_nanos() as f64 / iters as f64;
+                    }
+                    iters *= 8;
+                };
+                let batch = ((TARGET_SAMPLE_TIME.as_nanos() as f64 / per_iter_ns).ceil() as u64)
+                    .clamp(1, 1 << 24);
+
+                let mut total_ns = 0.0;
+                let mut min_ns = f64::INFINITY;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    let sample_ns = start.elapsed().as_nanos() as f64 / batch as f64;
+                    total_ns += sample_ns;
+                    min_ns = min_ns.min(sample_ns);
+                }
+                self.result_ns = Some((total_ns / samples as f64, min_ns));
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    quick: bool,
+    filter: Option<&str>,
+    samples: usize,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    if quick {
+        let mut bencher = Bencher {
+            mode: BenchMode::Once,
+            result_ns: None,
+        };
+        f(&mut bencher);
+        println!("bench {name:<48} ... ok (--test mode)");
+        return;
+    }
+    let mut bencher = Bencher {
+        mode: BenchMode::Measure {
+            samples: samples.max(2),
+        },
+        result_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.result_ns {
+        Some((mean, min)) => {
+            println!(
+                "bench {name:<48} mean {:>12}  min {:>12}",
+                format_ns(mean),
+                format_ns(min)
+            );
+        }
+        None => println!("bench {name:<48} ... no measurement (iter never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("solve", 12).to_string(), "solve/12");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for the subset of `proptest` the workspace's property
+//! tests use: range strategies over the numeric primitives, tuple strategies,
+//! `prop_map`, `Just`, the `proptest!` macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing case
+//! panics with the generated inputs unshrunk) and a fixed deterministic seed
+//! per test (derived from the test's name), so failures are reproducible
+//! across runs and machines.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Runner configuration (`ProptestConfig` parity).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: cases.saturating_mul(64).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(256)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; try another case.
+    Reject(String),
+    /// `prop_assert!`-family failure; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Per-case result type the `proptest!` body closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generator driving the strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a), so every test has its own stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator (`proptest::strategy::Strategy` parity, minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A constant strategy (`Just` parity).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty f32 range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Drive one property: run `body` until `config.cases` accepted cases pass.
+/// Panics on the first failing case, printing the failure message.
+pub fn run_proptest(
+    config: ProptestConfig,
+    name: &str,
+    body: impl Fn(&mut TestRng) -> TestCaseResult,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected}) for {} accepted cases",
+                        accepted
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest '{name}' failed after {accepted} passing cases: {message}");
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// The test-defining macro. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            $crate::run_proptest($config, stringify!($name), |proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), proptest_rng);)*
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!`: fail the current case (with no shrinking) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!` parity.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!` parity.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!`: reject the current case if the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3.0..7.0f64, n in 10usize..20) {
+            prop_assert!((3.0..7.0).contains(&x));
+            prop_assert!((10..20).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_and_tuples(p in (0.0..1.0f64, 5u64..9).prop_map(|(a, b)| a + b as f64)) {
+            prop_assert!((5.0..10.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn default_config_has_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        crate::run_proptest(ProptestConfig::with_cases(8), "direct", |rng| {
+            let v = crate::Strategy::generate(&(0u8..4), rng);
+            if v > 3 {
+                return Err(TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics() {
+        crate::run_proptest(ProptestConfig::with_cases(8), "fails", |_rng| {
+            Err(TestCaseError::fail("always"))
+        });
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the subset of `rayon` the workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! drop-in for the rayon API surface the design engine relies on:
+//! `par_iter()` / `into_par_iter()` on slices, `Vec`s and `Range<usize>`,
+//! followed by `map`, `filter`, `enumerate`, `collect`, `min_by`, `max_by`,
+//! `for_each` and `sum`. Code written against this shim compiles unchanged
+//! against real rayon.
+//!
+//! The execution model is deliberately simple: adapters are *eager*. `map`
+//! splits the items into one contiguous chunk per available core, runs the
+//! closure on `std::thread::scope` threads, and reassembles the results in
+//! input order; everything downstream of the parallel map is sequential.
+//! That matches how the design engine uses parallelism (one expensive O(n²)
+//! scoring closure per item, trivial reduction) — work-stealing would buy
+//! nothing there. Results are deterministic: output order never depends on
+//! thread scheduling.
+
+use std::cmp::Ordering;
+use std::iter::Sum;
+use std::ops::Range;
+use std::thread;
+
+/// Number of worker threads a parallel map fans out to.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// An eager "parallel iterator": a materialised, ordered batch of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `rayon::prelude` parity so `use rayon::prelude::*;` works unchanged.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Convert.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Run `f` over `items` on scoped threads, one contiguous chunk per core,
+/// preserving input order in the output.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `workers` contiguous chunks whose sizes differ by ≤ 1.
+    let base = len / workers;
+    let remainder = len % workers;
+    let mut rest = items;
+    let mut chunks = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let size = base + usize::from(w < remainder);
+        let tail = rest.split_off(size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel (this is where the fan-out runs).
+    pub fn map<R: Send>(self, f: impl Fn(T) -> R + Sync) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    /// Keep items matching the predicate (evaluated in parallel).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> ParIter<T> {
+        let keep: Vec<(T, bool)> = parallel_map(self.items, |item| {
+            let k = pred(&item);
+            (item, k)
+        });
+        ParIter {
+            items: keep
+                .into_iter()
+                .filter_map(|(item, k)| k.then_some(item))
+                .collect(),
+        }
+    }
+
+    /// Pair every item with its input-order index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        parallel_map(self.items, f);
+    }
+
+    /// Collect into any `FromIterator` collection, preserving input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Minimum under a comparator (first minimum in input order, like rayon
+    /// over an indexed iterator).
+    pub fn min_by(self, cmp: impl Fn(&T, &T) -> Ordering) -> Option<T> {
+        self.items.into_iter().reduce(|best, x| {
+            if cmp(&x, &best) == Ordering::Less {
+                x
+            } else {
+                best
+            }
+        })
+    }
+
+    /// Maximum under a comparator (last maximum in input order).
+    pub fn max_by(self, cmp: impl Fn(&T, &T) -> Ordering) -> Option<T> {
+        self.items.into_iter().reduce(|best, x| {
+            if cmp(&x, &best) == Ordering::Less {
+                best
+            } else {
+                x
+            }
+        })
+    }
+
+    /// Sum the items.
+    pub fn sum<S: Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[16], 17);
+    }
+
+    #[test]
+    fn min_by_matches_sequential() {
+        let v = vec![5.0, 2.0, 9.0, 2.0, 7.0];
+        let m = v
+            .par_iter()
+            .map(|&x| x)
+            .min_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(m, Some(2.0));
+    }
+
+    #[test]
+    fn filter_and_sum() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v.into_par_iter().filter(|x| x % 2 == 0).sum();
+        assert_eq!(s, (0..100).filter(|x| x % 2 == 0).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

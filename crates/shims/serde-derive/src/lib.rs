@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! a minimal serde facade (see the sibling `serde` shim). Types only ever use
+//! `#[derive(Serialize, Deserialize)]` as a marker — nothing in the workspace
+//! actually serialises — so the derives accept the attribute syntax
+//! (including `#[serde(...)]` field/variant attributes) and expand to nothing.
+//! The shim `serde` crate provides blanket trait impls instead.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

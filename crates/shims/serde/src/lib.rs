@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! a real serde can be dropped in when the build environment has registry
+//! access, but no code path in the repo actually serialises anything. This
+//! shim keeps the same names importable — trait + derive macro under each of
+//! `serde::Serialize` and `serde::Deserialize`, exactly like serde with the
+//! `derive` feature — while the traits are satisfied by blanket impls and the
+//! derives (from the sibling `serde_derive` shim) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace parity with `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace parity with `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -132,7 +132,7 @@ mod tests {
             for j in 0..30 {
                 let p = GeoPoint::new(25.0 + i as f64, -124.0 + j as f64 * 2.0);
                 let h = c.clutter_m(p);
-                assert!(h >= 0.0 && h <= 35.0, "clutter {h} out of range");
+                assert!((0.0..=35.0).contains(&h), "clutter {h} out of range");
             }
         }
     }

@@ -330,13 +330,9 @@ impl TerrainModel {
                     lacunarity: 2.0,
                     gain: 0.55,
                 };
-                let crest = ridged(
-                    p.lon_deg,
-                    p.lat_deg,
-                    self.seed ^ 0xA11C_E5ED,
-                    crest_params,
-                );
-                let modulation = 1.0 - self.crest_noise_fraction + self.crest_noise_fraction * crest;
+                let crest = ridged(p.lon_deg, p.lat_deg, self.seed ^ 0xA11C_E5ED, crest_params);
+                let modulation =
+                    1.0 - self.crest_noise_fraction + self.crest_noise_fraction * crest;
                 elevation += ridge * modulation;
             }
         }
@@ -405,7 +401,10 @@ mod tests {
                 let lat = 25.0 + i as f64 * 0.6;
                 let lon = -124.0 + j as f64 * 1.4;
                 let e = t.elevation_m(GeoPoint::new(lat, lon));
-                assert!(e.is_finite() && e >= 0.0, "bad elevation {e} at {lat},{lon}");
+                assert!(
+                    e.is_finite() && e >= 0.0,
+                    "bad elevation {e} at {lat},{lon}"
+                );
             }
         }
     }

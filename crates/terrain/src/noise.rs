@@ -152,7 +152,10 @@ mod tests {
                 differs += 1;
             }
         }
-        assert!(differs > 40, "seeds should decorrelate noise ({differs}/50)");
+        assert!(
+            differs > 40,
+            "seeds should decorrelate noise ({differs}/50)"
+        );
     }
 
     #[test]

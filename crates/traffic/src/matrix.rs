@@ -1,118 +1,105 @@
 //! The traffic-matrix type.
 //!
 //! A [`TrafficMatrix`] is a symmetric matrix of non-negative pair weights
-//! with a zero diagonal. Weights are relative (the design optimises per unit
-//! traffic); [`TrafficMatrix::scaled_to_gbps`] converts them into absolute
-//! per-pair demands for capacity planning and packet simulation.
+//! with a zero diagonal, backed by the flat row-major
+//! [`DistMatrix`](cisp_graph::DistMatrix) engine shared with the designer.
+//! Weights are relative (the design optimises per unit traffic);
+//! [`TrafficMatrix::scaled_to_gbps`] converts them into absolute per-pair
+//! demands for capacity planning and packet simulation.
 
+use cisp_graph::{pair_indices, DistMatrix};
 use serde::{Deserialize, Serialize};
 
 /// A symmetric traffic matrix over `n` sites.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficMatrix {
-    weights: Vec<Vec<f64>>,
+    weights: DistMatrix,
 }
 
 impl TrafficMatrix {
-    /// Build from a full matrix; it is symmetrised (averaging the two
+    /// Build from a full nested matrix; it is symmetrised (averaging the two
     /// triangles) and the diagonal is zeroed.
     pub fn from_matrix(weights: Vec<Vec<f64>>) -> Self {
-        let n = weights.len();
-        for row in &weights {
-            assert_eq!(row.len(), n, "traffic matrix must be square");
-            for &v in row {
-                assert!(v.is_finite() && v >= 0.0, "weights must be finite and ≥ 0");
-            }
+        Self::from_dist_matrix(DistMatrix::from_nested(weights))
+    }
+
+    /// Build from a flat matrix; it is symmetrised (averaging the two
+    /// triangles) and the diagonal is zeroed.
+    pub fn from_dist_matrix(weights: DistMatrix) -> Self {
+        for &v in weights.as_slice() {
+            assert!(v.is_finite() && v >= 0.0, "weights must be finite and ≥ 0");
         }
-        let mut symmetric = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    symmetric[i][j] = 0.5 * (weights[i][j] + weights[j][i]);
-                }
+        let symmetric = DistMatrix::from_fn(weights.n(), |i, j| {
+            if i == j {
+                0.0
+            } else {
+                0.5 * (weights.get(i, j) + weights.get(j, i))
             }
-        }
+        });
         Self { weights: symmetric }
     }
 
     /// An all-zero matrix over `n` sites.
     pub fn zeros(n: usize) -> Self {
         Self {
-            weights: vec![vec![0.0; n]; n],
+            weights: DistMatrix::zeros(n),
         }
     }
 
     /// A uniform matrix (weight 1 between every distinct pair).
     pub fn uniform(n: usize) -> Self {
-        let weights = (0..n)
-            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 1.0 }).collect())
-            .collect();
-        Self { weights }
+        Self {
+            weights: DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 }),
+        }
     }
 
     /// Number of sites.
     pub fn num_sites(&self) -> usize {
-        self.weights.len()
+        self.weights.n()
     }
 
     /// Weight of a pair.
     pub fn weight(&self, i: usize, j: usize) -> f64 {
-        self.weights[i][j]
+        self.weights.get(i, j)
     }
 
     /// The underlying matrix.
-    pub fn as_matrix(&self) -> &Vec<Vec<f64>> {
+    pub fn as_matrix(&self) -> &DistMatrix {
         &self.weights
     }
 
     /// Consume into the underlying matrix.
-    pub fn into_matrix(self) -> Vec<Vec<f64>> {
+    pub fn into_matrix(self) -> DistMatrix {
         self.weights
     }
 
     /// Sum of weights over unordered pairs.
     pub fn total_weight(&self) -> f64 {
-        let n = self.num_sites();
-        let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                total += self.weights[i][j];
-            }
-        }
-        total
+        self.weights.upper_triangle_sum()
     }
 
     /// Normalise so that the maximum pair weight is 1 (no-op for an all-zero
     /// matrix).
     pub fn normalized(&self) -> Self {
-        let max = self
-            .weights
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max = self.weights.max_value();
         if max <= 0.0 {
             return self.clone();
         }
-        let weights = self
-            .weights
-            .iter()
-            .map(|row| row.iter().map(|v| v / max).collect())
-            .collect();
+        let mut weights = self.weights.clone();
+        weights.map_in_place(|v| v / max);
         Self { weights }
     }
 
     /// Scale so the sum over unordered pairs equals `aggregate_gbps`,
     /// yielding absolute per-pair demands in Gbps.
-    pub fn scaled_to_gbps(&self, aggregate_gbps: f64) -> Vec<Vec<f64>> {
+    pub fn scaled_to_gbps(&self, aggregate_gbps: f64) -> DistMatrix {
         assert!(aggregate_gbps >= 0.0);
         let total = self.total_weight();
         assert!(total > 0.0, "cannot scale an all-zero traffic matrix");
         let factor = aggregate_gbps / total;
-        self.weights
-            .iter()
-            .map(|row| row.iter().map(|v| v * factor).collect())
-            .collect()
+        let mut scaled = self.weights.clone();
+        scaled.map_in_place(|v| v * factor);
+        scaled
     }
 
     /// Weighted sum of several matrices over the same site set: the result is
@@ -127,17 +114,16 @@ impl TrafficMatrix {
         }
         let total_share: f64 = components.iter().map(|(s, _)| *s).sum();
         assert!(total_share > 0.0);
-        let mut weights = vec![vec![0.0; n]; n];
+        let mut weights = DistMatrix::zeros(n);
         for (share, m) in components {
             let component_total = m.total_weight();
             if component_total <= 0.0 {
                 continue;
             }
             let factor = share / total_share / component_total;
-            for i in 0..n {
-                for j in 0..n {
-                    weights[i][j] += m.weights[i][j] * factor;
-                }
+            for (i, j) in pair_indices(n) {
+                let v = weights.get(i, j) + m.weights.get(i, j) * factor;
+                weights.set_sym(i, j, v);
             }
         }
         Self { weights }
@@ -215,6 +201,19 @@ mod tests {
         assert!((w01 / w12 - 4.0 / 3.0).abs() < 1e-9);
         // Total weight is 1 (shares normalised).
         assert!((mixed.total_weight() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetry_survives_mixing() {
+        let a = TrafficMatrix::uniform(4);
+        let b = TrafficMatrix::from_matrix(vec![
+            vec![0.0, 2.0, 0.0, 1.0],
+            vec![2.0, 0.0, 5.0, 0.0],
+            vec![0.0, 5.0, 0.0, 3.0],
+            vec![1.0, 0.0, 3.0, 0.0],
+        ]);
+        let mixed = TrafficMatrix::mix(&[(1.0, &a), (2.0, &b)]);
+        assert!(mixed.as_matrix().is_symmetric(1e-12));
     }
 
     #[test]

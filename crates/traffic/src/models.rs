@@ -86,11 +86,10 @@ impl SiteSet {
 pub fn city_city_matrix(sites: &SiteSet) -> TrafficMatrix {
     let n = sites.len();
     let mut weights = vec![vec![0.0; n]; n];
-    for i in 0..sites.cities.len() {
-        for j in 0..sites.cities.len() {
+    for (i, a) in sites.cities.iter().enumerate() {
+        for (j, b) in sites.cities.iter().enumerate() {
             if i != j {
-                weights[i][j] =
-                    sites.cities[i].population as f64 * sites.cities[j].population as f64;
+                weights[i][j] = a.population as f64 * b.population as f64;
             }
         }
     }
@@ -119,9 +118,9 @@ pub fn city_dc_matrix(sites: &SiteSet) -> TrafficMatrix {
     if sites.datacenters.is_empty() {
         return TrafficMatrix::from_matrix(weights);
     }
-    for i in 0..sites.cities.len() {
+    for (i, city) in sites.cities.iter().enumerate() {
         let dc = sites.closest_dc(i).expect("datacenters non-empty");
-        let w = sites.cities[i].population as f64;
+        let w = city.population as f64;
         weights[i][dc] += w;
         weights[dc][i] += w;
     }
@@ -153,10 +152,38 @@ impl TrafficMix {
     /// The mixes §6.4 tests against the designed-for network.
     pub fn paper_variants() -> Vec<(String, Self)> {
         vec![
-            ("4:3:3".to_string(), Self { city_city: 4.0, city_dc: 3.0, dc_dc: 3.0 }),
-            ("5:3:3".to_string(), Self { city_city: 5.0, city_dc: 3.0, dc_dc: 3.0 }),
-            ("4:3:4".to_string(), Self { city_city: 4.0, city_dc: 3.0, dc_dc: 4.0 }),
-            ("4:4:3".to_string(), Self { city_city: 4.0, city_dc: 4.0, dc_dc: 3.0 }),
+            (
+                "4:3:3".to_string(),
+                Self {
+                    city_city: 4.0,
+                    city_dc: 3.0,
+                    dc_dc: 3.0,
+                },
+            ),
+            (
+                "5:3:3".to_string(),
+                Self {
+                    city_city: 5.0,
+                    city_dc: 3.0,
+                    dc_dc: 3.0,
+                },
+            ),
+            (
+                "4:3:4".to_string(),
+                Self {
+                    city_city: 4.0,
+                    city_dc: 3.0,
+                    dc_dc: 4.0,
+                },
+            ),
+            (
+                "4:4:3".to_string(),
+                Self {
+                    city_city: 4.0,
+                    city_dc: 4.0,
+                    dc_dc: 3.0,
+                },
+            ),
         ]
     }
 
@@ -246,7 +273,11 @@ mod tests {
             .flat_map(|i| ((i + 1)..s.cities.len()).map(move |j| (i, j)))
             .map(|(i, j)| mix.weight(i, j))
             .sum();
-        assert!((cc / total - 0.4).abs() < 1e-9, "city-city share {}", cc / total);
+        assert!(
+            (cc / total - 0.4).abs() < 1e-9,
+            "city-city share {}",
+            cc / total
+        );
     }
 
     #[test]

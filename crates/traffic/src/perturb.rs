@@ -41,8 +41,7 @@ pub fn perturbed_city_city_matrix(cities: &[City], gamma: f64, seed: u64) -> Tra
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                weights[i][j] =
-                    perturbed[i].population as f64 * perturbed[j].population as f64;
+                weights[i][j] = perturbed[i].population as f64 * perturbed[j].population as f64;
             }
         }
     }

@@ -118,16 +118,13 @@ mod tests {
     #[test]
     fn attenuation_increases_with_frequency_and_rate() {
         assert!(
-            specific_attenuation_db_per_km(30.0, 18.0)
-                > specific_attenuation_db_per_km(30.0, 11.0)
+            specific_attenuation_db_per_km(30.0, 18.0) > specific_attenuation_db_per_km(30.0, 11.0)
         );
         assert!(
-            specific_attenuation_db_per_km(30.0, 11.0)
-                > specific_attenuation_db_per_km(30.0, 6.0)
+            specific_attenuation_db_per_km(30.0, 11.0) > specific_attenuation_db_per_km(30.0, 6.0)
         );
         assert!(
-            specific_attenuation_db_per_km(60.0, 11.0)
-                > specific_attenuation_db_per_km(20.0, 11.0)
+            specific_attenuation_db_per_km(60.0, 11.0) > specific_attenuation_db_per_km(20.0, 11.0)
         );
     }
 
@@ -147,7 +144,10 @@ mod tests {
         let short = effective_path_km(10.0, 30.0);
         let long = effective_path_km(100.0, 30.0);
         assert!(short > 5.0 && short <= 10.0);
-        assert!(long < 40.0, "long-path effective length should saturate, got {long}");
+        assert!(
+            long < 40.0,
+            "long-path effective length should saturate, got {long}"
+        );
         assert!(long > short);
     }
 

@@ -187,8 +187,10 @@ mod tests {
             fade_margin: FadeMargin { margin_db: 8.0 },
             ..FailureConfig::default()
         };
-        assert!(link_failures(&topo, &field, &lenient).len()
-            <= link_failures(&topo, &field, &strict).len());
+        assert!(
+            link_failures(&topo, &field, &lenient).len()
+                <= link_failures(&topo, &field, &strict).len()
+        );
         assert!(!link_failures(&topo, &field, &strict).is_empty());
     }
 }

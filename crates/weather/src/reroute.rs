@@ -10,6 +10,7 @@
 
 use cisp_core::topology::HybridTopology;
 use cisp_geo::latency;
+use cisp_graph::{pair_indices, DistMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::failures::{link_failures, FailureConfig};
@@ -93,53 +94,55 @@ pub fn weather_year_analysis(
     let n = topology.num_sites();
 
     // Fair-weather and fiber-only baselines.
-    let best_matrix = topology.effective_matrix_without(&[]);
-    let all_links: Vec<usize> = (0..topology.mw_links().len()).collect();
-    let fiber_matrix = topology.effective_matrix_without(&all_links);
+    let best_matrix = topology.effective_matrix();
+    let fiber_matrix = topology.fiber_matrix();
 
-    // Per-interval stretch samples per pair.
-    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(year.len()); n * n];
+    // Per-interval stretch samples, one slot per analysed pair (positive
+    // geodesic distance only). The per-interval effective matrix is rebuilt
+    // into one reusable scratch buffer (copy-on-write from the fiber matrix)
+    // instead of allocating a fresh matrix per interval.
+    let analysed: Vec<(usize, usize)> = pair_indices(n)
+        .filter(|&(i, j)| topology.geodesic_km(i, j) > 0.0)
+        .collect();
+    let mut samples: Vec<Vec<f64>> = analysed
+        .iter()
+        .map(|_| Vec::with_capacity(year.len()))
+        .collect();
     let mut failed_total = 0usize;
+    let mut scratch = DistMatrix::zeros(n);
     for field in year.fields() {
         let failed = link_failures(topology, field, config);
         failed_total += failed.len();
-        let matrix = if failed.is_empty() {
-            best_matrix.clone()
+        let matrix: &DistMatrix = if failed.is_empty() {
+            best_matrix
         } else {
-            topology.effective_matrix_without(&failed)
+            topology.effective_matrix_without_into(&failed, &mut scratch);
+            &scratch
         };
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let geo = topology.geodesic_km(i, j);
-                if geo > 0.0 {
-                    samples[i * n + j].push(latency::distance_stretch(matrix[i][j], geo));
-                }
-            }
+        for (slot, &(i, j)) in samples.iter_mut().zip(&analysed) {
+            slot.push(latency::distance_stretch(
+                matrix[i][j],
+                topology.geodesic_km(i, j),
+            ));
         }
     }
 
     let mut pairs = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let geo = topology.geodesic_km(i, j);
-            if geo <= 0.0 {
-                continue;
-            }
-            let mut s = samples[i * n + j].clone();
-            if s.is_empty() {
-                continue;
-            }
-            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let p99_idx = ((s.len() - 1) as f64 * 0.99).round() as usize;
-            pairs.push(PairWeatherStats {
-                site_a: i,
-                site_b: j,
-                best: latency::distance_stretch(best_matrix[i][j], geo),
-                p99: s[p99_idx],
-                worst: *s.last().unwrap(),
-                fiber_only: latency::distance_stretch(fiber_matrix[i][j], geo),
-            });
+    for (s, &(i, j)) in samples.iter_mut().zip(&analysed) {
+        if s.is_empty() {
+            continue;
         }
+        let geo = topology.geodesic_km(i, j);
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99_idx = ((s.len() - 1) as f64 * 0.99).round() as usize;
+        pairs.push(PairWeatherStats {
+            site_a: i,
+            site_b: j,
+            best: latency::distance_stretch(best_matrix[i][j], geo),
+            p99: s[p99_idx],
+            worst: *s.last().unwrap(),
+            fiber_only: latency::distance_stretch(fiber_matrix[i][j], geo),
+        });
     }
 
     WeatherYearReport {

@@ -103,8 +103,7 @@ impl StormYear {
         let mut fields = Vec::with_capacity(config.days);
         for day in 0..config.days {
             // Seasonal factor: 1 at mid-summer (day ~196), 0 at mid-winter.
-            let season =
-                0.5 + 0.5 * ((day as f64 - 196.0) / 365.0 * std::f64::consts::TAU).cos();
+            let season = 0.5 + 0.5 * ((day as f64 - 196.0) / 365.0 * std::f64::consts::TAU).cos();
             let mean = config.winter_mean_storms
                 + season * (config.summer_mean_storms - config.winter_mean_storms);
             // Poisson-ish count via repeated Bernoulli thinning.
@@ -132,9 +131,15 @@ impl StormYear {
                 // broad, weaker systems.
                 let convective = rng.gen::<f64>() < 0.3 + 0.5 * season;
                 let (radius_km, peak_mm_h) = if convective {
-                    (20.0 + rng.gen::<f64>() * 60.0, 25.0 + rng.gen::<f64>() * 85.0)
+                    (
+                        20.0 + rng.gen::<f64>() * 60.0,
+                        25.0 + rng.gen::<f64>() * 85.0,
+                    )
                 } else {
-                    (80.0 + rng.gen::<f64>() * 200.0, 3.0 + rng.gen::<f64>() * 17.0)
+                    (
+                        80.0 + rng.gen::<f64>() * 200.0,
+                        3.0 + rng.gen::<f64>() * 17.0,
+                    )
                 };
                 storms.push(Storm {
                     center,

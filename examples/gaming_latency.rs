@@ -47,7 +47,10 @@ fn main() {
         }
     }
 
-    println!("\nframe-time sweep (Fig. 12 shape), processing = {} ms:", model.processing_ms);
+    println!(
+        "\nframe-time sweep (Fig. 12 shape), processing = {} ms:",
+        model.processing_ms
+    );
     for (rtt, conventional, augmented) in frame_time_sweep(&model, 300.0, 75.0) {
         println!(
             "  conventional RTT {rtt:>5.0} ms: frame {conventional:>6.1} ms → {augmented:>6.1} ms with augmentation"

@@ -57,7 +57,7 @@ fn main() {
     }
     let input = DesignInput {
         sites: base.sites.clone(),
-        traffic,
+        traffic: traffic.into(),
         fiber_km: base.fiber_km.clone(),
         candidates: base.candidates.clone(),
     };

@@ -5,9 +5,9 @@
 use cisp::core::cost::CostModel;
 use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
 use cisp::geo::latency;
+use cisp::netsim::network::{LinkSpec, Network};
 use cisp::netsim::routing::Demand;
 use cisp::netsim::sim::{SimConfig, Simulation};
-use cisp::netsim::network::{LinkSpec, Network};
 use cisp::weather::failures::FailureConfig;
 use cisp::weather::reroute::{weather_year_analysis, WeatherSeries};
 use cisp::weather::storms::{StormYear, StormYearConfig};

@@ -88,9 +88,9 @@ proptest! {
             let h = (seed.wrapping_mul(k as u64 + 1)).wrapping_mul(0x9E3779B97F4A7C15);
             (h >> 40) as f64 / 1e4 + k as f64 * 200.0
         }).collect();
-        let mut matrix: Vec<Vec<f64>> = (0..n)
-            .map(|a| (0..n).map(|b| (positions[a] - positions[b]).abs() * 1.9).collect())
-            .collect();
+        let mut matrix = cisp::graph::DistMatrix::from_fn(n, |a, b| {
+            (positions[a] - positions[b]).abs() * 1.9
+        });
         let before = matrix.clone();
         improve_with_link(&mut matrix, i, j, length);
         for a in 0..n {

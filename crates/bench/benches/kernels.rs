@@ -4,12 +4,17 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use cisp_bench::all_pairs_candidates;
-use cisp_core::design::{score_candidates, DesignInput};
+use std::sync::RwLock;
+
+use cisp_bench::synthetic_design_input;
+use cisp_core::design::{score_candidates, DesignConfig, DesignInput, Designer};
+use cisp_core::engine::{
+    scoring_denominator, scoring_weights, RoundUpdate, ScoreContext, ShardState,
+};
 use cisp_data::cities::us_top_cities;
 use cisp_data::towers::{TowerRegistry, TowerRegistryConfig};
 use cisp_geo::{fresnel, geodesic, GeoPoint};
-use cisp_graph::{dijkstra, DistMatrix, Graph};
+use cisp_graph::{dijkstra, improve_with_link_tracked, Graph, ImprovedPairs};
 use cisp_lp::model::{Problem, VarKind};
 use cisp_lp::simplex::solve_lp;
 use cisp_terrain::{clutter::ClutterModel, profile, TerrainModel};
@@ -115,23 +120,7 @@ fn bench_simplex(c: &mut Criterion) {
 /// A dense synthetic design input (`n` sites, all-pairs candidates) for the
 /// candidate-scoring kernel benchmarks.
 fn scoring_input(n: usize) -> DesignInput {
-    let sites: Vec<GeoPoint> = (0..n)
-        .map(|i| {
-            GeoPoint::new(
-                30.0 + ((i * 13) % 17) as f64,
-                -120.0 + ((i * 7) % 43) as f64 * 1.2,
-            )
-        })
-        .collect();
-    let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
-    let fiber_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 2.0);
-    let candidates = all_pairs_candidates(&sites, 1.05, 60.0);
-    DesignInput {
-        sites,
-        traffic,
-        fiber_km,
-        candidates,
-    }
+    synthetic_design_input(n)
 }
 
 /// The greedy designer's inner loop: one O(n²) mean-stretch-with-link sweep
@@ -154,6 +143,103 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     group.finish();
 }
 
+/// The greedy inner loop, per accepted link: the rebuild-and-rescore engine
+/// re-sweeps every surviving candidate with the O(n²) kernel
+/// (`full_rescore`), while the incremental delta-scoring engine repairs the
+/// cached predictions from the accepted link's improved-pair set
+/// (`incremental`). The ratio is the per-round speedup the design pipeline's
+/// greedy phases see on the default engine.
+fn bench_incremental_vs_full_rescore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_full_rescore");
+    group.sample_size(10);
+    // In `--test` smoke mode only the smallest size runs (the staging below
+    // replays a real greedy prefix, which is slow in debug builds).
+    let quick =
+        std::env::args().any(|a| a == "--test") || std::env::var_os("CISP_BENCH_QUICK").is_some();
+    let sizes: &[usize] = if quick { &[30] } else { &[30, 60, 120] };
+    for &n in sizes {
+        let input = scoring_input(n);
+        let pool = input.useful_candidates();
+
+        // Pause the real greedy mid-run: warm the topology with its first
+        // selections, then measure the round that accepts the next one —
+        // the steady-state round the engines differ on.
+        let config = DesignConfig {
+            parallel: false,
+            ..DesignConfig::default()
+        };
+        let trajectory = Designer::with_config(&input, config)
+            .greedy((4 * n) as f64)
+            .selected;
+        assert!(trajectory.len() >= 2, "trajectory too short at n = {n}");
+        let split = trajectory.len() * 2 / 3;
+        let accepted = trajectory[split];
+        let accepted_pos = pool.iter().position(|&idx| idx == accepted).unwrap();
+        let mut topology = input.empty_topology();
+        for &idx in &trajectory[..split] {
+            topology.add_mw_link(input.candidates[idx].clone());
+        }
+
+        // Full rescore: every pool candidate re-scored against the
+        // post-accept matrix.
+        let mut after = topology.clone();
+        after.add_mw_link(input.candidates[accepted].clone());
+        group.bench_with_input(BenchmarkId::new("full_rescore", n), &n, |b, _| {
+            b.iter(|| score_candidates(&after, &input.candidates, black_box(&pool), false))
+        });
+
+        // Incremental: one shard repairs its cached predictions from the
+        // accepted link's delta.
+        let matrix = RwLock::new(topology.effective_matrix().clone());
+        let den = scoring_denominator(
+            topology.effective_matrix(),
+            topology.geodesic_matrix(),
+            topology.traffic(),
+        )
+        .expect("synthetic input is finite");
+        let weights = scoring_weights(topology.geodesic_matrix(), topology.traffic());
+        let ctx = ScoreContext {
+            candidates: &input.candidates,
+            pool: &pool,
+            geodesic: topology.geodesic_matrix(),
+            traffic: topology.traffic(),
+            matrix: &matrix,
+            weights: &weights,
+            den,
+        };
+        let mut state = ShardState::new(0..pool.len());
+        state.init_score(&ctx);
+        let link = &input.candidates[accepted];
+        let mut improved = ImprovedPairs::new(n);
+        {
+            let mut m = matrix.write().unwrap();
+            improve_with_link_tracked(
+                &mut m,
+                link.site_a,
+                link.site_b,
+                link.mw_length_km,
+                &mut improved,
+            );
+        }
+        let update = RoundUpdate::new(
+            improved,
+            Some(accepted_pos),
+            Vec::new(),
+            &matrix.read().unwrap(),
+            &weights,
+            den,
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let mut shard = state.clone();
+                shard.apply(&ctx, &update);
+                black_box(shard.values()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_geodesic,
@@ -161,6 +247,7 @@ criterion_group!(
     bench_tower_queries,
     bench_dijkstra,
     bench_simplex,
-    bench_candidate_scoring
+    bench_candidate_scoring,
+    bench_incremental_vs_full_rescore
 );
 criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Record the design-engine baseline: incremental delta-scoring vs full
+//! rescoring, per greedy round and end to end, at n ∈ {30, 60, 120}.
+//!
+//! Writes `BENCH_design.json` (or the path given as the first argument) with
+//! wall-clock medians and the speedup ratios, and asserts along the way that
+//! both engines select identical designs. All measurements are serial
+//! (`parallel: false`) so the recorded baseline does not depend on the
+//! machine's core count.
+//!
+//! Run with: `cargo run --release --bin bench_design_baseline`
+
+use std::sync::RwLock;
+use std::time::Instant;
+
+use cisp_bench::synthetic_design_input;
+use cisp_core::design::{score_candidates, DesignConfig, Designer, ScoringEngine};
+use cisp_core::engine::{
+    scoring_denominator, scoring_weights, RoundUpdate, ScoreContext, ShardState,
+};
+use cisp_graph::{improve_with_link_tracked, ImprovedPairs};
+
+/// Median wall-clock milliseconds of `f` over enough repetitions to be
+/// stable (at least 3, more for sub-100ms bodies).
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let probe = Instant::now();
+    f();
+    let first_ms = probe.elapsed().as_secs_f64() * 1e3;
+    let reps = if first_ms < 1.0 {
+        25
+    } else if first_ms < 100.0 {
+        7
+    } else {
+        3
+    };
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+struct SizeReport {
+    n: usize,
+    pool: usize,
+    round_full_rescore_ms: f64,
+    round_incremental_ms: f64,
+    greedy_full_rescore_ms: f64,
+    greedy_incremental_ms: f64,
+    selected_links: usize,
+}
+
+fn measure(n: usize) -> SizeReport {
+    let input = synthetic_design_input(n);
+    let pool = input.useful_candidates();
+    let budget = (4 * n) as f64;
+    let incremental_config = DesignConfig {
+        parallel: false,
+        engine: ScoringEngine::Incremental,
+        ..DesignConfig::default()
+    };
+    let full_config = DesignConfig {
+        engine: ScoringEngine::FullRescore,
+        ..incremental_config
+    };
+
+    // --- Per-round inner loop: pause the real greedy mid-run — warm the
+    // topology with its first selections, then measure the round that
+    // accepts the next one.
+    let trajectory = Designer::with_config(&input, incremental_config)
+        .greedy(budget)
+        .selected;
+    assert!(trajectory.len() >= 2, "trajectory too short at n = {n}");
+    let split = trajectory.len() * 2 / 3;
+    let accepted = trajectory[split];
+    let accepted_pos = pool.iter().position(|&idx| idx == accepted).unwrap();
+    let mut topology = input.empty_topology();
+    for &idx in &trajectory[..split] {
+        topology.add_mw_link(input.candidates[idx].clone());
+    }
+    let mut after = topology.clone();
+    after.add_mw_link(input.candidates[accepted].clone());
+    let round_full_rescore_ms =
+        median_ms(|| drop(score_candidates(&after, &input.candidates, &pool, false)));
+
+    let matrix = RwLock::new(topology.effective_matrix().clone());
+    let den = scoring_denominator(
+        topology.effective_matrix(),
+        topology.geodesic_matrix(),
+        topology.traffic(),
+    )
+    .expect("synthetic input is finite");
+    let weights = scoring_weights(topology.geodesic_matrix(), topology.traffic());
+    let ctx = ScoreContext {
+        candidates: &input.candidates,
+        pool: &pool,
+        geodesic: topology.geodesic_matrix(),
+        traffic: topology.traffic(),
+        matrix: &matrix,
+        weights: &weights,
+        den,
+    };
+    let mut state = ShardState::new(0..pool.len());
+    state.init_score(&ctx);
+    let link = &input.candidates[accepted];
+    let mut improved = ImprovedPairs::new(n);
+    {
+        let mut m = matrix.write().unwrap();
+        improve_with_link_tracked(
+            &mut m,
+            link.site_a,
+            link.site_b,
+            link.mw_length_km,
+            &mut improved,
+        );
+    }
+    let update = RoundUpdate::new(
+        improved,
+        Some(accepted_pos),
+        Vec::new(),
+        &matrix.read().unwrap(),
+        &weights,
+        den,
+    );
+    let round_incremental_ms = median_ms(|| {
+        let mut shard = state.clone();
+        shard.apply(&ctx, &update);
+    });
+
+    // --- End-to-end greedy, both engines, serial.
+    let incremental = Designer::with_config(&input, incremental_config).greedy(budget);
+    let full = Designer::with_config(&input, full_config).greedy(budget);
+    assert_eq!(
+        incremental.selected, full.selected,
+        "engines diverged at n = {n}"
+    );
+    let greedy_incremental_ms =
+        median_ms(|| drop(Designer::with_config(&input, incremental_config).greedy(budget)));
+    let greedy_full_rescore_ms =
+        median_ms(|| drop(Designer::with_config(&input, full_config).greedy(budget)));
+
+    SizeReport {
+        n,
+        pool: pool.len(),
+        round_full_rescore_ms,
+        round_incremental_ms,
+        greedy_full_rescore_ms,
+        greedy_incremental_ms,
+        selected_links: incremental.selected.len(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_design.json".to_string());
+    let mut entries = Vec::new();
+    for n in [30usize, 60, 120] {
+        let r = measure(n);
+        println!(
+            "n = {:3}: round {:9.3} ms -> {:7.3} ms ({:5.1}x), greedy {:9.1} ms -> {:8.1} ms ({:4.1}x), {} links",
+            r.n,
+            r.round_full_rescore_ms,
+            r.round_incremental_ms,
+            r.round_full_rescore_ms / r.round_incremental_ms,
+            r.greedy_full_rescore_ms,
+            r.greedy_incremental_ms,
+            r.greedy_full_rescore_ms / r.greedy_incremental_ms,
+            r.selected_links,
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"pool_candidates\": {},\n",
+                "      \"selected_links\": {},\n",
+                "      \"round_full_rescore_ms\": {:.4},\n",
+                "      \"round_incremental_ms\": {:.4},\n",
+                "      \"round_speedup\": {:.2},\n",
+                "      \"greedy_full_rescore_ms\": {:.2},\n",
+                "      \"greedy_incremental_ms\": {:.2},\n",
+                "      \"greedy_speedup\": {:.2}\n",
+                "    }}"
+            ),
+            r.n,
+            r.pool,
+            r.selected_links,
+            r.round_full_rescore_ms,
+            r.round_incremental_ms,
+            r.round_full_rescore_ms / r.round_incremental_ms,
+            r.greedy_full_rescore_ms,
+            r.greedy_incremental_ms,
+            r.greedy_full_rescore_ms / r.greedy_incremental_ms,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"design greedy: incremental delta-scoring vs full rescore\",\n",
+            "  \"input\": \"synthetic_design_input (all-pairs candidates), serial scoring\",\n",
+            "  \"command\": \"cargo run --release --bin bench_design_baseline\",\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline file");
+    println!("wrote {out_path}");
+}

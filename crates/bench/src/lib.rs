@@ -109,6 +109,32 @@ pub fn all_pairs_candidates(
     candidates
 }
 
+/// A dense synthetic design input: `n` scattered US-extent sites, fiber at
+/// 2× geodesic, uniform traffic, and an all-pairs candidate set at 1.05×
+/// geodesic with one tower per 60 km. Shared by the scoring-kernel
+/// benchmarks and the `bench_design_baseline` binary so their inputs agree.
+pub fn synthetic_design_input(n: usize) -> cisp_core::design::DesignInput {
+    let sites: Vec<cisp_geo::GeoPoint> = (0..n)
+        .map(|i| {
+            cisp_geo::GeoPoint::new(
+                30.0 + ((i * 13) % 17) as f64,
+                -120.0 + ((i * 7) % 43) as f64 * 1.2,
+            )
+        })
+        .collect();
+    let traffic = cisp_graph::DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+    let fiber_km = cisp_graph::DistMatrix::from_fn(n, |i, j| {
+        cisp_geo::geodesic::distance_km(sites[i], sites[j]) * 2.0
+    });
+    let candidates = all_pairs_candidates(&sites, 1.05, 60.0);
+    cisp_core::design::DesignInput {
+        sites,
+        traffic,
+        fiber_km,
+        candidates,
+    }
+}
+
 /// The shared US scenario at a given scale and seed.
 pub fn us_scenario(scale: Scale, seed: u64) -> Scenario {
     let mut config = ScenarioConfig::us_paper(seed);

@@ -10,8 +10,8 @@
 //!
 //! * [`Designer::greedy`] — the scalable greedy: repeatedly add the candidate
 //!   link that lowers mean stretch the most (the paper's pruning heuristic),
-//!   implemented with lazy re-evaluation so that only a handful of candidates
-//!   are re-scored per iteration.
+//!   with candidate scores maintained incrementally so that only a handful
+//!   of candidates are exactly re-scored per iteration.
 //! * [`Designer::cisp`] — the full cISP heuristic: run the greedy with an
 //!   inflated (2×) budget to identify a candidate pool, then re-select within
 //!   the real budget and polish with budget-respecting swap local search.
@@ -24,24 +24,43 @@
 //! between its endpoints can never improve any route and is dropped outright.
 //! This is exact, not an approximation.
 //!
-//! ## Parallelism and scratch buffers
+//! ## The incremental delta-scoring engine
 //!
 //! Candidate scoring — one O(n²) [`mean_stretch_with_link`] sweep per
-//! candidate — dominates design time and is embarrassingly parallel, so both
-//! the greedy's batch (re-)scoring and the swap polish's trial evaluation fan
-//! out across cores with `rayon` (see [`DesignConfig::parallel`]; results
-//! are bit-identical to the serial path because scoring never mutates and
-//! reductions are order-fixed). The swap polish additionally evaluates each
+//! candidate — dominates design time. The default engine
+//! ([`ScoringEngine::Incremental`], see [`crate::engine`]) keeps a cached
+//! predicted stretch per pool candidate and, after each accepted link,
+//! repairs the caches from the link's improved-pair delta instead of
+//! re-sweeping: candidates whose endpoints the accepted link did not touch
+//! get an exact O(|improved|) repair, touched candidates are re-scored with
+//! the exact kernel, and the winning candidate of every round is always
+//! re-scored exactly before acceptance — so the engine selects the same
+//! designs as full rescoring (pinned by `tests/matrix_engine_parity.rs`).
+//! [`ScoringEngine::FullRescore`] keeps the rebuild-and-rescore path as the
+//! conservative reference.
+//!
+//! Scoring parallelism comes from *persistent worker shards*
+//! ([`crate::engine::ShardPool`]): worker threads spawned once per design
+//! run, each owning a stable contiguous slice of the candidate pool across
+//! all greedy rounds and swap passes, replacing the per-batch rayon fan-out.
+//! Serial and parallel runs select bit-identical designs (the shard math is
+//! shared and reductions are order-fixed). The swap polish evaluates each
 //! trial against a reusable copy-on-write scratch matrix instead of
 //! rebuilding a full trial topology per `(out, in)` pair, turning each trial
 //! from "clone three matrices + recompute geodesics + k incremental updates"
 //! into one allocation-free scoring sweep.
 
+use std::sync::RwLock;
+use std::thread;
+
 use cisp_geo::GeoPoint;
-use cisp_graph::DistMatrix;
+use cisp_graph::{improve_with_link_tracked, DistMatrix, ImprovedPairs};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::{
+    scoring_denominator, scoring_weights, PoolScorer, RoundUpdate, ScoreContext, ShardPool,
+};
 use crate::links::CandidateLink;
 use crate::topology::{improve_with_link, mean_stretch_with_link, HybridTopology};
 
@@ -53,6 +72,25 @@ pub enum GreedyScore {
     /// Reduction in mean stretch per tower of cost (cost-aware variant,
     /// used in the ablation benchmarks).
     GainPerTower,
+}
+
+/// How the greedy maintains candidate scores across rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoringEngine {
+    /// Incremental delta-scoring (the default): cached per-candidate gains
+    /// repaired from each accepted link's improved-pair set, with exact
+    /// kernel re-scoring of touched candidates and of every round's winner.
+    /// Selects the same designs as [`Self::FullRescore`] whenever candidate
+    /// scores are separated by more than the repair's ulp-level summation
+    /// noise (~1e-14 relative; exactly tied scores could in principle break
+    /// ties differently — pinned equal on all parity/property fixtures).
+    /// Falls back to [`Self::FullRescore`] automatically when the input has
+    /// non-finite distances on traffic pairs (where the incremental
+    /// decomposition does not apply).
+    Incremental,
+    /// The conservative reference: every surviving candidate fully
+    /// re-scored against the current matrix each round.
+    FullRescore,
 }
 
 /// Configuration of the design procedures.
@@ -67,11 +105,13 @@ pub struct DesignConfig {
     pub max_swap_passes: usize,
     /// Minimum mean-stretch gain for a link to be worth adding.
     pub min_gain: f64,
-    /// Fan candidate scoring out across cores. Scoring is read-only and the
-    /// reduction order is fixed, so parallel and serial runs select identical
-    /// designs; the flag exists for benchmarking and for debugging with a
-    /// deterministic single-threaded profile.
+    /// Fan candidate scoring out across persistent worker shards. Scoring is
+    /// read-only and the reduction order is fixed, so parallel and serial
+    /// runs select identical designs; the flag exists for benchmarking and
+    /// for debugging with a deterministic single-threaded profile.
     pub parallel: bool,
+    /// Scoring engine for the greedy phases.
+    pub engine: ScoringEngine,
 }
 
 impl Default for DesignConfig {
@@ -82,6 +122,7 @@ impl Default for DesignConfig {
             max_swap_passes: 3,
             min_gain: 1e-9,
             parallel: true,
+            engine: ScoringEngine::Incremental,
         }
     }
 }
@@ -247,103 +288,242 @@ impl<'a> Designer<'a> {
     }
 
     /// Greedy design over an explicit candidate pool (indices into the input
-    /// candidate list), with lazy gain re-evaluation.
+    /// candidate list), dispatched to the configured scoring engine.
     fn greedy_over(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
+        match self.config.engine {
+            ScoringEngine::Incremental => self.greedy_incremental(pool, budget_towers),
+            ScoringEngine::FullRescore => self.greedy_full_rescore(pool, budget_towers),
+        }
+    }
+
+    /// Number of persistent scoring shards a design run fans out to (1 = run
+    /// inline on the calling thread).
+    fn shard_count(&self, pool_len: usize) -> usize {
+        if self.config.parallel {
+            rayon::current_num_threads().clamp(1, pool_len.max(1))
+        } else {
+            1
+        }
+    }
+
+    /// The incremental delta-scoring greedy (see [`crate::engine`]).
+    ///
+    /// Every pool candidate's predicted stretch is cached; after each
+    /// accepted link the caches are repaired from the link's improved-pair
+    /// set by the persistent shards. Selection re-scores the provisional
+    /// winner with the exact kernel and accepts only once the exact value is
+    /// still the best cached priority, so the chosen sequence matches full
+    /// rescoring while almost all O(n²) sweeps disappear.
+    fn greedy_incremental(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
+        let input = self.input;
+        let base = input.empty_topology();
+        let den = scoring_denominator(
+            base.effective_matrix(),
+            base.geodesic_matrix(),
+            base.traffic(),
+        );
+        let Some(den) = den else {
+            // Non-finite distances (or no traffic at all): the delta
+            // decomposition does not apply; use the reference engine.
+            return self.greedy_full_rescore(pool, budget_towers);
+        };
+        let effective = RwLock::new(input.fiber_km.clone());
+        let weights = scoring_weights(base.geodesic_matrix(), base.traffic());
+        let ctx = ScoreContext {
+            candidates: &input.candidates,
+            pool,
+            geodesic: base.geodesic_matrix(),
+            traffic: base.traffic(),
+            matrix: &effective,
+            weights: &weights,
+            den,
+        };
+        let workers = self.shard_count(pool.len());
+        let selected = if workers <= 1 || pool.is_empty() {
+            let mut scorer = PoolScorer::inline(pool.len());
+            self.run_incremental(&ctx, &mut scorer, budget_towers)
+        } else {
+            thread::scope(|scope| {
+                let mut scorer = PoolScorer::Sharded(ShardPool::spawn(scope, &ctx, workers));
+                self.run_incremental(&ctx, &mut scorer, budget_towers)
+            })
+        };
+
+        // Replay the selection through a fresh topology so the returned
+        // state (and its reported stretch) is bit-identical to what the
+        // full-rescore engine builds.
+        let mut topology = input.empty_topology();
+        let mut history = Vec::with_capacity(selected.len());
+        let mut total_towers = 0usize;
+        for &idx in &selected {
+            let link = input.candidates[idx].clone();
+            total_towers += link.tower_count;
+            topology.add_mw_link(link);
+            history.push(DesignStep {
+                candidate_index: idx,
+                cumulative_towers: total_towers,
+                mean_stretch: topology.mean_stretch(),
+            });
+        }
+        DesignOutcome {
+            selected,
+            mean_stretch: topology.mean_stretch(),
+            total_towers,
+            topology,
+            history,
+        }
+    }
+
+    /// The incremental greedy's selection loop: returns the accepted
+    /// candidate indices in acceptance order. `ctx.matrix` ends up holding
+    /// the final effective matrix.
+    fn run_incremental(
+        &self,
+        ctx: &ScoreContext,
+        scorer: &mut PoolScorer,
+        budget_towers: f64,
+    ) -> Vec<usize> {
+        let pool = ctx.pool;
+        let budget = budget_towers.floor() as usize;
+        let mut values = vec![f64::INFINITY; pool.len()];
+        scorer.init(ctx, &mut values);
+        let mut removed = vec![false; pool.len()];
+        let mut refreshed = vec![false; pool.len()];
+        let stretch_of = |matrix: &DistMatrix| {
+            crate::topology::weighted_mean_stretch(matrix, ctx.geodesic, ctx.traffic)
+        };
+        let mut current_stretch = stretch_of(&ctx.matrix.read().unwrap());
+        let mut selected = Vec::new();
+        let mut total_towers = 0usize;
+        let mut improved = ImprovedPairs::new(ctx.geodesic.n());
+
+        loop {
+            // Select this round's link: repeatedly take the best cached
+            // priority among affordable candidates, re-score it with the
+            // exact kernel, and accept once the winner's value is exact.
+            refreshed.fill(false);
+            let mut overrides: Vec<(usize, f64)> = Vec::new();
+            let mut chosen: Option<usize> = None;
+            loop {
+                let mut best: Option<(f64, usize)> = None;
+                for pos in 0..pool.len() {
+                    if removed[pos] {
+                        continue;
+                    }
+                    let cost = self.input.candidates[pool[pos]].tower_count;
+                    if total_towers + cost > budget {
+                        continue;
+                    }
+                    let priority = self.score(current_stretch - values[pos], cost);
+                    if priority <= self.config.min_gain {
+                        continue;
+                    }
+                    // Strict `>` keeps the lowest position on ties, matching
+                    // the full-rescore engine's deterministic tie-break.
+                    if best.is_none() || priority > best.unwrap().0 {
+                        best = Some((priority, pos));
+                    }
+                }
+                let Some((_, pos)) = best else { break };
+                if refreshed[pos] {
+                    // Exact value and still the best priority: accept (the
+                    // priority filter above already guarantees the gain
+                    // clears `min_gain`).
+                    chosen = Some(pos);
+                    break;
+                }
+                let exact = {
+                    let matrix = ctx.matrix.read().unwrap();
+                    let l = &self.input.candidates[pool[pos]];
+                    mean_stretch_with_link(
+                        &matrix,
+                        ctx.geodesic,
+                        ctx.traffic,
+                        l.site_a,
+                        l.site_b,
+                        l.mw_length_km,
+                    )
+                };
+                values[pos] = exact;
+                refreshed[pos] = true;
+                overrides.push((pos, exact));
+            }
+
+            let Some(pos) = chosen else { break };
+            let link = self.input.candidates[pool[pos]].clone();
+            total_towers += link.tower_count;
+            {
+                let mut matrix = ctx.matrix.write().unwrap();
+                improve_with_link_tracked(
+                    &mut matrix,
+                    link.site_a,
+                    link.site_b,
+                    link.mw_length_km,
+                    &mut improved,
+                );
+            }
+            current_stretch = stretch_of(&ctx.matrix.read().unwrap());
+            selected.push(pool[pos]);
+            removed[pos] = true;
+            let update = RoundUpdate::new(
+                std::mem::replace(&mut improved, ImprovedPairs::new(ctx.geodesic.n())),
+                Some(pos),
+                overrides,
+                &ctx.matrix.read().unwrap(),
+                ctx.weights,
+                ctx.den,
+            );
+            scorer.apply(ctx, update, &mut values);
+        }
+        selected
+    }
+
+    /// The reference rebuild-and-rescore greedy: every surviving affordable
+    /// candidate is re-scored with the exact O(n²) kernel after every
+    /// accepted link, and the true argmax is taken (ties broken by earliest
+    /// pool position). This is the semantics the incremental engine is
+    /// pinned against — and the cost profile it exists to remove.
+    fn greedy_full_rescore(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
         let mut topology = self.input.empty_topology();
         let mut selected = Vec::new();
         let mut history = Vec::new();
         let mut total_towers = 0usize;
         let mut current_stretch = topology.mean_stretch();
-
-        // (stale score, candidate index); refreshed lazily. The initial
-        // scoring of the whole pool is the designer's biggest single batch of
-        // O(n²) sweeps, so it fans out across cores.
-        let mut queue: Vec<(f64, usize)> = self.score_pool(&topology, current_stretch, pool);
+        let budget = budget_towers.floor() as usize;
+        // Surviving candidates, in pool order (the tie-break order).
+        let mut remaining: Vec<usize> = pool.to_vec();
 
         loop {
-            // Sort stale scores descending (deterministic tie-break on index).
-            queue.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-            // Lazily find the best affordable candidate with a fresh score.
-            let mut chosen: Option<(usize, f64, usize)> = None; // (queue pos, gain, idx)
-            for pos in 0..queue.len() {
-                let (stale_score, idx) = queue[pos];
-                if stale_score <= self.config.min_gain {
-                    break;
-                }
-                let link = &self.input.candidates[idx];
-                if total_towers + link.tower_count > budget_towers.floor() as usize {
-                    continue;
-                }
-                let fresh_gain = current_stretch - topology.mean_stretch_with(link);
-                let fresh_score = self.score(fresh_gain, link.tower_count);
-                queue[pos].0 = fresh_score;
-                // Fresh score still at least as good as the next stale score
-                // ⇒ it is the true maximum (scores only shrink as links are
-                // added, so stale scores are upper bounds).
-                let next_stale = queue
-                    .iter()
-                    .enumerate()
-                    .filter(|&(p, _)| p != pos)
-                    .map(|(_, &(s, _))| s)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                if fresh_score >= next_stale - 1e-12 {
-                    if fresh_gain > self.config.min_gain {
-                        chosen = Some((pos, fresh_gain, idx));
-                    }
-                    break;
-                }
-                // Otherwise keep scanning; the re-sorted queue is handled on
-                // the next outer iteration.
+            let affordable: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&idx| total_towers + self.input.candidates[idx].tower_count <= budget)
+                .collect();
+            if affordable.is_empty() {
+                break;
             }
-
-            // Resolve this iteration to one accepted (queue position,
-            // candidate) or stop.
-            let accepted: Option<(usize, usize)> = match chosen {
-                Some((pos, _gain, idx)) => Some((pos, idx)),
-                None => {
-                    // No affordable candidate with fresh max score this pass;
-                    // check whether any stale entry could still qualify.
-                    let any_affordable = queue.iter().any(|&(score, idx)| {
-                        score > self.config.min_gain
-                            && total_towers + self.input.candidates[idx].tower_count
-                                <= budget_towers.floor() as usize
-                    });
-                    if !any_affordable {
-                        break;
-                    }
-                    // Re-sort happens at the top of the loop; to guarantee
-                    // progress, refresh every score once (in parallel — this
-                    // is a full batch of scoring sweeps).
-                    let remaining: Vec<usize> = queue.iter().map(|&(_, idx)| idx).collect();
-                    queue = self.score_pool(&topology, current_stretch, &remaining);
-                    queue
-                        .iter()
-                        .copied()
-                        .filter(|&(score, idx)| {
-                            score > self.config.min_gain
-                                && total_towers + self.input.candidates[idx].tower_count
-                                    <= budget_towers.floor() as usize
-                        })
-                        .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)))
-                        .map(|(_, idx)| (queue.iter().position(|&(_, i)| i == idx).unwrap(), idx))
+            // One full batch of O(n²) scoring sweeps, fanned out across
+            // cores, then the exact argmax (strict `>` keeps the earliest
+            // pool position on ties).
+            let scores = self.score_pool(&topology, current_stretch, &affordable);
+            let mut best: Option<(f64, usize)> = None;
+            for &(score, idx) in &scores {
+                if score > self.config.min_gain && (best.is_none() || score > best.unwrap().0) {
+                    best = Some((score, idx));
                 }
-            };
-            match accepted {
-                Some((pos, idx)) => {
-                    let link = self.input.candidates[idx].clone();
-                    total_towers += link.tower_count;
-                    topology.add_mw_link(link);
-                    current_stretch = topology.mean_stretch();
-                    selected.push(idx);
-                    history.push(DesignStep {
-                        candidate_index: idx,
-                        cumulative_towers: total_towers,
-                        mean_stretch: current_stretch,
-                    });
-                    queue.remove(pos);
-                }
-                None => break,
             }
+            let Some((_, idx)) = best else { break };
+            let link = self.input.candidates[idx].clone();
+            total_towers += link.tower_count;
+            topology.add_mw_link(link);
+            current_stretch = topology.mean_stretch();
+            selected.push(idx);
+            history.push(DesignStep {
+                candidate_index: idx,
+                cumulative_towers: total_towers,
+                mean_stretch: current_stretch,
+            });
+            remaining.retain(|&i| i != idx);
         }
 
         DesignOutcome {
@@ -383,17 +563,51 @@ impl<'a> Designer<'a> {
     /// apply the best improving one.
     ///
     /// For each `out` link, the effective matrix of the remaining selection
-    /// is rebuilt once into a reusable scratch buffer (copy-on-write from the
-    /// fiber matrix — no allocation after the first pass), and every `in`
-    /// candidate is then scored against that scratch with the allocation-free
-    /// one-link kernel, fanned out across cores. The seed implementation
-    /// rebuilt a full trial topology — three matrix clones plus an O(n²)
-    /// geodesic recomputation — per `(out, in)` pair.
+    /// is rebuilt once into a reusable copy-on-write scratch buffer, and
+    /// every `in` candidate is then scored against that scratch with the
+    /// allocation-free one-link kernel. Trial scoring runs on the same
+    /// persistent worker shards as the greedy (spawned once, owning stable
+    /// pool slices across all passes) instead of re-fanning a rayon batch
+    /// per `out` link.
     fn swap_polish(&self, outcome: &mut DesignOutcome, pool: &[usize], budget_towers: f64) {
         let budget = budget_towers.floor() as usize;
+        if pool.is_empty() || outcome.selected.is_empty() || self.config.max_swap_passes == 0 {
+            return;
+        }
         let geodesic = outcome.topology.geodesic_matrix().clone();
-        let mut scratch = outcome.topology.fiber_matrix().clone();
+        let scratch = RwLock::new(outcome.topology.fiber_matrix().clone());
+        // Trial scoring is exact-kernel only; the incremental repair's
+        // weights and denominator are never consulted.
+        let weights = DistMatrix::zeros(geodesic.n());
+        let ctx = ScoreContext {
+            candidates: &self.input.candidates,
+            pool,
+            geodesic: &geodesic,
+            traffic: &self.input.traffic,
+            matrix: &scratch,
+            weights: &weights,
+            den: 1.0,
+        };
+        let workers = self.shard_count(pool.len());
+        if workers <= 1 {
+            let mut scorer = PoolScorer::inline(pool.len());
+            self.run_swap_passes(outcome, &ctx, &mut scorer, budget);
+        } else {
+            thread::scope(|scope| {
+                let mut scorer = PoolScorer::Sharded(ShardPool::spawn(scope, &ctx, workers));
+                self.run_swap_passes(outcome, &ctx, &mut scorer, budget);
+            });
+        }
+    }
 
+    /// The swap passes themselves, generic over the scorer backend.
+    fn run_swap_passes(
+        &self,
+        outcome: &mut DesignOutcome,
+        ctx: &ScoreContext,
+        scorer: &mut PoolScorer,
+        budget: usize,
+    ) {
         for _ in 0..self.config.max_swap_passes {
             // Best swap found this pass: (out_idx, in_idx, resulting stretch).
             let mut best: Option<(usize, usize, f64)> = None;
@@ -403,10 +617,11 @@ impl<'a> Designer<'a> {
                 let out_cost = self.input.candidates[out_idx].tower_count;
                 let base_towers = outcome.total_towers - out_cost;
 
-                let trials: Vec<usize> = pool
-                    .iter()
-                    .copied()
-                    .filter(|&in_idx| {
+                // Budget-feasible replacement trials, as ascending pool
+                // positions (the shard owners' index space).
+                let trials: Vec<usize> = (0..ctx.pool.len())
+                    .filter(|&p| {
+                        let in_idx = ctx.pool[p];
                         in_idx != out_idx
                             && !outcome.selected.contains(&in_idx)
                             && base_towers + self.input.candidates[in_idx].tower_count <= budget
@@ -417,27 +632,22 @@ impl<'a> Designer<'a> {
                 }
 
                 // Effective matrix of the selection without `out_idx`.
-                scratch.copy_from(&self.input.fiber_km);
-                for &idx in &outcome.selected {
-                    if idx != out_idx {
-                        let l = &self.input.candidates[idx];
-                        improve_with_link(&mut scratch, l.site_a, l.site_b, l.mw_length_km);
+                {
+                    let mut matrix = ctx.matrix.write().unwrap();
+                    matrix.copy_from(&self.input.fiber_km);
+                    for &idx in &outcome.selected {
+                        if idx != out_idx {
+                            let l = &self.input.candidates[idx];
+                            improve_with_link(&mut matrix, l.site_a, l.site_b, l.mw_length_km);
+                        }
                     }
                 }
 
-                let stretches = score_pool_against(
-                    &scratch,
-                    &geodesic,
-                    &self.input.traffic,
-                    &self.input.candidates,
-                    &trials,
-                    self.config.parallel,
-                );
-
-                for (&in_idx, &stretch) in trials.iter().zip(&stretches) {
+                let stretches = scorer.score_trials(ctx, &trials);
+                for (&p, &stretch) in trials.iter().zip(&stretches) {
                     if stretch + 1e-12 < best_stretch {
                         best_stretch = stretch;
-                        best = Some((out_idx, in_idx, stretch));
+                        best = Some((out_idx, ctx.pool[p], stretch));
                     }
                 }
             }
@@ -653,6 +863,61 @@ mod tests {
             .sum();
         assert_eq!(cost, outcome.total_towers);
         assert!((outcome.topology.mean_stretch() - outcome.mean_stretch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_and_full_rescore_engines_select_identically() {
+        let input = synthetic_input(9);
+        for parallel in [false, true] {
+            let incremental = Designer::with_config(
+                &input,
+                DesignConfig {
+                    engine: ScoringEngine::Incremental,
+                    parallel,
+                    ..DesignConfig::default()
+                },
+            )
+            .cisp(35.0);
+            let full = Designer::with_config(
+                &input,
+                DesignConfig {
+                    engine: ScoringEngine::FullRescore,
+                    parallel,
+                    ..DesignConfig::default()
+                },
+            )
+            .cisp(35.0);
+            assert_eq!(incremental.selected, full.selected, "parallel={parallel}");
+            assert_eq!(incremental.total_towers, full.total_towers);
+            assert!((incremental.mean_stretch - full.mean_stretch).abs() == 0.0);
+            let h_inc: Vec<usize> = incremental
+                .history
+                .iter()
+                .map(|s| s.candidate_index)
+                .collect();
+            let h_full: Vec<usize> = full.history.iter().map(|s| s.candidate_index).collect();
+            assert_eq!(h_inc, h_full);
+        }
+    }
+
+    #[test]
+    fn incremental_engine_falls_back_on_non_finite_fiber() {
+        // Disconnect one pair in the fiber matrix: the incremental
+        // decomposition no longer applies, and the designer must silently
+        // use the full-rescore reference instead of misbehaving.
+        let mut input = synthetic_input(6);
+        input.fiber_km.set_sym(0, 5, f64::INFINITY);
+        let incremental = Designer::new(&input).greedy(30.0);
+        let full = Designer::with_config(
+            &input,
+            DesignConfig {
+                engine: ScoringEngine::FullRescore,
+                ..DesignConfig::default()
+            },
+        )
+        .greedy(30.0);
+        assert_eq!(incremental.selected, full.selected);
+        assert!((incremental.mean_stretch - full.mean_stretch).abs() == 0.0);
     }
 
     #[test]

@@ -1,0 +1,902 @@
+//! The incremental delta-scoring engine and its persistent worker shards.
+//!
+//! The greedy designer's cost used to be dominated by full O(n²) rescoring
+//! sweeps: after every accepted link, every surviving candidate's predicted
+//! mean stretch was recomputed from scratch. This module replaces that with
+//! per-candidate *cached* predictions that are repaired incrementally from
+//! the accepted link's [`ImprovedPairs`] delta:
+//!
+//! A candidate's predicted stretch is `Σ w(s,t) · min(D[s][t], via(s,t))`
+//! (over the objective's pairs, divided by `Σ w · g`-weights), where
+//! `via(s,t)` uses only rows `i` and `j` of the matrix — the candidate's
+//! endpoints. After a link is accepted, a pair's term can change only if one
+//! of its five inputs changed: `(s,t)` itself improved, or `s`/`t` is a
+//! *changed neighbour* of an endpoint (its distance to `i` or `j`
+//! improved). [`ShardState::apply`] therefore repairs each cached value by
+//! visiting exactly those pairs — the improved list plus the rows of the
+//! candidate's changed neighbours — reconstructing each pair's old term from
+//! the delta's recorded old distances ([`RoundUpdate::old_dist`]) and
+//! subtracting it from the new term. Distances only shrink, so a
+//! monotonicity fast path skips most row entries without touching the old
+//! values at all. A candidate whose repair would visit at least as many
+//! pairs as a full sweep is re-scored with the exact kernel instead
+//! (deterministically in the accepted link, so serial and parallel runs stay
+//! bit-identical).
+//!
+//! The repair is mathematically identical to a full rescore — only
+//! floating-point summation order differs, which the designer absorbs by
+//! re-scoring the winning candidate with the exact kernel before accepting
+//! it. The residual caveat: candidates whose exact scores tie to within the
+//! repair's ulp-level noise (~1e-14 relative) could in principle be ranked
+//! differently than by full rescoring; the parity property tests pin the
+//! two engines equal on every fixture tried.
+//!
+//! Parallelism comes from **persistent worker shards** ([`ShardPool`]):
+//! instead of re-fanning a fresh rayon batch per scoring round, worker
+//! threads are spawned once per design run, each *owning a stable contiguous
+//! slice of the candidate pool* (and that slice's cached predictions) across
+//! all greedy rounds and swap passes. Rounds are one command broadcast and
+//! one reply collection per worker; the matrix being scored against is
+//! shared behind a [`RwLock`] that the designer write-locks only to apply an
+//! accepted link.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::Scope;
+
+use cisp_graph::{pair_count, pair_index, DistMatrix, ImprovedPairs};
+
+use crate::links::CandidateLink;
+use crate::topology::mean_stretch_with_link;
+
+/// Everything a scoring shard needs to score its candidates: the candidate
+/// pool, the weighting matrices, and the (designer-updated) matrix scored
+/// against. Shared immutably with every worker for the lifetime of a design
+/// run.
+pub struct ScoreContext<'a> {
+    /// All candidate links of the design input.
+    pub candidates: &'a [CandidateLink],
+    /// The candidate pool: indices into `candidates`, in selection-priority
+    /// tie-break order. Shards own stable contiguous ranges of this slice.
+    pub pool: &'a [usize],
+    /// Geodesic distances (stretch denominator weights).
+    pub geodesic: &'a DistMatrix,
+    /// Traffic weights.
+    pub traffic: &'a DistMatrix,
+    /// The matrix candidates are scored against — the greedy's effective
+    /// matrix, or the swap polish's trial scratch. The designer write-locks
+    /// it between rounds; shards read-lock it while scoring.
+    pub matrix: &'a RwLock<DistMatrix>,
+    /// Per-pair objective weights `h / g` from [`scoring_weights`] (zero for
+    /// pairs the objective skips). Only the incremental repair reads these —
+    /// exact scoring recomputes the kernel's own arithmetic.
+    pub weights: &'a DistMatrix,
+    /// Denominator of the weighted-mean-stretch objective (Σ h over scored
+    /// pairs), from [`scoring_denominator`]. Unused by exact scoring.
+    pub den: f64,
+}
+
+/// Per-pair weights of the mean-stretch objective: `h / g` where the pair
+/// qualifies (positive traffic and geodesic distance), zero where the
+/// kernels skip it. Precomputed once per design run so the repair sweeps
+/// multiply instead of dividing.
+pub fn scoring_weights(geodesic: &DistMatrix, traffic: &DistMatrix) -> DistMatrix {
+    DistMatrix::from_fn(geodesic.n(), |s, t| {
+        let h = traffic.get(s, t);
+        let g = geodesic.get(s, t);
+        if s != t && h > 0.0 && g > 0.0 {
+            h / g
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Σ h over the pairs the scoring kernels aggregate (positive traffic,
+/// positive geodesic distance), provided every such pair currently has a
+/// finite effective distance. Returns `None` when a non-finite distance (or
+/// an all-zero traffic matrix) makes the incremental decomposition invalid —
+/// callers must then fall back to full rescoring. Distances only shrink as
+/// links are added, so one check up front covers the whole design run.
+pub fn scoring_denominator(
+    effective: &DistMatrix,
+    geodesic: &DistMatrix,
+    traffic: &DistMatrix,
+) -> Option<f64> {
+    let n = effective.n();
+    let mut den = 0.0;
+    for s in 0..n {
+        let eff_row = effective.row(s);
+        let geo_row = geodesic.row(s);
+        let h_row = traffic.row(s);
+        for t in (s + 1)..n {
+            if h_row[t] > 0.0 && geo_row[t] > 0.0 {
+                if !eff_row[t].is_finite() {
+                    return None;
+                }
+                den += h_row[t];
+            }
+        }
+    }
+    if den > 0.0 {
+        Some(den)
+    } else {
+        None
+    }
+}
+
+/// The per-round delta the designer broadcasts to every shard after
+/// accepting a link, with the lookup structures the repair sweeps need
+/// (built once, shared by every shard).
+#[derive(Debug)]
+pub struct RoundUpdate {
+    /// The accepted link's improved-pair set (old distances included), from
+    /// [`cisp_graph::improve_with_link_tracked`].
+    improved: ImprovedPairs,
+    /// Pool position of the accepted candidate — removed from scoring.
+    removed_pos: Option<usize>,
+    /// Exact kernel values the designer computed during selection (pool
+    /// position, predicted stretch *before* the accepted link). Applied
+    /// before the delta so shard caches match what the designer compared.
+    overrides: Vec<(usize, f64)>,
+    /// Old distance of each improved pair, dense over [`pair_index`]
+    /// (meaningful only where the improved-pair bitset is set).
+    old_overlay: Vec<f64>,
+    /// `changed_nbrs[v]` = vertices whose distance to `v` improved.
+    changed_nbrs: Vec<Vec<u32>>,
+    /// The direct part's scored pairs `(a, b, old, new, weight)` (positive
+    /// objective weight only).
+    direct_pairs: Vec<(u32, u32, f64, f64, f64)>,
+    /// The direct part's candidate-independent base,
+    /// `Σ w·(new − old) / den`, in predicted-stretch units.
+    direct_base: f64,
+    /// Largest current distance per row — the via part's row-prune bound.
+    row_max: Vec<f64>,
+}
+
+impl RoundUpdate {
+    /// Package one accepted link's delta for broadcast. `matrix` is the
+    /// updated (post-link) matrix the shards will score against; the
+    /// candidate-independent per-round constants — the direct part's pair
+    /// list and base sum, and the row maxima — are computed here once
+    /// rather than by every shard.
+    pub fn new(
+        improved: ImprovedPairs,
+        removed_pos: Option<usize>,
+        overrides: Vec<(usize, f64)>,
+        matrix: &DistMatrix,
+        weights: &DistMatrix,
+        den: f64,
+    ) -> Self {
+        let n = improved.n();
+        let mut old_overlay = vec![0.0; pair_count(n)];
+        let mut changed_nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b, old) in improved.pairs() {
+            old_overlay[pair_index(n, a as usize, b as usize)] = old;
+            changed_nbrs[a as usize].push(b);
+            changed_nbrs[b as usize].push(a);
+        }
+        let direct_pairs: Vec<(u32, u32, f64, f64, f64)> = improved
+            .pairs()
+            .iter()
+            .filter_map(|&(a, b, old_d)| {
+                let w = weights.get(a as usize, b as usize);
+                (w > 0.0).then(|| (a, b, old_d, matrix.get(a as usize, b as usize), w))
+            })
+            .collect();
+        let direct_base = direct_pairs
+            .iter()
+            .map(|&(_, _, old_d, new_d, w)| w * (new_d - old_d) / den)
+            .sum();
+        let row_max = (0..n)
+            .map(|s| matrix.row(s).iter().copied().fold(0.0_f64, f64::max))
+            .collect();
+        Self {
+            improved,
+            removed_pos,
+            overrides,
+            old_overlay,
+            changed_nbrs,
+            direct_pairs,
+            direct_base,
+            row_max,
+        }
+    }
+
+    /// The accepted link's improved-pair set.
+    pub fn improved(&self) -> &ImprovedPairs {
+        &self.improved
+    }
+
+    /// The pre-update distance of `(x, y)`, reconstructed from the delta:
+    /// the recorded old value for improved pairs, the (unchanged) current
+    /// value otherwise.
+    #[inline]
+    fn old_dist(&self, matrix: &DistMatrix, x: usize, y: usize) -> f64 {
+        if x == y {
+            return matrix.get(x, y);
+        }
+        let (a, b) = if x < y { (x, y) } else { (y, x) };
+        let p = pair_index(self.improved.n(), a, b);
+        if self.improved.pair_set().contains(p) {
+            self.old_overlay[p]
+        } else {
+            matrix.get(x, y)
+        }
+    }
+}
+
+/// One shard: a stable contiguous range of pool positions and their cached
+/// predicted-stretch values. [`ShardPool`] workers each own one; the serial
+/// path owns a single shard spanning the whole pool. All scoring math lives
+/// here, so serial and sharded runs are identical by construction.
+#[derive(Clone)]
+pub struct ShardState {
+    range: Range<usize>,
+    /// Cached predicted mean stretch per owned pool position.
+    values: Vec<f64>,
+    /// Owned pool positions already accepted into the design.
+    removed: Vec<bool>,
+    /// Owned candidates as `(mw_length_km, pool_position)`, ascending by
+    /// length — the pair-major correction pass iterates the prefix whose
+    /// length (a lower bound on any via through the candidate) stays below
+    /// an improved pair's old distance. Built by [`Self::init_score`].
+    by_m: Vec<(f64, u32)>,
+}
+
+impl ShardState {
+    /// A shard owning `range` of the pool (values start unscored).
+    pub fn new(range: Range<usize>) -> Self {
+        let len = range.len();
+        Self {
+            range,
+            values: vec![f64::INFINITY; len],
+            removed: vec![false; len],
+            by_m: Vec::new(),
+        }
+    }
+
+    /// The owned pool-position range.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Cached values, indexed by `pool_position - range.start`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Exact kernel score of one pool position against `matrix`.
+    #[inline]
+    fn exact(ctx: &ScoreContext, matrix: &DistMatrix, pos: usize) -> f64 {
+        let l = &ctx.candidates[ctx.pool[pos]];
+        mean_stretch_with_link(
+            matrix,
+            ctx.geodesic,
+            ctx.traffic,
+            l.site_a,
+            l.site_b,
+            l.mw_length_km,
+        )
+    }
+
+    /// The *via part* of one cached prediction's incremental repair: the
+    /// signed change contributed by pairs whose via term moved — pairs
+    /// incident to a *changed neighbour* (a vertex whose distance to a
+    /// candidate endpoint improved) — with the direct term read as-is:
+    /// `min(via_new, d) − min(via_old, d)` with `d` the current direct
+    /// distance. Vias only shrink, so rows are swept with a single-compare
+    /// fast path: a pair the candidate does not beat *now* was not beaten
+    /// before either, contributing zero.
+    ///
+    /// Together with the *direct part* ([`ShardState::apply`]'s
+    /// candidate-independent base plus pair-major corrections), the repair
+    /// telescopes to exactly `min(via_new, d_new) − min(via_old, d_old)`
+    /// per pair — a full rescore's change.
+    fn via_repair(
+        ctx: &ScoreContext,
+        matrix: &DistMatrix,
+        link: &CandidateLink,
+        update: &RoundUpdate,
+        in_affected: &mut [bool],
+        affected: &mut Vec<u32>,
+    ) -> f64 {
+        let n = matrix.n();
+        let (i, j, m) = (link.site_a, link.site_b, link.mw_length_km);
+        let row_i = matrix.row(i);
+        let row_j = matrix.row(j);
+        let mut dnum = 0.0;
+
+        // The candidate's changed neighbours: vertices whose via-term
+        // inputs (distance to an endpoint) moved.
+        affected.clear();
+        for list in [&update.changed_nbrs[i], &update.changed_nbrs[j]] {
+            for &v in list {
+                if !in_affected[v as usize] {
+                    in_affected[v as usize] = true;
+                    affected.push(v);
+                }
+            }
+        }
+
+        // Via part: every pair incident to a changed neighbour (each
+        // unordered pair visited once — a pair inside the affected set is
+        // handled by its larger vertex).
+        for &s in affected.iter() {
+            let s = s as usize;
+            let d_si_m = row_i[s] + m;
+            let d_sj_m = row_j[s] + m;
+            // Row prune: every via through this row is at least
+            // `min(d_si, d_sj) + m`; if that already exceeds the row's
+            // largest current distance, no pair of the row can be beaten
+            // and the whole row contributes nothing.
+            if d_si_m.min(d_sj_m) >= update.row_max[s] {
+                continue;
+            }
+            let d_si_old = update.old_dist(matrix, s, i);
+            let d_sj_old = update.old_dist(matrix, s, j);
+            let eff_row = matrix.row(s);
+            let w_row = ctx.weights.row(s);
+            // Blockwise scan: a branchless vector-friendly pass asks "does
+            // the candidate beat any pair in this block?", and only blocks
+            // with a hit (rare — the fast-path rate is a few percent) are
+            // re-walked scalar. A pair the candidate does not beat now was
+            // (vias only shrink) not beaten before either and contributes
+            // nothing.
+            const BLOCK: usize = 16;
+            let mut t0 = 0;
+            while t0 < n {
+                let t1 = (t0 + BLOCK).min(n);
+                let any_hit = row_j[t0..t1]
+                    .iter()
+                    .zip(&row_i[t0..t1])
+                    .zip(&eff_row[t0..t1])
+                    .fold(false, |acc, ((&d_jt, &d_it), &d_st)| {
+                        acc | ((d_si_m + d_jt).min(d_sj_m + d_it) < d_st)
+                    });
+                if !any_hit {
+                    t0 = t1;
+                    continue;
+                }
+                for t in t0..t1 {
+                    let (d_jt, d_it, d_st) = (row_j[t], row_i[t], eff_row[t]);
+                    let via_new = (d_si_m + d_jt).min(d_sj_m + d_it);
+                    if via_new >= d_st {
+                        continue;
+                    }
+                    if t == s || (in_affected[t] && t < s) {
+                        continue;
+                    }
+                    let w = w_row[t];
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    // Old t-side via inputs moved only for changed
+                    // neighbours.
+                    let (old_jt, old_it) = if in_affected[t] {
+                        (update.old_dist(matrix, j, t), update.old_dist(matrix, i, t))
+                    } else {
+                        (d_jt, d_it)
+                    };
+                    let via_old = (d_si_old + m + old_jt).min(d_sj_old + m + old_it);
+                    let new_term = via_new.min(d_st);
+                    let old_term = via_old.min(d_st);
+                    if new_term != old_term {
+                        dnum += w * (new_term - old_term);
+                    }
+                }
+                t0 = t1;
+            }
+        }
+
+        for &v in affected.iter() {
+            in_affected[v as usize] = false;
+        }
+        dnum / ctx.den
+    }
+
+    /// Score every owned candidate with the exact kernel (round 0), and
+    /// build the length-sorted candidate index the correction pass uses.
+    pub fn init_score(&mut self, ctx: &ScoreContext) {
+        let matrix = ctx.matrix.read().unwrap();
+        for (k, pos) in self.range.clone().enumerate() {
+            if !self.removed[k] {
+                self.values[k] = Self::exact(ctx, &matrix, pos);
+            }
+        }
+        self.by_m = self
+            .range
+            .clone()
+            .map(|pos| (ctx.candidates[ctx.pool[pos]].mw_length_km, pos as u32))
+            .collect();
+        self.by_m
+            .sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+    }
+
+    /// Apply one accepted-link round: sync the designer's exact overrides,
+    /// drop the accepted candidate, then repair every surviving cached
+    /// value. A candidate whose repair would visit at least as many pairs as
+    /// a full sweep is re-scored with the exact kernel instead.
+    pub fn apply(&mut self, ctx: &ScoreContext, update: &RoundUpdate) {
+        for &(pos, v) in &update.overrides {
+            if self.range.contains(&pos) {
+                self.values[pos - self.range.start] = v;
+            }
+        }
+        if let Some(pos) = update.removed_pos {
+            if self.range.contains(&pos) {
+                self.removed[pos - self.range.start] = true;
+            }
+        }
+        let n = ctx.geodesic.n();
+        let pairs = pair_count(n);
+        let improved_len = update.improved.len();
+        debug_assert_eq!(self.by_m.len(), self.range.len(), "init_score not run");
+        let mut in_affected = vec![false; n];
+        let mut affected: Vec<u32> = Vec::with_capacity(n);
+        let matrix = ctx.matrix.read().unwrap();
+
+        // Pass 1, candidate-major: the via part plus the direct base. A
+        // candidate whose repair would visit as many pairs as a full sweep
+        // is deferred to an exact kernel re-score instead (pass 3).
+        let mut needs_exact: Vec<u32> = Vec::new();
+        for (k, pos) in self.range.clone().enumerate() {
+            if self.removed[k] {
+                continue;
+            }
+            let l = &ctx.candidates[ctx.pool[pos]];
+            let neighbour_rows =
+                update.changed_nbrs[l.site_a].len() + update.changed_nbrs[l.site_b].len();
+            if neighbour_rows * n + improved_len >= pairs {
+                needs_exact.push(k as u32);
+            } else {
+                self.values[k] += update.direct_base
+                    + Self::via_repair(ctx, &matrix, l, update, &mut in_affected, &mut affected);
+            }
+        }
+
+        // Pass 2, pair-major: the direct part's corrections. A candidate
+        // corrects the base only when one of its vias beats the pair's old
+        // distance; every via is at least the candidate's own length, so
+        // only the length-sorted prefix below `old_d` can contribute, and
+        // the branchless clamp form makes non-contributing candidates add
+        // an exact zero. Old distances are expanded into two row buffers
+        // per pair, so the inner loop reads hot rows only.
+        let shortest_m = self.by_m.first().map_or(f64::INFINITY, |&(m, _)| m);
+        let mut old_row_a = vec![0.0; n];
+        let mut old_row_b = vec![0.0; n];
+        for &(a, b, old_d, new_d, w) in &update.direct_pairs {
+            if shortest_m >= old_d {
+                continue; // no owned candidate can beat this pair's old distance
+            }
+            let (a, b) = (a as usize, b as usize);
+            for t in 0..n {
+                old_row_a[t] = update.old_dist(&matrix, a, t);
+                old_row_b[t] = update.old_dist(&matrix, b, t);
+            }
+            let dd = new_d - old_d;
+            let w_den = w / ctx.den;
+            for &(m_c, pos) in &self.by_m {
+                if m_c >= old_d {
+                    break; // ascending: every later via is ≥ old_d
+                }
+                let k = pos as usize - self.range.start;
+                let l = &ctx.candidates[ctx.pool[pos as usize]];
+                let (i, j) = (l.site_a, l.site_b);
+                let via_old =
+                    (old_row_a[i] + m_c + old_row_b[j]).min(old_row_a[j] + m_c + old_row_b[i]);
+                let corr = (via_old.min(new_d) - via_old.min(old_d)) - dd;
+                self.values[k] += w_den * corr;
+            }
+        }
+
+        // Pass 3: the deferred exact re-scores (overwriting whatever the
+        // correction pass added to them).
+        for &k in &needs_exact {
+            self.values[k as usize] = Self::exact(ctx, &matrix, self.range.start + k as usize);
+        }
+    }
+
+    /// Exact-score the owned subset of `positions` (ascending pool
+    /// positions) against the context matrix — the swap polish's trial
+    /// evaluation. Returns `(pool_position, predicted_stretch)` pairs in
+    /// ascending position order.
+    pub fn score_trials(&self, ctx: &ScoreContext, positions: &[usize]) -> Vec<(usize, f64)> {
+        let matrix = ctx.matrix.read().unwrap();
+        positions
+            .iter()
+            .copied()
+            .filter(|pos| self.range.contains(pos))
+            .map(|pos| (pos, Self::exact(ctx, &matrix, pos)))
+            .collect()
+    }
+}
+
+enum Cmd {
+    Init,
+    Apply(Arc<RoundUpdate>),
+    ScoreTrials(Arc<Vec<usize>>),
+}
+
+enum Reply {
+    Values(Vec<f64>),
+    Trials(Vec<(usize, f64)>),
+}
+
+/// Persistent worker shards: one scoped thread per shard, alive for the
+/// whole design run, each owning a stable contiguous slice of the candidate
+/// pool. Communication is one command and one reply per worker per round.
+pub struct ShardPool {
+    txs: Vec<Sender<Cmd>>,
+    rxs: Vec<Receiver<Reply>>,
+    ranges: Vec<Range<usize>>,
+}
+
+impl ShardPool {
+    /// Split `ctx.pool` into `workers` contiguous shards (sizes differing by
+    /// at most one) and spawn one persistent scoped worker per shard.
+    /// Workers exit when the pool is dropped (their command channels close),
+    /// which is before the scope joins.
+    pub fn spawn<'scope, 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        ctx: &'env ScoreContext<'env>,
+        workers: usize,
+    ) -> Self {
+        let len = ctx.pool.len();
+        let workers = workers.clamp(1, len.max(1));
+        let base = len / workers;
+        let remainder = len % workers;
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let size = base + usize::from(w < remainder);
+            let range = start..start + size;
+            start += size;
+            let (cmd_tx, cmd_rx) = channel::<Cmd>();
+            let (reply_tx, reply_rx) = channel::<Reply>();
+            let mut state = ShardState::new(range.clone());
+            scope.spawn(move || {
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let reply = match cmd {
+                        Cmd::Init => {
+                            state.init_score(ctx);
+                            Reply::Values(state.values().to_vec())
+                        }
+                        Cmd::Apply(update) => {
+                            state.apply(ctx, &update);
+                            Reply::Values(state.values().to_vec())
+                        }
+                        Cmd::ScoreTrials(positions) => {
+                            Reply::Trials(state.score_trials(ctx, &positions))
+                        }
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        break;
+                    }
+                }
+            });
+            txs.push(cmd_tx);
+            rxs.push(reply_rx);
+            ranges.push(range);
+        }
+        Self { txs, rxs, ranges }
+    }
+
+    fn collect_values(&self, out: &mut [f64]) {
+        for (rx, range) in self.rxs.iter().zip(&self.ranges) {
+            match rx.recv().expect("scoring shard died") {
+                Reply::Values(values) => out[range.clone()].copy_from_slice(&values),
+                Reply::Trials(_) => unreachable!("values reply expected"),
+            }
+        }
+    }
+}
+
+/// The designer-facing scorer: a single inline shard on the serial path, a
+/// [`ShardPool`] on the parallel path. Identical numbers either way — the
+/// shard math is shared — so `DesignConfig::parallel` stays a pure
+/// performance switch.
+pub enum PoolScorer {
+    /// One shard spanning the whole pool, run on the calling thread.
+    Inline(Box<ShardState>),
+    /// Persistent worker shards.
+    Sharded(ShardPool),
+}
+
+impl PoolScorer {
+    /// An inline scorer over a pool of `len` candidates.
+    pub fn inline(len: usize) -> Self {
+        Self::Inline(Box::new(ShardState::new(0..len)))
+    }
+
+    /// Score the whole pool with the exact kernel into `out`
+    /// (pool-position-indexed).
+    pub fn init(&mut self, ctx: &ScoreContext, out: &mut [f64]) {
+        match self {
+            Self::Inline(state) => {
+                state.init_score(ctx);
+                out.copy_from_slice(state.values());
+            }
+            Self::Sharded(pool) => {
+                for tx in &pool.txs {
+                    tx.send(Cmd::Init).expect("scoring shard died");
+                }
+                pool.collect_values(out);
+            }
+        }
+    }
+
+    /// Broadcast one accepted-link round and collect the repaired values
+    /// into `out`.
+    pub fn apply(&mut self, ctx: &ScoreContext, update: RoundUpdate, out: &mut [f64]) {
+        match self {
+            Self::Inline(state) => {
+                state.apply(ctx, &update);
+                out.copy_from_slice(state.values());
+            }
+            Self::Sharded(pool) => {
+                let update = Arc::new(update);
+                for tx in &pool.txs {
+                    tx.send(Cmd::Apply(Arc::clone(&update)))
+                        .expect("scoring shard died");
+                }
+                pool.collect_values(out);
+            }
+        }
+    }
+
+    /// Exact-score `positions` (ascending pool positions) against the
+    /// context matrix; the result is aligned with `positions`.
+    pub fn score_trials(&mut self, ctx: &ScoreContext, positions: &[usize]) -> Vec<f64> {
+        match self {
+            Self::Inline(state) => state
+                .score_trials(ctx, positions)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect(),
+            Self::Sharded(pool) => {
+                let positions_arc = Arc::new(positions.to_vec());
+                for tx in &pool.txs {
+                    tx.send(Cmd::ScoreTrials(Arc::clone(&positions_arc)))
+                        .expect("scoring shard died");
+                }
+                // Shard ranges are ascending and disjoint and each shard
+                // replies in ascending position order, so concatenating the
+                // replies re-creates exactly the ascending `positions` order.
+                let mut merged = Vec::with_capacity(positions.len());
+                for rx in &pool.rxs {
+                    match rx.recv().expect("scoring shard died") {
+                        Reply::Trials(part) => merged.extend(part),
+                        Reply::Values(_) => unreachable!("trials reply expected"),
+                    }
+                }
+                debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+                debug_assert_eq!(merged.len(), positions.len());
+                merged.into_iter().map(|(_, v)| v).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cisp_graph::improve_with_link_tracked;
+
+    /// A tiny synthetic pool: `n` collinear sites, fiber at 2× geodesic,
+    /// uniform traffic, one candidate per pair at 1.05×.
+    fn fixture(n: usize) -> (Vec<CandidateLink>, DistMatrix, DistMatrix, DistMatrix) {
+        let geodesic = DistMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs() * 100.0);
+        let fiber = DistMatrix::from_fn(n, |i, j| geodesic.get(i, j) * 2.0);
+        let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                candidates.push(CandidateLink {
+                    site_a: i,
+                    site_b: j,
+                    mw_length_km: geodesic.get(i, j) * 1.05,
+                    tower_count: 1,
+                    tower_path: vec![0],
+                });
+            }
+        }
+        (candidates, geodesic, fiber, traffic)
+    }
+
+    #[test]
+    fn delta_repair_tracks_exact_rescoring() {
+        let n = 7;
+        let (candidates, geodesic, fiber, traffic) = fixture(n);
+        let pool: Vec<usize> = (0..candidates.len()).collect();
+        let den = scoring_denominator(&fiber, &geodesic, &traffic).unwrap();
+        let matrix = RwLock::new(fiber.clone());
+        let weights = scoring_weights(&geodesic, &traffic);
+        let ctx = ScoreContext {
+            candidates: &candidates,
+            pool: &pool,
+            geodesic: &geodesic,
+            traffic: &traffic,
+            matrix: &matrix,
+            weights: &weights,
+            den,
+        };
+        let mut scorer = PoolScorer::inline(pool.len());
+        let mut values = vec![0.0; pool.len()];
+        scorer.init(&ctx, &mut values);
+
+        // Accept candidate 0 and repair the caches incrementally.
+        let accepted = candidates[0].clone();
+        let mut improved = ImprovedPairs::new(n);
+        {
+            let mut m = matrix.write().unwrap();
+            improve_with_link_tracked(
+                &mut m,
+                accepted.site_a,
+                accepted.site_b,
+                accepted.mw_length_km,
+                &mut improved,
+            );
+        }
+        scorer.apply(
+            &ctx,
+            RoundUpdate::new(
+                improved,
+                Some(0),
+                Vec::new(),
+                &matrix.read().unwrap(),
+                &weights,
+                den,
+            ),
+            &mut values,
+        );
+
+        // Every repaired value matches an exact rescore to ulp noise.
+        let m = matrix.read().unwrap();
+        for (pos, &v) in values.iter().enumerate().skip(1) {
+            let exact = ShardState::exact(&ctx, &m, pos);
+            assert!(
+                (v - exact).abs() < 1e-12,
+                "pos {pos}: repaired {v} vs exact {exact}"
+            );
+        }
+    }
+
+    /// Manual profiling probe (release only):
+    /// `cargo test --release -p cisp-core --lib engine::tests::profile_round -- --ignored --nocapture`
+    #[test]
+    #[ignore]
+    fn profile_round() {
+        use crate::design::{DesignConfig, DesignInput, Designer};
+        use cisp_geo::geodesic;
+        use cisp_geo::GeoPoint;
+        let n = 120;
+        let sites: Vec<GeoPoint> = (0..n)
+            .map(|i| {
+                GeoPoint::new(
+                    30.0 + ((i * 13) % 17) as f64,
+                    -120.0 + ((i * 7) % 43) as f64 * 1.2,
+                )
+            })
+            .collect();
+        let geodesic_m = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]));
+        let fiber = DistMatrix::from_fn(n, |i, j| geodesic_m.get(i, j) * 2.0);
+        let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let geo = geodesic_m.get(i, j);
+                candidates.push(CandidateLink {
+                    site_a: i,
+                    site_b: j,
+                    mw_length_km: geo * 1.05,
+                    tower_count: ((geo / 60.0).ceil() as usize).max(1),
+                    tower_path: vec![0],
+                });
+            }
+        }
+        let input = DesignInput {
+            sites,
+            traffic: traffic.clone(),
+            fiber_km: fiber.clone(),
+            candidates: candidates.clone(),
+        };
+        let pool = input.useful_candidates();
+        let config = DesignConfig {
+            parallel: false,
+            ..DesignConfig::default()
+        };
+        let trajectory = Designer::with_config(&input, config).greedy(480.0).selected;
+        let split = trajectory.len() * 2 / 3;
+        let mut m = fiber.clone();
+        for &idx in &trajectory[..split] {
+            let l = &candidates[idx];
+            cisp_graph::improve_with_link(&mut m, l.site_a, l.site_b, l.mw_length_km);
+        }
+        let den = scoring_denominator(&m, &geodesic_m, &traffic).unwrap();
+        let matrix = RwLock::new(m);
+        let weights = scoring_weights(&geodesic_m, &traffic);
+        let ctx = ScoreContext {
+            candidates: &candidates,
+            pool: &pool,
+            geodesic: &geodesic_m,
+            traffic: &traffic,
+            matrix: &matrix,
+            weights: &weights,
+            den,
+        };
+        let mut state = ShardState::new(0..pool.len());
+        state.init_score(&ctx);
+        let l = candidates[trajectory[split]].clone();
+        let mut improved = ImprovedPairs::new(n);
+        {
+            let mut mm = matrix.write().unwrap();
+            improve_with_link_tracked(&mut mm, l.site_a, l.site_b, l.mw_length_km, &mut improved);
+        }
+        let p_len = improved.len();
+        let update = RoundUpdate::new(
+            improved,
+            None,
+            Vec::new(),
+            &matrix.read().unwrap(),
+            &weights,
+            den,
+        );
+        // Stats: fallback count, affected-row total.
+        let pairs = pair_count(n);
+        let mut fallbacks = 0usize;
+        let mut rows_total = 0usize;
+        for &idx in &pool {
+            let c = &candidates[idx];
+            let nr = update.changed_nbrs[c.site_a].len() + update.changed_nbrs[c.site_b].len();
+            if nr * n + p_len >= pairs {
+                fallbacks += 1;
+            } else {
+                rows_total += nr;
+            }
+        }
+        println!(
+            "|P| = {p_len}, exact fallbacks = {fallbacks}/{}, affected rows total = {rows_total}",
+            pool.len()
+        );
+        let apply_best = (0..7)
+            .map(|_| {
+                let mut s2 = state.clone();
+                let t = std::time::Instant::now();
+                s2.apply(&ctx, &update);
+                t.elapsed()
+            })
+            .min()
+            .unwrap();
+        println!("apply (best of 7): {apply_best:?}");
+        let mg = matrix.read().unwrap();
+        let full_best = (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                for (pos, _) in pool.iter().enumerate() {
+                    std::hint::black_box(ShardState::exact(&ctx, &mg, pos));
+                }
+                t.elapsed()
+            })
+            .min()
+            .unwrap();
+        println!(
+            "full rescore (best of 3): {full_best:?} — ratio {:.1}x",
+            full_best.as_secs_f64() / apply_best.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn scoring_denominator_rejects_unreachable_and_empty_traffic() {
+        let (_, geodesic, fiber, traffic) = fixture(4);
+        assert!(scoring_denominator(&fiber, &geodesic, &traffic).is_some());
+        let mut broken = fiber.clone();
+        broken.set_sym(0, 3, f64::INFINITY);
+        assert!(scoring_denominator(&broken, &geodesic, &traffic).is_none());
+        let silent = DistMatrix::zeros(4);
+        assert!(scoring_denominator(&fiber, &geodesic, &silent).is_none());
+    }
+}

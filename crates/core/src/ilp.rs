@@ -29,6 +29,7 @@
 //! serve as the "exact solver" curve in the Fig. 2 reproduction at sizes our
 //! dense simplex cannot reach.
 
+use cisp_graph::DistMatrix;
 use cisp_lp::{
     branch_bound::{solve_milp, MilpOptions},
     model::{Problem, VarId, VarKind},
@@ -36,6 +37,7 @@ use cisp_lp::{
 use serde::{Deserialize, Serialize};
 
 use crate::design::{DesignInput, DesignOutcome};
+use crate::topology::{improve_with_link, weighted_mean_stretch};
 
 /// Statistics about a built ILP model (for the scaling experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -265,6 +267,14 @@ pub fn outcome_from_selection(input: &DesignInput, selected: &[usize]) -> Design
 /// adding links can only reduce stretch, so the search returns the true
 /// optimum. `max_nodes` caps the search; exceeding it returns
 /// [`ExactSolveError::LimitReached`].
+///
+/// The search runs entirely on flat scratch matrices from the
+/// `cisp_graph::DistMatrix` engine: each include-branch extends the parent's
+/// effective matrix with one incremental `improve_with_link`, node
+/// evaluation is one `weighted_mean_stretch` sweep, and the optimistic bound
+/// reuses a single copy-on-write scratch buffer — no per-node topology
+/// rebuilds (which recomputed all O(n²) geodesics per node) remain. A full
+/// [`DesignOutcome`] is materialised only for the final incumbent.
 pub fn exact_subset_search(
     input: &DesignInput,
     budget_towers: f64,
@@ -284,109 +294,101 @@ pub fn exact_subset_search(
         gb.partial_cmp(&ga).unwrap().then(a.cmp(&b))
     });
 
-    let mut best_selection: Vec<usize> = Vec::new();
-    let mut best_stretch = base_stretch;
-    let mut nodes = 0usize;
-    let mut limit_hit = false;
+    let mut search = SubsetSearch {
+        input,
+        ordered: &ordered,
+        geodesic: base.geodesic_matrix(),
+        budget,
+        max_nodes,
+        best_selection: Vec::new(),
+        best_stretch: base_stretch,
+        nodes: 0,
+        limit_hit: false,
+        scratch: input.fiber_km.clone(),
+    };
+    let mut selection = Vec::new();
+    search.recurse(0, &mut selection, &input.fiber_km, 0);
 
-    // Depth-first search with explicit stack: (depth, selection, cost).
-    #[allow(clippy::too_many_arguments)]
+    if search.limit_hit {
+        return Err(ExactSolveError::LimitReached);
+    }
+    Ok((
+        outcome_from_selection(input, &search.best_selection),
+        search.nodes,
+    ))
+}
+
+/// State of one [`exact_subset_search`] run.
+struct SubsetSearch<'a> {
+    input: &'a DesignInput,
+    ordered: &'a [usize],
+    geodesic: &'a DistMatrix,
+    budget: usize,
+    max_nodes: usize,
+    best_selection: Vec<usize>,
+    best_stretch: f64,
+    nodes: usize,
+    limit_hit: bool,
+    /// Reusable buffer for the optimistic bound's free completion.
+    scratch: DistMatrix,
+}
+
+impl SubsetSearch<'_> {
+    /// Depth-first include/exclude search. `effective` is the metric-closed
+    /// distance matrix of the current `selection` (fiber plus the selected
+    /// links, applied in selection order).
     fn recurse(
-        input: &DesignInput,
-        ordered: &[usize],
+        &mut self,
         depth: usize,
         selection: &mut Vec<usize>,
+        effective: &DistMatrix,
         cost: usize,
-        budget: usize,
-        best_selection: &mut Vec<usize>,
-        best_stretch: &mut f64,
-        nodes: &mut usize,
-        max_nodes: usize,
-        limit_hit: &mut bool,
     ) {
-        if *limit_hit {
+        if self.limit_hit {
             return;
         }
-        *nodes += 1;
-        if *nodes > max_nodes {
-            *limit_hit = true;
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.limit_hit = true;
             return;
         }
 
         // Evaluate the current selection.
-        let outcome = outcome_from_selection(input, selection);
-        if outcome.mean_stretch < *best_stretch - 1e-12 {
-            *best_stretch = outcome.mean_stretch;
-            *best_selection = selection.clone();
+        let stretch = weighted_mean_stretch(effective, self.geodesic, &self.input.traffic);
+        if stretch < self.best_stretch - 1e-12 {
+            self.best_stretch = stretch;
+            self.best_selection = selection.clone();
         }
 
-        if depth >= ordered.len() {
+        if depth >= self.ordered.len() {
             return;
         }
 
-        // Optimistic bound: add all remaining candidates for free.
-        let mut optimistic = outcome.topology.clone();
-        for &idx in &ordered[depth..] {
-            optimistic.add_mw_link(input.candidates[idx].clone());
+        // Optimistic bound: add all remaining candidates for free, into the
+        // reusable scratch buffer.
+        self.scratch.copy_from(effective);
+        for &idx in &self.ordered[depth..] {
+            let l = &self.input.candidates[idx];
+            improve_with_link(&mut self.scratch, l.site_a, l.site_b, l.mw_length_km);
         }
-        if optimistic.mean_stretch() >= *best_stretch - 1e-12 {
+        let optimistic = weighted_mean_stretch(&self.scratch, self.geodesic, &self.input.traffic);
+        if optimistic >= self.best_stretch - 1e-12 {
             return; // even the free completion cannot beat the incumbent
         }
 
         // Branch: include ordered[depth] if affordable, then exclude it.
-        let idx = ordered[depth];
-        let link_cost = input.candidates[idx].tower_count;
-        if cost + link_cost <= budget {
+        let idx = self.ordered[depth];
+        let link_cost = self.input.candidates[idx].tower_count;
+        if cost + link_cost <= self.budget {
+            let l = &self.input.candidates[idx];
+            let mut included = effective.clone();
+            improve_with_link(&mut included, l.site_a, l.site_b, l.mw_length_km);
             selection.push(idx);
-            recurse(
-                input,
-                ordered,
-                depth + 1,
-                selection,
-                cost + link_cost,
-                budget,
-                best_selection,
-                best_stretch,
-                nodes,
-                max_nodes,
-                limit_hit,
-            );
+            self.recurse(depth + 1, selection, &included, cost + link_cost);
             selection.pop();
         }
-        recurse(
-            input,
-            ordered,
-            depth + 1,
-            selection,
-            cost,
-            budget,
-            best_selection,
-            best_stretch,
-            nodes,
-            max_nodes,
-            limit_hit,
-        );
+        self.recurse(depth + 1, selection, effective, cost);
     }
-
-    let mut selection = Vec::new();
-    recurse(
-        input,
-        &ordered,
-        0,
-        &mut selection,
-        0,
-        budget,
-        &mut best_selection,
-        &mut best_stretch,
-        &mut nodes,
-        max_nodes,
-        &mut limit_hit,
-    );
-
-    if limit_hit {
-        return Err(ExactSolveError::LimitReached);
-    }
-    Ok((outcome_from_selection(input, &best_selection), nodes))
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //!    to build under a tower budget, minimising traffic-weighted mean
 //!    stretch. The exact flow-based ILP ([`ilp`]) is solved with the
 //!    workspace's own MILP solver at small scale; the scalable cISP
-//!    heuristic ([`design`]) uses the paper's greedy candidate pruning with
-//!    lazy re-evaluation plus a swap-based refinement.
+//!    heuristic ([`design`]) uses the paper's greedy candidate pruning plus
+//!    a swap-based refinement, running on the incremental delta-scoring
+//!    engine and its persistent worker shards ([`engine`]).
 //! 4. **Capacity augmentation** ([`augment`]): parallel tower series (the k²
 //!    trick of §3.3) sized from per-link traffic, with new towers charged to
 //!    the cost model ([`cost`]).
@@ -43,6 +44,7 @@
 pub mod augment;
 pub mod cost;
 pub mod design;
+pub mod engine;
 pub mod hops;
 pub mod ilp;
 pub mod links;

@@ -220,7 +220,8 @@ impl Scenario {
         &self.input
     }
 
-    /// Run the cISP design heuristic at a tower budget.
+    /// Run the cISP design heuristic at a tower budget (on the incremental
+    /// delta-scoring engine unless `config.design.engine` says otherwise).
     pub fn design(&self, budget_towers: f64) -> DesignOutcome {
         Designer::with_config(&self.input, self.config.design).cisp(budget_towers)
     }
@@ -370,6 +371,17 @@ mod tests {
         let da = a.design(200.0);
         let db = b.design(200.0);
         assert_eq!(da.selected, db.selected);
+    }
+
+    #[test]
+    fn scenario_designs_identically_on_both_scoring_engines() {
+        use crate::design::ScoringEngine;
+        let mut full_config = ScenarioConfig::tiny_test();
+        full_config.design.engine = ScoringEngine::FullRescore;
+        let incremental = tiny().design(250.0);
+        let full = Scenario::build(&full_config).design(250.0);
+        assert_eq!(incremental.selected, full.selected);
+        assert!((incremental.mean_stretch - full.mean_stretch).abs() == 0.0);
     }
 
     #[test]

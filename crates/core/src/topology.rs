@@ -19,72 +19,43 @@
 //! through that edge once, so the update `D'[s][t] = min(D[s][t],
 //! D[s][i]+m+D[j][t], D[s][j]+m+D[i][t])` is exact.
 
+use cisp_geo::latency::StretchAccumulator;
 use cisp_geo::{geodesic, latency, GeoPoint};
-use cisp_graph::{BitSet, DistMatrix};
+use cisp_graph::{BitSet, DistMatrix, UpperTriangleMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::links::CandidateLink;
 
-/// Apply the exact one-edge improvement to a metric-closed distance matrix.
-///
-/// `matrix` must be symmetric and satisfy the triangle inequality (which the
-/// fiber matrix and every matrix produced by repeated application of this
-/// function do). Returns the number of pairs whose distance improved.
-pub fn improve_with_link(matrix: &mut DistMatrix, i: usize, j: usize, length: f64) -> usize {
-    let n = matrix.n();
-    assert!(i < n && j < n && i != j);
-    assert!(length >= 0.0);
-    let mut improved = 0;
-    let data = matrix.as_mut_slice();
-    let (row_i, row_j) = (i * n, j * n);
-    for s in 0..n {
-        // Pre-read column entries to avoid aliasing issues.
-        let d_si = data[s * n + i];
-        let d_sj = data[s * n + j];
-        let row_s = s * n;
-        for t in 0..n {
-            let via_ij = d_si + length + data[row_j + t];
-            let via_ji = d_sj + length + data[row_i + t];
-            let best = via_ij.min(via_ji);
-            if best < data[row_s + t] {
-                data[row_s + t] = best;
-                improved += 1;
-            }
-        }
-    }
-    improved
-}
+// The exact one-edge improvement kernels live in the `cisp_graph` matrix
+// engine next to the storage they sweep; re-exported here because the design
+// and weather layers reach them through the topology module.
+pub use cisp_graph::matrix::{improve_with_link, improve_with_link_tracked, ImprovedPairs};
 
 /// Traffic-weighted mean stretch of `effective` against `geodesic`, weighted
 /// by `traffic`, over the strict upper triangle. Pairs with zero traffic,
 /// zero geodesic distance or non-finite effective distance are skipped;
-/// returns 1.0 when no pair qualifies.
+/// returns 1.0 when no pair qualifies. The weighted-average convention is
+/// [`cisp_geo::latency::StretchAccumulator`]'s — shared with the slice-based
+/// `cisp_geo::latency::weighted_mean_stretch`.
 pub fn weighted_mean_stretch(
     effective: &DistMatrix,
     geodesic: &DistMatrix,
     traffic: &DistMatrix,
 ) -> f64 {
     let n = effective.n();
-    let mut num = 0.0;
-    let mut den = 0.0;
+    let mut acc = StretchAccumulator::new();
     for s in 0..n {
         let eff_row = effective.row(s);
         let geo_row = geodesic.row(s);
         let h_row = traffic.row(s);
         for t in (s + 1)..n {
-            let h = h_row[t];
             let geo = geo_row[t];
-            if h > 0.0 && geo > 0.0 && eff_row[t].is_finite() {
-                num += h * (eff_row[t] / geo);
-                den += h;
+            if geo > 0.0 && eff_row[t].is_finite() {
+                acc.add(h_row[t], eff_row[t] / geo);
             }
         }
     }
-    if den > 0.0 {
-        num / den
-    } else {
-        1.0
-    }
+    acc.mean().unwrap_or(1.0)
 }
 
 /// Traffic-weighted mean stretch that would result from adding one link of
@@ -339,6 +310,31 @@ impl HybridTopology {
             }
         }
     }
+
+    /// [`Self::effective_matrix_without_into`] over symmetric
+    /// upper-triangle-only storage: refills `out` (reusing its allocation)
+    /// with the effective distances that result from disabling the given
+    /// links. Sweeps that only read unordered pairs — the weather year
+    /// analysis — use this variant to halve the scratch matrix's memory
+    /// traffic.
+    pub fn effective_matrix_without_into_tri(
+        &self,
+        disabled: &[usize],
+        out: &mut UpperTriangleMatrix,
+    ) {
+        out.copy_from_dist(&self.fiber_km);
+        let mut mask = BitSet::new(self.mw_links.len());
+        for &idx in disabled {
+            if idx < self.mw_links.len() {
+                mask.insert(idx);
+            }
+        }
+        for (idx, l) in self.mw_links.iter().enumerate() {
+            if !mask.contains(idx) {
+                out.improve_with_link(l.site_a, l.site_b, l.mw_length_km);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +490,25 @@ mod tests {
         assert_eq!(&scratch, topo.effective_matrix());
         topo.effective_matrix_without_into(&[0], &mut scratch);
         assert_eq!(&scratch, topo.fiber_matrix());
+    }
+
+    #[test]
+    fn effective_matrix_without_into_tri_matches_full_storage() {
+        let sites = line_sites();
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let geo12 = geodesic::distance_km(sites[1], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        let mut topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        topo.add_mw_link(mw_link(0, 1, geo01 * 1.02, 4));
+        topo.add_mw_link(mw_link(1, 2, geo12 * 1.03, 4));
+        let mut tri = UpperTriangleMatrix::zeros(3);
+        for disabled in [vec![], vec![0], vec![1], vec![0, 1]] {
+            let full = topo.effective_matrix_without(&disabled);
+            topo.effective_matrix_without_into_tri(&disabled, &mut tri);
+            for (i, j, v) in full.upper_triangle() {
+                assert_eq!(tri.get(i, j), v, "disabled {disabled:?}, pair ({i}, {j})");
+            }
+        }
     }
 
     #[test]

@@ -62,30 +62,66 @@ pub fn distance_stretch(path_equivalent_km: f64, geodesic_km: f64) -> f64 {
     }
 }
 
-/// Mean stretch weighted by traffic volume: `Σ h_i · s_i / Σ h_i`.
+/// Streaming accumulator for the traffic-weighted mean stretch
+/// `Σ h_i · s_i / Σ h_i` — the objective the paper's design problem
+/// minimises (per-unit traffic mean stretch).
 ///
-/// This is the objective the paper's design problem minimises (per-unit
-/// traffic mean stretch). Pairs with non-positive weight are ignored; returns
-/// `None` if the total weight is zero.
-///
-/// Note: the design engine computes this objective directly over flat
-/// matrices (`cisp_core::topology::weighted_mean_stretch`) without building a
-/// pair list; this slice-based helper remains for callers that already hold
-/// `(weight, stretch)` samples.
-pub fn weighted_mean_stretch(pairs: &[(f64, f64)]) -> Option<f64> {
-    let mut num = 0.0;
-    let mut den = 0.0;
-    for &(weight, stretch) in pairs {
+/// This is the single shared definition of the weighted average: the
+/// slice-based [`weighted_mean_stretch`] below and the matrix sweep in
+/// `cisp_core::topology::weighted_mean_stretch` both fold through it, so the
+/// "skip non-positive weights, divide weighted sum by total weight"
+/// convention lives in exactly one place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StretchAccumulator {
+    num: f64,
+    den: f64,
+}
+
+impl StretchAccumulator {
+    /// A fresh accumulator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one `(weight, stretch)` sample; non-positive weights are
+    /// ignored.
+    #[inline]
+    pub fn add(&mut self, weight: f64, stretch: f64) {
         if weight > 0.0 {
-            num += weight * stretch;
-            den += weight;
+            self.num += weight * stretch;
+            self.den += weight;
         }
     }
-    if den > 0.0 {
-        Some(num / den)
-    } else {
-        None
+
+    /// Total accumulated weight.
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.den
     }
+
+    /// The weighted mean, or `None` if no positive-weight sample was added.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        if self.den > 0.0 {
+            Some(self.num / self.den)
+        } else {
+            None
+        }
+    }
+}
+
+/// Mean stretch weighted by traffic volume: `Σ h_i · s_i / Σ h_i`.
+///
+/// Pairs with non-positive weight are ignored; returns `None` if the total
+/// weight is zero. Callers that already hold matrices use the flat sweep in
+/// `cisp_core::topology::weighted_mean_stretch`, which delegates to the same
+/// [`StretchAccumulator`].
+pub fn weighted_mean_stretch(pairs: &[(f64, f64)]) -> Option<f64> {
+    let mut acc = StretchAccumulator::new();
+    for &(weight, stretch) in pairs {
+        acc.add(weight, stretch);
+    }
+    acc.mean()
 }
 
 #[cfg(test)]

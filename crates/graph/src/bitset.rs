@@ -65,6 +65,11 @@ impl BitSet {
         index < self.capacity && self.words[index / WORD_BITS] >> (index % WORD_BITS) & 1 == 1
     }
 
+    /// Remove every member, keeping the capacity and allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Number of members.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -105,6 +110,16 @@ mod tests {
         let s = BitSet::from_indices(70, &[3, 68, 3]);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 68]);
         assert_eq!(s.capacity(), 70);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut s = BitSet::from_indices(80, &[0, 41, 79]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 80);
+        s.insert(79);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

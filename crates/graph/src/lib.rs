@@ -13,8 +13,14 @@
 //!   behind Fig. 4(b): find a path, delete its interior towers, repeat),
 //! * [`matrix`] — the flat row-major [`DistMatrix`] the design engine's
 //!   dense all-pairs sweeps run on, with the shared unordered-pair iterator,
+//!   the exact one-edge improvement kernels ([`improve_with_link`] and the
+//!   delta-tracking [`improve_with_link_tracked`] that reports an
+//!   [`ImprovedPairs`] set for incremental rescoring),
+//! * [`triangle`] — [`UpperTriangleMatrix`], symmetric upper-triangle-only
+//!   storage behind the same entry/pair API (half the memory traffic),
 //! * [`bitset`] — O(1) membership over small index universes (disabled-link
-//!   sets in the failure analysis).
+//!   sets in the failure analysis, improved-pair sets in the incremental
+//!   scorer).
 //!
 //! All algorithms are deterministic: ties are broken by node index.
 //!
@@ -40,8 +46,13 @@ pub mod disjoint;
 pub mod graph;
 pub mod kshortest;
 pub mod matrix;
+pub mod triangle;
 
 pub use bitset::BitSet;
 pub use dijkstra::{shortest_path, shortest_path_costs, Path};
 pub use graph::Graph;
-pub use matrix::{pair_indices, DistMatrix};
+pub use matrix::{
+    improve_with_link, improve_with_link_tracked, pair_count, pair_index, pair_indices, DistMatrix,
+    ImprovedPairs,
+};
+pub use triangle::UpperTriangleMatrix;

@@ -15,6 +15,7 @@
 //! a `&[f64]` slice. Unordered-pair sweeps use [`DistMatrix::upper_triangle`]
 //! (or [`pair_indices`]) instead of hand-rolled nested loops.
 
+use crate::bitset::BitSet;
 use serde::{Deserialize, Serialize};
 use std::ops::{Index, IndexMut};
 
@@ -197,6 +198,194 @@ pub fn pair_indices(n: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..n).flat_map(move |i| ((i + 1)..n).map(move |j| (i, j)))
 }
 
+/// Number of unordered pairs over `0..n`.
+#[inline]
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Canonical index of the unordered pair `(i, j)` (`i < j`) in the strict
+/// upper triangle enumerated row-major — i.e. the position [`pair_indices`]
+/// would yield the pair at. This is the index space [`ImprovedPairs`] bitsets
+/// are defined over.
+#[inline]
+pub fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n, "pair ({i}, {j}) out of range for n = {n}");
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// The effect of one tracked one-edge improvement: which unordered pairs got
+/// a shorter distance, what they measured before, and which vertices are
+/// incident to at least one improved pair.
+///
+/// This is the delta the incremental design engine consumes: a candidate
+/// link's cached score can only have been invalidated if the accepted link
+/// improved a pair incident to one of the candidate's endpoints (the
+/// [`ImprovedPairs::touches`] test); every other cached score is repaired
+/// with an O(|improved|) sweep over [`ImprovedPairs::pairs`].
+#[derive(Debug, Clone)]
+pub struct ImprovedPairs {
+    n: usize,
+    /// `(i, j, old_distance)` for every improved pair, `i < j`, in the order
+    /// the improvements were discovered. The new distance is read from the
+    /// updated matrix.
+    pairs: Vec<(u32, u32, f64)>,
+    /// Membership bitset over [`pair_index`]-indexed unordered pairs.
+    pair_set: BitSet,
+    /// Vertices incident to at least one improved pair.
+    touched: BitSet,
+}
+
+impl ImprovedPairs {
+    /// An empty delta over an `n`-vertex matrix.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            pairs: Vec::new(),
+            pair_set: BitSet::new(pair_count(n)),
+            touched: BitSet::new(n),
+        }
+    }
+
+    /// Reset for reuse over an `n`-vertex matrix (keeps allocations when the
+    /// size is unchanged).
+    pub fn reset(&mut self, n: usize) {
+        if self.n != n {
+            *self = Self::new(n);
+        } else {
+            self.pairs.clear();
+            self.pair_set.clear();
+            self.touched.clear();
+        }
+    }
+
+    /// Record an improvement of the unordered pair `(i, j)` whose previous
+    /// distance was `old`. Deduplicates: only the first report of a pair is
+    /// kept (its `old` is the pre-update distance).
+    #[inline]
+    pub fn record(&mut self, i: usize, j: usize, old: f64) {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let p = pair_index(self.n, a, b);
+        if !self.pair_set.contains(p) {
+            self.pair_set.insert(p);
+            self.touched.insert(a);
+            self.touched.insert(b);
+            self.pairs.push((a as u32, b as u32, old));
+        }
+    }
+
+    /// Matrix side length this delta is defined over.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The improved pairs as `(i, j, old_distance)` with `i < j`.
+    pub fn pairs(&self) -> &[(u32, u32, f64)] {
+        &self.pairs
+    }
+
+    /// The improved pairs as a bitset over [`pair_index`] indices.
+    pub fn pair_set(&self) -> &BitSet {
+        &self.pair_set
+    }
+
+    /// Whether the unordered pair `(i, j)` improved.
+    pub fn contains_pair(&self, i: usize, j: usize) -> bool {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        a != b && self.pair_set.contains(pair_index(self.n, a, b))
+    }
+
+    /// Whether any improved pair is incident to vertex `v`. Cached candidate
+    /// scores for links with an untouched endpoint pair survive exactly.
+    #[inline]
+    pub fn touches(&self, v: usize) -> bool {
+        self.touched.contains(v)
+    }
+
+    /// Number of improved (unordered) pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when nothing improved.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Apply the exact one-edge improvement to a metric-closed symmetric distance
+/// matrix: `D'[s][t] = min(D[s][t], D[s][i] + length + D[j][t],
+/// D[s][j] + length + D[i][t])`.
+///
+/// `matrix` must be symmetric and satisfy the triangle inequality (the fiber
+/// matrix and every matrix produced by repeated application of this function
+/// do); under that precondition the single sweep below is exact — a new edge
+/// can only reroute a pair through itself once. Returns the number of
+/// (ordered) entries whose distance improved.
+pub fn improve_with_link(matrix: &mut DistMatrix, i: usize, j: usize, length: f64) -> usize {
+    let n = matrix.n();
+    assert!(i < n && j < n && i != j);
+    assert!(length >= 0.0);
+    let mut improved = 0;
+    let data = matrix.as_mut_slice();
+    let (row_i, row_j) = (i * n, j * n);
+    for s in 0..n {
+        // Pre-read column entries to avoid aliasing issues.
+        let d_si = data[s * n + i];
+        let d_sj = data[s * n + j];
+        let row_s = s * n;
+        for t in 0..n {
+            let via_ij = d_si + length + data[row_j + t];
+            let via_ji = d_sj + length + data[row_i + t];
+            let best = via_ij.min(via_ji);
+            if best < data[row_s + t] {
+                data[row_s + t] = best;
+                improved += 1;
+            }
+        }
+    }
+    improved
+}
+
+/// [`improve_with_link`] with delta tracking: identical arithmetic, identical
+/// traversal order (so the updated matrix is bit-identical to the untracked
+/// kernel's), plus a record of every unordered pair that improved into `out`.
+/// `out` is reset first, so one buffer can be reused across calls.
+pub fn improve_with_link_tracked(
+    matrix: &mut DistMatrix,
+    i: usize,
+    j: usize,
+    length: f64,
+    out: &mut ImprovedPairs,
+) -> usize {
+    let n = matrix.n();
+    assert!(i < n && j < n && i != j);
+    assert!(length >= 0.0);
+    out.reset(n);
+    let mut improved = 0;
+    let data = matrix.as_mut_slice();
+    let (row_i, row_j) = (i * n, j * n);
+    for s in 0..n {
+        let d_si = data[s * n + i];
+        let d_sj = data[s * n + j];
+        let row_s = s * n;
+        for t in 0..n {
+            let via_ij = d_si + length + data[row_j + t];
+            let via_ji = d_sj + length + data[row_i + t];
+            let best = via_ij.min(via_ji);
+            let cur = data[row_s + t];
+            if best < cur {
+                data[row_s + t] = best;
+                improved += 1;
+                if s != t {
+                    out.record(s, t, cur);
+                }
+            }
+        }
+    }
+    improved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +458,68 @@ mod tests {
     #[should_panic]
     fn bad_flat_length_panics() {
         DistMatrix::from_flat(3, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn pair_index_matches_enumeration_order() {
+        for n in [2usize, 3, 5, 9] {
+            assert_eq!(pair_count(n), pair_indices(n).count());
+            for (k, (i, j)) in pair_indices(n).enumerate() {
+                assert_eq!(pair_index(n, i, j), k, "pair ({i}, {j}) over n = {n}");
+            }
+        }
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+    }
+
+    /// A small symmetric metric matrix: 4 collinear points at unit spacing
+    /// with every distance doubled (so a direct link can improve pairs).
+    fn line_metric(n: usize) -> DistMatrix {
+        DistMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs() * 2.0)
+    }
+
+    #[test]
+    fn tracked_improve_matches_untracked_and_records_pairs() {
+        let n = 5;
+        let mut plain = line_metric(n);
+        let mut tracked = line_metric(n);
+        let mut delta = ImprovedPairs::new(n);
+        let count = improve_with_link(&mut plain, 0, 4, 1.0);
+        let tracked_count = improve_with_link_tracked(&mut tracked, 0, 4, 1.0, &mut delta);
+        assert_eq!(count, tracked_count);
+        assert_eq!(plain, tracked, "tracked kernel must be bit-identical");
+        assert!(!delta.is_empty());
+        // Every recorded pair really improved, and old values are pre-update.
+        let before = line_metric(n);
+        for &(a, b, old) in delta.pairs() {
+            let (a, b) = (a as usize, b as usize);
+            assert!(delta.contains_pair(a, b));
+            assert!(delta.touches(a) && delta.touches(b));
+            assert_eq!(old, before.get(a, b));
+            assert!(tracked.get(a, b) < old);
+        }
+        // Every unrecorded pair is unchanged.
+        for (a, b) in pair_indices(n) {
+            if !delta.contains_pair(a, b) {
+                assert_eq!(tracked.get(a, b), before.get(a, b));
+            }
+        }
+        // The endpoints of the new link are touched (its own pair improved).
+        assert!(delta.touches(0) && delta.touches(4));
+    }
+
+    #[test]
+    fn improved_pairs_reset_reuses_and_resizes() {
+        let mut delta = ImprovedPairs::new(4);
+        delta.record(1, 3, 9.0);
+        delta.record(3, 1, 8.0); // duplicate orientation is ignored
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta.pairs()[0], (1, 3, 9.0));
+        delta.reset(4);
+        assert!(delta.is_empty() && !delta.touches(1));
+        delta.reset(7);
+        assert_eq!(delta.n(), 7);
+        delta.record(5, 6, 1.0);
+        assert!(delta.contains_pair(6, 5));
     }
 }

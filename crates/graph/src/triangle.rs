@@ -1,0 +1,232 @@
+//! Symmetric upper-triangle-only matrix storage.
+//!
+//! Every matrix in the design engine — fiber, geodesic, traffic, effective —
+//! is symmetric, so the full `n²` [`DistMatrix`] stores each unordered pair
+//! twice. [`UpperTriangleMatrix`] stores the upper triangle (diagonal
+//! included) in one flat `n·(n+1)/2` allocation: half the memory and half
+//! the cache traffic on continent-scale inputs. It exposes the same
+//! entry/pair API as [`DistMatrix`] (`get`/`set`/`upper_triangle`/
+//! `copy_from`), the `copy_from_dist` bridge for `memcpy`-style scratch
+//! refills from a full matrix, and the same exact one-edge improvement
+//! kernel, so sweeps like the weather rerouting loop can switch storage
+//! without changing shape. (Row-slice views don't exist in triangular
+//! storage — callers that need `&[f64]` rows stay on `DistMatrix`.)
+
+use crate::matrix::{pair_indices, DistMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A dense symmetric matrix storing only the upper triangle (with diagonal)
+/// in one contiguous allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpperTriangleMatrix {
+    n: usize,
+    /// Row-major upper triangle: row `i` stores columns `i..n`.
+    data: Vec<f64>,
+}
+
+/// Number of stored entries for side length `n` (upper triangle + diagonal).
+#[inline]
+fn storage_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+impl UpperTriangleMatrix {
+    /// An `n × n` symmetric matrix filled with `value`.
+    pub fn filled(n: usize, value: f64) -> Self {
+        Self {
+            n,
+            data: vec![value; storage_len(n)],
+        }
+    }
+
+    /// An `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self::filled(n, 0.0)
+    }
+
+    /// Build from a generator over canonical `(i, j)` with `i <= j`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(storage_len(n));
+        for i in 0..n {
+            for j in i..n {
+                data.push(f(i, j));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Build from the upper triangle of a full square matrix (the lower
+    /// triangle is ignored, matching how the symmetric kernels read a
+    /// `DistMatrix`).
+    pub fn from_dist(full: &DistMatrix) -> Self {
+        Self::from_fn(full.n(), |i, j| full.get(i, j))
+    }
+
+    /// Side length.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Flat index of the canonical entry for `(i, j)`.
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        a * self.n - a * (a + 1) / 2 + b
+    }
+
+    /// Entry at `(i, j)` (order-insensitive).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Set the entry at `(i, j)` — one store updates both orientations,
+    /// which is the point of the storage scheme.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        let k = self.idx(i, j);
+        self.data[k] = value;
+    }
+
+    /// Alias of [`Self::set`], mirroring [`DistMatrix::set_sym`] so callers
+    /// can switch storage without renaming.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.set(i, j, value);
+    }
+
+    /// Overwrite with `other`'s contents without reallocating when sizes
+    /// match.
+    pub fn copy_from(&mut self, other: &UpperTriangleMatrix) {
+        if self.n == other.n {
+            self.data.copy_from_slice(&other.data);
+        } else {
+            self.n = other.n;
+            self.data.clear();
+            self.data.extend_from_slice(&other.data);
+        }
+    }
+
+    /// Refill from the upper triangle of a full matrix, reusing the
+    /// allocation: one contiguous slice copy per row (the triangular
+    /// equivalent of [`DistMatrix::copy_from`]).
+    pub fn copy_from_dist(&mut self, full: &DistMatrix) {
+        let n = full.n();
+        if self.n != n {
+            self.n = n;
+            self.data.clear();
+            self.data.resize(storage_len(n), 0.0);
+        }
+        let mut start = 0;
+        for i in 0..n {
+            let len = n - i;
+            self.data[start..start + len].copy_from_slice(&full.row(i)[i..]);
+            start += len;
+        }
+    }
+
+    /// Expand back to a full square matrix (boundary/debug use).
+    pub fn to_dist(&self) -> DistMatrix {
+        DistMatrix::from_fn(self.n, |i, j| self.get(i, j))
+    }
+
+    /// Iterate the strict upper triangle (`i < j`) in row-major order,
+    /// yielding `(i, j, value)` — same shape as
+    /// [`DistMatrix::upper_triangle`].
+    pub fn upper_triangle(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        pair_indices(self.n).map(move |(i, j)| (i, j, self.get(i, j)))
+    }
+
+    /// Sum of the strict upper triangle.
+    pub fn upper_triangle_sum(&self) -> f64 {
+        self.upper_triangle().map(|(_, _, v)| v).sum()
+    }
+
+    /// Apply the exact one-edge improvement `D'[s][t] = min(D[s][t],
+    /// D[s][i] + length + D[j][t], D[s][j] + length + D[i][t])` in place.
+    /// Same preconditions and semantics as
+    /// [`crate::matrix::improve_with_link`]; each unordered pair is visited
+    /// once. Returns the number of (unordered) pairs improved.
+    pub fn improve_with_link(&mut self, i: usize, j: usize, length: f64) -> usize {
+        let n = self.n;
+        assert!(i < n && j < n && i != j);
+        assert!(length >= 0.0);
+        let mut improved = 0;
+        for s in 0..n {
+            let d_si = self.get(s, i);
+            let d_sj = self.get(s, j);
+            for t in (s + 1)..n {
+                let best = (d_si + length + self.get(j, t)).min(d_sj + length + self.get(i, t));
+                if best < self.get(s, t) {
+                    self.set(s, t, best);
+                    improved += 1;
+                }
+            }
+        }
+        improved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::improve_with_link;
+
+    fn line_metric(n: usize) -> DistMatrix {
+        DistMatrix::from_fn(n, |i, j| (i as f64 - j as f64).abs() * 2.0)
+    }
+
+    #[test]
+    fn round_trips_through_dist_matrix() {
+        let full = DistMatrix::from_fn(5, |i, j| (i + j) as f64 * 1.5);
+        let tri = UpperTriangleMatrix::from_dist(&full);
+        assert_eq!(tri.n(), 5);
+        assert_eq!(tri.to_dist(), full);
+        assert_eq!(tri.get(3, 1), full.get(1, 3), "order-insensitive get");
+        assert_eq!(tri.upper_triangle_sum(), full.upper_triangle_sum());
+        let pairs: Vec<_> = tri.upper_triangle().collect();
+        let full_pairs: Vec<_> = full.upper_triangle().collect();
+        assert_eq!(pairs, full_pairs);
+    }
+
+    #[test]
+    fn set_updates_both_orientations() {
+        let mut tri = UpperTriangleMatrix::zeros(4);
+        tri.set(2, 0, 7.0);
+        tri.set_sym(1, 3, 5.0);
+        assert_eq!(tri.get(0, 2), 7.0);
+        assert_eq!(tri.get(2, 0), 7.0);
+        assert_eq!(tri.get(3, 1), 5.0);
+    }
+
+    #[test]
+    fn copy_from_dist_reuses_allocation() {
+        let full = line_metric(6);
+        let mut tri = UpperTriangleMatrix::zeros(6);
+        let ptr = tri.data.as_ptr();
+        tri.copy_from_dist(&full);
+        assert_eq!(tri.data.as_ptr(), ptr, "no reallocation");
+        assert_eq!(tri, UpperTriangleMatrix::from_dist(&full));
+        // Size-changing refill still works.
+        let mut small = UpperTriangleMatrix::zeros(2);
+        small.copy_from_dist(&full);
+        assert_eq!(small, UpperTriangleMatrix::from_dist(&full));
+        // Triangle-to-triangle copy.
+        let mut other = UpperTriangleMatrix::zeros(6);
+        other.copy_from(&tri);
+        assert_eq!(other, tri);
+    }
+
+    #[test]
+    fn improve_with_link_matches_full_matrix_kernel() {
+        let mut full = line_metric(6);
+        let mut tri = UpperTriangleMatrix::from_dist(&full);
+        let tri_improved = tri.improve_with_link(0, 5, 1.0);
+        improve_with_link(&mut full, 0, 5, 1.0);
+        assert!(tri_improved > 0);
+        for (i, j, v) in full.upper_triangle() {
+            assert_eq!(tri.get(i, j), v, "pair ({i}, {j})");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use cisp_core::topology::HybridTopology;
 use cisp_geo::latency;
-use cisp_graph::{pair_indices, DistMatrix};
+use cisp_graph::{pair_indices, UpperTriangleMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::failures::{link_failures, FailureConfig};
@@ -99,8 +99,11 @@ pub fn weather_year_analysis(
 
     // Per-interval stretch samples, one slot per analysed pair (positive
     // geodesic distance only). The per-interval effective matrix is rebuilt
-    // into one reusable scratch buffer (copy-on-write from the fiber matrix)
-    // instead of allocating a fresh matrix per interval.
+    // into one reusable upper-triangle scratch buffer — the sweep only reads
+    // unordered pairs, so symmetric storage halves the scratch memory
+    // traffic — and consecutive intervals with an identical failure set
+    // (common during calm spells and long storms) reuse the previous
+    // rebuild outright.
     let analysed: Vec<(usize, usize)> = pair_indices(n)
         .filter(|&(i, j)| topology.geodesic_km(i, j) > 0.0)
         .collect();
@@ -109,21 +112,29 @@ pub fn weather_year_analysis(
         .map(|_| Vec::with_capacity(year.len()))
         .collect();
     let mut failed_total = 0usize;
-    let mut scratch = DistMatrix::zeros(n);
+    let mut scratch = UpperTriangleMatrix::zeros(n);
+    let mut scratch_failed: Option<Vec<usize>> = None;
     for field in year.fields() {
         let failed = link_failures(topology, field, config);
         failed_total += failed.len();
-        let matrix: &DistMatrix = if failed.is_empty() {
-            best_matrix
+        if failed.is_empty() {
+            for (slot, &(i, j)) in samples.iter_mut().zip(&analysed) {
+                slot.push(latency::distance_stretch(
+                    best_matrix[i][j],
+                    topology.geodesic_km(i, j),
+                ));
+            }
         } else {
-            topology.effective_matrix_without_into(&failed, &mut scratch);
-            &scratch
-        };
-        for (slot, &(i, j)) in samples.iter_mut().zip(&analysed) {
-            slot.push(latency::distance_stretch(
-                matrix[i][j],
-                topology.geodesic_km(i, j),
-            ));
+            if scratch_failed.as_deref() != Some(failed.as_slice()) {
+                topology.effective_matrix_without_into_tri(&failed, &mut scratch);
+                scratch_failed = Some(failed);
+            }
+            for (slot, &(i, j)) in samples.iter_mut().zip(&analysed) {
+                slot.push(latency::distance_stretch(
+                    scratch.get(i, j),
+                    topology.geodesic_km(i, j),
+                ));
+            }
         }
     }
 

@@ -1,24 +1,31 @@
-//! Parity properties for the flat distance-matrix engine.
+//! Parity properties for the flat distance-matrix engine and the
+//! incremental delta-scoring design engine.
 //!
-//! The designer's hot kernels were ported from nested `Vec<Vec<f64>>`
-//! matrices to the flat row-major `DistMatrix` and the candidate scoring was
-//! parallelised. These properties pin the port to a deliberately naive
-//! nested-`Vec` reference implementation on random small topologies:
+//! The designer's hot kernels run on the flat row-major `DistMatrix`, with
+//! candidate scoring maintained incrementally by persistent worker shards.
+//! These properties pin every layer of that stack to deliberately naive
+//! references on random small topologies:
 //!
-//! * `improve_with_link` produces exactly the nested reference's matrix;
+//! * `improve_with_link` produces exactly the nested-`Vec` reference's
+//!   matrix, and the delta-tracking variant is bit-identical to it while
+//!   reporting exactly the pairs that changed;
+//! * `UpperTriangleMatrix` (symmetric upper-triangle-only storage) computes
+//!   bit-identical improvements to the full `DistMatrix`;
 //! * `mean_stretch` / `mean_stretch_with` match reference recomputation;
-//! * the parallel greedy selects exactly the same design as the serial
-//!   greedy, and both match a naive full-rescoring greedy.
+//! * the incremental delta-scoring greedy — serial and parallel — selects
+//!   exactly the same designs as the full-rescore engine, and both match a
+//!   naive full-rescoring nested-`Vec` greedy.
 
 // The nested-Vec reference implementations are deliberately naive index
 // loops — that is the point of a reference.
 #![allow(clippy::needless_range_loop)]
 
-use cisp::core::design::{DesignConfig, DesignInput, Designer};
+use cisp::core::design::{DesignConfig, DesignInput, Designer, ScoringEngine};
 use cisp::core::links::CandidateLink;
-use cisp::core::topology::{improve_with_link, HybridTopology};
+use cisp::core::topology::{improve_with_link, improve_with_link_tracked, HybridTopology};
 use cisp::geo::{geodesic, GeoPoint};
 use cisp::graph::DistMatrix;
+use cisp::graph::{ImprovedPairs, UpperTriangleMatrix};
 use proptest::prelude::*;
 
 /// SplitMix64, used to derive deterministic pseudo-random fixtures from a
@@ -252,13 +259,14 @@ proptest! {
     }
 
     #[test]
-    fn parallel_greedy_matches_naive_nested_reference(
+    fn incremental_greedy_matches_full_rescore_and_naive_reference(
         n in 3usize..7,
         seed in 0u64..10_000,
     ) {
         let input = random_input(n, seed);
         let budget = 4 * n;
 
+        // The incremental delta-scoring engine, serial and parallel.
         let parallel = Designer::with_config(
             &input,
             DesignConfig { parallel: true, ..DesignConfig::default() },
@@ -269,18 +277,27 @@ proptest! {
             DesignConfig { parallel: false, ..DesignConfig::default() },
         )
         .greedy(budget as f64);
+        // The full-rescore reference engine.
+        let full = Designer::with_config(
+            &input,
+            DesignConfig { engine: ScoringEngine::FullRescore, ..DesignConfig::default() },
+        )
+        .greedy(budget as f64);
         let reference = naive_greedy(&input, budget);
 
-        // Parallel and serial scoring must be bit-identical.
+        // Parallel and serial shard scoring must be bit-identical.
         prop_assert_eq!(&parallel.selected, &serial.selected);
         prop_assert!((parallel.mean_stretch - serial.mean_stretch).abs() == 0.0);
-        // And the engine (lazy re-evaluation, flat matrices) must select the
-        // same design as the naive full-rescoring nested-Vec greedy.
+        // The incremental engine must select the same design as the
+        // full-rescore engine, and both the same as the naive full-rescoring
+        // nested-Vec greedy.
+        prop_assert_eq!(&parallel.selected, &full.selected);
+        prop_assert!((parallel.mean_stretch - full.mean_stretch).abs() == 0.0);
         prop_assert_eq!(&parallel.selected, &reference);
     }
 
     #[test]
-    fn parallel_and_serial_cisp_heuristic_agree(
+    fn cisp_heuristic_agrees_across_parallelism_and_engines(
         n in 4usize..8,
         seed in 0u64..10_000,
     ) {
@@ -296,9 +313,83 @@ proptest! {
             DesignConfig { parallel: false, ..DesignConfig::default() },
         )
         .cisp(budget);
+        let full_serial = Designer::with_config(
+            &input,
+            DesignConfig {
+                engine: ScoringEngine::FullRescore,
+                parallel: false,
+                ..DesignConfig::default()
+            },
+        )
+        .cisp(budget);
         prop_assert_eq!(&parallel.selected, &serial.selected);
         prop_assert_eq!(parallel.total_towers, serial.total_towers);
         prop_assert!((parallel.mean_stretch - serial.mean_stretch).abs() == 0.0);
+        // Incremental delta-scoring and full rescoring pick the same design.
+        prop_assert_eq!(&serial.selected, &full_serial.selected);
+        prop_assert!((serial.mean_stretch - full_serial.mean_stretch).abs() == 0.0);
+    }
+
+    #[test]
+    fn tracked_improve_is_bit_identical_and_reports_exact_delta(
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        picks in (0usize..1_000, 0usize..1_000),
+    ) {
+        let input = random_input(n, seed);
+        let mut plain = input.fiber_km.clone();
+        let mut tracked = input.fiber_km.clone();
+        let mut delta = ImprovedPairs::new(n);
+        for pick in [picks.0, picks.1] {
+            let link = &input.candidates[pick % input.candidates.len()];
+            let before = tracked.clone();
+            improve_with_link(&mut plain, link.site_a, link.site_b, link.mw_length_km);
+            improve_with_link_tracked(
+                &mut tracked,
+                link.site_a,
+                link.site_b,
+                link.mw_length_km,
+                &mut delta,
+            );
+            // Same matrix, bit for bit.
+            prop_assert_eq!(&plain, &tracked);
+            // The delta is exactly the set of changed pairs, with the old
+            // values, and `touches` covers every endpoint of a changed pair.
+            for (i, j) in cisp::graph::pair_indices(n) {
+                let changed = tracked.get(i, j) != before.get(i, j);
+                prop_assert_eq!(delta.contains_pair(i, j), changed);
+                if changed {
+                    let old = delta
+                        .pairs()
+                        .iter()
+                        .find(|&&(a, b, _)| (a as usize, b as usize) == (i, j))
+                        .map(|&(_, _, old)| old)
+                        .unwrap();
+                    prop_assert_eq!(old, before.get(i, j));
+                    prop_assert!(delta.touches(i) && delta.touches(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_triangle_improve_matches_dist_matrix(
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        picks in (0usize..1_000, 0usize..1_000, 0usize..1_000),
+    ) {
+        let input = random_input(n, seed);
+        let mut full = input.fiber_km.clone();
+        let mut tri = UpperTriangleMatrix::from_dist(&input.fiber_km);
+        for pick in [picks.0, picks.1, picks.2] {
+            let link = &input.candidates[pick % input.candidates.len()];
+            improve_with_link(&mut full, link.site_a, link.site_b, link.mw_length_km);
+            tri.improve_with_link(link.site_a, link.site_b, link.mw_length_km);
+            for (i, j, v) in full.upper_triangle() {
+                prop_assert_eq!(tri.get(i, j), v);
+                prop_assert_eq!(tri.get(j, i), v);
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,63 @@ pub fn fat_client_latency_ms(conventional_rtt_ms: f64, use_lowlat: bool, fractio
     }
 }
 
+/// Frame-time statistics over a *distribution* of RTTs — the form the
+/// end-to-end pipeline feeds this model: per-pair RTTs measured by the
+/// packet simulator (propagation + serialization + queueing) instead of a
+/// single synthetic RTT.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FrameTimeStats {
+    /// Mean thin-client frame time over conventional connectivity, ms.
+    pub mean_conventional_ms: f64,
+    /// Mean thin-client frame time with the low-latency augmentation, ms.
+    pub mean_augmented_ms: f64,
+    /// Worst-pair conventional frame time, ms.
+    pub worst_conventional_ms: f64,
+    /// Worst-pair augmented frame time, ms.
+    pub worst_augmented_ms: f64,
+    /// Fraction of the RTT samples whose *augmented* frame time meets the
+    /// paper's ~60 ms interactivity threshold while the conventional one
+    /// does not — the pairs for which the low-latency network changes the
+    /// experienced category.
+    pub newly_playable_fraction: f64,
+}
+
+/// The interactivity threshold (ms) used for
+/// [`FrameTimeStats::newly_playable_fraction`] — the paper's rule of thumb
+/// that frame times beyond ~60 ms degrade fast-action games.
+pub const PLAYABLE_FRAME_MS: f64 = 60.0;
+
+/// Evaluate the thin-client model over a set of measured RTT samples
+/// (milliseconds), e.g. the simulated per-pair RTTs of
+/// `cisp_core::evaluate`. Panics on an empty sample set.
+pub fn frame_time_distribution(model: &GameModel, rtt_ms_samples: &[f64]) -> FrameTimeStats {
+    assert!(!rtt_ms_samples.is_empty(), "need at least one RTT sample");
+    let mut sum_conv = 0.0;
+    let mut sum_aug = 0.0;
+    let mut worst_conv = 0.0f64;
+    let mut worst_aug = 0.0f64;
+    let mut newly_playable = 0usize;
+    for &rtt in rtt_ms_samples {
+        let conv = frame_time_conventional_ms(model, rtt);
+        let aug = frame_time_ms(model, rtt);
+        sum_conv += conv;
+        sum_aug += aug;
+        worst_conv = worst_conv.max(conv);
+        worst_aug = worst_aug.max(aug);
+        if aug <= PLAYABLE_FRAME_MS && conv > PLAYABLE_FRAME_MS {
+            newly_playable += 1;
+        }
+    }
+    let n = rtt_ms_samples.len() as f64;
+    FrameTimeStats {
+        mean_conventional_ms: sum_conv / n,
+        mean_augmented_ms: sum_aug / n,
+        worst_conventional_ms: worst_conv,
+        worst_augmented_ms: worst_aug,
+        newly_playable_fraction: newly_playable as f64 / n,
+    }
+}
+
 /// The Fig. 12 sweep: frame times with and without the augmentation as the
 /// conventional RTT grows. Returns `(rtt_ms, conventional, augmented)` rows.
 pub fn frame_time_sweep(model: &GameModel, max_rtt_ms: f64, step_ms: f64) -> Vec<(f64, f64, f64)> {
@@ -153,5 +210,30 @@ mod tests {
     #[should_panic]
     fn negative_rtt_rejected() {
         frame_time_ms(&GameModel::default(), -1.0);
+    }
+
+    #[test]
+    fn distribution_stats_aggregate_per_sample_models() {
+        let model = GameModel::default();
+        // One comfortably playable pair (10 ms), one that only the
+        // augmentation rescues (45 ms: conventional 85 ms, augmented 55 ms),
+        // one hopeless pair (300 ms).
+        let rtts = [10.0, 45.0, 300.0];
+        let stats = frame_time_distribution(&model, &rtts);
+        assert!(stats.mean_augmented_ms < stats.mean_conventional_ms);
+        assert!(stats.worst_augmented_ms < stats.worst_conventional_ms);
+        assert!((stats.worst_conventional_ms - 340.0).abs() < 1e-9);
+        // Exactly the 45 ms pair flips category: conventional 85 ms,
+        // augmented 55 ms.
+        assert!((stats.newly_playable_fraction - 1.0 / 3.0).abs() < 1e-12);
+        // Mean matches the hand-rolled average.
+        let conv_mean = (50.0 + 85.0 + 340.0) / 3.0;
+        assert!((stats.mean_conventional_ms - conv_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_distribution_rejected() {
+        frame_time_distribution(&GameModel::default(), &[]);
     }
 }

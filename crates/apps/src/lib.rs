@@ -15,11 +15,17 @@
 //! * [`value`] — the §8 back-of-the-envelope value-per-GB estimates for Web
 //!   search, e-commerce and gaming, compared against the network's cost per
 //!   GB.
+//!
+//! Both the web and gaming models consume *measured* RTT distributions —
+//! e.g. the queueing-aware per-pair RTTs the packet simulator produces via
+//! `cisp_core::evaluate` — through [`web::PageCorpus::generate_with_rtts`]
+//! and [`gaming::frame_time_distribution`], in addition to their synthetic
+//! single-RTT sweeps.
 
 pub mod gaming;
 pub mod value;
 pub mod web;
 
-pub use gaming::{frame_time_ms, GameModel};
+pub use gaming::{frame_time_distribution, frame_time_ms, FrameTimeStats, GameModel};
 pub use value::{cost_benefit_table, ValueEstimate};
 pub use web::{PageCorpus, ReplayScenario, WebReplayReport};

@@ -80,6 +80,24 @@ impl PageCorpus {
             .collect();
         Self { pages }
     }
+
+    /// Generate a corpus whose page RTTs come from a *measured* distribution
+    /// — e.g. the simulated per-pair RTTs of `cisp_core::evaluate` — instead
+    /// of the synthetic 30–120 ms draw. RTTs are in seconds and assigned
+    /// round-robin across pages, so every measured pair shapes some pages.
+    /// Page structure (objects, depths, compute) still follows the seeded
+    /// synthetic shape.
+    pub fn generate_with_rtts(n: usize, seed: u64, rtts_s: &[f64]) -> Self {
+        assert!(!rtts_s.is_empty(), "need at least one RTT");
+        for &rtt in rtts_s {
+            assert!(rtt.is_finite() && rtt >= 0.0, "RTTs must be finite and ≥ 0");
+        }
+        let mut corpus = Self::generate(n, seed);
+        for (k, page) in corpus.pages.iter_mut().enumerate() {
+            page.base_rtt_s = rtts_s[k % rtts_s.len()];
+        }
+        corpus
+    }
 }
 
 /// Which latency treatment a replay applies (Fig. 13's three lines).
@@ -280,6 +298,31 @@ mod tests {
         let c = ReplayScenario::Cisp { factor: 0.33 }.rtt_multiplier();
         assert!(c < s && s < b);
         assert_eq!(b, 1.0);
+    }
+
+    #[test]
+    fn measured_rtts_drive_page_load_times() {
+        // Pages built on measured 20 ms RTTs load faster than the same pages
+        // on measured 200 ms RTTs.
+        let fast = PageCorpus::generate_with_rtts(20, 3, &[0.020]);
+        let slow = PageCorpus::generate_with_rtts(20, 3, &[0.200]);
+        for (f, s) in fast.pages.iter().zip(&slow.pages) {
+            assert_eq!(f.objects.len(), s.objects.len(), "same synthetic shape");
+        }
+        let fast_plt = replay(&fast, ReplayScenario::Baseline).median_plt_ms();
+        let slow_plt = replay(&slow, ReplayScenario::Baseline).median_plt_ms();
+        assert!(fast_plt < slow_plt);
+        // Round-robin assignment covers the whole RTT list.
+        let mixed = PageCorpus::generate_with_rtts(4, 1, &[0.030, 0.060]);
+        assert_eq!(mixed.pages[0].base_rtt_s, 0.030);
+        assert_eq!(mixed.pages[1].base_rtt_s, 0.060);
+        assert_eq!(mixed.pages[2].base_rtt_s, 0.030);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rtt_list_rejected() {
+        PageCorpus::generate_with_rtts(5, 1, &[]);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Record the packet-engine baseline: events per second, serial vs sharded.
+//!
+//! Two workloads:
+//!
+//! * `disjoint_pairs` — many independent bottleneck pairs (one component per
+//!   pair), the sharding-friendly regime;
+//! * `us_backbone` — the designed miniature US backbone lowered through
+//!   `cisp_core::evaluate` (components follow the real traffic structure).
+//!
+//! Writes `BENCH_sim.json` (or the path given as the first argument) with
+//! wall-clock medians, event throughputs, and the sharded-over-serial
+//! speedup, asserting along the way that serial and sharded runs produce
+//! bit-identical reports. On a single-core runner the sharded numbers
+//! degrade to roughly serial (thread scheduling overhead aside) — the
+//! recorded speedup is hardware-dependent by nature.
+//!
+//! Run with: `cargo run --release --bin bench_sim_baseline`
+
+use std::time::Instant;
+
+use cisp_bench::us_scenario;
+use cisp_core::evaluate::{lower, EvaluateConfig};
+use cisp_core::scenario::population_product_traffic;
+use cisp_netsim::network::{LinkSpec, Network};
+use cisp_netsim::routing::Demand;
+use cisp_netsim::sim::{SimConfig, Simulation};
+
+/// Median wall-clock milliseconds of `f` over enough repetitions to be
+/// stable.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let probe = Instant::now();
+    f();
+    let first_ms = probe.elapsed().as_secs_f64() * 1e3;
+    let reps = if first_ms < 1.0 {
+        25
+    } else if first_ms < 100.0 {
+        7
+    } else {
+        3
+    };
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Total events a finished run processed: one per transmit attempt
+/// (forwarded or dropped) plus one per delivery.
+fn events_processed(sim: &Simulation, delivered: u64, dropped: u64) -> u64 {
+    let forwarded: u64 = sim.network().states().packets_forwarded.iter().sum();
+    forwarded + dropped + delivered
+}
+
+/// `pairs` independent 10 Mbps bottlenecks at 80 % load.
+fn disjoint_pairs(pairs: usize) -> (Network, Vec<Demand>) {
+    let mut net = Network::new(2 * pairs);
+    let mut demands = Vec::new();
+    for p in 0..pairs {
+        net.add_link(LinkSpec {
+            from: 2 * p,
+            to: 2 * p + 1,
+            rate_bps: 10e6,
+            propagation_s: 0.002 + p as f64 * 1e-4,
+            buffer_bytes: 50_000.0,
+        });
+        demands.push(Demand {
+            src: 2 * p,
+            dst: 2 * p + 1,
+            amount_bps: 8e6,
+        });
+    }
+    (net, demands)
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    events: u64,
+    serial_ms: f64,
+    sharded_ms: f64,
+    components: usize,
+}
+
+fn measure(
+    name: &'static str,
+    network: Network,
+    demands: Vec<Demand>,
+    base: SimConfig,
+) -> WorkloadReport {
+    let serial_config = SimConfig { workers: 1, ..base };
+    let sharded_config = SimConfig { workers: 0, ..base };
+
+    // Parity check + event count (identical between modes by construction,
+    // asserted here).
+    let mut serial_sim = Simulation::new(network.clone(), demands.clone(), serial_config);
+    let serial_report = serial_sim.run();
+    let mut sharded_sim = Simulation::new(network.clone(), demands.clone(), sharded_config);
+    let sharded_report = sharded_sim.run();
+    assert_eq!(
+        serial_report, sharded_report,
+        "{name}: serial and sharded reports must be bit-identical"
+    );
+    let events = events_processed(&serial_sim, serial_report.delivered, serial_report.dropped);
+
+    let serial_ms = median_ms(|| {
+        serial_sim.run();
+    });
+    let sharded_ms = median_ms(|| {
+        sharded_sim.run();
+    });
+
+    let components = serial_sim.num_components();
+
+    WorkloadReport {
+        name,
+        events,
+        serial_ms,
+        sharded_ms,
+        components,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let mut reports = Vec::new();
+
+    {
+        let (net, demands) = disjoint_pairs(16);
+        let config = SimConfig {
+            duration_s: 1.0,
+            ..SimConfig::default()
+        };
+        reports.push(measure("disjoint_pairs_16", net, demands, config));
+    }
+
+    {
+        let scenario = us_scenario(cisp_bench::Scale::Tiny, 42);
+        let outcome = scenario.design(300.0);
+        let traffic = population_product_traffic(scenario.cities());
+        let lowered = lower(
+            &outcome.topology,
+            &traffic,
+            &EvaluateConfig {
+                design_aggregate_gbps: 4.0,
+                load_fraction: 0.7,
+                ..EvaluateConfig::default()
+            },
+        );
+        let config = SimConfig {
+            duration_s: 0.3,
+            ..SimConfig::default()
+        };
+        reports.push(measure(
+            "us_backbone_tiny",
+            lowered.network,
+            lowered.demands,
+            config,
+        ));
+    }
+
+    let mut entries = Vec::new();
+    for r in &reports {
+        let serial_eps = r.events as f64 / (r.serial_ms / 1e3);
+        let sharded_eps = r.events as f64 / (r.sharded_ms / 1e3);
+        println!(
+            "{:<20} {:>9} events: serial {:8.2} ms ({:>10.0} ev/s), sharded {:8.2} ms ({:>10.0} ev/s), speedup {:.2}x",
+            r.name,
+            r.events,
+            r.serial_ms,
+            serial_eps,
+            r.sharded_ms,
+            sharded_eps,
+            r.serial_ms / r.sharded_ms,
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"events\": {},\n",
+                "      \"components\": {},\n",
+                "      \"serial_ms\": {:.4},\n",
+                "      \"sharded_ms\": {:.4},\n",
+                "      \"serial_events_per_sec\": {:.0},\n",
+                "      \"sharded_events_per_sec\": {:.0},\n",
+                "      \"sharded_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            r.name,
+            r.events,
+            r.components,
+            r.serial_ms,
+            r.sharded_ms,
+            serial_eps,
+            sharded_eps,
+            r.serial_ms / r.sharded_ms,
+        ));
+    }
+
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"packet engine event throughput: serial vs sharded components\",\n",
+            "  \"command\": \"cargo run --release --bin bench_sim_baseline\",\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"note\": \"serial and sharded reports asserted bit-identical before timing\",\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        workers,
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write baseline file");
+    println!("wrote {out_path}");
+}

@@ -7,20 +7,11 @@
 //! performs exactly that conversion so the Fig. 5 / Fig. 11 binaries and the
 //! netsim Criterion bench share one definition.
 
-use cisp_core::augment::{augment_for_throughput, AugmentConfig};
+use cisp_core::evaluate::{lower, EvaluateConfig};
 use cisp_core::topology::HybridTopology;
-use cisp_geo::units::SPEED_OF_LIGHT_KM_PER_S;
 use cisp_graph::DistMatrix;
-use cisp_netsim::network::{LinkSpec, Network};
+use cisp_netsim::network::Network;
 use cisp_netsim::routing::Demand;
-
-/// Capacity assumed for fiber links in the simulation (bps) — effectively
-/// unconstrained relative to the MW links, as in the paper.
-const FIBER_RATE_BPS: f64 = 400e9;
-
-/// Per-link drop-tail buffer, in bytes (≈100 packets of 500 B at each MW
-/// link, the regime in which Fig. 5's losses appear under overload).
-const BUFFER_BYTES: f64 = 50_000.0;
 
 /// Build a packet-level network and demand set from a designed topology.
 ///
@@ -29,74 +20,26 @@ const BUFFER_BYTES: f64 = 50_000.0;
 /// * The offered demands follow `offered_traffic` (which may differ from the
 ///   designed-for matrix — that is the whole point of Figs. 5 and 11), scaled
 ///   so their sum is `load_fraction × design_aggregate_gbps`.
+///
+/// This is a thin wrapper over the canonical lowering in
+/// `cisp_core::evaluate` (which additionally tracks the microwave-link and
+/// demand-pair mappings the weather and application layers use).
 pub fn build_simulation_inputs(
     topology: &HybridTopology,
     offered_traffic: &DistMatrix,
     design_aggregate_gbps: f64,
     load_fraction: f64,
 ) -> (Network, Vec<Demand>) {
-    assert!(load_fraction >= 0.0);
-    let n = topology.num_sites();
-    assert_eq!(offered_traffic.n(), n);
-
-    // Provision MW links for the design target.
-    let augmentation =
-        augment_for_throughput(topology, design_aggregate_gbps, &AugmentConfig::default());
-
-    let mut network = Network::new(n);
-    // Microwave links: provisioned capacity, near-c propagation.
-    for provision in &augmentation.links {
-        let link = &topology.mw_links()[provision.link_index];
-        let capacity_bps = (provision.series * provision.series) as f64 * 1e9;
-        network.add_bidirectional_link(LinkSpec {
-            from: link.site_a,
-            to: link.site_b,
-            rate_bps: capacity_bps,
-            propagation_s: link.mw_length_km / SPEED_OF_LIGHT_KM_PER_S,
-            buffer_bytes: BUFFER_BYTES,
-        });
-    }
-    // Fiber links between every pair (plentiful bandwidth, 1.5×-slowed
-    // propagation already baked into the latency-equivalent distance).
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = topology.fiber_km(i, j);
-            if d.is_finite() {
-                network.add_bidirectional_link(LinkSpec {
-                    from: i,
-                    to: j,
-                    rate_bps: FIBER_RATE_BPS,
-                    propagation_s: d / SPEED_OF_LIGHT_KM_PER_S,
-                    buffer_bytes: 10.0 * BUFFER_BYTES,
-                });
-            }
-        }
-    }
-
-    // Offered demands.
-    let total = offered_traffic.upper_triangle_sum();
-    assert!(total > 0.0, "offered traffic matrix is empty");
-    let scale = design_aggregate_gbps * load_fraction / total;
-    let mut demands = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let gbps = offered_traffic.get(i, j) * scale;
-            if gbps > 0.0 {
-                // Split the pair demand across both directions.
-                demands.push(Demand {
-                    src: i,
-                    dst: j,
-                    amount_bps: gbps * 1e9 / 2.0,
-                });
-                demands.push(Demand {
-                    src: j,
-                    dst: i,
-                    amount_bps: gbps * 1e9 / 2.0,
-                });
-            }
-        }
-    }
-    (network, demands)
+    let lowered = lower(
+        topology,
+        offered_traffic,
+        &EvaluateConfig {
+            design_aggregate_gbps,
+            load_fraction,
+            ..EvaluateConfig::default()
+        },
+    );
+    (lowered.network, lowered.demands)
 }
 
 #[cfg(test)]

@@ -1,0 +1,470 @@
+//! Lowering a designed topology into the packet simulator — the bridge the
+//! paper's evaluation chain (§5–§7) runs over.
+//!
+//! The design layers produce a [`HybridTopology`]; the evaluation layers
+//! (queueing simulation, weather-under-load, application models) consume a
+//! `cisp_netsim` [`Network`] plus a [`Demand`] set. This module performs the
+//! §5 conversion in one place:
+//!
+//! * every built microwave link becomes one bidirectional site-level link
+//!   whose capacity comes from the k²-augmentation provisioning
+//!   ([`augment_for_throughput`]) at the configured design target,
+//! * fiber connectivity becomes effectively-unconstrained links with the
+//!   1.5×-slowed propagation already baked into the latency-equivalent
+//!   distances,
+//! * the offered traffic matrix is scaled to a load fraction of the design
+//!   target and split into one directed [`Demand`] per direction per pair.
+//!
+//! The returned [`LoweredNetwork`] remembers which simulator links realise
+//! which microwave links ([`LoweredNetwork::mw_link_ids`]) — that is the
+//! hook the weather layer uses to map *failed* links onto the same network
+//! and re-route around them — and which demand realises which site pair,
+//! which is what lets [`pair_rtts`] turn a finished [`SimReport`] into
+//! queueing-aware per-pair RTTs for the gaming and web models.
+
+use cisp_geo::latency;
+use cisp_geo::units::SPEED_OF_LIGHT_KM_PER_S;
+use cisp_graph::DistMatrix;
+use cisp_netsim::network::{LinkId, LinkSpec, Network};
+use cisp_netsim::routing::{compute_routes_avoiding, Demand};
+use cisp_netsim::sim::{SimConfig, Simulation};
+use cisp_netsim::SimReport;
+use cisp_traffic::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::augment::{augment_for_throughput, AugmentConfig};
+use crate::topology::HybridTopology;
+
+/// Configuration of the design → simulation lowering.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvaluateConfig {
+    /// Aggregate throughput the microwave links are provisioned for, Gbps.
+    pub design_aggregate_gbps: f64,
+    /// Offered load as a fraction of the design target (paper: sweeps
+    /// 0.1–1.0).
+    pub load_fraction: f64,
+    /// Drop-tail buffer per microwave link, bytes (≈100 packets of 500 B).
+    pub mw_buffer_bytes: f64,
+    /// Capacity assumed for fiber links (bps) — effectively unconstrained
+    /// relative to the MW links, as in the paper.
+    pub fiber_rate_bps: f64,
+    /// Drop-tail buffer per fiber link, bytes.
+    pub fiber_buffer_bytes: f64,
+    /// Capacity-augmentation parameters used for provisioning.
+    pub augment: AugmentConfig,
+    /// Packet-engine configuration (duration, arrivals, routing scheme,
+    /// seed, workers).
+    pub sim: SimConfig,
+}
+
+impl Default for EvaluateConfig {
+    fn default() -> Self {
+        Self {
+            design_aggregate_gbps: 10.0,
+            load_fraction: 0.5,
+            mw_buffer_bytes: 50_000.0,
+            fiber_rate_bps: 400e9,
+            fiber_buffer_bytes: 500_000.0,
+            augment: AugmentConfig::default(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// A designed topology lowered into simulator form, with the bookkeeping
+/// needed to map results (and failures) back onto the design.
+#[derive(Debug, Clone)]
+pub struct LoweredNetwork {
+    /// The site-level packet network.
+    pub network: Network,
+    /// One directed demand per direction per traffic pair.
+    pub demands: Vec<Demand>,
+    /// `(src, dst)` site pair of each demand (demand order).
+    pub demand_pairs: Vec<(usize, usize)>,
+    /// Simulator link ids `(forward, reverse)` of each built microwave
+    /// link, aligned with `topology.mw_links()` — the weather layer's
+    /// failure hook.
+    pub mw_link_ids: Vec<(LinkId, LinkId)>,
+    /// The configuration the lowering used.
+    pub config: EvaluateConfig,
+}
+
+impl LoweredNetwork {
+    /// Disabled-link mask over the simulator's links for a set of failed
+    /// microwave links (indices into `topology.mw_links()`). Stale indices
+    /// are tolerated, matching the weather layer's conventions.
+    pub fn disabled_mask(&self, failed_mw_links: &[usize]) -> Vec<bool> {
+        let mut mask = vec![false; self.network.num_links()];
+        for &idx in failed_mw_links {
+            if let Some(&(fwd, rev)) = self.mw_link_ids.get(idx) {
+                mask[fwd] = true;
+                mask[rev] = true;
+            }
+        }
+        mask
+    }
+
+    /// A ready-to-run simulation over the lowered network (fair weather:
+    /// every link up).
+    pub fn simulation(&self) -> Simulation {
+        Simulation::new(self.network.clone(), self.demands.clone(), self.config.sim)
+    }
+
+    /// A simulation whose routes avoid the given failed microwave links
+    /// (indices into `topology.mw_links()`). Demands with no surviving path
+    /// emit nothing.
+    pub fn simulation_without(&self, failed_mw_links: &[usize]) -> Simulation {
+        let disabled = self.disabled_mask(failed_mw_links);
+        let routes = compute_routes_avoiding(
+            &self.network,
+            &self.demands,
+            self.config.sim.routing,
+            &disabled,
+        );
+        Simulation::with_routes(
+            self.network.clone(),
+            self.demands.clone(),
+            routes,
+            self.config.sim,
+        )
+    }
+}
+
+/// Lower a designed topology and an offered traffic matrix (pair weights,
+/// any scale) into a packet network and demand set.
+pub fn lower(
+    topology: &HybridTopology,
+    offered_traffic: &DistMatrix,
+    config: &EvaluateConfig,
+) -> LoweredNetwork {
+    let n = topology.num_sites();
+    assert_eq!(
+        offered_traffic.n(),
+        n,
+        "traffic matrix must cover the sites"
+    );
+    assert!(config.load_fraction >= 0.0);
+
+    // Provision MW links for the design target using the topology's own
+    // (design-time) traffic matrix — the offered matrix may differ; that
+    // mismatch is exactly what Figs. 5 and 11 study.
+    let augmentation =
+        augment_for_throughput(topology, config.design_aggregate_gbps, &config.augment);
+
+    let mut network = Network::new(n);
+    let mut mw_link_ids = vec![(usize::MAX, usize::MAX); topology.mw_links().len()];
+    for provision in &augmentation.links {
+        let link = &topology.mw_links()[provision.link_index];
+        let capacity_bps = (provision.series * provision.series) as f64 * 1e9;
+        let ids = network.add_bidirectional_link(LinkSpec {
+            from: link.site_a,
+            to: link.site_b,
+            rate_bps: capacity_bps,
+            propagation_s: link.mw_length_km / SPEED_OF_LIGHT_KM_PER_S,
+            buffer_bytes: config.mw_buffer_bytes,
+        });
+        mw_link_ids[provision.link_index] = ids;
+    }
+    // Fiber links between every pair (plentiful bandwidth, 1.5×-slowed
+    // propagation already baked into the latency-equivalent distance).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Zero-length fiber (co-located sites) still gets a link — the
+            // pair must stay directly routable.
+            let d = topology.fiber_km(i, j);
+            if d.is_finite() {
+                network.add_bidirectional_link(LinkSpec {
+                    from: i,
+                    to: j,
+                    rate_bps: config.fiber_rate_bps,
+                    propagation_s: d / SPEED_OF_LIGHT_KM_PER_S,
+                    buffer_bytes: config.fiber_buffer_bytes,
+                });
+            }
+        }
+    }
+
+    // Offered demands: the matrix scaled so its pair sum is
+    // `load_fraction × design target`, each pair split across directions.
+    let total = offered_traffic.upper_triangle_sum();
+    assert!(total > 0.0, "offered traffic matrix is empty");
+    let scale = config.design_aggregate_gbps * config.load_fraction / total;
+    let mut demands = Vec::new();
+    let mut demand_pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let gbps = offered_traffic.get(i, j) * scale;
+            if gbps > 0.0 {
+                for (src, dst) in [(i, j), (j, i)] {
+                    demands.push(Demand {
+                        src,
+                        dst,
+                        amount_bps: gbps * 1e9 / 2.0,
+                    });
+                    demand_pairs.push((src, dst));
+                }
+            }
+        }
+    }
+
+    LoweredNetwork {
+        network,
+        demands,
+        demand_pairs,
+        mw_link_ids,
+        config: *config,
+    }
+}
+
+/// [`lower`] over a `cisp_traffic` matrix.
+pub fn lower_traffic(
+    topology: &HybridTopology,
+    offered_traffic: &TrafficMatrix,
+    config: &EvaluateConfig,
+) -> LoweredNetwork {
+    lower(topology, offered_traffic.as_matrix(), config)
+}
+
+/// Queueing-aware round-trip time of one site pair, extracted from a
+/// simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PairRtt {
+    /// First site of the pair.
+    pub site_a: usize,
+    /// Second site of the pair.
+    pub site_b: usize,
+    /// Simulated RTT (forward + reverse mean one-way delay), milliseconds.
+    /// Falls back to the propagation RTT when a direction delivered no
+    /// packets.
+    pub simulated_rtt_ms: f64,
+    /// Zero-load propagation RTT over the built network, milliseconds.
+    pub propagation_rtt_ms: f64,
+    /// Packets delivered across both directions.
+    pub delivered: u64,
+    /// Offered load of the pair, bits per second (both directions).
+    pub offered_bps: f64,
+}
+
+/// Per-pair simulated RTTs of a finished run. Pairs follow the lowering's
+/// demand order (each unordered pair once).
+pub fn pair_rtts(
+    lowered: &LoweredNetwork,
+    report: &SimReport,
+    topology: &HybridTopology,
+) -> Vec<PairRtt> {
+    assert_eq!(report.flow_mean_delay_ms.len(), lowered.demands.len());
+    let mut out = Vec::with_capacity(lowered.demands.len() / 2);
+    // The lowering pushes the two directions of a pair consecutively.
+    for k in (0..lowered.demands.len()).step_by(2) {
+        let (i, j) = lowered.demand_pairs[k];
+        // Hard assert: the fields are public, so a caller that reordered or
+        // filtered the demands must not silently get mispaired RTTs.
+        assert_eq!(
+            lowered.demand_pairs[k + 1],
+            (j, i),
+            "demands are no longer in forward/reverse pair order"
+        );
+        let propagation_rtt_ms = 2.0 * latency::c_latency_ms(topology.effective_km(i, j));
+        let delivered = report.flow_delivered[k] + report.flow_delivered[k + 1];
+        let simulated_rtt_ms = if report.flow_delivered[k] > 0 && report.flow_delivered[k + 1] > 0 {
+            report.flow_mean_delay_ms[k] + report.flow_mean_delay_ms[k + 1]
+        } else {
+            propagation_rtt_ms
+        };
+        out.push(PairRtt {
+            site_a: i.min(j),
+            site_b: i.max(j),
+            simulated_rtt_ms,
+            propagation_rtt_ms,
+            delivered,
+            offered_bps: lowered.demands[k].amount_bps + lowered.demands[k + 1].amount_bps,
+        });
+    }
+    out
+}
+
+/// The full design → traffic → simulation chain in one call.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    /// The packet-level summary.
+    pub sim: SimReport,
+    /// Queueing-aware per-pair RTTs.
+    pub pair_rtts: Vec<PairRtt>,
+}
+
+impl EvaluationReport {
+    /// Offered-load-weighted mean simulated RTT across pairs, milliseconds.
+    pub fn mean_rtt_ms(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in &self.pair_rtts {
+            num += p.offered_bps * p.simulated_rtt_ms;
+            den += p.offered_bps;
+        }
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
+    /// The simulated RTT samples, milliseconds (input for the application
+    /// models' distributions).
+    pub fn rtt_samples_ms(&self) -> Vec<f64> {
+        self.pair_rtts.iter().map(|p| p.simulated_rtt_ms).collect()
+    }
+}
+
+/// Lower, simulate, and extract per-pair RTTs in one step.
+pub fn evaluate(
+    topology: &HybridTopology,
+    offered_traffic: &DistMatrix,
+    config: &EvaluateConfig,
+) -> EvaluationReport {
+    let lowered = lower(topology, offered_traffic, config);
+    let report = lowered.simulation().run();
+    let rtts = pair_rtts(&lowered, &report, topology);
+    EvaluationReport {
+        sim: report,
+        pair_rtts: rtts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::CandidateLink;
+    use cisp_geo::{geodesic, GeoPoint};
+
+    /// Four sites across the central US, direct MW links on a chain, fiber
+    /// at 1.9× elsewhere.
+    fn test_topology() -> HybridTopology {
+        let sites = vec![
+            GeoPoint::new(41.9, -87.6),
+            GeoPoint::new(39.1, -94.6),
+            GeoPoint::new(32.8, -96.8),
+            GeoPoint::new(39.7, -105.0),
+        ];
+        let n = sites.len();
+        let traffic = vec![vec![1.0; n]; n];
+        let fiber: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        for (a, b) in [(0usize, 1usize), (1, 2), (1, 3)] {
+            let geo = geodesic::distance_km(sites[a], sites[b]);
+            topo.add_mw_link(CandidateLink {
+                site_a: a.min(b),
+                site_b: a.max(b),
+                mw_length_km: geo * 1.04,
+                tower_count: (geo / 80.0).ceil() as usize,
+                tower_path: vec![0; 3],
+            });
+        }
+        topo
+    }
+
+    fn fast_config() -> EvaluateConfig {
+        EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.5,
+            sim: SimConfig {
+                duration_s: 0.05,
+                ..SimConfig::default()
+            },
+            ..EvaluateConfig::default()
+        }
+    }
+
+    #[test]
+    fn lowering_maps_links_and_demands() {
+        let topo = test_topology();
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        // 3 MW links + 6 fiber pairs, bidirectional.
+        assert_eq!(lowered.network.num_links(), 2 * (3 + 6));
+        // 6 pairs × 2 directions.
+        assert_eq!(lowered.demands.len(), 12);
+        assert_eq!(lowered.demand_pairs.len(), 12);
+        // Every MW link id is populated and points at the right endpoints.
+        for (k, &(fwd, rev)) in lowered.mw_link_ids.iter().enumerate() {
+            let link = &topo.mw_links()[k];
+            assert_eq!(lowered.network.link(fwd).from, link.site_a);
+            assert_eq!(lowered.network.link(fwd).to, link.site_b);
+            assert_eq!(lowered.network.link(rev).from, link.site_b);
+        }
+        // Demands sum to load_fraction × design target.
+        let total_bps: f64 = lowered.demands.iter().map(|d| d.amount_bps).sum();
+        assert!((total_bps - 2e9).abs() < 1.0, "total {total_bps}");
+    }
+
+    #[test]
+    fn evaluate_produces_physical_rtts() {
+        let topo = test_topology();
+        let report = evaluate(&topo, topo.traffic(), &fast_config());
+        assert!(report.sim.delivered > 0);
+        assert_eq!(report.pair_rtts.len(), 6);
+        for p in &report.pair_rtts {
+            // Simulated RTT includes serialization + queueing: at least the
+            // propagation RTT, and not absurdly larger at moderate load.
+            assert!(
+                p.simulated_rtt_ms >= p.propagation_rtt_ms - 1e-9,
+                "pair ({}, {}): {} < {}",
+                p.site_a,
+                p.site_b,
+                p.simulated_rtt_ms,
+                p.propagation_rtt_ms
+            );
+            assert!(p.simulated_rtt_ms < p.propagation_rtt_ms + 20.0);
+            assert!(p.delivered > 0);
+        }
+        assert!(report.mean_rtt_ms() > 0.0);
+        assert_eq!(report.rtt_samples_ms().len(), 6);
+    }
+
+    #[test]
+    fn failing_a_link_reroutes_and_raises_latency() {
+        let topo = test_topology();
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        let fair = lowered.simulation().run();
+        // Fail every MW link: everything rides fiber, so the mean delay
+        // must rise strictly.
+        let all_failed: Vec<usize> = (0..topo.mw_links().len()).collect();
+        let stormy = lowered.simulation_without(&all_failed).run();
+        assert!(stormy.delivered > 0);
+        assert!(
+            stormy.mean_delay_ms > fair.mean_delay_ms,
+            "fiber fallback must be slower: {} vs {}",
+            stormy.mean_delay_ms,
+            fair.mean_delay_ms
+        );
+        // No traffic crosses a disabled link.
+        let mask = lowered.disabled_mask(&all_failed);
+        for (l, &disabled) in mask.iter().enumerate() {
+            if disabled {
+                assert_eq!(stormy.link_utilizations[l], 0.0, "link {l} carried load");
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_matrix_wrapper_matches_raw_matrix() {
+        let topo = test_topology();
+        let tm = TrafficMatrix::from_dist_matrix(topo.traffic().clone());
+        let a = lower(&topo, topo.traffic(), &fast_config());
+        let b = lower_traffic(&topo, &tm, &fast_config());
+        assert_eq!(a.demands.len(), b.demands.len());
+        assert_eq!(a.network.num_links(), b.network.num_links());
+    }
+
+    #[test]
+    fn stale_failure_indices_are_tolerated() {
+        let topo = test_topology();
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        let mask = lowered.disabled_mask(&[99, 7]);
+        assert!(mask.iter().all(|&d| !d));
+    }
+}

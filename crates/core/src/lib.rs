@@ -24,8 +24,11 @@
 //!    the cost model ([`cost`]).
 //!
 //! [`topology`] holds the resulting hybrid network and its latency/stretch
-//! evaluation, and [`scenario`] wires the whole pipeline together for the
-//! US and Europe deployments studied in the paper.
+//! evaluation, [`scenario`] wires the whole pipeline together for the
+//! US and Europe deployments studied in the paper, and [`evaluate`] lowers
+//! a designed topology plus a traffic matrix into the `cisp_netsim` packet
+//! simulator — the design → traffic → simulation → applications chain the
+//! paper's §5–§7 results run over.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@ pub mod augment;
 pub mod cost;
 pub mod design;
 pub mod engine;
+pub mod evaluate;
 pub mod hops;
 pub mod ilp;
 pub mod links;

@@ -267,17 +267,37 @@ impl HybridTopology {
     }
 
     /// Rebuild the effective matrix from scratch (fiber plus all built MW
-    /// links). Only needed by callers that mutate links wholesale, e.g. the
-    /// weather failure analysis which removes links.
+    /// links), committing every link in one batched pass
+    /// ([`cisp_graph::improve_with_links`]). Only needed by callers that
+    /// mutate links wholesale, e.g. the weather failure analysis which
+    /// removes links.
     pub fn recompute_effective(&mut self) {
         self.effective_km.copy_from(&self.fiber_km);
-        for k in 0..self.mw_links.len() {
-            let (a, b, m) = {
-                let l = &self.mw_links[k];
-                (l.site_a, l.site_b, l.mw_length_km)
-            };
-            improve_with_link(&mut self.effective_km, a, b, m);
+        let links: Vec<(usize, usize, f64)> = self
+            .mw_links
+            .iter()
+            .map(|l| (l.site_a, l.site_b, l.mw_length_km))
+            .collect();
+        cisp_graph::improve_with_links(&mut self.effective_km, &links);
+    }
+
+    /// The surviving links of a disabled-set as batch-commit triples.
+    fn enabled_link_triples(&self, disabled: &[usize]) -> Vec<(usize, usize, f64)> {
+        let mut mask = BitSet::new(self.mw_links.len());
+        for &idx in disabled {
+            // Indices beyond the current link count are tolerated (a stale
+            // failure list simply has nothing to disable), matching the
+            // pre-bitset `contains` behaviour.
+            if idx < self.mw_links.len() {
+                mask.insert(idx);
+            }
         }
+        self.mw_links
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| !mask.contains(idx))
+            .map(|(_, l)| (l.site_a, l.site_b, l.mw_length_km))
+            .collect()
     }
 
     /// Effective distance matrix that would result from disabling the given
@@ -293,22 +313,12 @@ impl HybridTopology {
     /// `out` (reusing its allocation) with the effective matrix that results
     /// from disabling the given links. Callers that evaluate many failure
     /// sets — the year-long weather sweep — reuse one buffer across calls.
+    /// The surviving links are committed in one batched pass
+    /// ([`cisp_graph::improve_with_links`]): one matrix sweep instead of one
+    /// per surviving link.
     pub fn effective_matrix_without_into(&self, disabled: &[usize], out: &mut DistMatrix) {
         out.copy_from(&self.fiber_km);
-        // Indices beyond the current link count are tolerated (a stale
-        // failure list simply has nothing to disable), matching the
-        // pre-bitset `contains` behaviour.
-        let mut mask = BitSet::new(self.mw_links.len());
-        for &idx in disabled {
-            if idx < self.mw_links.len() {
-                mask.insert(idx);
-            }
-        }
-        for (idx, l) in self.mw_links.iter().enumerate() {
-            if !mask.contains(idx) {
-                improve_with_link(out, l.site_a, l.site_b, l.mw_length_km);
-            }
-        }
+        cisp_graph::improve_with_links(out, &self.enabled_link_triples(disabled));
     }
 
     /// [`Self::effective_matrix_without_into`] over symmetric
@@ -316,24 +326,15 @@ impl HybridTopology {
     /// with the effective distances that result from disabling the given
     /// links. Sweeps that only read unordered pairs — the weather year
     /// analysis — use this variant to halve the scratch matrix's memory
-    /// traffic.
+    /// traffic; the triangle batch kernel is bit-identical to the
+    /// full-storage one.
     pub fn effective_matrix_without_into_tri(
         &self,
         disabled: &[usize],
         out: &mut UpperTriangleMatrix,
     ) {
         out.copy_from_dist(&self.fiber_km);
-        let mut mask = BitSet::new(self.mw_links.len());
-        for &idx in disabled {
-            if idx < self.mw_links.len() {
-                mask.insert(idx);
-            }
-        }
-        for (idx, l) in self.mw_links.iter().enumerate() {
-            if !mask.contains(idx) {
-                out.improve_with_link(l.site_a, l.site_b, l.mw_length_km);
-            }
-        }
+        out.improve_with_links(&self.enabled_link_triples(disabled));
     }
 }
 

@@ -1,0 +1,404 @@
+//! Flat compressed-sparse-row adjacency and its predecessor-tracking
+//! Dijkstra.
+//!
+//! The adjacency-list [`Graph`](crate::Graph) stores one heap allocation per
+//! node; every neighbour scan chases a `Vec` pointer and the edges of a node
+//! are scattered across the heap. [`CsrGraph`] packs the same directed graph
+//! into three parallel flat arrays (edge targets, edge weights, original
+//! edge ids) plus one offset array, so a node's out-edges are a contiguous
+//! slice, the whole structure is two allocations, and a full Dijkstra sweep
+//! streams memory linearly. Edge ids are preserved from insertion order,
+//! which is what lets the packet simulator use CSR slots and link ids
+//! interchangeably: a network whose links are added in id order produces a
+//! CSR whose `edge_ids` are exactly those link ids.
+//!
+//! [`CsrGraph::shortest_path_tree`] is the standard lazy-deletion binary-heap
+//! Dijkstra with deterministic tie-breaking (by node index), tracking both
+//! the predecessor *node* and the predecessor *edge id* so callers can
+//! extract either node paths or edge-id routes ([`CsrTree::edge_path_to`] —
+//! the form the simulator's source routes use). Costs may be the stored
+//! weights or a per-edge override ([`CsrGraph::shortest_path_tree_with`]),
+//! which is how congestion-aware routing re-prices links between placements
+//! without rebuilding the structure; a non-finite cost disables the edge.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// Sentinel for "no predecessor" in [`CsrTree`].
+pub const NO_EDGE: u32 = u32::MAX;
+
+/// A directed graph in compressed-sparse-row form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u + 1]` is node `u`'s out-edge slot range.
+    offsets: Vec<u32>,
+    /// Target node per edge slot.
+    targets: Vec<u32>,
+    /// Weight per edge slot.
+    weights: Vec<f64>,
+    /// Original (insertion-order) edge id per edge slot.
+    edge_ids: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from directed `(from, to, weight)` edges; the edge id of each
+    /// edge is its position in the iterator. Weights must be finite and
+    /// non-negative (shortest-path precondition).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize, f64)>) -> Self {
+        let collected: Vec<(usize, usize, f64)> = edges.into_iter().collect();
+        let mut degree = vec![0u32; n];
+        for &(from, to, w) in &collected {
+            assert!(from < n && to < n, "edge endpoint out of range");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "edge weight must be finite and non-negative, got {w}"
+            );
+            degree[from] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let m = collected.len();
+        let mut targets = vec![0u32; m];
+        let mut weights = vec![0.0; m];
+        let mut edge_ids = vec![0u32; m];
+        // Stable counting-sort placement: edges of a node keep insertion
+        // order, so ties in Dijkstra resolve identically run to run.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for (id, &(from, to, w)) in collected.iter().enumerate() {
+            let slot = cursor[from] as usize;
+            cursor[from] += 1;
+            targets[slot] = to as u32;
+            weights[slot] = w;
+            edge_ids[slot] = id as u32;
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+            edge_ids,
+        }
+    }
+
+    /// Build from an adjacency-list [`Graph`], preserving its edge iteration
+    /// order as edge ids.
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self::from_edges(graph.node_count(), graph.edges())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-edge slot range of a node.
+    #[inline]
+    fn slots(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u] as usize..self.offsets[u + 1] as usize
+    }
+
+    /// Out-edges of `u` as `(target, weight, edge_id)` triples.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64, u32)> + '_ {
+        let range = self.slots(u);
+        range.map(move |s| (self.targets[s] as usize, self.weights[s], self.edge_ids[s]))
+    }
+
+    /// Dijkstra from `source` over the stored weights, optionally stopping
+    /// once `target` is settled.
+    pub fn shortest_path_tree(&self, source: usize, target: Option<usize>) -> CsrTree {
+        self.shortest_path_tree_with(source, target, |_, weight| weight)
+    }
+
+    /// Dijkstra with per-edge cost override: `cost(edge_id, stored_weight)`
+    /// is the traversal cost of each edge. Return a non-finite cost to
+    /// disable an edge (failed links, congestion-priced routing).
+    pub fn shortest_path_tree_with(
+        &self,
+        source: usize,
+        target: Option<usize>,
+        mut cost: impl FnMut(u32, f64) -> f64,
+    ) -> CsrTree {
+        let n = self.node_count();
+        assert!(source < n, "source out of range");
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev_node = vec![NO_EDGE; n];
+        let mut prev_edge = vec![NO_EDGE; n];
+        let mut settled = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(CsrHeapEntry {
+            cost: 0.0,
+            node: source as u32,
+        });
+
+        while let Some(CsrHeapEntry { cost: d, node }) = heap.pop() {
+            let u = node as usize;
+            if settled[u] {
+                continue;
+            }
+            settled[u] = true;
+            if Some(u) == target {
+                break;
+            }
+            for s in self.slots(u) {
+                let c = cost(self.edge_ids[s], self.weights[s]);
+                if !c.is_finite() {
+                    continue;
+                }
+                let v = self.targets[s] as usize;
+                let next = d + c;
+                if next < dist[v] {
+                    dist[v] = next;
+                    prev_node[v] = node;
+                    prev_edge[v] = self.edge_ids[s];
+                    heap.push(CsrHeapEntry {
+                        cost: next,
+                        node: v as u32,
+                    });
+                }
+            }
+        }
+
+        CsrTree {
+            source,
+            dist,
+            prev_node,
+            prev_edge,
+        }
+    }
+}
+
+/// Min-heap entry: lowest cost first, ties broken by node index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CsrHeapEntry {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for CsrHeapEntry {}
+
+impl Ord for CsrHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for CsrHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A shortest-path tree over a [`CsrGraph`]: distances plus predecessor node
+/// *and* predecessor edge id, so both node paths and edge-id routes can be
+/// extracted without re-walking the adjacency.
+#[derive(Debug, Clone)]
+pub struct CsrTree {
+    /// Source the tree was grown from.
+    pub source: usize,
+    /// `dist[v]` is the shortest-path cost source → v (infinity when
+    /// unreached).
+    pub dist: Vec<f64>,
+    /// Predecessor node of `v` (`NO_EDGE` when unreached or the source).
+    pub prev_node: Vec<u32>,
+    /// Id of the edge entering `v` on its shortest path (`NO_EDGE` when
+    /// unreached or the source).
+    pub prev_edge: Vec<u32>,
+}
+
+impl CsrTree {
+    /// Whether `target` was reached.
+    #[inline]
+    pub fn reached(&self, target: usize) -> bool {
+        self.dist[target].is_finite()
+    }
+
+    /// Edge-id route source → `target` (empty when `target == source`), or
+    /// `None` when unreachable. The route is written into `out` (cleared
+    /// first) so hot callers can reuse one buffer.
+    pub fn edge_path_into(&self, target: usize, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        if !self.reached(target) {
+            return false;
+        }
+        let mut cur = target;
+        while cur != self.source {
+            let e = self.prev_edge[cur];
+            if e == NO_EDGE {
+                out.clear();
+                return false;
+            }
+            out.push(e);
+            cur = self.prev_node[cur] as usize;
+        }
+        out.reverse();
+        true
+    }
+
+    /// Edge-id route source → `target`, or `None` when unreachable.
+    pub fn edge_path_to(&self, target: usize) -> Option<Vec<u32>> {
+        let mut out = Vec::new();
+        self.edge_path_into(target, &mut out).then_some(out)
+    }
+
+    /// Node path source → `target` (inclusive), or `None` when unreachable.
+    pub fn node_path_to(&self, target: usize) -> Option<Vec<usize>> {
+        if !self.reached(target) {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            if self.prev_node[cur] == NO_EDGE {
+                return None;
+            }
+            cur = self.prev_node[cur] as usize;
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_undirected_edge(0, 1, 1.0);
+        g.add_undirected_edge(0, 2, 2.0);
+        g.add_undirected_edge(1, 3, 2.0);
+        g.add_undirected_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_structure() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 8);
+        let out0: Vec<(usize, f64, u32)> = csr.neighbors(0).collect();
+        assert_eq!(out0.len(), 2);
+        assert_eq!(out0[0].0, 1);
+        assert_eq!(out0[1].0, 2);
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_adjacency_dijkstra() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        for src in 0..4 {
+            let reference = dijkstra::shortest_path_tree(&g, src, None);
+            let tree = csr.shortest_path_tree(src, None);
+            assert_eq!(tree.dist, reference.dist, "source {src}");
+        }
+    }
+
+    #[test]
+    fn edge_path_costs_match_distances() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let tree = csr.shortest_path_tree(0, None);
+        for target in 0..4 {
+            let path = tree.edge_path_to(target).unwrap();
+            let edge_weights: std::collections::HashMap<u32, f64> = (0..4)
+                .flat_map(|u| csr.neighbors(u).map(|(_, w, id)| (id, w)))
+                .collect();
+            let cost: f64 = path.iter().map(|e| edge_weights[e]).sum();
+            assert!((cost - tree.dist[target]).abs() < 1e-12, "target {target}");
+        }
+        assert!(tree.edge_path_to(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn node_paths_are_connected() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let tree = csr.shortest_path_tree(0, Some(3));
+        let nodes = tree.node_path_to(3).unwrap();
+        assert_eq!(nodes.first(), Some(&0));
+        assert_eq!(nodes.last(), Some(&3));
+        for w in nodes.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let csr = CsrGraph::from_graph(&g);
+        let tree = csr.shortest_path_tree(0, None);
+        assert!(!tree.reached(3));
+        assert!(tree.edge_path_to(3).is_none());
+        assert!(tree.node_path_to(3).is_none());
+        let mut buf = vec![9u32];
+        assert!(!tree.edge_path_into(3, &mut buf));
+        assert!(buf.is_empty(), "failed extraction clears the buffer");
+    }
+
+    #[test]
+    fn cost_override_reprices_and_disables_edges() {
+        let g = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        // Disable the 0→1 edge (id 0): the best route to 3 flips to 0-2-3.
+        let tree =
+            csr.shortest_path_tree_with(0, None, |id, w| if id == 0 { f64::INFINITY } else { w });
+        assert_eq!(tree.node_path_to(3).unwrap(), vec![0, 2, 3]);
+        // Re-pricing every edge to 1 makes 0-1-3 and 0-2-3 tie; the
+        // deterministic tie-break picks the same path every run.
+        let first = csr
+            .shortest_path_tree_with(0, None, |_, _| 1.0)
+            .node_path_to(3)
+            .unwrap();
+        for _ in 0..5 {
+            let again = csr
+                .shortest_path_tree_with(0, None, |_, _| 1.0)
+                .node_path_to(3)
+                .unwrap();
+            assert_eq!(again, first);
+        }
+    }
+
+    #[test]
+    fn early_exit_matches_full_run() {
+        let mut g = Graph::new(30);
+        for i in 0..29 {
+            g.add_undirected_edge(i, i + 1, 1.0 + (i % 3) as f64);
+        }
+        for i in (0..25).step_by(5) {
+            g.add_undirected_edge(i, i + 5, 2.5);
+        }
+        let csr = CsrGraph::from_graph(&g);
+        let full = csr.shortest_path_tree(0, None);
+        let early = csr.shortest_path_tree(0, Some(17));
+        assert_eq!(early.dist[17], full.dist[17]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_weights() {
+        CsrGraph::from_edges(2, [(0usize, 1usize, -1.0)]);
+    }
+}

@@ -11,11 +11,17 @@
 //! * [`kshortest`] — Yen's algorithm for k shortest loopless paths,
 //! * [`disjoint`] — iterative node-disjoint shortest paths (the procedure
 //!   behind Fig. 4(b): find a path, delete its interior towers, repeat),
+//! * [`csr`] — [`CsrGraph`], the flat compressed-sparse-row adjacency the
+//!   packet simulator routes over, with a predecessor-tracking Dijkstra
+//!   whose trees yield edge-id routes directly,
+//! * [`paths`] — [`PathStore`], arena-backed storage for many short paths
+//!   (offset + link-id arrays; a whole routing table in two allocations),
 //! * [`matrix`] — the flat row-major [`DistMatrix`] the design engine's
 //!   dense all-pairs sweeps run on, with the shared unordered-pair iterator,
 //!   the exact one-edge improvement kernels ([`improve_with_link`] and the
 //!   delta-tracking [`improve_with_link_tracked`] that reports an
-//!   [`ImprovedPairs`] set for incremental rescoring),
+//!   [`ImprovedPairs`] set for incremental rescoring) and the batched
+//!   multi-link commit kernel ([`improve_with_links`]),
 //! * [`triangle`] — [`UpperTriangleMatrix`], symmetric upper-triangle-only
 //!   storage behind the same entry/pair API (half the memory traffic),
 //! * [`bitset`] — O(1) membership over small index universes (disabled-link
@@ -41,18 +47,22 @@
 //! ```
 
 pub mod bitset;
+pub mod csr;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod graph;
 pub mod kshortest;
 pub mod matrix;
+pub mod paths;
 pub mod triangle;
 
 pub use bitset::BitSet;
+pub use csr::{CsrGraph, CsrTree};
 pub use dijkstra::{shortest_path, shortest_path_costs, Path};
 pub use graph::Graph;
 pub use matrix::{
-    improve_with_link, improve_with_link_tracked, pair_count, pair_index, pair_indices, DistMatrix,
-    ImprovedPairs,
+    improve_with_link, improve_with_link_tracked, improve_with_links, pair_count, pair_index,
+    pair_indices, DistMatrix, ImprovedPairs,
 };
+pub use paths::PathStore;
 pub use triangle::UpperTriangleMatrix;

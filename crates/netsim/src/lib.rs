@@ -10,15 +10,25 @@
 //! This crate implements the pieces of ns-3 those experiments use:
 //!
 //! * [`network`] — nodes, links (rate, propagation delay, finite buffer) and
-//!   source-routed packet forwarding with FIFO queueing.
+//!   source-routed packet forwarding with FIFO queueing; dynamic link state
+//!   lives in struct-of-arrays form ([`network::LinkStates`]) so the
+//!   transmit hot path and the sharded engine's per-worker state are flat
+//!   arrays.
 //! * [`routing`] — route computation over the topology: latency-shortest
 //!   paths, minimise-maximum-link-utilisation, and throughput-optimal
-//!   (load-balancing) routing.
+//!   (load-balancing) routing — all over a `cisp_graph::CsrGraph` packing of
+//!   the link table, with routes stored in one arena-backed
+//!   `cisp_graph::PathStore`, and a disabled-link mask for failure
+//!   scenarios.
 //! * [`flows`] — constant-bit-rate / Poisson UDP flow generators with
 //!   configurable packet size.
-//! * [`monitor`] — the FlowMonitor equivalent: per-flow delay and loss plus
-//!   per-link utilisation and queueing statistics.
-//! * [`sim`] — the event-driven engine tying it together.
+//! * [`monitor`] — the FlowMonitor equivalent: global *and per-flow* delay
+//!   and loss plus per-link utilisation and queueing statistics.
+//! * [`sim`] — the event-driven engine tying it together: an unboxed
+//!   `(time, flow, hop)`-keyed event heap, with the demand set decomposed
+//!   into link-disjoint components executed across persistent worker
+//!   threads ([`sim::SimConfig::workers`]); every worker count produces a
+//!   bit-identical report.
 //! * [`tcp`] — the simplified window-based TCP (with and without pacing) used
 //!   by the speed-mismatch experiment.
 //!

@@ -3,7 +3,13 @@
 //! The paper uses ns-3's FlowMonitor to measure delay and loss rate and adds
 //! a custom module for link-level utilisation (§5). This module accumulates
 //! the same statistics during a simulation run and summarises them into the
-//! quantities the figures plot.
+//! quantities the figures plot — plus *per-flow* delay means, which is what
+//! lets the application models (§7) consume simulated per-pair RTTs instead
+//! of propagation-only latency.
+//!
+//! The sharded engine merges per-component partial monitors in a fixed
+//! (component-index) order, so the aggregated statistics are bit-identical
+//! regardless of how many workers ran the components.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +23,12 @@ impl SampleStats {
     /// Record a sample.
     pub fn record(&mut self, v: f64) {
         self.values.push(v);
+    }
+
+    /// Record a batch of samples, preserving their order (the sharded
+    /// engine's merge step).
+    pub fn record_many(&mut self, values: &[f64]) {
+        self.values.extend_from_slice(values);
     }
 
     /// Number of samples.
@@ -67,19 +79,50 @@ pub struct FlowMonitor {
     pub delivered: u64,
     /// Packets dropped.
     pub dropped: u64,
+    /// Summed one-way delay of delivered packets, per flow (seconds).
+    pub flow_delay_sum: Vec<f64>,
+    /// Packets delivered, per flow.
+    pub flow_delivered: Vec<u64>,
+    /// Packets dropped, per flow.
+    pub flow_dropped: Vec<u64>,
 }
 
 impl FlowMonitor {
-    /// Record a delivered packet.
-    pub fn record_delivery(&mut self, delay_s: f64, queue_delay_s: f64) {
+    /// A monitor tracking `num_flows` flows.
+    pub fn new(num_flows: usize) -> Self {
+        Self {
+            flow_delay_sum: vec![0.0; num_flows],
+            flow_delivered: vec![0; num_flows],
+            flow_dropped: vec![0; num_flows],
+            ..Self::default()
+        }
+    }
+
+    /// Record a delivered packet of flow `flow`.
+    pub fn record_delivery(&mut self, flow: usize, delay_s: f64, queue_delay_s: f64) {
         self.delays.record(delay_s);
         self.queue_delays.record(queue_delay_s);
         self.delivered += 1;
+        self.flow_delay_sum[flow] += delay_s;
+        self.flow_delivered[flow] += 1;
     }
 
-    /// Record a dropped packet.
-    pub fn record_drop(&mut self) {
+    /// Record a dropped packet of flow `flow`.
+    pub fn record_drop(&mut self, flow: usize) {
         self.dropped += 1;
+        self.flow_dropped[flow] += 1;
+    }
+
+    /// Fold one flow's pre-aggregated tallies into the monitor — the sharded
+    /// engine's merge step (each flow lives in exactly one component, so the
+    /// sums arrive whole). Keeps the per-flow/total bookkeeping invariants in
+    /// one place with [`Self::record_delivery`] / [`Self::record_drop`].
+    pub fn absorb_flow(&mut self, flow: usize, delay_sum_s: f64, delivered: u64, dropped: u64) {
+        self.flow_delay_sum[flow] += delay_sum_s;
+        self.flow_delivered[flow] += delivered;
+        self.flow_dropped[flow] += dropped;
+        self.delivered += delivered;
+        self.dropped += dropped;
     }
 
     /// Loss rate over all offered packets.
@@ -94,6 +137,12 @@ impl FlowMonitor {
 
     /// Summarise into a report.
     pub fn report(&self, link_utilizations: Vec<f64>) -> SimReport {
+        let flow_mean_delay_ms = self
+            .flow_delay_sum
+            .iter()
+            .zip(&self.flow_delivered)
+            .map(|(&sum, &n)| if n > 0 { sum / n as f64 * 1e3 } else { 0.0 })
+            .collect();
         SimReport {
             mean_delay_ms: self.delays.mean() * 1e3,
             p95_delay_ms: self.delays.quantile(0.95) * 1e3,
@@ -101,6 +150,9 @@ impl FlowMonitor {
             loss_rate: self.loss_rate(),
             delivered: self.delivered,
             dropped: self.dropped,
+            flow_mean_delay_ms,
+            flow_delivered: self.flow_delivered.clone(),
+            flow_dropped: self.flow_dropped.clone(),
             mean_link_utilization: if link_utilizations.is_empty() {
                 0.0
             } else {
@@ -113,8 +165,8 @@ impl FlowMonitor {
 }
 
 /// Summary of a simulation run — the numbers the paper's Figs. 5, 6 and 11
-/// plot.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// plot, plus per-flow delay means for the application models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Mean one-way packet delay in milliseconds.
     pub mean_delay_ms: f64,
@@ -128,6 +180,13 @@ pub struct SimReport {
     pub delivered: u64,
     /// Packets dropped.
     pub dropped: u64,
+    /// Mean one-way delay per flow, milliseconds (0 for flows that delivered
+    /// nothing).
+    pub flow_mean_delay_ms: Vec<f64>,
+    /// Packets delivered per flow.
+    pub flow_delivered: Vec<u64>,
+    /// Packets dropped per flow.
+    pub flow_dropped: Vec<u64>,
     /// Mean utilisation across links.
     pub mean_link_utilization: f64,
     /// Maximum utilisation across links.
@@ -163,20 +222,18 @@ mod tests {
         for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
             a.record(v);
         }
-        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
-            b.record(v);
-        }
+        b.record_many(&[1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(a.quantile(0.95), b.quantile(0.95));
     }
 
     #[test]
     fn loss_rate_and_report() {
-        let mut m = FlowMonitor::default();
+        let mut m = FlowMonitor::new(2);
         for i in 0..90 {
-            m.record_delivery(0.010 + i as f64 * 1e-5, 1e-4);
+            m.record_delivery(i % 2, 0.010 + i as f64 * 1e-5, 1e-4);
         }
         for _ in 0..10 {
-            m.record_drop();
+            m.record_drop(1);
         }
         assert!((m.loss_rate() - 0.1).abs() < 1e-12);
         let report = m.report(vec![0.5, 0.7]);
@@ -185,15 +242,20 @@ mod tests {
         assert!(report.mean_delay_ms > 10.0 && report.mean_delay_ms < 11.0);
         assert!((report.mean_link_utilization - 0.6).abs() < 1e-12);
         assert!((report.max_link_utilization - 0.7).abs() < 1e-12);
+        // Per-flow accounting: 45 packets each, drops all on flow 1.
+        assert_eq!(report.flow_delivered, vec![45, 45]);
+        assert_eq!(report.flow_dropped, vec![0, 10]);
+        assert!(report.flow_mean_delay_ms[0] > 10.0);
     }
 
     #[test]
     fn empty_monitor_reports_zeroes() {
-        let m = FlowMonitor::default();
+        let m = FlowMonitor::new(1);
         assert_eq!(m.loss_rate(), 0.0);
         let r = m.report(Vec::new());
         assert_eq!(r.mean_delay_ms, 0.0);
         assert_eq!(r.max_link_utilization, 0.0);
+        assert_eq!(r.flow_mean_delay_ms, vec![0.0]);
     }
 
     #[test]

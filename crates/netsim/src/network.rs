@@ -8,6 +8,13 @@
 //! `size / rate`, and is dropped if the backlog implied by `free_at − t`
 //! exceeds the buffer. This is exactly equivalent to simulating an explicit
 //! FIFO queue, at a fraction of the bookkeeping cost.
+//!
+//! Dynamic per-link state lives in [`LinkStates`] — parallel flat arrays
+//! (struct-of-arrays) rather than a `Vec` of state structs, so the
+//! transmit hot path touches only the arrays it reads (`free_at`,
+//! `bytes_sent`) instead of dragging whole 48-byte state records through
+//! the cache, and the sharded simulation engine can hand each worker its
+//! own state arrays over the shared immutable [`LinkSpec`] table.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +45,8 @@ impl LinkSpec {
     }
 }
 
-/// Dynamic state of a link during a simulation run.
-#[derive(Debug, Clone, Default)]
+/// Snapshot of one link's dynamic state (assembled from [`LinkStates`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinkState {
     /// Time at which the transmitter becomes free.
     pub free_at: f64,
@@ -47,9 +54,9 @@ pub struct LinkState {
     pub bytes_sent: f64,
     /// Total packets dropped at this link's buffer.
     pub packets_dropped: u64,
-    /// Sum and count of queueing delays experienced at this link.
+    /// Sum of queueing delays experienced at this link.
     pub queue_delay_sum: f64,
-    /// Number of packets that experienced queueing at this link.
+    /// Number of packets accepted for transmission at this link.
     pub packets_forwarded: u64,
     /// Maximum backlog observed, in bytes.
     pub max_backlog_bytes: f64,
@@ -70,12 +77,134 @@ pub enum Transmit {
     Dropped,
 }
 
+/// Dynamic state of every link, in struct-of-arrays form: one flat array per
+/// field, indexed by [`LinkId`]. The simulation engine's workers each own a
+/// private `LinkStates` over the shared link table; the serial path uses the
+/// network's own.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStates {
+    /// Time at which each link's transmitter becomes free.
+    pub free_at: Vec<f64>,
+    /// Total bytes accepted per link.
+    pub bytes_sent: Vec<f64>,
+    /// Packets dropped per link.
+    pub packets_dropped: Vec<u64>,
+    /// Summed queueing delay per link.
+    pub queue_delay_sum: Vec<f64>,
+    /// Packets accepted per link.
+    pub packets_forwarded: Vec<u64>,
+    /// Maximum backlog observed per link, bytes.
+    pub max_backlog_bytes: Vec<f64>,
+}
+
+impl LinkStates {
+    /// Zeroed state for `n` links.
+    pub fn new(n: usize) -> Self {
+        Self {
+            free_at: vec![0.0; n],
+            bytes_sent: vec![0.0; n],
+            packets_dropped: vec![0; n],
+            queue_delay_sum: vec![0.0; n],
+            packets_forwarded: vec![0; n],
+            max_backlog_bytes: vec![0.0; n],
+        }
+    }
+
+    /// Number of links covered.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// `true` when covering no links.
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+
+    /// Append one zeroed link slot.
+    fn push_default(&mut self) {
+        self.free_at.push(0.0);
+        self.bytes_sent.push(0.0);
+        self.packets_dropped.push(0);
+        self.queue_delay_sum.push(0.0);
+        self.packets_forwarded.push(0);
+        self.max_backlog_bytes.push(0.0);
+    }
+
+    /// Reset every link to the zero state.
+    pub fn reset(&mut self) {
+        self.free_at.fill(0.0);
+        self.bytes_sent.fill(0.0);
+        self.packets_dropped.fill(0);
+        self.queue_delay_sum.fill(0.0);
+        self.packets_forwarded.fill(0);
+        self.max_backlog_bytes.fill(0.0);
+    }
+
+    /// Reset a single link to the zero state (workers recycle their arrays
+    /// between components).
+    pub fn reset_link(&mut self, id: LinkId) {
+        self.free_at[id] = 0.0;
+        self.bytes_sent[id] = 0.0;
+        self.packets_dropped[id] = 0;
+        self.queue_delay_sum[id] = 0.0;
+        self.packets_forwarded[id] = 0;
+        self.max_backlog_bytes[id] = 0.0;
+    }
+
+    /// Snapshot one link's state.
+    pub fn snapshot(&self, id: LinkId) -> LinkState {
+        LinkState {
+            free_at: self.free_at[id],
+            bytes_sent: self.bytes_sent[id],
+            packets_dropped: self.packets_dropped[id],
+            queue_delay_sum: self.queue_delay_sum[id],
+            packets_forwarded: self.packets_forwarded[id],
+            max_backlog_bytes: self.max_backlog_bytes[id],
+        }
+    }
+
+    /// Overwrite one link's state from a snapshot (the engine's merge step).
+    pub fn restore(&mut self, id: LinkId, state: &LinkState) {
+        self.free_at[id] = state.free_at;
+        self.bytes_sent[id] = state.bytes_sent;
+        self.packets_dropped[id] = state.packets_dropped;
+        self.queue_delay_sum[id] = state.queue_delay_sum;
+        self.packets_forwarded[id] = state.packets_forwarded;
+        self.max_backlog_bytes[id] = state.max_backlog_bytes;
+    }
+
+    /// Offer a packet of `bytes` to link `id` (described by `spec`) at time
+    /// `now` — the virtual-clock FIFO model.
+    #[inline]
+    pub fn transmit(&mut self, spec: &LinkSpec, id: LinkId, now: f64, bytes: f64) -> Transmit {
+        // Backlog implied by the virtual clock.
+        let backlog_s = (self.free_at[id] - now).max(0.0);
+        let backlog_bytes = backlog_s * spec.rate_bps / 8.0;
+        if backlog_bytes + bytes > spec.buffer_bytes && spec.buffer_bytes > 0.0 {
+            self.packets_dropped[id] += 1;
+            return Transmit::Dropped;
+        }
+        let start = now.max(self.free_at[id]);
+        let queue_delay = start - now;
+        let finish = start + spec.serialization_s(bytes);
+        self.free_at[id] = finish;
+        self.bytes_sent[id] += bytes;
+        self.queue_delay_sum[id] += queue_delay;
+        self.packets_forwarded[id] += 1;
+        self.max_backlog_bytes[id] = self.max_backlog_bytes[id].max(backlog_bytes + bytes);
+        Transmit::Delivered {
+            arrival: finish + spec.propagation_s,
+            queue_delay,
+        }
+    }
+}
+
 /// The simulated network: a set of nodes and unidirectional links.
 #[derive(Debug, Clone)]
 pub struct Network {
     num_nodes: usize,
     links: Vec<LinkSpec>,
-    states: Vec<LinkState>,
+    states: LinkStates,
 }
 
 impl Network {
@@ -84,7 +213,7 @@ impl Network {
         Self {
             num_nodes,
             links: Vec::new(),
-            states: Vec::new(),
+            states: LinkStates::default(),
         }
     }
 
@@ -92,9 +221,18 @@ impl Network {
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
         assert!(spec.from < self.num_nodes && spec.to < self.num_nodes);
         assert!(spec.from != spec.to, "self-loops are not allowed");
-        assert!(spec.rate_bps > 0.0 && spec.propagation_s >= 0.0 && spec.buffer_bytes >= 0.0);
+        // Propagation must be finite: the routing layer packs every link
+        // into a CSR whose weights are shortest-path costs (an unusable
+        // link is expressed by *not building it*, or via the disabled-link
+        // mask of `compute_routes_avoiding`).
+        assert!(
+            spec.rate_bps > 0.0
+                && spec.propagation_s.is_finite()
+                && spec.propagation_s >= 0.0
+                && spec.buffer_bytes >= 0.0
+        );
         self.links.push(spec);
-        self.states.push(LinkState::default());
+        self.states.push_default();
         self.links.len() - 1
     }
 
@@ -130,52 +268,36 @@ impl Network {
         &self.links
     }
 
-    /// Link runtime state (after a simulation run).
-    pub fn link_state(&self, id: LinkId) -> &LinkState {
-        &self.states[id]
+    /// Snapshot of a link's runtime state (after a simulation run).
+    pub fn link_state(&self, id: LinkId) -> LinkState {
+        self.states.snapshot(id)
     }
 
-    /// All link states.
-    pub fn link_states(&self) -> &[LinkState] {
+    /// The dynamic state arrays.
+    pub fn states(&self) -> &LinkStates {
         &self.states
+    }
+
+    /// Mutable access to the dynamic state arrays (the engine's merge step).
+    pub fn states_mut(&mut self) -> &mut LinkStates {
+        &mut self.states
     }
 
     /// Reset all dynamic state (between runs).
     pub fn reset(&mut self) {
-        for s in &mut self.states {
-            *s = LinkState::default();
-        }
+        self.states.reset();
     }
 
     /// Offer a packet of `bytes` to link `id` at time `now`.
     pub fn transmit(&mut self, id: LinkId, now: f64, bytes: f64) -> Transmit {
         let spec = self.links[id];
-        let state = &mut self.states[id];
-        // Backlog implied by the virtual clock.
-        let backlog_s = (state.free_at - now).max(0.0);
-        let backlog_bytes = backlog_s * spec.rate_bps / 8.0;
-        if backlog_bytes + bytes > spec.buffer_bytes && spec.buffer_bytes > 0.0 {
-            state.packets_dropped += 1;
-            return Transmit::Dropped;
-        }
-        let start = now.max(state.free_at);
-        let queue_delay = start - now;
-        let finish = start + spec.serialization_s(bytes);
-        state.free_at = finish;
-        state.bytes_sent += bytes;
-        state.queue_delay_sum += queue_delay;
-        state.packets_forwarded += 1;
-        state.max_backlog_bytes = state.max_backlog_bytes.max(backlog_bytes + bytes);
-        Transmit::Delivered {
-            arrival: finish + spec.propagation_s,
-            queue_delay,
-        }
+        self.states.transmit(&spec, id, now, bytes)
     }
 
     /// Utilisation of a link over a run of `duration` seconds.
     pub fn utilization(&self, id: LinkId, duration: f64) -> f64 {
         assert!(duration > 0.0);
-        (self.states[id].bytes_sent * 8.0 / self.links[id].rate_bps / duration).min(1.0)
+        (self.states.bytes_sent[id] * 8.0 / self.links[id].rate_bps / duration).min(1.0)
     }
 }
 
@@ -294,6 +416,28 @@ mod tests {
         assert_eq!(net.link_state(r).packets_forwarded, 0);
         assert_eq!(net.link(r).from, 1);
         assert_eq!(net.link(r).to, 0);
+    }
+
+    #[test]
+    fn detached_states_match_network_transmits() {
+        // A worker-local LinkStates over the same specs reproduces the
+        // network's own transmit bookkeeping exactly.
+        let mut net = Network::new(2);
+        let l = net.add_link(gbps_link(3000.0));
+        let mut local = LinkStates::new(net.num_links());
+        for t in [0.0, 0.0, 0.0, 40e-6] {
+            let a = net.transmit(l, t, 1500.0);
+            let b = local.transmit(net.link(l), l, t, 1500.0);
+            assert_eq!(a, b);
+        }
+        assert_eq!(local.snapshot(l), net.link_state(l));
+        // Restore round-trips the snapshot.
+        let snap = local.snapshot(l);
+        let mut other = LinkStates::new(1);
+        other.restore(0, &snap);
+        assert_eq!(other.snapshot(0), snap);
+        local.reset_link(l);
+        assert_eq!(local.snapshot(l), LinkState::default());
     }
 
     #[test]

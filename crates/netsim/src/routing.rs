@@ -12,7 +12,17 @@
 //! * [`RoutingScheme::ThroughputOptimal`] — load-balancing placement that
 //!   minimises the sum of squared link utilisations, spreading load so the
 //!   network can absorb the most additional traffic.
+//!
+//! The machinery is the flat engine from `cisp_graph`: the network's link
+//! table is packed once into a [`CsrGraph`] (link ids *are* CSR edge ids, by
+//! construction), shortest-path demands share one predecessor-tracking
+//! Dijkstra tree per distinct source, and the computed routes land in an
+//! arena-backed [`PathStore`] — the whole routing table is two allocations
+//! instead of one `Vec` per demand. Link failures (the weather scenarios)
+//! are expressed as a disabled-link mask handed to
+//! [`compute_routes_avoiding`]; disabled links simply price as `+∞`.
 
+use cisp_graph::{CsrGraph, PathStore};
 use serde::{Deserialize, Serialize};
 
 use crate::network::{LinkId, Network, NodeId};
@@ -40,29 +50,55 @@ pub struct Demand {
     pub amount_bps: f64,
 }
 
-/// The routes chosen for a set of demands: `routes[k]` is the sequence of
-/// link ids demand `k` traverses.
-#[derive(Debug, Clone, Default)]
+/// The routes chosen for a set of demands, stored in one flat arena: route
+/// `k` is the sequence of link ids demand `k` traverses (empty when
+/// `src == dst` or unreachable).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoutingTable {
-    /// Per-demand link-level routes (empty when src == dst or unreachable).
-    pub routes: Vec<Vec<LinkId>>,
+    store: PathStore,
 }
 
 impl RoutingTable {
+    /// Wrap an already-built path arena (one path per demand, demand order).
+    pub fn from_store(store: PathStore) -> Self {
+        Self { store }
+    }
+
+    /// Number of routes (== number of demands routed).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` when no demands were routed.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Demand `k`'s route as a slice of link ids.
+    #[inline]
+    pub fn route(&self, k: usize) -> &[u32] {
+        self.store.path(k)
+    }
+
+    /// The underlying path arena.
+    pub fn store(&self) -> &PathStore {
+        &self.store
+    }
+
     /// Propagation latency (seconds) of demand `k`'s route.
     pub fn route_latency_s(&self, network: &Network, k: usize) -> f64 {
-        self.routes[k]
+        self.route(k)
             .iter()
-            .map(|&l| network.link(l).propagation_s)
+            .map(|&l| network.link(l as LinkId).propagation_s)
             .sum()
     }
 
     /// Offered utilisation of every link under the routed demands.
     pub fn link_loads_bps(&self, network: &Network, demands: &[Demand]) -> Vec<f64> {
         let mut loads = vec![0.0; network.num_links()];
-        for (route, demand) in self.routes.iter().zip(demands) {
-            for &l in route {
-                loads[l] += demand.amount_bps;
+        for (k, demand) in demands.iter().enumerate() {
+            for &l in self.route(k) {
+                loads[l as usize] += demand.amount_bps;
             }
         }
         loads
@@ -78,66 +114,22 @@ impl RoutingTable {
     }
 }
 
-/// Dijkstra over links with arbitrary per-link costs; returns the link route.
-fn shortest_route(
-    network: &Network,
-    src: NodeId,
-    dst: NodeId,
-    cost: &dyn Fn(LinkId) -> f64,
-) -> Option<Vec<LinkId>> {
-    if src == dst {
-        return Some(Vec::new());
-    }
-    let n = network.num_nodes();
-    // adjacency by node
-    let mut out: Vec<Vec<LinkId>> = vec![Vec::new(); n];
-    for l in 0..network.num_links() {
-        out[network.link(l).from].push(l);
-    }
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<LinkId>> = vec![None; n];
-    let mut visited = vec![false; n];
-    dist[src] = 0.0;
-    for _ in 0..n {
-        // Extract-min (linear scan keeps this dependency-free; the graphs in
-        // the simulator have at most a few hundred nodes).
-        let mut u = None;
-        let mut best = f64::INFINITY;
-        for v in 0..n {
-            if !visited[v] && dist[v] < best {
-                best = dist[v];
-                u = Some(v);
-            }
-        }
-        let u = match u {
-            Some(u) => u,
-            None => break,
-        };
-        visited[u] = true;
-        if u == dst {
-            break;
-        }
-        for &l in &out[u] {
-            let v = network.link(l).to;
-            let c = cost(l);
-            if dist[u] + c < dist[v] {
-                dist[v] = dist[u] + c;
-                prev[v] = Some(l);
-            }
-        }
-    }
-    if !dist[dst].is_finite() {
-        return None;
-    }
-    let mut route = Vec::new();
-    let mut cur = dst;
-    while cur != src {
-        let l = prev[cur]?;
-        route.push(l);
-        cur = network.link(l).from;
-    }
-    route.reverse();
-    Some(route)
+/// Pack the network's link table into CSR form. Links are inserted in id
+/// order, so CSR edge ids coincide with [`LinkId`]s.
+fn network_csr(network: &Network) -> CsrGraph {
+    CsrGraph::from_edges(
+        network.num_nodes(),
+        network
+            .links()
+            .iter()
+            .map(|l| (l.from, l.to, l.propagation_s)),
+    )
+}
+
+/// `true` when the mask (possibly empty = nothing disabled) disables `link`.
+#[inline]
+fn is_disabled(disabled: &[bool], link: u32) -> bool {
+    disabled.get(link as usize).copied().unwrap_or(false)
 }
 
 /// Compute routes for a set of demands under a scheme.
@@ -146,16 +138,45 @@ pub fn compute_routes(
     demands: &[Demand],
     scheme: RoutingScheme,
 ) -> RoutingTable {
+    compute_routes_avoiding(network, demands, scheme, &[])
+}
+
+/// [`compute_routes`] with a disabled-link mask: routes never traverse a
+/// link whose mask entry is `true` (failed microwave links in the weather
+/// scenarios). An empty mask disables nothing; a demand with no surviving
+/// path gets an empty route.
+pub fn compute_routes_avoiding(
+    network: &Network,
+    demands: &[Demand],
+    scheme: RoutingScheme,
+    disabled: &[bool],
+) -> RoutingTable {
+    let csr = network_csr(network);
     match scheme {
         RoutingScheme::ShortestPath => {
-            let routes = demands
-                .iter()
-                .map(|d| {
-                    shortest_route(network, d.src, d.dst, &|l| network.link(l).propagation_s)
-                        .unwrap_or_default()
-                })
-                .collect();
-            RoutingTable { routes }
+            // One full Dijkstra tree per distinct source, shared by every
+            // demand originating there.
+            let mut trees: Vec<Option<cisp_graph::CsrTree>> = vec![None; network.num_nodes()];
+            let mut store = PathStore::with_capacity(demands.len(), demands.len() * 4);
+            let mut scratch = Vec::new();
+            for d in demands {
+                if d.src == d.dst {
+                    store.push_path(&[]);
+                    continue;
+                }
+                let tree = trees[d.src].get_or_insert_with(|| {
+                    csr.shortest_path_tree_with(d.src, None, |id, w| {
+                        if is_disabled(disabled, id) {
+                            f64::INFINITY
+                        } else {
+                            w
+                        }
+                    })
+                });
+                tree.edge_path_into(d.dst, &mut scratch);
+                store.push_path(&scratch);
+            }
+            RoutingTable::from_store(store)
         }
         RoutingScheme::MinMaxUtilization | RoutingScheme::ThroughputOptimal => {
             // Sequential placement, heaviest demands first, each on the path
@@ -170,35 +191,49 @@ pub fn compute_routes(
                     .then(a.cmp(&b))
             });
             let mut loads = vec![0.0f64; network.num_links()];
-            let mut routes = vec![Vec::new(); demands.len()];
-            for &k in &order {
+            // Routes accumulate in placement order; re-packed into demand
+            // order below.
+            let mut placed = PathStore::with_capacity(demands.len(), demands.len() * 4);
+            let mut slot_of = vec![0usize; demands.len()];
+            let mut scratch = Vec::new();
+            for (slot, &k) in order.iter().enumerate() {
+                slot_of[k] = slot;
                 let d = demands[k];
-                let cost = |l: LinkId| -> f64 {
-                    let rate = network.link(l).rate_bps;
-                    let u_after = (loads[l] + d.amount_bps) / rate;
+                if d.src == d.dst {
+                    placed.push_path(&[]);
+                    continue;
+                }
+                let tree = csr.shortest_path_tree_with(d.src, Some(d.dst), |id, w| {
+                    if is_disabled(disabled, id) {
+                        return f64::INFINITY;
+                    }
+                    let rate = network.link(id as LinkId).rate_bps;
                     match scheme {
                         // Penalise high post-placement utilisation steeply so
                         // the max is pushed down; the latency term breaks ties
                         // towards short paths.
                         RoutingScheme::MinMaxUtilization => {
-                            u_after.powi(4) + 1e-6 * network.link(l).propagation_s
+                            let u_after = (loads[id as usize] + d.amount_bps) / rate;
+                            u_after.powi(4) + 1e-6 * w
                         }
                         // Marginal increase of Σ u²  (∝ 2·load + demand).
                         RoutingScheme::ThroughputOptimal => {
-                            (2.0 * loads[l] + d.amount_bps) / rate
-                                + 1e-6 * network.link(l).propagation_s
+                            (2.0 * loads[id as usize] + d.amount_bps) / rate + 1e-6 * w
                         }
                         RoutingScheme::ShortestPath => unreachable!(),
                     }
-                };
-                if let Some(route) = shortest_route(network, d.src, d.dst, &cost) {
-                    for &l in &route {
-                        loads[l] += d.amount_bps;
-                    }
-                    routes[k] = route;
+                });
+                tree.edge_path_into(d.dst, &mut scratch);
+                for &l in &scratch {
+                    loads[l as usize] += d.amount_bps;
                 }
+                placed.push_path(&scratch);
             }
-            RoutingTable { routes }
+            let mut store = PathStore::with_capacity(demands.len(), placed.total_links());
+            for &slot in &slot_of {
+                store.push_path(placed.path(slot));
+            }
+            RoutingTable::from_store(store)
         }
     }
 }
@@ -298,7 +333,7 @@ mod tests {
             amount_bps: 1e6,
         }];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
-        assert!(table.routes[0].is_empty());
+        assert!(table.route(0).is_empty());
     }
 
     #[test]
@@ -332,7 +367,56 @@ mod tests {
             amount_bps: 1e6,
         }];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
-        assert!(table.routes[0].is_empty());
+        assert!(table.route(0).is_empty());
         assert_eq!(table.route_latency_s(&net, 0), 0.0);
+    }
+
+    #[test]
+    fn disabled_links_are_avoided_by_every_scheme() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 1e8,
+        }];
+        // Fail the short path's first hop (link 0 = 0→2): routes must fall
+        // back to the long path through node 3.
+        let mut disabled = vec![false; net.num_links()];
+        disabled[0] = true;
+        for scheme in [
+            RoutingScheme::ShortestPath,
+            RoutingScheme::MinMaxUtilization,
+            RoutingScheme::ThroughputOptimal,
+        ] {
+            let table = compute_routes_avoiding(&net, &demands, scheme, &disabled);
+            assert!(
+                (table.route_latency_s(&net, 0) - 0.030).abs() < 1e-9,
+                "{scheme:?} should take the 2 × 15 ms path"
+            );
+            assert!(!table.route(0).contains(&0));
+        }
+        // Failing both outbound first hops leaves the demand unroutable.
+        disabled[4] = true; // 0→3
+        let table = compute_routes_avoiding(&net, &demands, RoutingScheme::ShortestPath, &disabled);
+        assert!(table.route(0).is_empty());
+    }
+
+    #[test]
+    fn shared_source_demands_share_a_tree_and_match_per_demand_costs() {
+        let net = two_path_network(1e9, 1e9);
+        let demands: Vec<Demand> = [1usize, 2, 3]
+            .iter()
+            .map(|&dst| Demand {
+                src: 0,
+                dst,
+                amount_bps: 1e6,
+            })
+            .collect();
+        let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
+        assert!((table.route_latency_s(&net, 0) - 0.010).abs() < 1e-9);
+        assert!((table.route_latency_s(&net, 1) - 0.005).abs() < 1e-9);
+        assert!((table.route_latency_s(&net, 2) - 0.015).abs() < 1e-9);
+        // Routes are stored in one arena: 2 + 1 + 1 links.
+        assert_eq!(table.store().total_links(), 4);
     }
 }

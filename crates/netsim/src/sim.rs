@@ -1,19 +1,40 @@
 //! The event-driven UDP simulation engine.
 //!
 //! Packets are source-routed: each flow's route (a sequence of link ids) is
-//! computed up front by [`crate::routing`], and the engine replays every
-//! packet's journey hop by hop through the FIFO link model of
-//! [`crate::network`]. Events are processed in timestamp order from a binary
-//! heap, so cross-traffic interleaves correctly at shared links.
+//! computed up front by [`crate::routing`] into a flat [`PathStore`]-backed
+//! table, and the engine replays every packet's journey hop by hop through
+//! the FIFO link model of [`crate::network`]. Events are plain `Copy`
+//! structs ordered by `(time, flow, hop)` directly on the binary heap — no
+//! per-event allocation, no indirection.
+//!
+//! # Sharded execution
+//!
+//! Two flows can only interact by queueing at a shared link, so the demand
+//! set decomposes into *components* — groups of flows connected through
+//! shared links — that are completely independent simulations. The engine
+//! always partitions (union-find over each route's links), then executes
+//! the components either inline or across persistent worker threads
+//! ([`SimConfig::workers`]), each worker owning private [`LinkStates`]
+//! arrays over the shared link table and draining components from a shared
+//! queue. Per-component results are merged in component order, so the
+//! produced [`SimReport`] is **bit-identical for every worker count** —
+//! `workers: 1` is the pinned serial reference, `workers: 0` picks the
+//! machine's parallelism. This is the same persistent-worker pattern as the
+//! design engine's `ShardPool`: threads are spawned once per run and handed
+//! stable state, not re-fanned per event batch.
+//!
+//! [`PathStore`]: cisp_graph::PathStore
 
-use std::cmp::Reverse;
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::thread;
 
 use serde::{Deserialize, Serialize};
 
 use crate::flows::{emission_times, ArrivalProcess, FlowSpec};
 use crate::monitor::{FlowMonitor, SimReport};
-use crate::network::{Network, Transmit};
+use crate::network::{LinkState, LinkStates, Network, Transmit};
 use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
 
 /// Configuration of a simulation run.
@@ -29,6 +50,9 @@ pub struct SimConfig {
     pub routing: RoutingScheme,
     /// RNG seed for arrival processes.
     pub seed: u64,
+    /// Worker threads for sharded execution: 0 = the machine's available
+    /// parallelism, 1 = serial. Results are bit-identical for every value.
+    pub workers: usize,
 }
 
 impl Default for SimConfig {
@@ -39,41 +63,92 @@ impl Default for SimConfig {
             arrivals: ArrivalProcess::ConstantBitRate,
             routing: RoutingScheme::ShortestPath,
             seed: 1,
+            workers: 0,
         }
     }
 }
 
-/// A scheduled packet-at-link event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A scheduled packet-at-link event. Lives directly on the heap (plain
+/// `Copy` key, no boxing); ordered by `(time, flow, hop)` with earliest
+/// first, which both drives the simulation clock and makes tie-breaking
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
 struct Event {
     /// Time the packet arrives at the head of this hop.
     time: f64,
     /// Flow (demand) index.
-    flow: usize,
+    flow: u32,
     /// Position within the flow's route.
-    hop: usize,
+    hop: u32,
     /// Time the packet originally entered the network.
     sent_at: f64,
     /// Accumulated queueing delay so far.
     queue_delay: f64,
 }
 
-/// Heap ordering: earliest time first, then deterministic tie-breaks.
-#[derive(PartialEq)]
-struct HeapKey(f64, usize, usize);
-impl Eq for HeapKey {}
-impl PartialOrd for HeapKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.flow == other.flow && self.hop == other.hop
+    }
+}
+impl Eq for Event {}
+
+impl Ord for Event {
+    /// Reversed comparison so `BinaryHeap` (a max-heap) pops the earliest
+    /// event; ties broken by flow then hop index.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.flow.cmp(&self.flow))
+            .then_with(|| other.hop.cmp(&self.hop))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(self.1.cmp(&other.1))
-            .then(self.2.cmp(&other.2))
+
+/// Per-flow tallies of one component run, aligned with the component's flow
+/// list.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowStat {
+    delay_sum: f64,
+    delivered: u64,
+    dropped: u64,
+}
+
+/// Everything one component's simulation produced, merged (in component
+/// order) into the global monitor and network state after all components
+/// finish.
+struct ComponentOutcome {
+    delays: Vec<f64>,
+    queue_delays: Vec<f64>,
+    flow_stats: Vec<FlowStat>,
+    links: Vec<(u32, LinkState)>,
+}
+
+/// A worker's reusable scratch: private link-state arrays over the shared
+/// link table, the event heap, and the touched-link tracking used to reset
+/// only the links the previous component dirtied.
+struct WorkerState {
+    states: LinkStates,
+    seen: Vec<bool>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Event>,
+}
+
+impl WorkerState {
+    fn new(num_links: usize) -> Self {
+        Self {
+            states: LinkStates::new(num_links),
+            seen: vec![false; num_links],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
     }
 }
 
@@ -90,6 +165,19 @@ impl Simulation {
     /// configured scheme.
     pub fn new(network: Network, demands: Vec<Demand>, config: SimConfig) -> Self {
         let routes = compute_routes(&network, &demands, config.routing);
+        Self::with_routes(network, demands, routes, config)
+    }
+
+    /// Build a simulation over externally computed routes (e.g. routes that
+    /// avoid failed links, from
+    /// [`crate::routing::compute_routes_avoiding`]).
+    pub fn with_routes(
+        network: Network,
+        demands: Vec<Demand>,
+        routes: RoutingTable,
+        config: SimConfig,
+    ) -> Self {
+        assert_eq!(routes.len(), demands.len(), "one route per demand");
         Self {
             network,
             demands,
@@ -108,13 +196,24 @@ impl Simulation {
         &self.network
     }
 
+    /// The demand set.
+    pub fn demands(&self) -> &[Demand] {
+        &self.demands
+    }
+
+    /// Number of link-disjoint components the active flows decompose into —
+    /// the engine's parallelism grain.
+    pub fn num_components(&self) -> usize {
+        self.partition_flows().len()
+    }
+
     /// Mean propagation-only latency across demands, weighted by demand rate.
     /// This is the zero-load baseline the queueing delays add to.
     pub fn weighted_propagation_ms(&self) -> f64 {
         let mut num = 0.0;
         let mut den = 0.0;
         for (k, d) in self.demands.iter().enumerate() {
-            if !self.routes.routes[k].is_empty() {
+            if !self.routes.route(k).is_empty() {
                 num += d.amount_bps * self.routes.route_latency_s(&self.network, k);
                 den += d.amount_bps;
             }
@@ -126,71 +225,239 @@ impl Simulation {
         }
     }
 
-    /// Run the simulation and produce a report.
-    pub fn run(&mut self) -> SimReport {
-        self.network.reset();
-        let mut monitor = FlowMonitor::default();
-        let mut heap: BinaryHeap<Reverse<(HeapKey, EventBox)>> = BinaryHeap::new();
-
-        // Schedule every packet emission.
-        for (k, demand) in self.demands.iter().enumerate() {
-            if self.routes.routes[k].is_empty() || demand.amount_bps <= 0.0 {
+    /// Group the active flows (non-empty route, positive rate) into
+    /// link-disjoint components via union-find over each route's links.
+    /// Component order follows the first demand of each component, so the
+    /// decomposition is deterministic.
+    fn partition_flows(&self) -> Vec<Vec<u32>> {
+        let num_links = self.network.num_links();
+        let mut parent: Vec<u32> = (0..num_links as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                // Path halving.
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for (k, d) in self.demands.iter().enumerate() {
+            if d.amount_bps <= 0.0 {
                 continue;
             }
+            let route = self.routes.route(k);
+            if route.is_empty() {
+                continue;
+            }
+            let root = find(&mut parent, route[0]);
+            for &l in &route[1..] {
+                let r = find(&mut parent, l);
+                parent[r as usize] = root;
+            }
+        }
+        let mut comp_of_root: Vec<usize> = vec![usize::MAX; num_links];
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        for (k, d) in self.demands.iter().enumerate() {
+            if d.amount_bps <= 0.0 || self.routes.route(k).is_empty() {
+                continue;
+            }
+            let root = find(&mut parent, self.routes.route(k)[0]) as usize;
+            let idx = if comp_of_root[root] == usize::MAX {
+                comp_of_root[root] = comps.len();
+                comps.push(Vec::new());
+                comps.len() - 1
+            } else {
+                comp_of_root[root]
+            };
+            comps[idx].push(k as u32);
+        }
+        comps
+    }
+
+    /// Simulate one component's flows against the worker's private link
+    /// state. All scoring of time and tie-breaks happens inside the
+    /// component, so the outcome does not depend on which worker runs it.
+    fn run_component(
+        network: &Network,
+        routes: &RoutingTable,
+        demands: &[Demand],
+        config: &SimConfig,
+        w: &mut WorkerState,
+        flows: &[u32],
+    ) -> ComponentOutcome {
+        // Track the links this component dirties (for extraction + reset).
+        for &f in flows {
+            for &l in routes.route(f as usize) {
+                if !w.seen[l as usize] {
+                    w.seen[l as usize] = true;
+                    w.touched.push(l);
+                }
+            }
+        }
+
+        // Schedule every packet emission of the component's flows.
+        w.heap.clear();
+        for &f in flows {
+            let demand = demands[f as usize];
             let flow = FlowSpec {
                 src: demand.src,
                 dst: demand.dst,
                 rate_bps: demand.amount_bps,
-                packet_bytes: self.config.packet_bytes,
+                packet_bytes: config.packet_bytes,
             };
             for t in emission_times(
                 &flow,
-                k,
-                self.config.duration_s,
-                self.config.arrivals,
-                self.config.seed,
+                f as usize,
+                config.duration_s,
+                config.arrivals,
+                config.seed,
             ) {
-                let ev = Event {
+                w.heap.push(Event {
                     time: t,
-                    flow: k,
+                    flow: f,
                     hop: 0,
                     sent_at: t,
                     queue_delay: 0.0,
-                };
-                heap.push(Reverse((HeapKey(t, k, 0), EventBox(ev))));
+                });
             }
         }
 
-        // Process events.
-        while let Some(Reverse((_, EventBox(ev)))) = heap.pop() {
-            let route = &self.routes.routes[ev.flow];
-            if ev.hop >= route.len() {
+        // Process events in timestamp order.
+        let mut delays = Vec::new();
+        let mut queue_delays = Vec::new();
+        let mut flow_stats = vec![FlowStat::default(); flows.len()];
+        let links = network.links();
+        while let Some(ev) = w.heap.pop() {
+            let route = routes.route(ev.flow as usize);
+            if ev.hop as usize >= route.len() {
                 // Packet has arrived at its destination.
-                monitor.record_delivery(ev.time - ev.sent_at, ev.queue_delay);
+                let pos = flows.binary_search(&ev.flow).expect("flow in component");
+                let delay = ev.time - ev.sent_at;
+                delays.push(delay);
+                queue_delays.push(ev.queue_delay);
+                flow_stats[pos].delay_sum += delay;
+                flow_stats[pos].delivered += 1;
                 continue;
             }
-            let link = route[ev.hop];
-            match self
-                .network
-                .transmit(link, ev.time, self.config.packet_bytes)
+            let link = route[ev.hop as usize] as usize;
+            match w
+                .states
+                .transmit(&links[link], link, ev.time, config.packet_bytes)
             {
                 Transmit::Delivered {
                     arrival,
                     queue_delay,
                 } => {
-                    let next = Event {
+                    w.heap.push(Event {
                         time: arrival,
                         flow: ev.flow,
                         hop: ev.hop + 1,
                         sent_at: ev.sent_at,
                         queue_delay: ev.queue_delay + queue_delay,
-                    };
-                    heap.push(Reverse((
-                        HeapKey(arrival, next.flow, next.hop),
-                        EventBox(next),
-                    )));
+                    });
                 }
-                Transmit::Dropped => monitor.record_drop(),
+                Transmit::Dropped => {
+                    let pos = flows.binary_search(&ev.flow).expect("flow in component");
+                    flow_stats[pos].dropped += 1;
+                }
+            }
+        }
+
+        // Extract the dirtied link states and recycle the worker arrays.
+        let mut touched_links = Vec::with_capacity(w.touched.len());
+        for l in w.touched.drain(..) {
+            touched_links.push((l, w.states.snapshot(l as usize)));
+            w.states.reset_link(l as usize);
+            w.seen[l as usize] = false;
+        }
+
+        ComponentOutcome {
+            delays,
+            queue_delays,
+            flow_stats,
+            links: touched_links,
+        }
+    }
+
+    /// Run the simulation and produce a report.
+    ///
+    /// The report — including float-for-float every statistic — is identical
+    /// for every [`SimConfig::workers`] value; the worker count is a pure
+    /// performance knob.
+    pub fn run(&mut self) -> SimReport {
+        self.network.reset();
+        let comps = self.partition_flows();
+        let requested = if self.config.workers == 0 {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.config.workers
+        };
+        let workers = requested.clamp(1, comps.len().max(1));
+
+        let num_links = self.network.num_links();
+        let (network, routes, demands, config) =
+            (&self.network, &self.routes, &self.demands, &self.config);
+        let mut outcomes: Vec<Option<ComponentOutcome>> = (0..comps.len()).map(|_| None).collect();
+        if workers <= 1 {
+            let mut w = WorkerState::new(num_links);
+            for (i, comp) in comps.iter().enumerate() {
+                outcomes[i] = Some(Self::run_component(
+                    network, routes, demands, config, &mut w, comp,
+                ));
+            }
+        } else {
+            // Persistent workers drain the component queue; assignment order
+            // is irrelevant because components are independent and merged by
+            // index below.
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, ComponentOutcome)>> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let comps = &comps;
+                        scope.spawn(move || {
+                            let mut w = WorkerState::new(num_links);
+                            let mut done = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                                if i >= comps.len() {
+                                    break;
+                                }
+                                done.push((
+                                    i,
+                                    Self::run_component(
+                                        network, routes, demands, config, &mut w, &comps[i],
+                                    ),
+                                ));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker panicked"))
+                    .collect()
+            });
+            for chunk in per_worker {
+                for (i, outcome) in chunk {
+                    outcomes[i] = Some(outcome);
+                }
+            }
+        }
+
+        // Merge in component order — the step that fixes the statistics'
+        // sample order independent of worker count.
+        let mut monitor = FlowMonitor::new(self.demands.len());
+        for (comp, outcome) in comps.iter().zip(outcomes) {
+            let o = outcome.expect("component not simulated");
+            monitor.delays.record_many(&o.delays);
+            monitor.queue_delays.record_many(&o.queue_delays);
+            for (pos, &f) in comp.iter().enumerate() {
+                let stat = o.flow_stats[pos];
+                monitor.absorb_flow(f as usize, stat.delay_sum, stat.delivered, stat.dropped);
+            }
+            for (l, state) in &o.links {
+                self.network.states_mut().restore(*l as usize, state);
             }
         }
 
@@ -198,21 +465,6 @@ impl Simulation {
             .map(|l| self.network.utilization(l, self.config.duration_s))
             .collect();
         monitor.report(utilizations)
-    }
-}
-
-/// Wrapper so `Event` can live in the heap alongside the ordering key.
-#[derive(PartialEq)]
-struct EventBox(Event);
-impl Eq for EventBox {}
-impl PartialOrd for EventBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventBox {
-    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
     }
 }
 
@@ -264,6 +516,8 @@ mod tests {
         );
         assert_eq!(report.loss_rate, 0.0);
         assert!((report.mean_link_utilization - 0.2).abs() < 0.02);
+        // The sole flow's mean delay is the global mean.
+        assert!((report.flow_mean_delay_ms[0] - report.mean_delay_ms).abs() < 1e-9);
     }
 
     #[test]
@@ -272,6 +526,7 @@ mod tests {
         assert!(report.loss_rate > 0.2, "loss {}", report.loss_rate);
         // Link saturates.
         assert!(report.max_link_utilization > 0.95);
+        assert_eq!(report.flow_dropped[0], report.dropped);
     }
 
     #[test]
@@ -357,9 +612,7 @@ mod tests {
     fn simulation_is_deterministic() {
         let a = run_at_load(0.8, 50_000.0, ArrivalProcess::Poisson);
         let b = run_at_load(0.8, 50_000.0, ArrivalProcess::Poisson);
-        assert_eq!(a.delivered, b.delivered);
-        assert_eq!(a.dropped, b.dropped);
-        assert!((a.mean_delay_ms - b.mean_delay_ms).abs() < 1e-12);
+        assert_eq!(a, b, "same seed must give a bit-identical report");
     }
 
     #[test]
@@ -373,5 +626,88 @@ mod tests {
         let mut sim = Simulation::new(net, demands, SimConfig::default());
         let report = sim.run();
         assert_eq!(report.delivered + report.dropped, 0);
+    }
+
+    /// Many disjoint bottleneck pairs plus one shared-link pair: several
+    /// independent components.
+    fn multi_component_inputs(pairs: usize) -> (Network, Vec<Demand>) {
+        let mut net = Network::new(2 * pairs);
+        let mut demands = Vec::new();
+        for p in 0..pairs {
+            net.add_link(LinkSpec {
+                from: 2 * p,
+                to: 2 * p + 1,
+                rate_bps: 10e6,
+                propagation_s: 0.002 + p as f64 * 1e-4,
+                buffer_bytes: 30_000.0,
+            });
+            demands.push(Demand {
+                src: 2 * p,
+                dst: 2 * p + 1,
+                amount_bps: 8e6,
+            });
+        }
+        (net, demands)
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        for arrivals in [ArrivalProcess::ConstantBitRate, ArrivalProcess::Poisson] {
+            let (net, demands) = multi_component_inputs(6);
+            let config = |workers| SimConfig {
+                duration_s: 0.5,
+                arrivals,
+                seed: 9,
+                workers,
+                ..SimConfig::default()
+            };
+            let serial = Simulation::new(net.clone(), demands.clone(), config(1)).run();
+            let sharded = Simulation::new(net.clone(), demands.clone(), config(4)).run();
+            let auto = Simulation::new(net, demands, config(0)).run();
+            assert_eq!(serial, sharded, "{arrivals:?}");
+            assert_eq!(serial, auto, "{arrivals:?}");
+            assert!(serial.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn components_split_disjoint_flows() {
+        let (net, demands) = multi_component_inputs(4);
+        let sim = Simulation::new(net, demands, SimConfig::default());
+        let comps = sim.partition_flows();
+        assert_eq!(comps.len(), 4);
+        for (i, comp) in comps.iter().enumerate() {
+            assert_eq!(comp, &vec![i as u32]);
+        }
+    }
+
+    #[test]
+    fn flows_sharing_a_link_stay_in_one_component() {
+        let mut net = Network::new(4);
+        for (a, b, rate) in [(0, 2, 1e9), (1, 2, 1e9), (2, 3, 10e6)] {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: rate,
+                propagation_s: 0.001,
+                buffer_bytes: 30_000.0,
+            });
+        }
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 3,
+                amount_bps: 4e6,
+            },
+            Demand {
+                src: 1,
+                dst: 3,
+                amount_bps: 4e6,
+            },
+        ];
+        let sim = Simulation::new(net, demands, SimConfig::default());
+        let comps = sim.partition_flows();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1]);
     }
 }

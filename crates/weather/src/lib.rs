@@ -22,13 +22,20 @@
 //! * [`reroute`] — per-pair latency/stretch statistics across a year of
 //!   intervals (best / 99th percentile / worst / fiber-only), i.e. the data
 //!   behind Fig. 7.
+//! * [`simulate`] — the queueing-aware variant: failed links are mapped onto
+//!   the lowered packet network (`cisp_core::evaluate`), routes are
+//!   recomputed around them, and the traffic is replayed through the packet
+//!   engine, so storm scenarios report delivered latency and loss rather
+//!   than geodesic stretch alone.
 
 pub mod attenuation;
 pub mod failures;
 pub mod reroute;
+pub mod simulate;
 pub mod storms;
 
 pub use attenuation::{rain_attenuation_db, specific_attenuation_db_per_km};
 pub use failures::{link_failures, FailureConfig};
 pub use reroute::{weather_year_analysis, WeatherYearReport};
+pub use simulate::{storm_queueing_analysis, QueueingWeatherReport};
 pub use storms::{StormField, StormYear, StormYearConfig};

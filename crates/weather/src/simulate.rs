@@ -1,0 +1,237 @@
+//! Queueing-aware weather analysis: storms pushed through the packet
+//! simulator.
+//!
+//! The geodesic rerouting analysis ([`crate::reroute`]) answers "how much
+//! *propagation* latency does bad weather cost?". This module answers the
+//! operational question behind it: when microwave links fail and their
+//! traffic is re-routed onto the surviving (narrower) network, what happens
+//! to *delivered* latency and loss once queueing is accounted for? Each
+//! storm interval's failed links are mapped onto the lowered site-level
+//! network via [`LoweredNetwork::mw_link_ids`], routes are recomputed
+//! avoiding them, and the same demand set is replayed through the sharded
+//! packet engine.
+//!
+//! Consecutive intervals with identical failure sets (calm spells, long
+//! storms) reuse the previous interval's simulation result outright, the
+//! same memoisation the geodesic year sweep uses.
+
+use cisp_core::evaluate::{lower, EvaluateConfig, LoweredNetwork};
+use cisp_core::topology::HybridTopology;
+use cisp_graph::DistMatrix;
+use cisp_netsim::SimReport;
+use serde::{Deserialize, Serialize};
+
+use crate::failures::{link_failures, FailureConfig};
+use crate::storms::StormField;
+
+/// One interval's queueing-aware outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalQueueing {
+    /// Number of microwave links down this interval.
+    pub failed_links: usize,
+    /// Mean delivered one-way delay, milliseconds.
+    pub mean_delay_ms: f64,
+    /// 95th-percentile delivered one-way delay, milliseconds.
+    pub p95_delay_ms: f64,
+    /// Mean queueing delay per packet, milliseconds.
+    pub mean_queue_delay_ms: f64,
+    /// Fraction of offered packets lost.
+    pub loss_rate: f64,
+}
+
+impl IntervalQueueing {
+    fn from_report(report: &SimReport, failed_links: usize) -> Self {
+        Self {
+            failed_links,
+            mean_delay_ms: report.mean_delay_ms,
+            p95_delay_ms: report.p95_delay_ms,
+            mean_queue_delay_ms: report.mean_queue_delay_ms,
+            loss_rate: report.loss_rate,
+        }
+    }
+}
+
+/// The queueing-aware weather report: the fair-weather baseline plus one
+/// entry per analysed storm interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueingWeatherReport {
+    /// All-links-up baseline.
+    pub fair: IntervalQueueing,
+    /// Per-interval outcomes, in interval order.
+    pub intervals: Vec<IntervalQueueing>,
+}
+
+impl QueueingWeatherReport {
+    /// Worst mean delivered delay across intervals (the fair baseline when
+    /// no intervals were analysed).
+    pub fn worst_mean_delay_ms(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|i| i.mean_delay_ms)
+            .fold(self.fair.mean_delay_ms, f64::max)
+    }
+
+    /// The `q`-quantile of the per-interval mean delivered delay.
+    pub fn mean_delay_quantile_ms(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.intervals.is_empty() {
+            return self.fair.mean_delay_ms;
+        }
+        let mut sorted: Vec<f64> = self.intervals.iter().map(|i| i.mean_delay_ms).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    }
+
+    /// Worst per-interval loss rate.
+    pub fn worst_loss_rate(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|i| i.loss_rate)
+            .fold(self.fair.loss_rate, f64::max)
+    }
+
+    /// Mean number of failed links per interval.
+    pub fn mean_failed_links(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals
+            .iter()
+            .map(|i| i.failed_links as f64)
+            .sum::<f64>()
+            / self.intervals.len() as f64
+    }
+}
+
+/// Run the queueing-aware weather analysis: lower the designed topology
+/// once, then for every storm field fail the affected links, re-route the
+/// demands around them, and replay the traffic through the packet engine.
+pub fn storm_queueing_analysis(
+    topology: &HybridTopology,
+    offered_traffic: &DistMatrix,
+    fields: &[StormField],
+    failure_config: &FailureConfig,
+    evaluate_config: &EvaluateConfig,
+) -> QueueingWeatherReport {
+    let lowered = lower(topology, offered_traffic, evaluate_config);
+    let fair_report = lowered.simulation().run();
+    let fair = IntervalQueueing::from_report(&fair_report, 0);
+
+    let mut intervals = Vec::with_capacity(fields.len());
+    let mut memo: Option<(Vec<usize>, IntervalQueueing)> = None;
+    for field in fields {
+        let failed = link_failures(topology, field, failure_config);
+        if failed.is_empty() {
+            intervals.push(fair.clone());
+            continue;
+        }
+        if let Some((memo_failed, memo_interval)) = &memo {
+            if memo_failed == &failed {
+                intervals.push(memo_interval.clone());
+                continue;
+            }
+        }
+        let report = simulate_with_failures(&lowered, &failed);
+        let interval = IntervalQueueing::from_report(&report, failed.len());
+        intervals.push(interval.clone());
+        memo = Some((failed, interval));
+    }
+
+    QueueingWeatherReport { fair, intervals }
+}
+
+/// One storm scenario: fail `failed_mw_links` (indices into
+/// `topology.mw_links()`) on the lowered network, re-route, simulate.
+pub fn simulate_with_failures(lowered: &LoweredNetwork, failed_mw_links: &[usize]) -> SimReport {
+    lowered.simulation_without(failed_mw_links).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storms::Storm;
+    use cisp_core::links::CandidateLink;
+    use cisp_geo::{geodesic, GeoPoint};
+    use cisp_netsim::sim::SimConfig;
+
+    /// A 4-site topology with MW links on a chain, fiber at 1.9×.
+    fn test_topology() -> HybridTopology {
+        let sites = vec![
+            GeoPoint::new(41.9, -87.6),  // Chicago
+            GeoPoint::new(39.1, -94.6),  // Kansas City
+            GeoPoint::new(32.8, -96.8),  // Dallas
+            GeoPoint::new(39.7, -105.0), // Denver
+        ];
+        let n = sites.len();
+        let traffic = vec![vec![1.0; n]; n];
+        let fiber: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        for (a, b) in [(0usize, 1usize), (1, 2), (1, 3)] {
+            let geo = geodesic::distance_km(sites[a], sites[b]);
+            topo.add_mw_link(CandidateLink {
+                site_a: a.min(b),
+                site_b: a.max(b),
+                mw_length_km: geo * 1.04,
+                tower_count: (geo / 80.0).ceil() as usize,
+                tower_path: vec![0; 3],
+            });
+        }
+        topo
+    }
+
+    fn fast_config() -> EvaluateConfig {
+        EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.4,
+            sim: SimConfig {
+                duration_s: 0.05,
+                ..SimConfig::default()
+            },
+            ..EvaluateConfig::default()
+        }
+    }
+
+    #[test]
+    fn storms_raise_queueing_aware_latency_but_calm_skies_do_not() {
+        let topo = test_topology();
+        let calm = StormField::default();
+        // A violent storm over Kansas City knocks out its links.
+        let violent = StormField {
+            storms: vec![Storm {
+                center: GeoPoint::new(39.1, -94.6),
+                radius_km: 400.0,
+                peak_mm_h: 100.0,
+            }],
+        };
+        let fields = vec![calm.clone(), violent.clone(), violent, calm];
+        let report = storm_queueing_analysis(
+            &topo,
+            topo.traffic(),
+            &fields,
+            &FailureConfig::default(),
+            &fast_config(),
+        );
+        assert_eq!(report.intervals.len(), 4);
+        // Calm intervals equal the fair baseline exactly (memoised).
+        assert_eq!(report.intervals[0].mean_delay_ms, report.fair.mean_delay_ms);
+        assert_eq!(report.intervals[3].failed_links, 0);
+        // The stormy intervals failed links and pay latency for it.
+        assert!(report.intervals[1].failed_links > 0);
+        assert!(report.intervals[1].mean_delay_ms > report.fair.mean_delay_ms);
+        // Identical consecutive failure sets are memoised to identical rows.
+        assert_eq!(
+            report.intervals[1].mean_delay_ms,
+            report.intervals[2].mean_delay_ms
+        );
+        assert!(report.worst_mean_delay_ms() >= report.fair.mean_delay_ms);
+        assert!(report.mean_failed_links() > 0.0);
+        assert!(report.mean_delay_quantile_ms(0.5) >= report.fair.mean_delay_ms);
+        assert!(report.worst_loss_rate() >= 0.0);
+    }
+}

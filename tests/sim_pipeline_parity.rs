@@ -1,0 +1,161 @@
+//! Parity and determinism pins for the evaluation pipeline: the CSR routing
+//! core against the adjacency-list reference, and the sharded packet engine
+//! against its serial mode, exercised on random graphs and on the real
+//! designed backbone.
+
+use cisp::core::evaluate::{evaluate, lower, pair_rtts, EvaluateConfig};
+use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
+use cisp::graph::csr::CsrGraph;
+use cisp::graph::{dijkstra, Graph};
+use cisp::netsim::flows::ArrivalProcess;
+use cisp::netsim::sim::{SimConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected-ish graph: a scrambled spanning chain plus extra
+/// random edges, weights in (0.1, 10).
+fn random_graph(n: usize, extra_edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let j = (rng.gen::<f64>() * i as f64) as usize;
+        g.add_undirected_edge(i, j, 0.1 + rng.gen::<f64>() * 9.9);
+    }
+    for _ in 0..extra_edges {
+        let a = (rng.gen::<f64>() * n as f64) as usize % n;
+        let b = (rng.gen::<f64>() * n as f64) as usize % n;
+        if a != b {
+            g.add_edge(a, b, 0.1 + rng.gen::<f64>() * 9.9);
+        }
+    }
+    g
+}
+
+#[test]
+fn csr_dijkstra_matches_adjacency_dijkstra_on_random_graphs() {
+    for seed in 0..20u64 {
+        let n = 30 + (seed as usize % 4) * 17;
+        let g = random_graph(n, 3 * n, 1000 + seed);
+        let csr = CsrGraph::from_graph(&g);
+        for source in [0usize, n / 2, n - 1] {
+            let reference = dijkstra::shortest_path_tree(&g, source, None);
+            let tree = csr.shortest_path_tree(source, None);
+            // Random float weights make shortest paths unique almost surely,
+            // and both algorithms accumulate `dist[u] + w` along the same
+            // tree — distances must agree exactly.
+            assert_eq!(tree.dist, reference.dist, "seed {seed}, source {source}");
+            // Extracted paths cost exactly their distance.
+            for target in 0..n {
+                match (tree.node_path_to(target), reference.path_to(target)) {
+                    (Some(csr_nodes), Some(path)) => {
+                        assert_eq!(*csr_nodes.first().unwrap(), source);
+                        assert_eq!(*csr_nodes.last().unwrap(), target);
+                        assert_eq!(path.cost, tree.dist[target]);
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!(
+                        "reachability mismatch at seed {seed}, target {target}: {a:?} vs {b:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The miniature designed backbone, lowered for simulation.
+fn lowered_backbone() -> (
+    cisp::core::evaluate::LoweredNetwork,
+    cisp::core::topology::HybridTopology,
+) {
+    let scenario = Scenario::build(&ScenarioConfig::tiny_test());
+    let outcome = scenario.design(300.0);
+    let traffic = population_product_traffic(scenario.cities());
+    let config = EvaluateConfig {
+        design_aggregate_gbps: 4.0,
+        load_fraction: 0.6,
+        sim: SimConfig {
+            duration_s: 0.1,
+            ..SimConfig::default()
+        },
+        ..EvaluateConfig::default()
+    };
+    (
+        lower(&outcome.topology, &traffic, &config),
+        outcome.topology,
+    )
+}
+
+#[test]
+fn sharded_simulation_is_bit_identical_to_serial_on_designed_backbone() {
+    let (lowered, _) = lowered_backbone();
+    for arrivals in [ArrivalProcess::ConstantBitRate, ArrivalProcess::Poisson] {
+        let config = |workers| SimConfig {
+            duration_s: 0.1,
+            arrivals,
+            seed: 7,
+            workers,
+            ..SimConfig::default()
+        };
+        let serial =
+            Simulation::new(lowered.network.clone(), lowered.demands.clone(), config(1)).run();
+        let sharded =
+            Simulation::new(lowered.network.clone(), lowered.demands.clone(), config(5)).run();
+        assert!(serial.delivered > 0);
+        // Full `SimReport` equality: every scalar, every per-flow vector,
+        // every per-link utilisation, bit for bit.
+        assert_eq!(serial, sharded, "{arrivals:?}");
+    }
+}
+
+#[test]
+fn end_to_end_rtts_are_physical_and_feed_the_app_models() {
+    let (lowered, topology) = lowered_backbone();
+    let report = lowered.simulation().run();
+    let rtts = pair_rtts(&lowered, &report, &topology);
+    assert!(!rtts.is_empty());
+    for p in &rtts {
+        assert!(
+            p.simulated_rtt_ms >= p.propagation_rtt_ms - 1e-9,
+            "simulated RTT below propagation for pair ({}, {})",
+            p.site_a,
+            p.site_b
+        );
+    }
+    // The RTT distribution drives the application models end to end.
+    let samples: Vec<f64> = rtts.iter().map(|p| p.simulated_rtt_ms).collect();
+    let game = cisp::apps::gaming::frame_time_distribution(
+        &cisp::apps::gaming::GameModel::default(),
+        &samples,
+    );
+    assert!(game.mean_augmented_ms < game.mean_conventional_ms);
+    let rtt_seconds: Vec<f64> = samples.iter().map(|ms| ms / 1e3).collect();
+    let corpus = cisp::apps::web::PageCorpus::generate_with_rtts(20, 11, &rtt_seconds);
+    let baseline = cisp::apps::web::replay(&corpus, cisp::apps::web::ReplayScenario::Baseline);
+    let accelerated = cisp::apps::web::replay(
+        &corpus,
+        cisp::apps::web::ReplayScenario::Cisp { factor: 1.0 / 3.0 },
+    );
+    assert!(accelerated.median_plt_ms() < baseline.median_plt_ms());
+}
+
+#[test]
+fn evaluate_shortcut_matches_manual_chain() {
+    let scenario = Scenario::build(&ScenarioConfig::tiny_test());
+    let outcome = scenario.design(300.0);
+    let traffic = population_product_traffic(scenario.cities());
+    let config = EvaluateConfig {
+        design_aggregate_gbps: 4.0,
+        load_fraction: 0.6,
+        sim: SimConfig {
+            duration_s: 0.1,
+            ..SimConfig::default()
+        },
+        ..EvaluateConfig::default()
+    };
+    let report = evaluate(&outcome.topology, &traffic, &config);
+    let lowered = lower(&outcome.topology, &traffic, &config);
+    let manual = lowered.simulation().run();
+    assert_eq!(report.sim, manual);
+    assert_eq!(report.pair_rtts.len(), lowered.demands.len() / 2);
+    assert!(report.mean_rtt_ms() > 0.0);
+}

@@ -1,18 +1,23 @@
-//! Record the packet-engine baseline: events per second, serial vs sharded.
+//! Record the packet-engine baseline: events per second — serial vs
+//! component-sharded vs time-windowed.
 //!
-//! Two workloads:
+//! Three workloads:
 //!
 //! * `disjoint_pairs` — many independent bottleneck pairs (one component per
-//!   pair), the sharding-friendly regime;
+//!   pair), the component-sharding-friendly regime;
 //! * `us_backbone` — the designed miniature US backbone lowered through
-//!   `cisp_core::evaluate` (components follow the real traffic structure).
+//!   `cisp_core::evaluate` (components follow the real traffic structure);
+//! * `single_component_ring` — one heavy shared-link mesh (a congested
+//!   one-way ring with crossing flows), the regime where component sharding
+//!   degenerates to serial and only the time-windowed engine parallelises.
 //!
 //! Writes `BENCH_sim.json` (or the path given as the first argument) with
-//! wall-clock medians, event throughputs, and the sharded-over-serial
-//! speedup, asserting along the way that serial and sharded runs produce
-//! bit-identical reports. On a single-core runner the sharded numbers
-//! degrade to roughly serial (thread scheduling overhead aside) — the
-//! recorded speedup is hardware-dependent by nature.
+//! wall-clock medians, event throughputs, and the per-mode speedups,
+//! asserting along the way that serial, component-sharded and time-windowed
+//! runs produce bit-identical reports. On a single-core runner the parallel
+//! numbers degrade to roughly serial (thread scheduling and barrier
+//! overhead aside) — the recorded speedups are hardware-dependent by
+//! nature.
 //!
 //! Run with: `cargo run --release --bin bench_sim_baseline`
 
@@ -23,7 +28,7 @@ use cisp_core::evaluate::{lower, EvaluateConfig};
 use cisp_core::scenario::population_product_traffic;
 use cisp_netsim::network::{LinkSpec, Network};
 use cisp_netsim::routing::Demand;
-use cisp_netsim::sim::{SimConfig, Simulation};
+use cisp_netsim::sim::{ExecMode, SimConfig, Simulation};
 
 /// Median wall-clock milliseconds of `f` over enough repetitions to be
 /// stable.
@@ -77,11 +82,38 @@ fn disjoint_pairs(pairs: usize) -> (Network, Vec<Demand>) {
     (net, demands)
 }
 
+/// One heavy single-component mesh: a congested one-way ring of `nodes`
+/// links with crossing multi-hop flows, so every route shares links with
+/// others. Component sharding degenerates to serial here — this is the
+/// workload the time-windowed engine exists for.
+fn single_component_ring(nodes: usize) -> (Network, Vec<Demand>) {
+    let mut net = Network::new(nodes);
+    for i in 0..nodes {
+        net.add_link(LinkSpec {
+            from: i,
+            to: (i + 1) % nodes,
+            rate_bps: 40e6,
+            propagation_s: 0.001 + (i as f64) * 2e-4,
+            buffer_bytes: 60_000.0,
+        });
+    }
+    let mut demands = Vec::new();
+    for i in 0..nodes {
+        demands.push(Demand {
+            src: i,
+            dst: (i + nodes / 2) % nodes,
+            amount_bps: 2.5e6,
+        });
+    }
+    (net, demands)
+}
+
 struct WorkloadReport {
     name: &'static str,
     events: u64,
     serial_ms: f64,
     sharded_ms: f64,
+    windowed_ms: f64,
     components: usize,
 }
 
@@ -93,6 +125,11 @@ fn measure(
 ) -> WorkloadReport {
     let serial_config = SimConfig { workers: 1, ..base };
     let sharded_config = SimConfig { workers: 0, ..base };
+    let windowed_config = SimConfig {
+        workers: 0,
+        mode: ExecMode::windowed_auto(),
+        ..base
+    };
 
     // Parity check + event count (identical between modes by construction,
     // asserted here).
@@ -104,6 +141,12 @@ fn measure(
         serial_report, sharded_report,
         "{name}: serial and sharded reports must be bit-identical"
     );
+    let mut windowed_sim = Simulation::new(network.clone(), demands.clone(), windowed_config);
+    let windowed_report = windowed_sim.run();
+    assert_eq!(
+        serial_report, windowed_report,
+        "{name}: serial and time-windowed reports must be bit-identical"
+    );
     let events = events_processed(&serial_sim, serial_report.delivered, serial_report.dropped);
 
     let serial_ms = median_ms(|| {
@@ -111,6 +154,9 @@ fn measure(
     });
     let sharded_ms = median_ms(|| {
         sharded_sim.run();
+    });
+    let windowed_ms = median_ms(|| {
+        windowed_sim.run();
     });
 
     let components = serial_sim.num_components();
@@ -120,6 +166,7 @@ fn measure(
         events,
         serial_ms,
         sharded_ms,
+        windowed_ms,
         components,
     }
 }
@@ -165,19 +212,30 @@ fn main() {
         ));
     }
 
+    {
+        let (net, demands) = single_component_ring(24);
+        let config = SimConfig {
+            duration_s: 0.5,
+            ..SimConfig::default()
+        };
+        reports.push(measure("single_component_ring_24", net, demands, config));
+    }
+
     let mut entries = Vec::new();
     for r in &reports {
         let serial_eps = r.events as f64 / (r.serial_ms / 1e3);
         let sharded_eps = r.events as f64 / (r.sharded_ms / 1e3);
+        let windowed_eps = r.events as f64 / (r.windowed_ms / 1e3);
         println!(
-            "{:<20} {:>9} events: serial {:8.2} ms ({:>10.0} ev/s), sharded {:8.2} ms ({:>10.0} ev/s), speedup {:.2}x",
+            "{:<26} {:>9} events: serial {:8.2} ms ({:>10.0} ev/s), sharded {:8.2} ms ({:.2}x), windowed {:8.2} ms ({:.2}x)",
             r.name,
             r.events,
             r.serial_ms,
             serial_eps,
             r.sharded_ms,
-            sharded_eps,
             r.serial_ms / r.sharded_ms,
+            r.windowed_ms,
+            r.serial_ms / r.windowed_ms,
         );
         entries.push(format!(
             concat!(
@@ -187,9 +245,12 @@ fn main() {
                 "      \"components\": {},\n",
                 "      \"serial_ms\": {:.4},\n",
                 "      \"sharded_ms\": {:.4},\n",
+                "      \"windowed_ms\": {:.4},\n",
                 "      \"serial_events_per_sec\": {:.0},\n",
                 "      \"sharded_events_per_sec\": {:.0},\n",
-                "      \"sharded_speedup\": {:.3}\n",
+                "      \"windowed_events_per_sec\": {:.0},\n",
+                "      \"sharded_speedup\": {:.3},\n",
+                "      \"windowed_speedup\": {:.3}\n",
                 "    }}"
             ),
             r.name,
@@ -197,9 +258,12 @@ fn main() {
             r.components,
             r.serial_ms,
             r.sharded_ms,
+            r.windowed_ms,
             serial_eps,
             sharded_eps,
+            windowed_eps,
             r.serial_ms / r.sharded_ms,
+            r.serial_ms / r.windowed_ms,
         ));
     }
 
@@ -207,10 +271,10 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"packet engine event throughput: serial vs sharded components\",\n",
+            "  \"bench\": \"packet engine event throughput: serial vs component-sharded vs time-windowed\",\n",
             "  \"command\": \"cargo run --release --bin bench_sim_baseline\",\n",
             "  \"available_parallelism\": {},\n",
-            "  \"note\": \"serial and sharded reports asserted bit-identical before timing\",\n",
+            "  \"note\": \"serial, component-sharded and time-windowed reports asserted bit-identical before timing\",\n",
             "  \"workloads\": [\n{}\n  ]\n",
             "}}\n"
         ),

@@ -53,7 +53,12 @@ pub struct EvaluateConfig {
     /// Capacity-augmentation parameters used for provisioning.
     pub augment: AugmentConfig,
     /// Packet-engine configuration (duration, arrivals, routing scheme,
-    /// seed, workers).
+    /// seed, workers, execution mode). When the routed demands collapse
+    /// into a few heavy shared-link components (the usual shape once most
+    /// traffic rides the MW spine), component sharding degenerates to
+    /// serial — `sim.mode = ExecMode::TimeWindowed { window_s: 0.0 }`
+    /// (auto lookahead) is the knob that parallelises that case; the
+    /// report is bit-identical in every mode.
     pub sim: SimConfig,
 }
 
@@ -447,6 +452,32 @@ mod tests {
             if disabled {
                 assert_eq!(stormy.link_utilizations[l], 0.0, "link {l} carried load");
             }
+        }
+    }
+
+    #[test]
+    fn windowed_evaluation_is_bit_identical_to_serial() {
+        use cisp_netsim::sim::ExecMode;
+        let topo = test_topology();
+        let mut serial_cfg = fast_config();
+        serial_cfg.sim.workers = 1;
+        let serial = evaluate(&topo, topo.traffic(), &serial_cfg);
+        // The lowered network's fiber mesh joins every site: one component.
+        assert_eq!(
+            lower(&topo, topo.traffic(), &serial_cfg)
+                .simulation()
+                .num_components(),
+            1
+        );
+        for (workers, window_s) in [(2, 0.0), (4, 0.0), (4, 1e-3)] {
+            let mut cfg = fast_config();
+            cfg.sim.workers = workers;
+            cfg.sim.mode = ExecMode::TimeWindowed { window_s };
+            let windowed = evaluate(&topo, topo.traffic(), &cfg);
+            assert_eq!(
+                serial.sim, windowed.sim,
+                "workers {workers}, window {window_s}"
+            );
         }
     }
 

@@ -57,10 +57,27 @@ pub fn emission_times(
     process: ArrivalProcess,
     seed: u64,
 ) -> Vec<f64> {
+    let mut times = Vec::new();
+    emission_times_into(flow, flow_index, duration, process, seed, &mut times);
+    times
+}
+
+/// [`emission_times`] into a caller-owned buffer (cleared first), so the
+/// engine's per-worker scheduling loop reuses one allocation across flows
+/// instead of building a fresh `Vec` per flow.
+pub fn emission_times_into(
+    flow: &FlowSpec,
+    flow_index: usize,
+    duration: f64,
+    process: ArrivalProcess,
+    seed: u64,
+    times: &mut Vec<f64>,
+) {
     assert!(duration > 0.0);
     assert!(flow.rate_bps > 0.0 && flow.packet_bytes > 0.0);
     let gap = flow.mean_gap_s();
-    let mut times = Vec::with_capacity((duration / gap).ceil() as usize + 1);
+    times.clear();
+    times.reserve((duration / gap).ceil() as usize + 1);
     match process {
         ArrivalProcess::ConstantBitRate => {
             // Deterministic per-flow phase in [0, gap).
@@ -91,7 +108,6 @@ pub fn emission_times(
             }
         }
     }
-    times
 }
 
 #[cfg(test)]
@@ -142,6 +158,19 @@ mod tests {
         assert_eq!(a, b);
         // Rate within 10 % over 10 000 expected packets.
         assert!((a.len() as f64 - 10_000.0).abs() < 1_000.0, "{}", a.len());
+    }
+
+    #[test]
+    fn reused_buffer_matches_fresh_generation() {
+        let f = flow();
+        let mut buf = vec![99.0; 4]; // stale contents must be cleared
+        for (index, process) in [
+            (0usize, ArrivalProcess::ConstantBitRate),
+            (3, ArrivalProcess::Poisson),
+        ] {
+            emission_times_into(&f, index, 0.05, process, 7, &mut buf);
+            assert_eq!(buf, emission_times(&f, index, 0.05, process, 7));
+        }
     }
 
     #[test]

@@ -27,8 +27,12 @@
 //! * [`sim`] — the event-driven engine tying it together: an unboxed
 //!   `(time, flow, hop)`-keyed event heap, with the demand set decomposed
 //!   into link-disjoint components executed across persistent worker
-//!   threads ([`sim::SimConfig::workers`]); every worker count produces a
-//!   bit-identical report.
+//!   threads ([`sim::SimConfig::workers`]), and — for single-component
+//!   heavy meshes — conservative time-windowed execution inside a component
+//!   ([`sim::ExecMode::TimeWindowed`]: per-worker link shards, windows
+//!   bounded by the partition's propagation-delay lookahead, boundary-event
+//!   exchange at window barriers); every `(mode, workers, window)`
+//!   configuration produces a bit-identical report.
 //! * [`tcp`] — the simplified window-based TCP (with and without pacing) used
 //!   by the speed-mismatch experiment.
 //!
@@ -45,4 +49,4 @@ pub mod tcp;
 pub use monitor::SimReport;
 pub use network::{LinkSpec, Network};
 pub use routing::RoutingScheme;
-pub use sim::{SimConfig, Simulation};
+pub use sim::{ExecMode, SimConfig, Simulation};

@@ -199,6 +199,60 @@ impl LinkStates {
     }
 }
 
+/// Tracks which links one simulation shard has dirtied, so its private
+/// [`LinkStates`] can be harvested and recycled without sweeping the full
+/// arrays. Both the component-sharded and the time-windowed engine use one
+/// per worker: the component engine marks every link of a component's
+/// routes, the windowed engine only the links the worker's shard owns.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyLinks {
+    seen: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+impl DirtyLinks {
+    /// A tracker over `num_links` links, nothing dirty.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            seen: vec![false; num_links],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Mark a link dirty (idempotent; first-mark order is preserved).
+    #[inline]
+    pub fn mark(&mut self, id: LinkId) {
+        if !self.seen[id] {
+            self.seen[id] = true;
+            self.touched.push(id as u32);
+        }
+    }
+
+    /// Number of links currently marked dirty.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// `true` when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Harvest every dirty link: snapshot it from `states`, reset it there,
+    /// clear its mark, and return the `(link, snapshot)` pairs in mark
+    /// order. Afterwards both the tracker and the dirtied slots of `states`
+    /// are ready for the next shard of work.
+    pub fn drain_snapshots(&mut self, states: &mut LinkStates) -> Vec<(u32, LinkState)> {
+        let mut out = Vec::with_capacity(self.touched.len());
+        for l in self.touched.drain(..) {
+            out.push((l, states.snapshot(l as usize)));
+            states.reset_link(l as usize);
+            self.seen[l as usize] = false;
+        }
+        out
+    }
+}
+
 /// The simulated network: a set of nodes and unidirectional links.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -438,6 +492,32 @@ mod tests {
         assert_eq!(other.snapshot(0), snap);
         local.reset_link(l);
         assert_eq!(local.snapshot(l), LinkState::default());
+    }
+
+    #[test]
+    fn dirty_links_harvest_resets_only_marked_links() {
+        let mut states = LinkStates::new(3);
+        let spec = gbps_link(1e9);
+        states.transmit(&spec, 0, 0.0, 1500.0);
+        states.transmit(&spec, 2, 0.0, 1500.0);
+        let mut dirty = DirtyLinks::new(3);
+        assert!(dirty.is_empty());
+        dirty.mark(2);
+        dirty.mark(0);
+        dirty.mark(2); // idempotent
+        assert_eq!(dirty.len(), 2);
+        let harvested = dirty.drain_snapshots(&mut states);
+        // Mark order preserved; snapshots carry the transmit bookkeeping.
+        assert_eq!(harvested.len(), 2);
+        assert_eq!(harvested[0].0, 2);
+        assert_eq!(harvested[1].0, 0);
+        assert_eq!(harvested[0].1.packets_forwarded, 1);
+        // Harvested slots are reset, the tracker is reusable.
+        assert!(dirty.is_empty());
+        assert_eq!(states.snapshot(0), LinkState::default());
+        assert_eq!(states.snapshot(2), LinkState::default());
+        dirty.mark(1);
+        assert_eq!(dirty.len(), 1);
     }
 
     #[test]

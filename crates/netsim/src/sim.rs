@@ -13,29 +13,74 @@
 //! set decomposes into *components* — groups of flows connected through
 //! shared links — that are completely independent simulations. The engine
 //! always partitions (union-find over each route's links), then executes
-//! the components either inline or across persistent worker threads
-//! ([`SimConfig::workers`]), each worker owning private [`LinkStates`]
-//! arrays over the shared link table and draining components from a shared
-//! queue. Per-component results are merged in component order, so the
-//! produced [`SimReport`] is **bit-identical for every worker count** —
-//! `workers: 1` is the pinned serial reference, `workers: 0` picks the
-//! machine's parallelism. This is the same persistent-worker pattern as the
-//! design engine's `ShardPool`: threads are spawned once per run and handed
-//! stable state, not re-fanned per event batch.
+//! the components under one of two modes ([`SimConfig::mode`]):
+//!
+//! * [`ExecMode::ComponentSharded`] — components are drained from a shared
+//!   queue by persistent worker threads ([`SimConfig::workers`]), each
+//!   worker owning private [`LinkStates`] arrays over the shared link table.
+//!   This is the winning mode when the demand set splits into many
+//!   components.
+//! * [`ExecMode::TimeWindowed`] — conservative time-windowed execution
+//!   *inside* each component, for the paper's actual workload: one giant
+//!   single-component mesh. Each component's links are partitioned into
+//!   per-worker shards (`cisp_graph::partition_path_links`), every worker
+//!   simulates only the events on its own links, and the event horizon is
+//!   advanced in lock-step windows no longer than the partition's
+//!   propagation-delay lookahead (`cisp_graph::partition_lookahead`) —
+//!   a packet crossing onto another shard's link is handed over at the
+//!   window barrier, provably before its receiver can need it.
+//!
+//! Per-component results are merged in component order — and, within a
+//! windowed component, per-shard delivery streams are merged back into the
+//! global `(time, flow)` event order — so the produced [`SimReport`] is
+//! **bit-identical for every `(mode, workers, window)` configuration** —
+//! `workers: 1` component-sharded is the pinned serial reference,
+//! `workers: 0` picks the machine's parallelism. This is the same
+//! persistent-worker pattern as the design engine's `ShardPool`: threads
+//! are spawned once per run and handed stable state, not re-fanned per
+//! event batch.
 //!
 //! [`PathStore`]: cisp_graph::PathStore
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Barrier, Mutex};
 use std::thread;
 
+use cisp_graph::{partition_lookahead, partition_path_links};
 use serde::{Deserialize, Serialize};
 
-use crate::flows::{emission_times, ArrivalProcess, FlowSpec};
+use crate::flows::{emission_times_into, ArrivalProcess, FlowSpec};
 use crate::monitor::{FlowMonitor, SimReport};
-use crate::network::{LinkState, LinkStates, Network, Transmit};
+use crate::network::{DirtyLinks, LinkState, LinkStates, Network, Transmit};
 use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
+
+/// How the engine parallelises a run. Every mode produces a bit-identical
+/// [`SimReport`]; the choice is a pure performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Link-disjoint components drained by persistent workers (wins when
+    /// the demand set splits into many components).
+    ComponentSharded,
+    /// Conservative time-windowed execution inside each component (wins on
+    /// single-component heavy meshes, where component sharding degenerates
+    /// to serial). `window_s <= 0` selects the automatic window: the
+    /// partition's propagation-delay lookahead. A positive `window_s` is
+    /// clamped down to the lookahead, never up — correctness is never
+    /// traded for window length.
+    TimeWindowed {
+        /// Window length in simulated seconds; `<= 0` = auto (lookahead).
+        window_s: f64,
+    },
+}
+
+impl ExecMode {
+    /// Time-windowed execution with the automatic (lookahead) window.
+    pub fn windowed_auto() -> Self {
+        ExecMode::TimeWindowed { window_s: 0.0 }
+    }
+}
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -53,6 +98,9 @@ pub struct SimConfig {
     /// Worker threads for sharded execution: 0 = the machine's available
     /// parallelism, 1 = serial. Results are bit-identical for every value.
     pub workers: usize,
+    /// Execution mode (component-sharded or time-windowed). Results are
+    /// bit-identical for every mode.
+    pub mode: ExecMode,
 }
 
 impl Default for SimConfig {
@@ -64,6 +112,7 @@ impl Default for SimConfig {
             routing: RoutingScheme::ShortestPath,
             seed: 1,
             workers: 0,
+            mode: ExecMode::ComponentSharded,
         }
     }
 }
@@ -123,7 +172,8 @@ struct FlowStat {
 
 /// Everything one component's simulation produced, merged (in component
 /// order) into the global monitor and network state after all components
-/// finish.
+/// finish. Every component yields exactly one outcome: zero-flow demand
+/// sets produce zero components, never empty components.
 struct ComponentOutcome {
     delays: Vec<f64>,
     queue_delays: Vec<f64>,
@@ -131,25 +181,57 @@ struct ComponentOutcome {
     links: Vec<(u32, LinkState)>,
 }
 
+/// One shard's contribution to a time-windowed component run: its delivery
+/// stream (in shard pop order, which is `(time, flow)` order), its partial
+/// per-flow tallies, and the state of the links it owns.
+#[derive(Default)]
+struct ShardPartial {
+    deliveries: Vec<Event>,
+    flow_stats: Vec<FlowStat>,
+    links: Vec<(u32, LinkState)>,
+}
+
 /// A worker's reusable scratch: private link-state arrays over the shared
-/// link table, the event heap, and the touched-link tracking used to reset
-/// only the links the previous component dirtied.
+/// link table, the event heap, the dirty-link tracker used to harvest and
+/// recycle only the links the worker actually touched, and the emission
+/// time buffer reused across flows.
 struct WorkerState {
     states: LinkStates,
-    seen: Vec<bool>,
-    touched: Vec<u32>,
+    dirty: DirtyLinks,
     heap: BinaryHeap<Event>,
+    emissions: Vec<f64>,
 }
 
 impl WorkerState {
     fn new(num_links: usize) -> Self {
         Self {
             states: LinkStates::new(num_links),
-            seen: vec![false; num_links],
-            touched: Vec::new(),
+            dirty: DirtyLinks::new(num_links),
             heap: BinaryHeap::new(),
+            emissions: Vec::new(),
         }
     }
+}
+
+/// Everything the windowed gang shares, borrowed into every worker thread.
+struct WindowedPlan<'a> {
+    network: &'a Network,
+    routes: &'a RoutingTable,
+    demands: &'a [Demand],
+    config: &'a SimConfig,
+    comps: &'a [Vec<u32>],
+    /// Shard owning each link (valid for links on some component's routes;
+    /// components are link-disjoint, so one global array serves all).
+    owner: Vec<u32>,
+    /// Effective window length per component (`+∞` = one exhaustive window).
+    windows: Vec<f64>,
+    workers: usize,
+    barrier: Barrier,
+    /// Boundary events posted for each shard, drained after the barrier.
+    inboxes: Vec<Mutex<Vec<Event>>>,
+    /// Each shard's next-event horizon (f64 bits), republished per window;
+    /// the global minimum is the next window's start.
+    next_times: Vec<AtomicU64>,
 }
 
 /// A complete simulation: network, demands, routes and configuration.
@@ -202,7 +284,7 @@ impl Simulation {
     }
 
     /// Number of link-disjoint components the active flows decompose into —
-    /// the engine's parallelism grain.
+    /// the component engine's parallelism grain.
     pub fn num_components(&self) -> usize {
         self.partition_flows().len()
     }
@@ -273,6 +355,34 @@ impl Simulation {
         comps
     }
 
+    /// Schedule every packet emission of `flow` into the worker's heap.
+    fn schedule_flow(demands: &[Demand], config: &SimConfig, w: &mut WorkerState, flow_index: u32) {
+        let demand = demands[flow_index as usize];
+        let flow = FlowSpec {
+            src: demand.src,
+            dst: demand.dst,
+            rate_bps: demand.amount_bps,
+            packet_bytes: config.packet_bytes,
+        };
+        emission_times_into(
+            &flow,
+            flow_index as usize,
+            config.duration_s,
+            config.arrivals,
+            config.seed,
+            &mut w.emissions,
+        );
+        for &t in &w.emissions {
+            w.heap.push(Event {
+                time: t,
+                flow: flow_index,
+                hop: 0,
+                sent_at: t,
+                queue_delay: 0.0,
+            });
+        }
+    }
+
     /// Simulate one component's flows against the worker's private link
     /// state. All scoring of time and tie-breaks happens inside the
     /// component, so the outcome does not depend on which worker runs it.
@@ -287,38 +397,14 @@ impl Simulation {
         // Track the links this component dirties (for extraction + reset).
         for &f in flows {
             for &l in routes.route(f as usize) {
-                if !w.seen[l as usize] {
-                    w.seen[l as usize] = true;
-                    w.touched.push(l);
-                }
+                w.dirty.mark(l as usize);
             }
         }
 
         // Schedule every packet emission of the component's flows.
         w.heap.clear();
         for &f in flows {
-            let demand = demands[f as usize];
-            let flow = FlowSpec {
-                src: demand.src,
-                dst: demand.dst,
-                rate_bps: demand.amount_bps,
-                packet_bytes: config.packet_bytes,
-            };
-            for t in emission_times(
-                &flow,
-                f as usize,
-                config.duration_s,
-                config.arrivals,
-                config.seed,
-            ) {
-                w.heap.push(Event {
-                    time: t,
-                    flow: f,
-                    hop: 0,
-                    sent_at: t,
-                    queue_delay: 0.0,
-                });
-            }
+            Self::schedule_flow(demands, config, w, f);
         }
 
         // Process events in timestamp order.
@@ -363,12 +449,7 @@ impl Simulation {
         }
 
         // Extract the dirtied link states and recycle the worker arrays.
-        let mut touched_links = Vec::with_capacity(w.touched.len());
-        for l in w.touched.drain(..) {
-            touched_links.push((l, w.states.snapshot(l as usize)));
-            w.states.reset_link(l as usize);
-            w.seen[l as usize] = false;
-        }
+        let touched_links = w.dirty.drain_snapshots(&mut w.states);
 
         ComponentOutcome {
             delays,
@@ -378,24 +459,17 @@ impl Simulation {
         }
     }
 
-    /// Run the simulation and produce a report.
-    ///
-    /// The report — including float-for-float every statistic — is identical
-    /// for every [`SimConfig::workers`] value; the worker count is a pure
-    /// performance knob.
-    pub fn run(&mut self) -> SimReport {
-        self.network.reset();
-        let comps = self.partition_flows();
-        let requested = if self.config.workers == 0 {
-            thread::available_parallelism().map_or(1, |p| p.get())
-        } else {
-            self.config.workers
-        };
-        let workers = requested.clamp(1, comps.len().max(1));
-
-        let num_links = self.network.num_links();
-        let (network, routes, demands, config) =
-            (&self.network, &self.routes, &self.demands, &self.config);
+    /// Component-sharded execution: persistent workers drain the component
+    /// queue (`workers <= 1` runs inline).
+    fn run_components(
+        network: &Network,
+        routes: &RoutingTable,
+        demands: &[Demand],
+        config: &SimConfig,
+        comps: &[Vec<u32>],
+        workers: usize,
+    ) -> Vec<Option<ComponentOutcome>> {
+        let num_links = network.num_links();
         let mut outcomes: Vec<Option<ComponentOutcome>> = (0..comps.len()).map(|_| None).collect();
         if workers <= 1 {
             let mut w = WorkerState::new(num_links);
@@ -413,7 +487,6 @@ impl Simulation {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
-                        let comps = &comps;
                         scope.spawn(move || {
                             let mut w = WorkerState::new(num_links);
                             let mut done = Vec::new();
@@ -444,12 +517,314 @@ impl Simulation {
                 }
             }
         }
+        outcomes
+    }
+
+    /// Time-windowed execution: for every component (processed in order by
+    /// the whole gang), partition its links into per-worker shards, compute
+    /// the conservative lookahead window, and advance all shards through the
+    /// event horizon in barrier-synchronised windows with boundary-event
+    /// exchange. Deterministic merge restores the serial event order.
+    fn run_windowed(
+        network: &Network,
+        routes: &RoutingTable,
+        demands: &[Demand],
+        config: &SimConfig,
+        comps: &[Vec<u32>],
+        workers: usize,
+        window_s: f64,
+    ) -> Vec<Option<ComponentOutcome>> {
+        if comps.is_empty() {
+            return Vec::new();
+        }
+        let num_links = network.num_links();
+
+        // Plan: per-link shard owner and per-component effective window.
+        let mut owner = vec![0u32; num_links];
+        let mut windows = vec![f64::INFINITY; comps.len()];
+        let delays: Vec<f64> = network.links().iter().map(|l| l.propagation_s).collect();
+        let mut paths: Vec<&[u32]> = Vec::new();
+        for (ci, comp) in comps.iter().enumerate() {
+            paths.clear();
+            paths.extend(comp.iter().map(|&f| routes.route(f as usize)));
+            partition_path_links(&paths, workers, &mut owner);
+            let lookahead = partition_lookahead(&paths, &owner, &delays);
+            let window = if window_s > 0.0 {
+                window_s.min(lookahead)
+            } else {
+                lookahead
+            };
+            windows[ci] = if window > 0.0 {
+                window
+            } else {
+                // A zero-delay link sits on the cut: no conservative window
+                // exists, so collapse this component onto one shard and run
+                // it in a single exhaustive window.
+                for path in &paths {
+                    for &l in *path {
+                        owner[l as usize] = 0;
+                    }
+                }
+                f64::INFINITY
+            };
+        }
+
+        let plan = WindowedPlan {
+            network,
+            routes,
+            demands,
+            config,
+            comps,
+            owner,
+            windows,
+            workers,
+            barrier: Barrier::new(workers),
+            inboxes: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            next_times: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        };
+
+        let mut per_shard: Vec<Vec<ShardPartial>> = if workers == 1 {
+            vec![Self::run_windowed_shard(&plan, 0)]
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|me| {
+                        let plan = &plan;
+                        scope.spawn(move || Self::run_windowed_shard(plan, me))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("windowed simulation worker panicked"))
+                    .collect()
+            })
+        };
+
+        (0..comps.len())
+            .map(|ci| {
+                let parts: Vec<ShardPartial> = per_shard
+                    .iter_mut()
+                    .map(|worker| std::mem::take(&mut worker[ci]))
+                    .collect();
+                Some(Self::merge_shard_partials(comps[ci].len(), parts))
+            })
+            .collect()
+    }
+
+    /// One gang member's run over every component: simulate the events on
+    /// the links this shard owns, window by window.
+    fn run_windowed_shard(plan: &WindowedPlan<'_>, me: usize) -> Vec<ShardPartial> {
+        let links = plan.network.links();
+        let me_u32 = me as u32;
+        let mut w = WorkerState::new(plan.network.num_links());
+        let mut outbox: Vec<Vec<Event>> = (0..plan.workers).map(|_| Vec::new()).collect();
+        let mut partials = Vec::with_capacity(plan.comps.len());
+
+        for (ci, comp) in plan.comps.iter().enumerate() {
+            let window = plan.windows[ci];
+            // This shard's share of the component: it owns a subset of the
+            // links, and injects the emissions of flows whose first hop it
+            // owns (every other event of those flows migrates here or away
+            // through the boundary exchange).
+            w.heap.clear();
+            for &f in comp {
+                let route = plan.routes.route(f as usize);
+                for &l in route {
+                    if plan.owner[l as usize] == me_u32 {
+                        w.dirty.mark(l as usize);
+                    }
+                }
+                if plan.owner[route[0] as usize] == me_u32 {
+                    Self::schedule_flow(plan.demands, plan.config, &mut w, f);
+                }
+            }
+
+            let mut partial = ShardPartial {
+                flow_stats: vec![FlowStat::default(); comp.len()],
+                ..ShardPartial::default()
+            };
+            loop {
+                // Publish the local event horizon; after the barrier every
+                // shard derives the same window start (the global minimum).
+                let local_next = w.heap.peek().map_or(f64::INFINITY, |e| e.time);
+                plan.next_times[me].store(local_next.to_bits(), AtomicOrdering::Release);
+                plan.barrier.wait();
+                let start = plan
+                    .next_times
+                    .iter()
+                    .map(|t| f64::from_bits(t.load(AtomicOrdering::Acquire)))
+                    .fold(f64::INFINITY, f64::min);
+                // All horizons empty: every shard sees the same start and
+                // agrees the component is drained.
+                let done = !start.is_finite();
+                if !done {
+                    let end = start + window; // +∞ window ⇒ drain everything
+                    while let Some(&ev) = w.heap.peek() {
+                        if ev.time >= end {
+                            break;
+                        }
+                        w.heap.pop();
+                        let route = plan.routes.route(ev.flow as usize);
+                        if ev.hop as usize >= route.len() {
+                            // Destination reached (this shard owns the last
+                            // link, so the delivery pops here, in time order).
+                            let pos = comp.binary_search(&ev.flow).expect("flow in component");
+                            partial.flow_stats[pos].delay_sum += ev.time - ev.sent_at;
+                            partial.flow_stats[pos].delivered += 1;
+                            partial.deliveries.push(ev);
+                            continue;
+                        }
+                        let link = route[ev.hop as usize] as usize;
+                        debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
+                        match w.states.transmit(
+                            &links[link],
+                            link,
+                            ev.time,
+                            plan.config.packet_bytes,
+                        ) {
+                            Transmit::Delivered {
+                                arrival,
+                                queue_delay,
+                            } => {
+                                let next = Event {
+                                    time: arrival,
+                                    flow: ev.flow,
+                                    hop: ev.hop + 1,
+                                    sent_at: ev.sent_at,
+                                    queue_delay: ev.queue_delay + queue_delay,
+                                };
+                                let next_hop = next.hop as usize;
+                                let dst = if next_hop < route.len() {
+                                    plan.owner[route[next_hop] as usize] as usize
+                                } else {
+                                    me // delivery event stays with the last link's owner
+                                };
+                                if dst == me {
+                                    w.heap.push(next);
+                                } else {
+                                    // Boundary event: its time is at least
+                                    // `start + lookahead >= end`, so handing
+                                    // it over at the barrier is early enough.
+                                    outbox[dst].push(next);
+                                }
+                            }
+                            Transmit::Dropped => {
+                                let pos = comp.binary_search(&ev.flow).expect("flow in component");
+                                partial.flow_stats[pos].dropped += 1;
+                            }
+                        }
+                    }
+                    for (dst, batch) in outbox.iter_mut().enumerate() {
+                        if !batch.is_empty() {
+                            plan.inboxes[dst]
+                                .lock()
+                                .expect("inbox poisoned")
+                                .append(batch);
+                        }
+                    }
+                }
+                // Second barrier: every shard has read this window's start
+                // and finished its exchanges before anyone publishes the
+                // next horizon or drains an inbox.
+                plan.barrier.wait();
+                if done {
+                    break;
+                }
+                for ev in plan.inboxes[me].lock().expect("inbox poisoned").drain(..) {
+                    w.heap.push(ev);
+                }
+            }
+            partial.links = w.dirty.drain_snapshots(&mut w.states);
+            partials.push(partial);
+        }
+        partials
+    }
+
+    /// Merge one component's per-shard partials back into the serial
+    /// outcome: delivery streams are k-way merged by `(time, flow)` — each
+    /// stream is already in pop order, and their ordered union is exactly
+    /// the order the serial engine records deliveries in — and per-flow
+    /// tallies sum across shards (only the shard owning a flow's last link
+    /// delivers it; drops may come from any shard, but counters commute).
+    fn merge_shard_partials(num_flows: usize, mut parts: Vec<ShardPartial>) -> ComponentOutcome {
+        let total: usize = parts.iter().map(|p| p.deliveries.len()).sum();
+        let mut delays = Vec::with_capacity(total);
+        let mut queue_delays = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; parts.len()];
+        for _ in 0..total {
+            let mut best: Option<(usize, Event)> = None;
+            for (s, p) in parts.iter().enumerate() {
+                if let Some(&e) = p.deliveries.get(cursors[s]) {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => (e.time, e.flow) < (b.time, b.flow),
+                    };
+                    if better {
+                        best = Some((s, e));
+                    }
+                }
+            }
+            let (s, e) = best.expect("delivery streams exhausted early");
+            cursors[s] += 1;
+            delays.push(e.time - e.sent_at);
+            queue_delays.push(e.queue_delay);
+        }
+
+        let mut flow_stats = vec![FlowStat::default(); num_flows];
+        let mut links = Vec::new();
+        for p in &mut parts {
+            for (pos, stat) in p.flow_stats.iter().enumerate() {
+                flow_stats[pos].delay_sum += stat.delay_sum;
+                flow_stats[pos].delivered += stat.delivered;
+                flow_stats[pos].dropped += stat.dropped;
+            }
+            links.append(&mut p.links);
+        }
+        ComponentOutcome {
+            delays,
+            queue_delays,
+            flow_stats,
+            links,
+        }
+    }
+
+    /// Run the simulation and produce a report.
+    ///
+    /// The report — including float-for-float every statistic — is identical
+    /// for every [`SimConfig::workers`] value and every [`SimConfig::mode`];
+    /// both are pure performance knobs.
+    pub fn run(&mut self) -> SimReport {
+        self.network.reset();
+        let comps = self.partition_flows();
+        let requested = if self.config.workers == 0 {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.config.workers
+        };
+
+        let (network, routes, demands, config) =
+            (&self.network, &self.routes, &self.demands, &self.config);
+        let outcomes = match self.config.mode {
+            ExecMode::ComponentSharded => {
+                let workers = requested.clamp(1, comps.len().max(1));
+                Self::run_components(network, routes, demands, config, &comps, workers)
+            }
+            ExecMode::TimeWindowed { window_s } => {
+                let workers = requested.max(1);
+                Self::run_windowed(network, routes, demands, config, &comps, workers, window_s)
+            }
+        };
 
         // Merge in component order — the step that fixes the statistics'
-        // sample order independent of worker count.
+        // sample order independent of worker count. Zero-flow demand sets
+        // (e.g. every demand unroutable after weather failures) produce
+        // *zero components*, not components without outcomes — the loop
+        // body simply never runs and the report is all zeroes (pinned by
+        // `unroutable_demands_yield_an_empty_report_in_every_mode`) — so a
+        // missing outcome here is an engine bug and must fail fast.
         let mut monitor = FlowMonitor::new(self.demands.len());
         for (comp, outcome) in comps.iter().zip(outcomes) {
-            let o = outcome.expect("component not simulated");
+            let o = outcome.expect("every simulated component produces an outcome");
             monitor.delays.record_many(&o.delays);
             monitor.queue_delays.record_many(&o.queue_delays);
             for (pos, &f) in comp.iter().enumerate() {
@@ -472,6 +847,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::network::LinkSpec;
+    use crate::routing::compute_routes_avoiding;
 
     /// A single bottleneck link 0 → 1: 10 Mbps, 10 ms propagation.
     fn single_link_net(buffer_bytes: f64) -> Network {
@@ -650,6 +1026,32 @@ mod tests {
         (net, demands)
     }
 
+    /// One congested single-component mesh: a one-way ring with crossing
+    /// multi-hop flows, so every route shares links with others — component
+    /// sharding degenerates to serial here, and time-windowed execution is
+    /// the only parallel mode.
+    fn single_component_mesh(nodes: usize) -> (Network, Vec<Demand>) {
+        let mut net = Network::new(nodes);
+        for i in 0..nodes {
+            net.add_link(LinkSpec {
+                from: i,
+                to: (i + 1) % nodes,
+                rate_bps: 12e6,
+                propagation_s: 0.001 + (i as f64) * 3e-4,
+                buffer_bytes: 25_000.0,
+            });
+        }
+        let mut demands = Vec::new();
+        for i in 0..nodes {
+            demands.push(Demand {
+                src: i,
+                dst: (i + nodes / 2) % nodes,
+                amount_bps: 3e6,
+            });
+        }
+        (net, demands)
+    }
+
     #[test]
     fn sharded_run_is_bit_identical_to_serial() {
         for arrivals in [ArrivalProcess::ConstantBitRate, ArrivalProcess::Poisson] {
@@ -667,6 +1069,151 @@ mod tests {
             assert_eq!(serial, sharded, "{arrivals:?}");
             assert_eq!(serial, auto, "{arrivals:?}");
             assert!(serial.delivered > 0);
+        }
+    }
+
+    #[test]
+    fn windowed_run_is_bit_identical_to_serial_on_a_single_component_mesh() {
+        for arrivals in [ArrivalProcess::ConstantBitRate, ArrivalProcess::Poisson] {
+            let (net, demands) = single_component_mesh(8);
+            let serial = Simulation::new(
+                net.clone(),
+                demands.clone(),
+                SimConfig {
+                    duration_s: 0.2,
+                    arrivals,
+                    seed: 3,
+                    workers: 1,
+                    ..SimConfig::default()
+                },
+            )
+            .run();
+            assert!(serial.delivered > 0);
+            {
+                let sim = Simulation::new(net.clone(), demands.clone(), SimConfig::default());
+                assert_eq!(sim.num_components(), 1, "mesh must be one component");
+            }
+            for workers in [1usize, 2, 4] {
+                // Auto (lookahead) window, a finite window, a degenerate
+                // one-event-scale window, and a window beyond the horizon.
+                for window_s in [0.0, 1e-3, 5e-5, 10.0] {
+                    let report = Simulation::new(
+                        net.clone(),
+                        demands.clone(),
+                        SimConfig {
+                            duration_s: 0.2,
+                            arrivals,
+                            seed: 3,
+                            workers,
+                            mode: ExecMode::TimeWindowed { window_s },
+                            ..SimConfig::default()
+                        },
+                    )
+                    .run();
+                    assert_eq!(
+                        serial, report,
+                        "{arrivals:?}, workers {workers}, window {window_s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_run_matches_component_sharding_on_disjoint_components() {
+        let (net, demands) = multi_component_inputs(5);
+        let config = |mode| SimConfig {
+            duration_s: 0.3,
+            seed: 11,
+            workers: 3,
+            mode,
+            ..SimConfig::default()
+        };
+        let sharded = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            config(ExecMode::ComponentSharded),
+        )
+        .run();
+        let windowed = Simulation::new(net, demands, config(ExecMode::windowed_auto())).run();
+        assert_eq!(sharded, windowed);
+    }
+
+    #[test]
+    fn windowed_run_survives_zero_propagation_cut_links() {
+        // Zero-delay links give no conservative lookahead: the windowed
+        // engine must collapse such a component to one shard, not spin.
+        let mut net = Network::new(3);
+        for (a, b) in [(0, 1), (1, 2)] {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: 5e6,
+                propagation_s: 0.0,
+                buffer_bytes: 20_000.0,
+            });
+        }
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 2,
+                amount_bps: 2e6,
+            },
+            Demand {
+                src: 1,
+                dst: 2,
+                amount_bps: 2e6,
+            },
+        ];
+        let serial = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            SimConfig {
+                duration_s: 0.2,
+                workers: 1,
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        let windowed = Simulation::new(
+            net,
+            demands,
+            SimConfig {
+                duration_s: 0.2,
+                workers: 4,
+                mode: ExecMode::windowed_auto(),
+                ..SimConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(serial, windowed);
+        assert!(serial.delivered > 0);
+    }
+
+    #[test]
+    fn unroutable_demands_yield_an_empty_report_in_every_mode() {
+        // Every link disabled (total weather failure): all demands become
+        // unroutable, the flow partition is empty (zero components, not
+        // components without flows), and both engines must produce a clean
+        // all-zero report.
+        let (net, demands) = multi_component_inputs(3);
+        let disabled = vec![true; net.num_links()];
+        for mode in [ExecMode::ComponentSharded, ExecMode::windowed_auto()] {
+            let config = SimConfig {
+                duration_s: 0.1,
+                workers: 2,
+                mode,
+                ..SimConfig::default()
+            };
+            let routes = compute_routes_avoiding(&net, &demands, config.routing, &disabled);
+            let mut sim = Simulation::with_routes(net.clone(), demands.clone(), routes, config);
+            assert_eq!(sim.num_components(), 0);
+            let report = sim.run();
+            assert_eq!(report.delivered + report.dropped, 0, "{mode:?}");
+            assert_eq!(report.mean_delay_ms, 0.0);
+            assert_eq!(report.flow_delivered, vec![0; demands.len()]);
+            assert_eq!(report.flow_dropped, vec![0; demands.len()]);
+            assert_eq!(report.max_link_utilization, 0.0);
         }
     }
 

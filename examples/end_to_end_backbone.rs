@@ -66,7 +66,21 @@ fn main() {
         serial, report,
         "sharded and serial simulation must be bit-identical"
     );
-    println!("  serial and sharded reports are bit-identical");
+    let windowed = {
+        let mut sim_config = config.sim;
+        sim_config.mode = cisp::netsim::sim::ExecMode::windowed_auto();
+        let mut sim = cisp::netsim::sim::Simulation::new(
+            lowered.network.clone(),
+            lowered.demands.clone(),
+            sim_config,
+        );
+        sim.run()
+    };
+    assert_eq!(
+        serial, windowed,
+        "time-windowed and serial simulation must be bit-identical"
+    );
+    println!("  serial, component-sharded and time-windowed reports are bit-identical");
     println!(
         "  {} packets delivered, loss {:.4} %, mean delay {:.3} ms (p95 {:.3} ms), mean queueing {:.4} ms",
         report.delivered,

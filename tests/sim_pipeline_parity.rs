@@ -1,16 +1,45 @@
+// The shim `proptest!` macro expands recursively per token; the windowed
+// parity property has a large body, so raise the expansion budget.
+#![recursion_limit = "512"]
+
 //! Parity and determinism pins for the evaluation pipeline: the CSR routing
-//! core against the adjacency-list reference, and the sharded packet engine
-//! against its serial mode, exercised on random graphs and on the real
-//! designed backbone.
+//! core against the adjacency-list reference, the sharded and time-windowed
+//! packet engines against the serial mode (property-tested on random
+//! networks and pinned on the real designed backbone), routing-layer edge
+//! cases, and a golden `SimReport` snapshot that future engine refactors
+//! must reproduce bit for bit.
+//!
+//! The worker counts the parity tests sweep come from the
+//! `CISP_TEST_WORKERS` environment variable (comma-separated, default
+//! `1,2,4`) so CI can run the suite as a matrix over worker counts.
 
 use cisp::core::evaluate::{evaluate, lower, pair_rtts, EvaluateConfig};
 use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
 use cisp::graph::csr::CsrGraph;
-use cisp::graph::{dijkstra, Graph};
+use cisp::graph::{dijkstra, Graph, PathStore};
 use cisp::netsim::flows::ArrivalProcess;
-use cisp::netsim::sim::{SimConfig, Simulation};
+use cisp::netsim::network::{LinkSpec, Network};
+use cisp::netsim::routing::{compute_routes, compute_routes_avoiding, Demand, RoutingScheme};
+use cisp::netsim::sim::{ExecMode, SimConfig, Simulation};
+use cisp::netsim::SimReport;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Worker counts under test: `CISP_TEST_WORKERS` (comma-separated) or the
+/// default `1,2,4`.
+fn test_worker_counts() -> Vec<usize> {
+    std::env::var("CISP_TEST_WORKERS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&w| w > 0)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
 
 /// A random connected-ish graph: a scrambled spanning chain plus extra
 /// random edges, weights in (0.1, 10).
@@ -105,6 +134,315 @@ fn sharded_simulation_is_bit_identical_to_serial_on_designed_backbone() {
         // every per-link utilisation, bit for bit.
         assert_eq!(serial, sharded, "{arrivals:?}");
     }
+}
+
+#[test]
+fn windowed_simulation_is_bit_identical_to_serial_on_designed_backbone() {
+    // The designed backbone mixes heavy shared-link components (the MW
+    // spine) with small disjoint ones (direct fiber pairs): the windowed
+    // engine must reproduce the serial report bit for bit across all of
+    // them, for every worker count and window length.
+    let (lowered, _) = lowered_backbone();
+    let serial = Simulation::new(
+        lowered.network.clone(),
+        lowered.demands.clone(),
+        SimConfig {
+            duration_s: 0.1,
+            seed: 7,
+            workers: 1,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(serial.delivered > 0);
+    assert!(lowered.simulation().num_components() >= 1);
+    for workers in test_worker_counts() {
+        // Auto (lookahead) window, a fixed sub-millisecond window, and a
+        // window beyond the whole horizon.
+        for window_s in [0.0, 5e-4, 10.0] {
+            let report = Simulation::new(
+                lowered.network.clone(),
+                lowered.demands.clone(),
+                SimConfig {
+                    duration_s: 0.1,
+                    seed: 7,
+                    workers,
+                    mode: ExecMode::TimeWindowed { window_s },
+                    ..SimConfig::default()
+                },
+            )
+            .run();
+            assert_eq!(serial, report, "workers {workers}, window {window_s}");
+        }
+    }
+}
+
+/// A random small packet network: a one-way ring (so multi-hop routes share
+/// links and components stay large) plus random chords, with random rates,
+/// propagation delays and buffers; demands include unroutable, self and
+/// zero-rate edge cases.
+fn random_sim_inputs(seed: u64) -> (Network, Vec<Demand>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4usize..9);
+    let mut net = Network::new(n);
+    for i in 0..n {
+        net.add_link(LinkSpec {
+            from: i,
+            to: (i + 1) % n,
+            rate_bps: rng.gen_range(4e6..20e6),
+            propagation_s: rng.gen_range(3e-4..4e-3),
+            buffer_bytes: rng.gen_range(5_000.0..40_000.0),
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        if a != b {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: rng.gen_range(4e6..20e6),
+                propagation_s: rng.gen_range(3e-4..4e-3),
+                buffer_bytes: rng.gen_range(5_000.0..40_000.0),
+            });
+        }
+    }
+    let mut demands = Vec::new();
+    for _ in 0..rng.gen_range(2usize..7) {
+        // src == dst occasionally: an empty-route demand must stay inert.
+        let src = rng.gen_range(0usize..n);
+        let dst = rng.gen_range(0usize..n);
+        demands.push(Demand {
+            src,
+            dst,
+            amount_bps: rng.gen_range(5e5..4e6),
+        });
+    }
+    if rng.gen_bool(0.3) {
+        demands.push(Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 0.0,
+        });
+    }
+    (net, demands)
+}
+
+/// The tentpole invariant, checked for one random instance: the
+/// time-windowed engine, the component-sharded engine and the serial
+/// reference produce bit-identical `SimReport`s for every tested
+/// `(workers, window)` configuration — including the degenerate windows
+/// (roughly one event per window, and a window far beyond the horizon).
+fn check_engines_match_serial(seed: u64) -> TestCaseResult {
+    let (net, demands) = random_sim_inputs(seed);
+    let arrivals = if seed.is_multiple_of(2) {
+        ArrivalProcess::ConstantBitRate
+    } else {
+        ArrivalProcess::Poisson
+    };
+    let base = SimConfig {
+        duration_s: 0.03,
+        arrivals,
+        seed,
+        ..SimConfig::default()
+    };
+    let serial = Simulation::new(
+        net.clone(),
+        demands.clone(),
+        SimConfig { workers: 1, ..base },
+    )
+    .run();
+    for workers in test_worker_counts() {
+        let sharded =
+            Simulation::new(net.clone(), demands.clone(), SimConfig { workers, ..base }).run();
+        prop_assert!(
+            serial == sharded,
+            "sharded != serial at workers {workers} (seed {seed})"
+        );
+        for window_s in [0.0, 2e-4, 1.5e-3, 1.0] {
+            let windowed = Simulation::new(
+                net.clone(),
+                demands.clone(),
+                SimConfig {
+                    workers,
+                    mode: ExecMode::TimeWindowed { window_s },
+                    ..base
+                },
+            )
+            .run();
+            prop_assert!(
+                serial == windowed,
+                "windowed != serial at workers {workers}, window {window_s} (seed {seed})"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `PathStore` round-trip for one random path set: reads back exactly, in
+/// order, through both push entry points.
+fn check_path_store_roundtrip(seed: u64) -> TestCaseResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_paths = rng.gen_range(0usize..14);
+    let paths: Vec<Vec<u32>> = (0..num_paths)
+        .map(|_| {
+            let len = rng.gen_range(0usize..9);
+            (0..len).map(|_| rng.gen_range(0u64..500) as u32).collect()
+        })
+        .collect();
+    let total: usize = paths.iter().map(|p| p.len()).sum();
+    let mut store = PathStore::with_capacity(num_paths, total);
+    for (k, path) in paths.iter().enumerate() {
+        // Exercise both entry points.
+        let idx = if k % 2 == 0 {
+            store.push_path(path)
+        } else {
+            store.push_path_from(path.iter().copied())
+        };
+        prop_assert_eq!(idx, k);
+    }
+    prop_assert_eq!(store.len(), num_paths);
+    prop_assert_eq!(store.is_empty(), num_paths == 0);
+    prop_assert_eq!(store.total_links(), total);
+    for (k, path) in paths.iter().enumerate() {
+        prop_assert_eq!(store.path(k), path.as_slice());
+        prop_assert_eq!(store.path_len(k), path.len());
+    }
+    let collected: Vec<Vec<u32>> = store.iter().map(|p| p.to_vec()).collect();
+    prop_assert_eq!(collected, paths);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn windowed_and_sharded_engines_match_serial_on_random_networks(seed in 0u64..u64::MAX) {
+        check_engines_match_serial(seed)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn path_store_roundtrips_arbitrary_path_sets(seed in 0u64..u64::MAX) {
+        check_path_store_roundtrip(seed)?;
+    }
+}
+
+#[test]
+fn fully_disabled_network_leaves_every_demand_unroutable() {
+    // Disabling every link a demand could use must yield empty routes — the
+    // weather layer's total-failure case — under every scheme.
+    let (net, demands) = random_sim_inputs(17);
+    let disabled = vec![true; net.num_links()];
+    for scheme in [
+        RoutingScheme::ShortestPath,
+        RoutingScheme::MinMaxUtilization,
+        RoutingScheme::ThroughputOptimal,
+    ] {
+        let table = compute_routes_avoiding(&net, &demands, scheme, &disabled);
+        assert_eq!(table.len(), demands.len());
+        for k in 0..table.len() {
+            assert!(table.route(k).is_empty(), "{scheme:?}, demand {k}");
+        }
+    }
+}
+
+#[test]
+fn empty_and_all_false_masks_match_baseline_routes() {
+    let (net, demands) = random_sim_inputs(23);
+    for scheme in [
+        RoutingScheme::ShortestPath,
+        RoutingScheme::MinMaxUtilization,
+        RoutingScheme::ThroughputOptimal,
+    ] {
+        let baseline = compute_routes(&net, &demands, scheme);
+        let empty_mask = compute_routes_avoiding(&net, &demands, scheme, &[]);
+        let false_mask =
+            compute_routes_avoiding(&net, &demands, scheme, &vec![false; net.num_links()]);
+        assert_eq!(baseline, empty_mask, "{scheme:?}");
+        assert_eq!(baseline, false_mask, "{scheme:?}");
+    }
+}
+
+/// Exact, human-diffable rendering of the golden snapshot: `{:?}` on `f64`
+/// prints the shortest decimal that round-trips, so equality of the rendered
+/// text is equality of the bits.
+fn format_report_snapshot(report: &SimReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# Golden SimReport of the end_to_end_backbone lowering (serial run).\n");
+    out.push_str("# Regenerate with: CISP_BLESS=1 cargo test --test sim_pipeline_parity golden\n");
+    let _ = writeln!(out, "delivered: {}", report.delivered);
+    let _ = writeln!(out, "dropped: {}", report.dropped);
+    let _ = writeln!(out, "mean_delay_ms: {:?}", report.mean_delay_ms);
+    let _ = writeln!(out, "p95_delay_ms: {:?}", report.p95_delay_ms);
+    let _ = writeln!(out, "mean_queue_delay_ms: {:?}", report.mean_queue_delay_ms);
+    let _ = writeln!(out, "loss_rate: {:?}", report.loss_rate);
+    let total_delay_ms: f64 = report
+        .flow_mean_delay_ms
+        .iter()
+        .zip(&report.flow_delivered)
+        .map(|(&mean, &n)| mean * n as f64)
+        .sum();
+    let _ = writeln!(out, "total_delay_ms: {:?}", total_delay_ms);
+    let _ = writeln!(
+        out,
+        "mean_link_utilization: {:?}",
+        report.mean_link_utilization
+    );
+    let _ = writeln!(
+        out,
+        "max_link_utilization: {:?}",
+        report.max_link_utilization
+    );
+    let _ = writeln!(out, "flows: {}", report.flow_delivered.len());
+    for k in 0..report.flow_delivered.len() {
+        let _ = writeln!(
+            out,
+            "flow {k}: delivered {} dropped {} mean_delay_ms {:?}",
+            report.flow_delivered[k], report.flow_dropped[k], report.flow_mean_delay_ms[k]
+        );
+    }
+    out
+}
+
+/// Golden-report regression pin: the serial `SimReport` of the designed
+/// backbone, rendered exactly, must match the checked-in snapshot. Any
+/// engine refactor that silently changes event order, merge order or float
+/// arithmetic fails here even if it stays self-consistent across modes.
+#[test]
+fn golden_end_to_end_backbone_report_matches_snapshot() {
+    let (lowered, _) = lowered_backbone();
+    let report = Simulation::new(
+        lowered.network.clone(),
+        lowered.demands.clone(),
+        SimConfig {
+            duration_s: 0.1,
+            seed: 7,
+            workers: 1,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    let rendered = format_report_snapshot(&report);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/end_to_end_backbone_report.txt"
+    );
+    if std::env::var_os("CISP_BLESS").is_some() {
+        std::fs::write(path, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden snapshot missing — run once with CISP_BLESS=1 to create it");
+    assert_eq!(
+        golden, rendered,
+        "SimReport drifted from the golden snapshot; if the change is \
+         intentional, regenerate with CISP_BLESS=1"
+    );
 }
 
 #[test]

@@ -1,12 +1,17 @@
 //! Record the packet-engine baseline: events per second — serial vs
 //! component-sharded vs time-windowed.
 //!
-//! Three workloads:
+//! Four workloads:
 //!
 //! * `disjoint_pairs` — many independent bottleneck pairs (one component per
 //!   pair), the component-sharding-friendly regime;
 //! * `us_backbone` — the designed miniature US backbone lowered through
-//!   `cisp_core::evaluate` (components follow the real traffic structure);
+//!   `cisp_core::evaluate` with the O(n²) per-pair fiber mesh (components
+//!   follow the real traffic structure);
+//! * `us_backbone_conduit` — the same backbone conduit-backed: one
+//!   simulator link per physical conduit segment instead of per pair
+//!   (asserted strictly smaller than the mesh — the lowering's scaling
+//!   win), with fiber fallbacks sharing conduit capacity;
 //! * `single_component_ring` — one heavy shared-link mesh (a congested
 //!   one-way ring with crossing flows), the regime where component sharding
 //!   degenerates to serial and only the time-windowed engine parallelises.
@@ -111,6 +116,7 @@ fn single_component_ring(nodes: usize) -> (Network, Vec<Demand>) {
 struct WorkloadReport {
     name: &'static str,
     events: u64,
+    links: usize,
     serial_ms: f64,
     sharded_ms: f64,
     windowed_ms: f64,
@@ -164,6 +170,7 @@ fn measure(
     WorkloadReport {
         name,
         events,
+        links: serial_sim.network().num_links(),
         serial_ms,
         sharded_ms,
         windowed_ms,
@@ -191,15 +198,33 @@ fn main() {
         let scenario = us_scenario(cisp_bench::Scale::Tiny, 42);
         let outcome = scenario.design(300.0);
         let traffic = population_product_traffic(scenario.cities());
-        let lowered = lower(
-            &outcome.topology,
-            &traffic,
-            &EvaluateConfig {
-                design_aggregate_gbps: 4.0,
-                load_fraction: 0.7,
-                ..EvaluateConfig::default()
-            },
+        let eval_config = EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.7,
+            ..EvaluateConfig::default()
+        };
+        let lowered = lower(&outcome.topology, &traffic, &eval_config);
+        let conduit_topo = scenario.conduit_backed_topology(&outcome);
+        let conduit_lowered = lower(&conduit_topo, &traffic, &eval_config);
+        // The conduit lowering's structural invariants: one simulator link
+        // per conduit segment (plus the MW spine) — strictly fewer links
+        // than the O(n²) pair mesh and below n² outright — over a
+        // bit-identical effective distance matrix.
+        let n = scenario.cities().len();
+        assert_eq!(
+            conduit_topo.effective_matrix(),
+            outcome.topology.effective_matrix(),
+            "conduit-backed topology must match the designed matrix bit for bit"
         );
+        assert_eq!(
+            conduit_lowered.network.num_links(),
+            2 * (outcome.topology.mw_links().len() + scenario.fiber().links().len())
+        );
+        assert!(
+            conduit_lowered.network.num_links() < lowered.network.num_links(),
+            "conduit lowering must emit fewer links than the pair mesh"
+        );
+        assert!(conduit_lowered.network.num_links() < n * n);
         let config = SimConfig {
             duration_s: 0.3,
             ..SimConfig::default()
@@ -208,6 +233,12 @@ fn main() {
             "us_backbone_tiny",
             lowered.network,
             lowered.demands,
+            config,
+        ));
+        reports.push(measure(
+            "us_backbone_conduit_tiny",
+            conduit_lowered.network,
+            conduit_lowered.demands,
             config,
         ));
     }
@@ -227,9 +258,10 @@ fn main() {
         let sharded_eps = r.events as f64 / (r.sharded_ms / 1e3);
         let windowed_eps = r.events as f64 / (r.windowed_ms / 1e3);
         println!(
-            "{:<26} {:>9} events: serial {:8.2} ms ({:>10.0} ev/s), sharded {:8.2} ms ({:.2}x), windowed {:8.2} ms ({:.2}x)",
+            "{:<26} {:>9} events, {:>4} links: serial {:8.2} ms ({:>10.0} ev/s), sharded {:8.2} ms ({:.2}x), windowed {:8.2} ms ({:.2}x)",
             r.name,
             r.events,
+            r.links,
             r.serial_ms,
             serial_eps,
             r.sharded_ms,
@@ -242,6 +274,7 @@ fn main() {
                 "    {{\n",
                 "      \"workload\": \"{}\",\n",
                 "      \"events\": {},\n",
+                "      \"links\": {},\n",
                 "      \"components\": {},\n",
                 "      \"serial_ms\": {:.4},\n",
                 "      \"sharded_ms\": {:.4},\n",
@@ -255,6 +288,7 @@ fn main() {
             ),
             r.name,
             r.events,
+            r.links,
             r.components,
             r.serial_ms,
             r.sharded_ms,

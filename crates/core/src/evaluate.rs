@@ -6,12 +6,20 @@
 //! `cisp_netsim` [`Network`] plus a [`Demand`] set. This module performs the
 //! §5 conversion in one place:
 //!
+//! * co-located sites (geodesic distance zero) are deduplicated onto one
+//!   representative node, so no zero-propagation links are ever emitted,
 //! * every built microwave link becomes one bidirectional site-level link
 //!   whose capacity comes from the k²-augmentation provisioning
 //!   ([`augment_for_throughput`]) at the configured design target,
-//! * fiber connectivity becomes effectively-unconstrained links with the
-//!   1.5×-slowed propagation already baked into the latency-equivalent
-//!   distances,
+//! * fiber connectivity lowers in one of two shapes. A conduit-backed
+//!   topology ([`HybridTopology::with_conduits`]) gets **one bidirectional
+//!   link per physical conduit segment** — O(segments) links instead of the
+//!   O(n²) per-pair mesh — so demands whose fiber fallbacks share a conduit
+//!   queue against each other and conduit cuts are expressible
+//!   ([`LoweredNetwork::conduit_link_ids`]). A matrix-backed topology falls
+//!   back to the per-pair mesh of effectively-unconstrained links, with the
+//!   1.5×-slowed propagation baked into the latency-equivalent distances
+//!   either way,
 //! * the offered traffic matrix is scaled to a load fraction of the design
 //!   target and split into one directed [`Demand`] per direction per pair.
 //!
@@ -23,10 +31,10 @@
 //! queueing-aware per-pair RTTs for the gaming and web models.
 
 use cisp_geo::latency;
-use cisp_geo::units::SPEED_OF_LIGHT_KM_PER_S;
-use cisp_graph::DistMatrix;
+use cisp_geo::units::{FIBER_LATENCY_FACTOR, SPEED_OF_LIGHT_KM_PER_S};
+use cisp_graph::{DistMatrix, PathStore};
 use cisp_netsim::network::{LinkId, LinkSpec, Network};
-use cisp_netsim::routing::{compute_routes_avoiding, Demand};
+use cisp_netsim::routing::{compute_routes_avoiding, install_pinned_routes, Demand, RoutingTable};
 use cisp_netsim::sim::{SimConfig, Simulation};
 use cisp_netsim::SimReport;
 use cisp_traffic::TrafficMatrix;
@@ -88,25 +96,49 @@ pub struct LoweredNetwork {
     pub demand_pairs: Vec<(usize, usize)>,
     /// Simulator link ids `(forward, reverse)` of each built microwave
     /// link, aligned with `topology.mw_links()` — the weather layer's
-    /// failure hook.
+    /// failure hook. `(usize::MAX, usize::MAX)` for links that collapsed
+    /// in the co-located-site dedup.
     pub mw_link_ids: Vec<(LinkId, LinkId)>,
+    /// Simulator link ids `(a→b, b→a)` of each physical conduit segment,
+    /// aligned with the topology's [`ConduitLayer::segments`] — the
+    /// conduit-cut scenarios' failure hook. Empty for mesh lowerings;
+    /// `(usize::MAX, usize::MAX)` for segments whose endpoints collapsed
+    /// in the co-located-site dedup.
+    ///
+    /// [`ConduitLayer::segments`]: crate::topology::ConduitLayer::segments
+    pub conduit_link_ids: Vec<(LinkId, LinkId)>,
     /// The configuration the lowering used.
     pub config: EvaluateConfig,
 }
 
 impl LoweredNetwork {
+    /// Mask the bidirectional link pairs named by `indices` into `table`
+    /// (stale indices and `usize::MAX` dedup-collapsed entries tolerated).
+    fn mask_link_pairs(&self, table: &[(LinkId, LinkId)], indices: &[usize]) -> Vec<bool> {
+        let mut mask = vec![false; self.network.num_links()];
+        for &idx in indices {
+            if let Some(&(fwd, rev)) = table.get(idx) {
+                if fwd != usize::MAX {
+                    mask[fwd] = true;
+                    mask[rev] = true;
+                }
+            }
+        }
+        mask
+    }
+
     /// Disabled-link mask over the simulator's links for a set of failed
     /// microwave links (indices into `topology.mw_links()`). Stale indices
     /// are tolerated, matching the weather layer's conventions.
     pub fn disabled_mask(&self, failed_mw_links: &[usize]) -> Vec<bool> {
-        let mut mask = vec![false; self.network.num_links()];
-        for &idx in failed_mw_links {
-            if let Some(&(fwd, rev)) = self.mw_link_ids.get(idx) {
-                mask[fwd] = true;
-                mask[rev] = true;
-            }
-        }
-        mask
+        self.mask_link_pairs(&self.mw_link_ids, failed_mw_links)
+    }
+
+    /// Disabled-link mask for a set of *cut conduit segments* (indices into
+    /// the topology's conduit layer). Stale indices and dedup-collapsed
+    /// segments are tolerated.
+    pub fn conduit_disabled_mask(&self, cut_segments: &[usize]) -> Vec<bool> {
+        self.mask_link_pairs(&self.conduit_link_ids, cut_segments)
     }
 
     /// A ready-to-run simulation over the lowered network (fair weather:
@@ -115,16 +147,13 @@ impl LoweredNetwork {
         Simulation::new(self.network.clone(), self.demands.clone(), self.config.sim)
     }
 
-    /// A simulation whose routes avoid the given failed microwave links
-    /// (indices into `topology.mw_links()`). Demands with no surviving path
-    /// emit nothing.
-    pub fn simulation_without(&self, failed_mw_links: &[usize]) -> Simulation {
-        let disabled = self.disabled_mask(failed_mw_links);
+    /// A simulation whose routes avoid the masked links.
+    fn simulation_avoiding(&self, disabled: &[bool]) -> Simulation {
         let routes = compute_routes_avoiding(
             &self.network,
             &self.demands,
             self.config.sim.routing,
-            &disabled,
+            disabled,
         );
         Simulation::with_routes(
             self.network.clone(),
@@ -132,6 +161,56 @@ impl LoweredNetwork {
             routes,
             self.config.sim,
         )
+    }
+
+    /// A simulation whose routes avoid the given failed microwave links
+    /// (indices into `topology.mw_links()`). Demands with no surviving path
+    /// emit nothing.
+    pub fn simulation_without(&self, failed_mw_links: &[usize]) -> Simulation {
+        self.simulation_avoiding(&self.disabled_mask(failed_mw_links))
+    }
+
+    /// A simulation whose routes avoid the given *cut conduit segments*
+    /// (indices into the topology's conduit layer): surviving traffic
+    /// re-routes over the remaining conduits and the microwave spine;
+    /// demands with no surviving path emit nothing. Only meaningful on a
+    /// conduit-backed lowering.
+    pub fn simulation_without_conduits(&self, cut_segments: &[usize]) -> Simulation {
+        self.simulation_avoiding(&self.conduit_disabled_mask(cut_segments))
+    }
+
+    /// Pin every demand to its pure-fiber conduit route (ignoring the
+    /// microwave spine): the topology's stored per-pair conduit paths,
+    /// translated hop by hop into directed simulator link ids and
+    /// installed via [`install_pinned_routes`] (which re-validates the
+    /// walk). Panics unless both the topology and this lowering are
+    /// conduit-backed.
+    pub fn pinned_fiber_routes(&self, topology: &HybridTopology) -> RoutingTable {
+        let layer = topology
+            .conduits()
+            .expect("pinned fiber routes need a conduit-backed topology");
+        assert_eq!(
+            self.conduit_link_ids.len(),
+            layer.num_segments(),
+            "lowering does not match the topology's conduit layer"
+        );
+        let mut store = PathStore::with_capacity(self.demands.len(), self.demands.len() * 4);
+        for (k, &(src, dst)) in self.demand_pairs.iter().enumerate() {
+            let d = &self.demands[k];
+            if d.src == d.dst {
+                store.push_path(&[]);
+                continue;
+            }
+            store.push_path_from(layer.hops(src, dst).into_iter().filter_map(|hop| {
+                let (fwd, rev) = self.conduit_link_ids[hop.segment as usize];
+                let id = if hop.forward { fwd } else { rev };
+                // Dedup-collapsed (zero-length) segments contribute no
+                // simulator hop; the walk stays contiguous because their
+                // endpoints are the same node.
+                (id != usize::MAX).then_some(id as u32)
+            }));
+        }
+        install_pinned_routes(&self.network, &self.demands, store)
     }
 }
 
@@ -150,6 +229,20 @@ pub fn lower(
     );
     assert!(config.load_fraction >= 0.0);
 
+    // Deduplicate co-located sites (geodesic distance zero) onto one
+    // representative node: a zero-length link would add a zero-propagation
+    // hop the routing layer can spin through for free and would poison the
+    // windowed engine's lookahead, so such pairs share a node instead. A
+    // site is its own representative unless an earlier site sits at the
+    // same location.
+    let rep: Vec<usize> = (0..n)
+        .map(|i| {
+            (0..i)
+                .find(|&j| topology.geodesic_km(j, i) == 0.0)
+                .unwrap_or(i)
+        })
+        .collect();
+
     // Provision MW links for the design target using the topology's own
     // (design-time) traffic matrix — the offered matrix may differ; that
     // mismatch is exactly what Figs. 5 and 11 study.
@@ -160,37 +253,81 @@ pub fn lower(
     let mut mw_link_ids = vec![(usize::MAX, usize::MAX); topology.mw_links().len()];
     for provision in &augmentation.links {
         let link = &topology.mw_links()[provision.link_index];
+        let (from, to) = (rep[link.site_a], rep[link.site_b]);
+        if from == to {
+            // A microwave link between co-located sites carries nothing
+            // the shared node does not already provide.
+            continue;
+        }
         let capacity_bps = (provision.series * provision.series) as f64 * 1e9;
         let ids = network.add_bidirectional_link(LinkSpec {
-            from: link.site_a,
-            to: link.site_b,
+            from,
+            to,
             rate_bps: capacity_bps,
             propagation_s: link.mw_length_km / SPEED_OF_LIGHT_KM_PER_S,
             buffer_bytes: config.mw_buffer_bytes,
         });
         mw_link_ids[provision.link_index] = ids;
     }
-    // Fiber links between every pair (plentiful bandwidth, 1.5×-slowed
-    // propagation already baked into the latency-equivalent distance).
-    for i in 0..n {
-        for j in (i + 1)..n {
-            // Zero-length fiber (co-located sites) still gets a link — the
-            // pair must stay directly routable.
-            let d = topology.fiber_km(i, j);
-            if d.is_finite() {
-                network.add_bidirectional_link(LinkSpec {
-                    from: i,
-                    to: j,
-                    rate_bps: config.fiber_rate_bps,
-                    propagation_s: d / SPEED_OF_LIGHT_KM_PER_S,
-                    buffer_bytes: config.fiber_buffer_bytes,
-                });
+
+    // Fiber layer. Conduit-backed topologies lower one link per physical
+    // conduit segment — O(segments) links, shared by every route that
+    // traverses the conduit — while matrix-backed topologies fall back to
+    // the dense per-pair mesh (plentiful bandwidth, 1.5×-slowed propagation
+    // baked into the latency-equivalent distances either way).
+    let mut conduit_link_ids = Vec::new();
+    if let Some(layer) = topology.conduits() {
+        conduit_link_ids = vec![(usize::MAX, usize::MAX); layer.num_segments()];
+        for (s, seg) in layer.segments().iter().enumerate() {
+            let (from, to) = (rep[seg.a], rep[seg.b]);
+            if from == to {
+                continue;
+            }
+            // The dedup above only collapses co-located *sites*; a
+            // zero-length segment between distinct locations would still
+            // emit the zero-propagation link the dedup exists to prevent —
+            // degenerate input, so fail loudly rather than lower it.
+            assert!(
+                seg.route_km > 0.0,
+                "conduit segment {s} has zero route length between distinct sites"
+            );
+            conduit_link_ids[s] = network.add_bidirectional_link(LinkSpec {
+                from,
+                to,
+                rate_bps: config.fiber_rate_bps,
+                propagation_s: seg.route_km * FIBER_LATENCY_FACTOR / SPEED_OF_LIGHT_KM_PER_S,
+                buffer_bytes: config.fiber_buffer_bytes,
+            });
+        }
+    } else {
+        for i in 0..n {
+            if rep[i] != i {
+                continue;
+            }
+            for (j, &rep_j) in rep.iter().enumerate().skip(i + 1) {
+                if rep_j != j {
+                    continue;
+                }
+                let d = topology.fiber_km(i, j);
+                if d.is_finite() && d > 0.0 {
+                    network.add_bidirectional_link(LinkSpec {
+                        from: i,
+                        to: j,
+                        rate_bps: config.fiber_rate_bps,
+                        propagation_s: d / SPEED_OF_LIGHT_KM_PER_S,
+                        buffer_bytes: config.fiber_buffer_bytes,
+                    });
+                }
             }
         }
     }
 
     // Offered demands: the matrix scaled so its pair sum is
     // `load_fraction × design target`, each pair split across directions.
+    // `demand_pairs` keeps the original *site* pair; the demand endpoints
+    // are the representative nodes (a co-located pair becomes a
+    // `src == dst` demand, which emits nothing — its traffic needs no
+    // network).
     let total = offered_traffic.upper_triangle_sum();
     assert!(total > 0.0, "offered traffic matrix is empty");
     let scale = config.design_aggregate_gbps * config.load_fraction / total;
@@ -202,8 +339,8 @@ pub fn lower(
             if gbps > 0.0 {
                 for (src, dst) in [(i, j), (j, i)] {
                     demands.push(Demand {
-                        src,
-                        dst,
+                        src: rep[src],
+                        dst: rep[dst],
                         amount_bps: gbps * 1e9 / 2.0,
                     });
                     demand_pairs.push((src, dst));
@@ -217,6 +354,7 @@ pub fn lower(
         demands,
         demand_pairs,
         mw_link_ids,
+        conduit_link_ids,
         config: *config,
     }
 }
@@ -479,6 +617,232 @@ mod tests {
                 "workers {workers}, window {window_s}"
             );
         }
+    }
+
+    /// The same four sites as [`test_topology`], but conduit-backed: a
+    /// conduit chain through Kansas City plus a direct Chicago–Denver
+    /// detour conduit, with the same MW spine built on top.
+    fn conduit_test_topology() -> HybridTopology {
+        use cisp_data::fiber::{FiberLink, FiberNetwork};
+        let sites = vec![
+            GeoPoint::new(41.9, -87.6),
+            GeoPoint::new(39.1, -94.6),
+            GeoPoint::new(32.8, -96.8),
+            GeoPoint::new(39.7, -105.0),
+        ];
+        let n = sites.len();
+        let seg = |a: usize, b: usize, factor: f64| FiberLink {
+            a,
+            b,
+            route_km: geodesic::distance_km(sites[a], sites[b]) * factor,
+        };
+        let fiber = FiberNetwork::from_parts(
+            sites.clone(),
+            vec![
+                seg(0, 1, 1.25),
+                seg(1, 2, 1.25),
+                seg(1, 3, 1.25),
+                seg(0, 3, 1.4),
+            ],
+        );
+        let traffic = vec![vec![1.0; n]; n];
+        let mut topo = HybridTopology::with_conduits(sites.clone(), traffic, &fiber);
+        for (a, b) in [(0usize, 1usize), (1, 2), (1, 3)] {
+            let geo = geodesic::distance_km(sites[a], sites[b]);
+            topo.add_mw_link(CandidateLink {
+                site_a: a.min(b),
+                site_b: a.max(b),
+                mw_length_km: geo * 1.04,
+                tower_count: (geo / 80.0).ceil() as usize,
+                tower_path: vec![0; 3],
+            });
+        }
+        topo
+    }
+
+    #[test]
+    fn conduit_lowering_emits_one_link_per_segment() {
+        let topo = conduit_test_topology();
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        // 3 MW links + 4 conduit segments, bidirectional — not the 6-pair
+        // mesh.
+        assert_eq!(lowered.network.num_links(), 2 * (3 + 4));
+        assert_eq!(lowered.conduit_link_ids.len(), 4);
+        for (s, &(fwd, rev)) in lowered.conduit_link_ids.iter().enumerate() {
+            let seg = topo.conduits().unwrap().segments()[s];
+            assert_eq!(lowered.network.link(fwd).from, seg.a);
+            assert_eq!(lowered.network.link(fwd).to, seg.b);
+            assert_eq!(lowered.network.link(rev).from, seg.b);
+            let expected_s = seg.route_km * 1.5 / SPEED_OF_LIGHT_KM_PER_S;
+            assert!((lowered.network.link(fwd).propagation_s - expected_s).abs() < 1e-12);
+        }
+        // The evaluation chain runs end to end on the conduit lowering.
+        let report = evaluate(&topo, topo.traffic(), &fast_config());
+        assert!(report.sim.delivered > 0);
+        assert_eq!(report.pair_rtts.len(), 6);
+        for p in &report.pair_rtts {
+            assert!(p.simulated_rtt_ms >= p.propagation_rtt_ms - 1e-9);
+        }
+    }
+
+    #[test]
+    fn conduit_fiber_fallback_shares_segments_and_queues() {
+        // Pure-fiber conduit topology (no MW spine): the 0↔2 and 3↔2
+        // fallbacks both traverse the (1, 2) conduit, so with fiber
+        // capacity in demand range they queue against each other — the
+        // sharing the per-pair mesh could never express.
+        let topo = {
+            let mut t = conduit_test_topology();
+            t = HybridTopology::with_conduits(
+                t.sites().to_vec(),
+                t.traffic().clone(),
+                &cisp_data::fiber::FiberNetwork::from_parts(
+                    t.sites().to_vec(),
+                    t.conduits().unwrap().segments().to_vec(),
+                ),
+            );
+            t
+        };
+        let config = EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.5,
+            fiber_rate_bps: 1e9,
+            sim: SimConfig {
+                duration_s: 0.05,
+                ..SimConfig::default()
+            },
+            ..EvaluateConfig::default()
+        };
+        let lowered = lower(&topo, topo.traffic(), &config);
+        let mut sim = lowered.simulation();
+        // Multiple demands ride the shared (1, 2) conduit in each direction.
+        let (fwd, _) = lowered.conduit_link_ids[1];
+        let riders = (0..lowered.demands.len())
+            .filter(|&k| sim.routes().route(k).contains(&(fwd as u32)))
+            .count();
+        assert!(riders >= 2, "expected shared conduit, got {riders} riders");
+        let report = sim.run();
+        assert!(report.delivered > 0);
+        assert!(
+            report.mean_queue_delay_ms > 0.0,
+            "shared conduits must exhibit queueing"
+        );
+    }
+
+    #[test]
+    fn pinned_fiber_routes_realise_the_fiber_matrix() {
+        // Without a MW spine, the Dijkstra routes and the pinned conduit
+        // routes are the same pure-fiber paths.
+        let base = conduit_test_topology();
+        let topo = HybridTopology::with_conduits(
+            base.sites().to_vec(),
+            base.traffic().clone(),
+            &cisp_data::fiber::FiberNetwork::from_parts(
+                base.sites().to_vec(),
+                base.conduits().unwrap().segments().to_vec(),
+            ),
+        );
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        let pinned = lowered.pinned_fiber_routes(&topo);
+        let dijkstra = lowered.simulation();
+        for (k, &(i, j)) in lowered.demand_pairs.iter().enumerate() {
+            // The pinned route's propagation realises the latency-equivalent
+            // fiber distance (reassociated sum: ulp-level tolerance).
+            let expected_s = topo.fiber_km(i, j) / SPEED_OF_LIGHT_KM_PER_S;
+            assert!(
+                (pinned.route_latency_s(&lowered.network, k) - expected_s).abs() < 1e-12,
+                "demand {k}"
+            );
+            assert_eq!(pinned.route(k), dijkstra.routes().route(k), "demand {k}");
+        }
+        // And the pinned simulation reproduces the Dijkstra-routed one.
+        let mut a = Simulation::with_routes(
+            lowered.network.clone(),
+            lowered.demands.clone(),
+            pinned,
+            lowered.config.sim,
+        );
+        let mut b = lowered.simulation();
+        assert_eq!(a.run(), b.run());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero route length")]
+    fn zero_length_conduit_between_distinct_sites_is_rejected() {
+        use cisp_data::fiber::{FiberLink, FiberNetwork};
+        let sites = vec![GeoPoint::new(41.9, -87.6), GeoPoint::new(39.1, -94.6)];
+        let fiber = FiberNetwork::from_parts(
+            sites.clone(),
+            vec![FiberLink {
+                a: 0,
+                b: 1,
+                route_km: 0.0,
+            }],
+        );
+        let topo =
+            HybridTopology::with_conduits(sites, vec![vec![0.0, 1.0], vec![1.0, 0.0]], &fiber);
+        lower(&topo, topo.traffic(), &fast_config());
+    }
+
+    #[test]
+    fn co_located_sites_are_deduplicated_before_lowering() {
+        // Sites 0 and 1 are the same location (a coalescing miss): the
+        // lowering must not emit a zero-propagation link for them.
+        let sites = vec![
+            GeoPoint::new(41.9, -87.6),
+            GeoPoint::new(41.9, -87.6),
+            GeoPoint::new(32.8, -96.8),
+            GeoPoint::new(39.7, -105.0),
+        ];
+        let n = sites.len();
+        let traffic = vec![vec![1.0; n]; n];
+        let fiber: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| geodesic::distance_km(sites[i], sites[j]) * 1.9)
+                    .collect()
+            })
+            .collect();
+        let mut topo = HybridTopology::new(sites.clone(), traffic, fiber);
+        let geo = geodesic::distance_km(sites[0], sites[2]);
+        topo.add_mw_link(CandidateLink {
+            site_a: 0,
+            site_b: 2,
+            mw_length_km: geo * 1.04,
+            tower_count: 8,
+            tower_path: vec![0; 3],
+        });
+        let lowered = lower(&topo, topo.traffic(), &fast_config());
+        for l in lowered.network.links() {
+            assert!(
+                l.propagation_s > 0.0,
+                "zero-propagation link {} → {} survived dedup",
+                l.from,
+                l.to
+            );
+            assert_ne!(l.to, 1, "links must target the representative node");
+            assert_ne!(l.from, 1, "links must leave the representative node");
+        }
+        // Mesh links cover representative pairs only: (0,2), (0,3), (2,3)
+        // fiber plus the MW link, bidirectional.
+        assert_eq!(lowered.network.num_links(), 2 * (3 + 1));
+        // The co-located demand collapses onto one node and emits nothing,
+        // but keeps its slot so the pair bookkeeping stays aligned.
+        let k = lowered
+            .demand_pairs
+            .iter()
+            .position(|&p| p == (0, 1))
+            .expect("pair (0, 1) must keep its demand slot");
+        assert_eq!(lowered.demands[k].src, lowered.demands[k].dst);
+        let report = lowered.simulation().run();
+        assert!(report.delivered > 0);
+        let rtts = pair_rtts(&lowered, &report, &topo);
+        let co = rtts
+            .iter()
+            .find(|p| p.site_a == 0 && p.site_b == 1)
+            .unwrap();
+        assert_eq!(co.simulated_rtt_ms, 0.0);
+        assert_eq!(co.delivered, 0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::cost::{CostBreakdown, CostModel};
 use crate::design::{DesignConfig, DesignInput, DesignOutcome, Designer};
 use crate::hops::{HopConfig, HopFeasibility};
 use crate::links::{LinkBuilder, LinkBuilderConfig};
+use crate::topology::HybridTopology;
 
 /// Which terrain model a scenario uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -232,6 +233,27 @@ impl Scenario {
         Designer::with_config(&self.input, self.config.design).greedy(budget_towers)
     }
 
+    /// Re-ground a designed topology in the scenario's physical conduit
+    /// graph: the same sites, traffic and selected MW links (added in
+    /// selection order, exactly as the designer built them), but with the
+    /// fiber layer held as the conduit segment list + per-pair conduit
+    /// routes instead of a pre-flattened matrix. The effective distance
+    /// matrix is bit-identical to `outcome.topology`'s — the design engine
+    /// sees no difference — while the evaluation lowering gains
+    /// O(segments) fiber links, shared-conduit queueing and conduit-cut
+    /// scenarios.
+    pub fn conduit_backed_topology(&self, outcome: &DesignOutcome) -> HybridTopology {
+        let mut topo = HybridTopology::with_conduits(
+            self.input.sites.clone(),
+            self.input.traffic.clone(),
+            &self.fiber,
+        );
+        for &idx in &outcome.selected {
+            topo.add_mw_link(self.input.candidates[idx].clone());
+        }
+        topo
+    }
+
     /// Provision a designed topology for an aggregate throughput and price it.
     pub fn provision(
         &self,
@@ -382,6 +404,28 @@ mod tests {
         let full = Scenario::build(&full_config).design(250.0);
         assert_eq!(incremental.selected, full.selected);
         assert!((incremental.mean_stretch - full.mean_stretch).abs() == 0.0);
+    }
+
+    #[test]
+    fn conduit_backed_topology_is_bit_identical_to_the_designed_one() {
+        let s = tiny();
+        let outcome = s.design(250.0);
+        let conduit = s.conduit_backed_topology(&outcome);
+        assert!(conduit.conduits().is_some());
+        assert_eq!(
+            conduit.conduits().unwrap().num_segments(),
+            s.fiber().links().len()
+        );
+        assert_eq!(conduit.mw_links().len(), outcome.topology.mw_links().len());
+        // The derived fiber cache and the resulting effective matrix match
+        // the matrix-backed designed topology bit for bit — the design
+        // engine and every stretch statistic see no difference.
+        assert_eq!(conduit.fiber_matrix(), outcome.topology.fiber_matrix());
+        assert_eq!(
+            conduit.effective_matrix(),
+            outcome.topology.effective_matrix()
+        );
+        assert_eq!(conduit.mean_stretch(), outcome.mean_stretch);
     }
 
     #[test]

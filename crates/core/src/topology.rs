@@ -20,8 +20,9 @@
 //! D[s][i]+m+D[j][t], D[s][j]+m+D[i][t])` is exact.
 
 use cisp_geo::latency::StretchAccumulator;
+use cisp_geo::units::FIBER_LATENCY_FACTOR;
 use cisp_geo::{geodesic, latency, GeoPoint};
-use cisp_graph::{BitSet, DistMatrix, UpperTriangleMatrix};
+use cisp_graph::{pair_index, BitSet, DistMatrix, PathStore, UpperTriangleMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::links::CandidateLink;
@@ -30,6 +31,11 @@ use crate::links::CandidateLink;
 // engine next to the storage they sweep; re-exported here because the design
 // and weather layers reach them through the topology module.
 pub use cisp_graph::matrix::{improve_with_link, improve_with_link_tracked, ImprovedPairs};
+
+// Conduit-backed topologies are built from (and hand out) the data layer's
+// conduit types; re-exported so consumers of the conduit API need not
+// depend on `cisp_data` directly.
+pub use cisp_data::fiber::{FiberLink, FiberNetwork};
 
 /// Traffic-weighted mean stretch of `effective` against `geodesic`, weighted
 /// by `traffic`, over the strict upper triangle. Pairs with zero traffic,
@@ -104,6 +110,77 @@ pub fn mean_stretch_with_link(
     }
 }
 
+/// One directed hop of a conduit route: which physical segment the route
+/// traverses and in which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConduitHop {
+    /// Index into [`ConduitLayer::segments`].
+    pub segment: u32,
+    /// `true` when the segment is traversed `a → b`, `false` for `b → a`.
+    pub forward: bool,
+}
+
+/// The physical fiber conduit layer of a conduit-backed topology: the
+/// long-haul conduit segments plus the shortest conduit route realising
+/// every site pair's fiber distance.
+///
+/// This is what makes conduit sharing expressible downstream: the
+/// evaluation lowering emits one simulator link per *segment* (not per
+/// pair), and each demand's fiber fallback rides its pair's stored hops —
+/// so concurrent demands queue against each other on shared conduits, and
+/// cutting a segment severs every route that traverses it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConduitLayer {
+    /// The physical conduit segments, in the fiber network's order.
+    segments: Vec<FiberLink>,
+    /// Directed conduit-edge path per unordered site pair
+    /// ([`pair_index`] order, stored `i → j` for `i < j`), in the
+    /// `2·segment + direction` id convention of
+    /// [`FiberNetwork::route_csr`]. Empty where unconnected.
+    paths: PathStore,
+    /// Number of sites the pair indexing is over.
+    num_sites: usize,
+}
+
+impl ConduitLayer {
+    /// The physical conduit segments.
+    pub fn segments(&self) -> &[FiberLink] {
+        &self.segments
+    }
+
+    /// Number of conduit segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The raw per-pair directed-conduit-edge path arena.
+    pub fn paths(&self) -> &PathStore {
+        &self.paths
+    }
+
+    /// The directed conduit hops of the shortest fiber route `src → dst`
+    /// (empty when `src == dst` or the pair is not conduit-connected).
+    pub fn hops(&self, src: usize, dst: usize) -> Vec<ConduitHop> {
+        if src == dst {
+            return Vec::new();
+        }
+        let stored = self
+            .paths
+            .path(pair_index(self.num_sites, src.min(dst), src.max(dst)));
+        let decode = |e: u32, flip: bool| ConduitHop {
+            segment: e / 2,
+            forward: e.is_multiple_of(2) != flip,
+        };
+        if src < dst {
+            stored.iter().map(|&e| decode(e, false)).collect()
+        } else {
+            // Stored low → high: reverse the hop order and flip each
+            // traversal direction.
+            stored.iter().rev().map(|&e| decode(e, true)).collect()
+        }
+    }
+}
+
 /// The designed hybrid network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HybridTopology {
@@ -121,6 +198,10 @@ pub struct HybridTopology {
     mw_links: Vec<CandidateLink>,
     /// Cached effective distance matrix (fiber ∪ built MW links).
     effective_km: DistMatrix,
+    /// The physical conduit layer, when the topology was built from a
+    /// conduit graph ([`HybridTopology::with_conduits`]); `None` for
+    /// matrix-backed topologies, whose fiber layer is purely abstract.
+    conduits: Option<ConduitLayer>,
 }
 
 impl HybridTopology {
@@ -149,7 +230,55 @@ impl HybridTopology {
             fiber_km,
             mw_links: Vec::new(),
             effective_km,
+            conduits: None,
         }
+    }
+
+    /// Create a topology whose fiber layer is grounded in a physical
+    /// conduit graph instead of a pre-flattened distance matrix.
+    ///
+    /// The dense latency-equivalent fiber matrix becomes a *derived cache*:
+    /// it is computed here from the conduit graph's per-source CSR Dijkstra
+    /// trees (times the 1.5× fiber propagation factor), exactly the way
+    /// [`FiberNetwork::latency_equivalent_matrix`] computes it — so a
+    /// conduit-backed topology is bit-identical to a matrix-backed one fed
+    /// that matrix, and the design engine runs on it unchanged. What the
+    /// conduit layer adds is the physical realisation: the segment list and
+    /// each pair's conduit route, which the evaluation lowering and the
+    /// conduit-cut scenarios consume.
+    ///
+    /// `fiber` must be over the same sites (same order, same coordinates).
+    pub fn with_conduits(
+        sites: Vec<GeoPoint>,
+        traffic: impl Into<DistMatrix>,
+        fiber: &FiberNetwork,
+    ) -> Self {
+        assert_eq!(
+            fiber.sites().len(),
+            sites.len(),
+            "conduit graph must cover the sites"
+        );
+        for (s, f) in sites.iter().zip(fiber.sites()) {
+            assert!(
+                s.lat_deg == f.lat_deg && s.lon_deg == f.lon_deg,
+                "conduit graph sites must match the topology sites exactly"
+            );
+        }
+        let routes = fiber.shortest_routes();
+        let mut fiber_km = routes.route_km;
+        fiber_km.map_in_place(|d| d * FIBER_LATENCY_FACTOR);
+        let mut topo = Self::new(sites, traffic, fiber_km);
+        topo.conduits = Some(ConduitLayer {
+            segments: fiber.links().to_vec(),
+            paths: routes.paths,
+            num_sites: topo.num_sites(),
+        });
+        topo
+    }
+
+    /// The physical conduit layer, when this topology is conduit-backed.
+    pub fn conduits(&self) -> Option<&ConduitLayer> {
+        self.conduits.as_ref()
     }
 
     /// Number of sites.
@@ -544,5 +673,117 @@ mod tests {
     fn mismatched_matrix_sizes_panic() {
         let sites = line_sites();
         HybridTopology::new(sites, uniform_traffic(2), vec![vec![0.0; 3]; 3]);
+    }
+
+    /// A conduit network over the line sites: direct segments 0–1 and 1–2
+    /// plus a long detour segment 0–2.
+    fn line_conduits(sites: &[GeoPoint]) -> FiberNetwork {
+        let geo01 = geodesic::distance_km(sites[0], sites[1]);
+        let geo12 = geodesic::distance_km(sites[1], sites[2]);
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        FiberNetwork::from_parts(
+            sites.to_vec(),
+            vec![
+                FiberLink {
+                    a: 0,
+                    b: 1,
+                    route_km: geo01 * 1.2,
+                },
+                FiberLink {
+                    a: 1,
+                    b: 2,
+                    route_km: geo12 * 1.2,
+                },
+                FiberLink {
+                    a: 0,
+                    b: 2,
+                    route_km: geo02 * 1.45,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn conduit_backed_topology_matches_matrix_backed_constructor() {
+        let sites = line_sites();
+        let fiber = line_conduits(&sites);
+        let conduit = HybridTopology::with_conduits(sites.clone(), uniform_traffic(3), &fiber);
+        let matrix = HybridTopology::new(
+            sites.clone(),
+            uniform_traffic(3),
+            fiber.latency_equivalent_matrix(),
+        );
+        // The derived fiber cache and the effective matrix are bit-identical
+        // to the matrix-backed constructor fed the flattened matrix.
+        assert_eq!(conduit.fiber_matrix(), matrix.fiber_matrix());
+        assert_eq!(conduit.effective_matrix(), matrix.effective_matrix());
+        assert!(conduit.conduits().is_some());
+        assert!(matrix.conduits().is_none());
+        // MW links behave identically on both.
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let mut a = conduit.clone();
+        let mut b = matrix.clone();
+        a.add_mw_link(mw_link(0, 2, geo02 * 1.02, 8));
+        b.add_mw_link(mw_link(0, 2, geo02 * 1.02, 8));
+        assert_eq!(a.effective_matrix(), b.effective_matrix());
+        assert!(a.conduits().is_some(), "conduit layer survives MW builds");
+    }
+
+    #[test]
+    fn conduit_hops_realise_shortest_routes_in_both_directions() {
+        let sites = line_sites();
+        let fiber = line_conduits(&sites);
+        let topo = HybridTopology::with_conduits(sites.clone(), uniform_traffic(3), &fiber);
+        let layer = topo.conduits().unwrap();
+        assert_eq!(layer.num_segments(), 3);
+        // 0 → 2: the two-segment route (1.2× each) beats the 1.45× direct
+        // conduit on this collinear layout.
+        let hops = layer.hops(0, 2);
+        assert_eq!(
+            hops,
+            vec![
+                ConduitHop {
+                    segment: 0,
+                    forward: true
+                },
+                ConduitHop {
+                    segment: 1,
+                    forward: true
+                },
+            ]
+        );
+        // The reverse direction is the same segments, reversed and flipped.
+        let back = layer.hops(2, 0);
+        assert_eq!(
+            back,
+            vec![
+                ConduitHop {
+                    segment: 1,
+                    forward: false
+                },
+                ConduitHop {
+                    segment: 0,
+                    forward: false
+                },
+            ]
+        );
+        // Hop route lengths sum to the fiber distance (modulo the 1.5×).
+        let total: f64 = hops
+            .iter()
+            .map(|h| layer.segments()[h.segment as usize].route_km)
+            .sum();
+        assert!((total * 1.5 - topo.fiber_km(0, 2)).abs() < 1e-9);
+        // Self pairs have no hops.
+        assert!(layer.hops(1, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn conduit_constructor_rejects_mismatched_sites() {
+        let sites = line_sites();
+        let fiber = line_conduits(&sites);
+        let mut other = sites.clone();
+        other[1] = GeoPoint::new(41.0, -95.3);
+        HybridTopology::with_conduits(other, uniform_traffic(3), &fiber);
     }
 }

@@ -19,6 +19,10 @@
 //! * [`rng`] — deterministic seed derivation so that every synthetic dataset
 //!   is reproducible from a single experiment seed.
 
+// The shim `proptest!` macro expands recursively per token; the fiber
+// conduit property test has a sizeable body, so raise the budget for tests.
+#![cfg_attr(test, recursion_limit = "1024")]
+
 pub mod cities;
 pub mod datacenters;
 pub mod eu_cities;

@@ -114,6 +114,41 @@ impl RoutingTable {
     }
 }
 
+/// Install explicit link-id routes — the pinned-path counterpart of the
+/// Dijkstra schemes. `paths` holds one path per demand, in demand order
+/// (e.g. per-pair conduit routes translated from a topology's
+/// [`PathStore`]); each is validated to be a contiguous walk from the
+/// demand's source to its destination over existing links. Empty paths are
+/// allowed (unroutable or `src == dst` demands keep their slot), matching
+/// the Dijkstra schemes' convention.
+pub fn install_pinned_routes(
+    network: &Network,
+    demands: &[Demand],
+    paths: PathStore,
+) -> RoutingTable {
+    assert_eq!(paths.len(), demands.len(), "one pinned path per demand");
+    for (k, d) in demands.iter().enumerate() {
+        let path = paths.path(k);
+        if path.is_empty() {
+            continue;
+        }
+        let mut at = d.src;
+        for &l in path {
+            let spec = network.link(l as LinkId);
+            assert_eq!(
+                spec.from, at,
+                "demand {k}: pinned path is not contiguous at link {l}"
+            );
+            at = spec.to;
+        }
+        assert_eq!(
+            at, d.dst,
+            "demand {k}: pinned path does not end at the destination"
+        );
+    }
+    RoutingTable::from_store(paths)
+}
+
 /// Pack the network's link table into CSR form. Links are inserted in id
 /// order, so CSR edge ids coincide with [`LinkId`]s.
 fn network_csr(network: &Network) -> CsrGraph {
@@ -399,6 +434,64 @@ mod tests {
         disabled[4] = true; // 0→3
         let table = compute_routes_avoiding(&net, &demands, RoutingScheme::ShortestPath, &disabled);
         assert!(table.route(0).is_empty());
+    }
+
+    #[test]
+    fn pinned_routes_install_explicit_paths() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![
+            Demand {
+                src: 0,
+                dst: 1,
+                amount_bps: 1e8,
+            },
+            Demand {
+                src: 3,
+                dst: 3,
+                amount_bps: 1e6,
+            },
+        ];
+        // Pin the *long* path for demand 0 (Dijkstra would pick the short
+        // one) and an empty path for the self-demand.
+        let mut paths = PathStore::new();
+        paths.push_path(&[4, 6]); // 0→3, 3→1
+        paths.push_path(&[]);
+        let table = install_pinned_routes(&net, &demands, paths);
+        assert_eq!(table.route(0), &[4, 6]);
+        assert!((table.route_latency_s(&net, 0) - 0.030).abs() < 1e-9);
+        assert!(table.route(1).is_empty());
+        // The pinned table drives load accounting like any other scheme.
+        let loads = table.link_loads_bps(&net, &demands);
+        assert_eq!(loads[4], 1e8);
+        assert_eq!(loads[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn pinned_routes_reject_discontiguous_paths() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 1e8,
+        }];
+        let mut paths = PathStore::new();
+        paths.push_path(&[0, 6]); // 0→2 then 3→1: broken walk
+        install_pinned_routes(&net, &demands, paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not end")]
+    fn pinned_routes_reject_wrong_destination() {
+        let net = two_path_network(1e9, 1e9);
+        let demands = vec![Demand {
+            src: 0,
+            dst: 1,
+            amount_bps: 1e8,
+        }];
+        let mut paths = PathStore::new();
+        paths.push_path(&[0]); // stops at node 2
+        install_pinned_routes(&net, &demands, paths);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use cisp_core::evaluate::{lower, EvaluateConfig, LoweredNetwork};
 use cisp_core::topology::HybridTopology;
 use cisp_graph::DistMatrix;
+use cisp_netsim::sim::Simulation;
 use cisp_netsim::SimReport;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +147,144 @@ pub fn simulate_with_failures(lowered: &LoweredNetwork, failed_mw_links: &[usize
     lowered.simulation_without(failed_mw_links).run()
 }
 
+/// The delivered outcome of one conduit-cut scenario (or the uncut
+/// baseline).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConduitCutOutcome {
+    /// Number of conduit segments cut in this scenario.
+    pub cut_segments: usize,
+    /// Demands (of those with distinct endpoints) left with no surviving
+    /// route at all.
+    pub unroutable_demands: usize,
+    /// Mean delivered one-way delay, milliseconds.
+    pub mean_delay_ms: f64,
+    /// 95th-percentile delivered one-way delay, milliseconds.
+    pub p95_delay_ms: f64,
+    /// Mean queueing delay per packet, milliseconds.
+    pub mean_queue_delay_ms: f64,
+    /// Fraction of offered packets lost.
+    pub loss_rate: f64,
+    /// Packets delivered.
+    pub delivered: u64,
+}
+
+/// The conduit-cut report: the uncut baseline plus one outcome per cut
+/// scenario, in scenario order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConduitCutReport {
+    /// All-conduits-up baseline.
+    pub baseline: ConduitCutOutcome,
+    /// Per-scenario outcomes.
+    pub cuts: Vec<ConduitCutOutcome>,
+}
+
+impl ConduitCutReport {
+    /// Worst mean delivered delay across cut scenarios (the baseline when
+    /// none were analysed).
+    pub fn worst_mean_delay_ms(&self) -> f64 {
+        self.cuts
+            .iter()
+            .map(|c| c.mean_delay_ms)
+            .fold(self.baseline.mean_delay_ms, f64::max)
+    }
+
+    /// Worst loss rate across cut scenarios.
+    pub fn worst_loss_rate(&self) -> f64 {
+        self.cuts
+            .iter()
+            .map(|c| c.loss_rate)
+            .fold(self.baseline.loss_rate, f64::max)
+    }
+}
+
+/// Conduit segments ranked by how much traffic their simulator links
+/// carried in `report` (most-loaded first, zero-utilisation segments
+/// omitted) — the natural pick for "cut a loaded conduit" scenarios.
+pub fn most_loaded_conduits(lowered: &LoweredNetwork, report: &SimReport) -> Vec<usize> {
+    let mut ranked: Vec<(usize, f64)> = lowered
+        .conduit_link_ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(fwd, _))| fwd != usize::MAX)
+        .map(|(s, &(fwd, rev))| {
+            (
+                s,
+                report.link_utilizations[fwd].max(report.link_utilizations[rev]),
+            )
+        })
+        .filter(|&(_, u)| u > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked.into_iter().map(|(s, _)| s).collect()
+}
+
+fn conduit_outcome(sim: &mut Simulation, cut_segments: usize) -> ConduitCutOutcome {
+    let unroutable = sim
+        .demands()
+        .iter()
+        .enumerate()
+        .filter(|&(k, d)| d.src != d.dst && sim.routes().route(k).is_empty())
+        .count();
+    let report = sim.run();
+    ConduitCutOutcome {
+        cut_segments,
+        unroutable_demands: unroutable,
+        mean_delay_ms: report.mean_delay_ms,
+        p95_delay_ms: report.p95_delay_ms,
+        mean_queue_delay_ms: report.mean_queue_delay_ms,
+        loss_rate: report.loss_rate,
+        delivered: report.delivered,
+    }
+}
+
+/// Fiber-cut analysis over a conduit-backed topology: for every scenario
+/// (a set of conduit segment indices to sever), disable the affected
+/// simulator links, recompute routes around them — surviving traffic
+/// re-routes over the remaining conduits and the microwave spine — and
+/// replay the same demand set through the packet engine. This is the
+/// scenario family the paper's conduit grounding motivates and a
+/// pre-flattened fiber matrix cannot express: cutting one physical
+/// segment severs *every* route that shares it.
+///
+/// Panics unless `topology` is conduit-backed
+/// ([`HybridTopology::with_conduits`]). Callers that have already lowered
+/// the topology (e.g. to rank segments with [`most_loaded_conduits`])
+/// should use [`conduit_cut_analysis_on`] instead, which reuses that
+/// lowering and so cannot rank and cut under mismatched configurations.
+pub fn conduit_cut_analysis(
+    topology: &HybridTopology,
+    offered_traffic: &DistMatrix,
+    cut_scenarios: &[Vec<usize>],
+    evaluate_config: &EvaluateConfig,
+) -> ConduitCutReport {
+    assert!(
+        topology.conduits().is_some(),
+        "conduit_cut_analysis needs a conduit-backed topology \
+         (HybridTopology::with_conduits)"
+    );
+    conduit_cut_analysis_on(
+        &lower(topology, offered_traffic, evaluate_config),
+        cut_scenarios,
+    )
+}
+
+/// [`conduit_cut_analysis`] over an existing conduit-backed lowering.
+pub fn conduit_cut_analysis_on(
+    lowered: &LoweredNetwork,
+    cut_scenarios: &[Vec<usize>],
+) -> ConduitCutReport {
+    assert!(
+        !lowered.conduit_link_ids.is_empty(),
+        "conduit cut analysis needs a conduit-backed lowering"
+    );
+    let baseline = conduit_outcome(&mut lowered.simulation(), 0);
+    let cuts = cut_scenarios
+        .iter()
+        .map(|cut| conduit_outcome(&mut lowered.simulation_without_conduits(cut), cut.len()))
+        .collect();
+    ConduitCutReport { baseline, cuts }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +372,103 @@ mod tests {
         assert!(report.mean_failed_links() > 0.0);
         assert!(report.mean_delay_quantile_ms(0.5) >= report.fair.mean_delay_ms);
         assert!(report.worst_loss_rate() >= 0.0);
+    }
+
+    /// The 4-site topology conduit-backed: a conduit chain through Kansas
+    /// City plus a direct Chicago–Denver conduit, no MW spine — every
+    /// demand rides the conduits, so cuts bite.
+    fn conduit_topology() -> HybridTopology {
+        use cisp_core::topology::{FiberLink, FiberNetwork};
+        let sites = vec![
+            GeoPoint::new(41.9, -87.6),  // Chicago
+            GeoPoint::new(39.1, -94.6),  // Kansas City
+            GeoPoint::new(32.8, -96.8),  // Dallas
+            GeoPoint::new(39.7, -105.0), // Denver
+        ];
+        let n = sites.len();
+        let seg = |a: usize, b: usize, factor: f64| FiberLink {
+            a,
+            b,
+            route_km: cisp_geo::geodesic::distance_km(sites[a], sites[b]) * factor,
+        };
+        let fiber = FiberNetwork::from_parts(
+            sites.clone(),
+            vec![
+                seg(0, 1, 1.25),
+                seg(1, 2, 1.25),
+                seg(1, 3, 1.25),
+                seg(0, 3, 1.4),
+            ],
+        );
+        let traffic = vec![vec![1.0; n]; n];
+        HybridTopology::with_conduits(sites, traffic, &fiber)
+    }
+
+    #[test]
+    fn cutting_a_loaded_conduit_strictly_degrades_delivery() {
+        let topo = conduit_topology();
+        let config = EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.5,
+            // Fiber capacity in demand range, so re-routed traffic both
+            // lengthens paths and congests the survivors.
+            fiber_rate_bps: 2e9,
+            sim: SimConfig {
+                duration_s: 0.05,
+                ..SimConfig::default()
+            },
+            ..EvaluateConfig::default()
+        };
+        let lowered = lower(&topo, topo.traffic(), &config);
+        let baseline_report = lowered.simulation().run();
+        let ranked = most_loaded_conduits(&lowered, &baseline_report);
+        assert!(!ranked.is_empty(), "baseline must load some conduit");
+
+        // Cut the most-loaded conduit alone, then the two most-loaded.
+        let scenarios = vec![vec![ranked[0]], ranked.iter().copied().take(2).collect()];
+        let report = conduit_cut_analysis(&topo, topo.traffic(), &scenarios, &config);
+        assert_eq!(report.baseline.cut_segments, 0);
+        assert_eq!(report.baseline.unroutable_demands, 0);
+        assert!(report.baseline.delivered > 0);
+        assert_eq!(report.cuts.len(), 2);
+        for cut in &report.cuts {
+            assert!(cut.delivered > 0, "the conduit graph survives these cuts");
+            // Severing a loaded conduit must strictly worsen delivered
+            // latency or loss — the acceptance invariant.
+            assert!(
+                cut.mean_delay_ms > report.baseline.mean_delay_ms
+                    || cut.loss_rate > report.baseline.loss_rate,
+                "cutting {} loaded segment(s) did not degrade delivery \
+                 (delay {} vs {}, loss {} vs {})",
+                cut.cut_segments,
+                cut.mean_delay_ms,
+                report.baseline.mean_delay_ms,
+                cut.loss_rate,
+                report.baseline.loss_rate
+            );
+        }
+        assert!(report.worst_mean_delay_ms() >= report.baseline.mean_delay_ms);
+        assert!(report.worst_loss_rate() >= report.baseline.loss_rate);
+    }
+
+    #[test]
+    fn cutting_every_conduit_leaves_demands_unroutable() {
+        let topo = conduit_topology();
+        let config = fast_config();
+        let all: Vec<usize> = (0..topo.conduits().unwrap().num_segments()).collect();
+        let report = conduit_cut_analysis(&topo, topo.traffic(), &[all], &config);
+        let cut = &report.cuts[0];
+        assert_eq!(cut.cut_segments, 4);
+        // No MW spine and no conduits: every distinct-endpoint demand dies.
+        assert_eq!(cut.unroutable_demands, 12);
+        assert_eq!(cut.delivered, 0);
+        assert_eq!(cut.mean_delay_ms, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conduit-backed")]
+    fn conduit_cut_analysis_rejects_matrix_backed_topologies() {
+        let topo = test_topology();
+        conduit_cut_analysis(&topo, topo.traffic(), &[], &fast_config());
     }
 }

@@ -1,13 +1,16 @@
-//! The full cISP evaluation chain in one run: design → traffic →
-//! packet simulation → application outcomes.
+//! The full cISP evaluation chain in one run: design → conduit grounding →
+//! traffic → packet simulation → application outcomes.
 //!
-//! Designs the miniature US backbone, lowers it (with its population-product
+//! Designs the miniature US backbone, re-grounds it in the physical fiber
+//! conduit graph (bit-identical effective distances, O(segments) instead of
+//! O(n²) fiber links once lowered), lowers it (with its population-product
 //! traffic matrix) into the site-level packet network, replays the traffic
-//! through the sharded discrete-event engine — verifying that serial and
-//! sharded execution produce bit-identical reports — and then feeds the
-//! *simulated* per-pair RTT distribution (propagation + serialization +
-//! queueing) into the paper's §7 application models: thin-client gaming
-//! frame times and web page-load replays.
+//! through the sharded discrete-event engine — verifying that serial,
+//! component-sharded and time-windowed execution produce bit-identical
+//! reports on the conduit-lowered network — and then feeds the *simulated*
+//! per-pair RTT distribution (propagation + serialization + queueing) into
+//! the paper's §7 application models: thin-client gaming frame times and
+//! web page-load replays.
 //!
 //! Run with: `cargo run --release --example end_to_end_backbone`
 
@@ -29,7 +32,13 @@ fn main() {
         scenario.design_input().empty_topology().mean_stretch()
     );
 
-    println!("\n== step 2: traffic + lowering ==");
+    println!("\n== step 2: conduit grounding + traffic + lowering ==");
+    let conduit_topo = scenario.conduit_backed_topology(&outcome);
+    assert_eq!(
+        conduit_topo.effective_matrix(),
+        outcome.topology.effective_matrix(),
+        "conduit-backed topology must be bit-identical to the designed one"
+    );
     let traffic = population_product_traffic(scenario.cities());
     let config = EvaluateConfig {
         design_aggregate_gbps: 4.0,
@@ -40,11 +49,21 @@ fn main() {
         },
         ..EvaluateConfig::default()
     };
-    let lowered = lower(&outcome.topology, &traffic, &config);
+    let mesh_lowered = lower(&outcome.topology, &traffic, &config);
+    let lowered = lower(&conduit_topo, &traffic, &config);
+    assert!(
+        lowered.network.num_links() < mesh_lowered.network.num_links(),
+        "conduit lowering must beat the O(n²) pair mesh"
+    );
     println!(
-        "  {} directed links ({} microwave), {} demands offering {:.2} Gbps",
+        "  conduit-backed: {} directed links ({} microwave, {} conduit segments) vs {} for the per-pair fiber mesh",
         lowered.network.num_links(),
         2 * lowered.mw_link_ids.len(),
+        conduit_topo.conduits().unwrap().num_segments(),
+        mesh_lowered.network.num_links(),
+    );
+    println!(
+        "  {} demands offering {:.2} Gbps",
         lowered.demands.len(),
         lowered.demands.iter().map(|d| d.amount_bps).sum::<f64>() / 1e9
     );
@@ -90,7 +109,7 @@ fn main() {
         report.mean_queue_delay_ms
     );
 
-    let rtts = pair_rtts(&lowered, &report, &outcome.topology);
+    let rtts = pair_rtts(&lowered, &report, &conduit_topo);
     let mut worst = rtts.clone();
     worst.sort_by(|a, b| b.simulated_rtt_ms.partial_cmp(&a.simulated_rtt_ms).unwrap());
     println!("\n  slowest simulated pairs (RTT vs zero-load propagation):");

@@ -7,17 +7,23 @@
 //! median and worst-case stretch per pair class, mirroring the paper's §6.1
 //! finding that the 99th-percentile latency is nearly the fair-weather one —
 //! and then replays the same storm year through the packet simulator
-//! (`cisp_weather::simulate`), so the reported numbers include queueing and
-//! loss on the narrowed network, not just geodesic stretch.
+//! (`cisp_weather::simulate`) over the *conduit-backed* topology, so the
+//! reported numbers include queueing and loss on the narrowed network (with
+//! fiber fallbacks sharing physical conduit capacity), not just geodesic
+//! stretch. Finally, the failure mode microwave weather cannot cause:
+//! severing the most-loaded fiber conduit segments
+//! (`cisp_weather::simulate::conduit_cut_analysis`).
 //!
 //! Run with: `cargo run --release --example weather_resilience`
 
-use cisp::core::evaluate::EvaluateConfig;
+use cisp::core::evaluate::{lower, EvaluateConfig};
 use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
 use cisp::netsim::sim::SimConfig;
 use cisp::weather::failures::FailureConfig;
 use cisp::weather::reroute::{weather_year_analysis, WeatherSeries};
-use cisp::weather::simulate::storm_queueing_analysis;
+use cisp::weather::simulate::{
+    conduit_cut_analysis_on, most_loaded_conduits, storm_queueing_analysis,
+};
 use cisp::weather::storms::{StormYear, StormYearConfig};
 
 fn main() {
@@ -62,7 +68,8 @@ fn main() {
         );
     }
 
-    println!("\nreplaying the storm year through the packet simulator…");
+    println!("\nreplaying the storm year through the packet simulator (conduit-backed fiber)…");
+    let conduit_topo = scenario.conduit_backed_topology(&outcome);
     let traffic = population_product_traffic(scenario.cities());
     let config = EvaluateConfig {
         design_aggregate_gbps: 3.0,
@@ -74,7 +81,7 @@ fn main() {
         ..EvaluateConfig::default()
     };
     let queueing = storm_queueing_analysis(
-        &outcome.topology,
+        &conduit_topo,
         &traffic,
         year.fields(),
         &FailureConfig::default(),
@@ -93,4 +100,42 @@ fn main() {
         queueing.fair.loss_rate * 100.0,
         queueing.mean_failed_links()
     );
+
+    println!("\ncutting fiber conduits (the failure weather cannot cause)…");
+    // A sparse MW spine leaves real traffic on the conduits, so cuts bite;
+    // fiber capacity in demand range makes the survivors congestible.
+    let sparse = scenario.design(80.0);
+    let sparse_conduit = scenario.conduit_backed_topology(&sparse);
+    let cut_config = EvaluateConfig {
+        fiber_rate_bps: 2e9,
+        ..config
+    };
+    let lowered = lower(&sparse_conduit, &traffic, &cut_config);
+    let baseline = lowered.simulation().run();
+    let ranked = most_loaded_conduits(&lowered, &baseline);
+    let scenarios: Vec<Vec<usize>> = (1..=3.min(ranked.len()))
+        .map(|k| ranked.iter().copied().take(k).collect())
+        .collect();
+    let cuts = conduit_cut_analysis_on(&lowered, &scenarios);
+    println!(
+        "  sparse spine ({} MW links, {} conduit segments), uncut: mean delay {:.3} ms, loss {:.3} %",
+        sparse.selected.len(),
+        sparse_conduit.conduits().unwrap().num_segments(),
+        cuts.baseline.mean_delay_ms,
+        cuts.baseline.loss_rate * 100.0
+    );
+    for cut in &cuts.cuts {
+        println!(
+            "  cut {} most-loaded segment(s): mean delay {:.3} ms, loss {:.3} %, {} demands unroutable",
+            cut.cut_segments,
+            cut.mean_delay_ms,
+            cut.loss_rate * 100.0,
+            cut.unroutable_demands
+        );
+        assert!(
+            cut.mean_delay_ms > cuts.baseline.mean_delay_ms
+                || cut.loss_rate > cuts.baseline.loss_rate,
+            "severing a loaded conduit must degrade delivery"
+        );
+    }
 }

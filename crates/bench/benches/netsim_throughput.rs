@@ -19,11 +19,7 @@ fn bottleneck_network() -> (Network, Vec<Demand>) {
         propagation_s: 0.010,
         buffer_bytes: 1e6,
     });
-    let demands = vec![Demand {
-        src: 0,
-        dst: 1,
-        amount_bps: 70e6,
-    }];
+    let demands = vec![Demand::new(0, 1, 70e6)];
     (net, demands)
 }
 
@@ -40,11 +36,7 @@ fn star_network(nodes: usize) -> (Network, Vec<Demand>) {
     }
     let mut demands = Vec::new();
     for i in 0..nodes {
-        demands.push(Demand {
-            src: i,
-            dst: (i + 1) % nodes,
-            amount_bps: 50e6,
-        });
+        demands.push(Demand::new(i, (i + 1) % nodes, 50e6));
     }
     (net, demands)
 }

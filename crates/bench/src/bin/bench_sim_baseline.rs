@@ -15,6 +15,14 @@
 //! * `single_component_ring` — one heavy shared-link mesh (a congested
 //!   one-way ring with crossing flows), the regime where component sharding
 //!   degenerates to serial and only the time-windowed engine parallelises.
+//! * `us_backbone_million_user` — the hybrid fluid/packet engine's
+//!   headline: the conduit-backed backbone carrying a million users' worth
+//!   of bulk background traffic (10⁶ × 140 kbps = 140 Gbps) as fluid next
+//!   to the packet-simulated foreground. Records the wall-clock speedup
+//!   over simulating the same demand set purely packet-by-packet and the
+//!   packet-equivalent events the fluid model avoided, after asserting
+//!   hybrid cross-mode bit-identity and foreground-delay agreement within
+//!   the documented buffer-drain envelope.
 //!
 //! Writes `BENCH_sim.json` (or the path given as the first argument) with
 //! wall-clock medians, event throughputs, and the per-mode speedups,
@@ -29,11 +37,12 @@
 use std::time::Instant;
 
 use cisp_bench::us_scenario;
-use cisp_core::evaluate::{lower, EvaluateConfig};
+use cisp_core::evaluate::{lower, lower_classified, EvaluateConfig};
 use cisp_core::scenario::population_product_traffic;
 use cisp_netsim::network::{LinkSpec, Network};
-use cisp_netsim::routing::Demand;
+use cisp_netsim::routing::{compute_routes, Demand};
 use cisp_netsim::sim::{ExecMode, SimConfig, Simulation};
+use cisp_netsim::BackgroundModel;
 
 /// Median wall-clock milliseconds of `f` over enough repetitions to be
 /// stable.
@@ -78,11 +87,7 @@ fn disjoint_pairs(pairs: usize) -> (Network, Vec<Demand>) {
             propagation_s: 0.002 + p as f64 * 1e-4,
             buffer_bytes: 50_000.0,
         });
-        demands.push(Demand {
-            src: 2 * p,
-            dst: 2 * p + 1,
-            amount_bps: 8e6,
-        });
+        demands.push(Demand::new(2 * p, 2 * p + 1, 8e6));
     }
     (net, demands)
 }
@@ -104,11 +109,7 @@ fn single_component_ring(nodes: usize) -> (Network, Vec<Demand>) {
     }
     let mut demands = Vec::new();
     for i in 0..nodes {
-        demands.push(Demand {
-            src: i,
-            dst: (i + nodes / 2) % nodes,
-            amount_bps: 2.5e6,
-        });
+        demands.push(Demand::new(i, (i + nodes / 2) % nodes, 2.5e6));
     }
     (net, demands)
 }
@@ -175,6 +176,109 @@ fn measure(
         sharded_ms,
         windowed_ms,
         components,
+    }
+}
+
+struct HybridReport {
+    events_packet: u64,
+    events_hybrid: u64,
+    packet_equivalent_events_avoided: f64,
+    pure_packet_ms: f64,
+    hybrid_ms: f64,
+    background_flows: usize,
+    foreground_flows: usize,
+}
+
+/// Run the hybrid workload: same network and demand set, once with the
+/// background class as fluid and once purely packet-by-packet. Asserts the
+/// hybrid report is bit-identical across execution modes and that hybrid
+/// foreground delays agree with the pure-packet run within the documented
+/// envelope (the summed buffer-drain time along each flow's route) before
+/// timing either engine.
+fn measure_hybrid(network: Network, demands: Vec<Demand>, base: SimConfig) -> HybridReport {
+    let hybrid_config = SimConfig {
+        workers: 1,
+        background: BackgroundModel::Fluid,
+        ..base
+    };
+    let packet_config = SimConfig {
+        workers: 1,
+        background: BackgroundModel::Packet,
+        ..base
+    };
+
+    let mut hybrid_sim = Simulation::new(network.clone(), demands.clone(), hybrid_config);
+    let hybrid = hybrid_sim.run();
+    // Hybrid reports obey the same cross-mode bit-identity contract as pure
+    // packet runs: the fluid solution is computed once, up front.
+    for config in [
+        SimConfig {
+            workers: 0,
+            ..hybrid_config
+        },
+        SimConfig {
+            workers: 0,
+            mode: ExecMode::windowed_auto(),
+            ..hybrid_config
+        },
+    ] {
+        let parallel = Simulation::new(network.clone(), demands.clone(), config).run();
+        assert_eq!(
+            hybrid, parallel,
+            "hybrid reports must be bit-identical across execution modes"
+        );
+    }
+
+    let mut packet_sim = Simulation::new(network.clone(), demands.clone(), packet_config);
+    let packet = packet_sim.run();
+
+    // Foreground agreement: per-flow mean delays match the pure-packet run
+    // within the fluid model's envelope — the drain time of every buffer
+    // along the flow's route (class interleaving below the packet scale is
+    // exactly what the fluid abstraction trades away).
+    let routes = compute_routes(&network, &demands, base.routing);
+    for (k, d) in demands.iter().enumerate() {
+        if d.is_background() || hybrid.flow_delivered[k] == 0 || packet.flow_delivered[k] == 0 {
+            continue;
+        }
+        let envelope_ms: f64 = routes
+            .route(k)
+            .iter()
+            .map(|&l| {
+                let spec = network.link(l as usize);
+                spec.buffer_bytes * 8.0 / spec.rate_bps * 1e3
+            })
+            .sum();
+        let diff = (hybrid.flow_mean_delay_ms[k] - packet.flow_mean_delay_ms[k]).abs();
+        assert!(
+            diff <= envelope_ms + 1e-9,
+            "foreground flow {k}: hybrid {} ms vs packet {} ms exceeds the {envelope_ms} ms envelope",
+            hybrid.flow_mean_delay_ms[k],
+            packet.flow_mean_delay_ms[k],
+        );
+    }
+
+    let bg = hybrid
+        .background
+        .expect("hybrid run must report background stats");
+    let events_hybrid = events_processed(&hybrid_sim, hybrid.delivered, hybrid.dropped);
+    let events_packet = events_processed(&packet_sim, packet.delivered, packet.dropped);
+
+    let hybrid_ms = median_ms(|| {
+        hybrid_sim.run();
+    });
+    let pure_packet_ms = median_ms(|| {
+        packet_sim.run();
+    });
+
+    HybridReport {
+        events_packet,
+        events_hybrid,
+        packet_equivalent_events_avoided: bg.packet_equivalent_events,
+        pure_packet_ms,
+        hybrid_ms,
+        background_flows: bg.flows,
+        foreground_flows: demands.iter().filter(|d| !d.is_background()).count(),
     }
 }
 
@@ -252,6 +356,41 @@ fn main() {
         reports.push(measure("single_component_ring_24", net, demands, config));
     }
 
+    // Hybrid headline workload: the conduit-backed backbone with a million
+    // users' worth of bulk background traffic (10⁶ × 140 kbps = 140 Gbps)
+    // next to a 2 Gbps packet-simulated foreground.
+    let hybrid = {
+        let scenario = us_scenario(cisp_bench::Scale::Tiny, 42);
+        let outcome = scenario.design(300.0);
+        let traffic = population_product_traffic(scenario.cities());
+        let eval_config = EvaluateConfig {
+            design_aggregate_gbps: 4.0,
+            load_fraction: 0.5,
+            ..EvaluateConfig::default()
+        };
+        let conduit_topo = scenario.conduit_backed_topology(&outcome);
+        let lowered = lower_classified(&conduit_topo, &traffic, &traffic, 140.0, &eval_config);
+        let config = SimConfig {
+            duration_s: 0.05,
+            ..SimConfig::default()
+        };
+        measure_hybrid(lowered.network, lowered.demands, config)
+    };
+    let hybrid_speedup = hybrid.pure_packet_ms / hybrid.hybrid_ms;
+    println!(
+        "us_backbone_million_user: pure packet {:.2} ms ({} events) vs hybrid {:.2} ms ({} events): {:.1}x, {:.0} packet-equivalent events avoided",
+        hybrid.pure_packet_ms,
+        hybrid.events_packet,
+        hybrid.hybrid_ms,
+        hybrid.events_hybrid,
+        hybrid_speedup,
+        hybrid.packet_equivalent_events_avoided,
+    );
+    assert!(
+        hybrid_speedup >= 10.0,
+        "hybrid engine must be at least 10x faster than pure packet on the million-user workload, got {hybrid_speedup:.1}x"
+    );
+
     let mut entries = Vec::new();
     for r in &reports {
         let serial_eps = r.events as f64 / (r.serial_ms / 1e3);
@@ -302,18 +441,45 @@ fn main() {
     }
 
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let hybrid_json = format!(
+        concat!(
+            "  \"hybrid\": {{\n",
+            "    \"workload\": \"us_backbone_million_user\",\n",
+            "    \"users_equivalent\": 1000000,\n",
+            "    \"background_gbps\": 140.0,\n",
+            "    \"foreground_flows\": {},\n",
+            "    \"background_flows\": {},\n",
+            "    \"pure_packet_ms\": {:.4},\n",
+            "    \"hybrid_ms\": {:.4},\n",
+            "    \"speedup\": {:.1},\n",
+            "    \"events_pure_packet\": {},\n",
+            "    \"events_hybrid\": {},\n",
+            "    \"packet_equivalent_events_avoided\": {:.0}\n",
+            "  }}"
+        ),
+        hybrid.foreground_flows,
+        hybrid.background_flows,
+        hybrid.pure_packet_ms,
+        hybrid.hybrid_ms,
+        hybrid_speedup,
+        hybrid.events_packet,
+        hybrid.events_hybrid,
+        hybrid.packet_equivalent_events_avoided,
+    );
     let json = format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"packet engine event throughput: serial vs component-sharded vs time-windowed\",\n",
+            "  \"bench\": \"packet engine event throughput: serial vs component-sharded vs time-windowed, plus the hybrid fluid/packet engine\",\n",
             "  \"command\": \"cargo run --release --bin bench_sim_baseline\",\n",
             "  \"available_parallelism\": {},\n",
-            "  \"note\": \"serial, component-sharded and time-windowed reports asserted bit-identical before timing\",\n",
-            "  \"workloads\": [\n{}\n  ]\n",
+            "  \"note\": \"serial, component-sharded and time-windowed reports asserted bit-identical before timing; hybrid foreground delays asserted within the buffer-drain envelope of the pure-packet run\",\n",
+            "  \"workloads\": [\n{}\n  ],\n",
+            "{}\n",
             "}}\n"
         ),
         workers,
-        entries.join(",\n")
+        entries.join(",\n"),
+        hybrid_json
     );
     std::fs::write(&out_path, json).expect("write baseline file");
     println!("wrote {out_path}");

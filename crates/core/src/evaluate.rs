@@ -34,10 +34,12 @@ use cisp_geo::latency;
 use cisp_geo::units::{FIBER_LATENCY_FACTOR, SPEED_OF_LIGHT_KM_PER_S};
 use cisp_graph::{DistMatrix, PathStore};
 use cisp_netsim::network::{LinkId, LinkSpec, Network};
-use cisp_netsim::routing::{compute_routes_avoiding, install_pinned_routes, Demand, RoutingTable};
+use cisp_netsim::routing::{
+    compute_routes_avoiding, install_pinned_routes, Demand, RoutingTable, TrafficClass,
+};
 use cisp_netsim::sim::{SimConfig, Simulation};
 use cisp_netsim::SimReport;
-use cisp_traffic::TrafficMatrix;
+use cisp_traffic::{ClassifiedTraffic, TrafficMatrix};
 use serde::{Deserialize, Serialize};
 
 use crate::augment::{augment_for_throughput, AugmentConfig};
@@ -215,18 +217,88 @@ impl LoweredNetwork {
 }
 
 /// Lower a designed topology and an offered traffic matrix (pair weights,
-/// any scale) into a packet network and demand set.
+/// any scale) into a packet network and demand set. Every demand is
+/// foreground-class; see [`lower_classified`] for the hybrid split.
 pub fn lower(
     topology: &HybridTopology,
     offered_traffic: &DistMatrix,
     config: &EvaluateConfig,
 ) -> LoweredNetwork {
+    let aggregate = config.design_aggregate_gbps * config.load_fraction;
+    lower_with(
+        topology,
+        &[(offered_traffic, aggregate, TrafficClass::Foreground)],
+        config,
+    )
+}
+
+/// Lower with the traffic split by class: the foreground matrix is scaled
+/// to `load_fraction × design target` exactly like [`lower`], and the
+/// background matrix — bulk traffic, e.g. the datacenter-replication
+/// component of the paper's §6.4 mix — is scaled to its own aggregate and
+/// tagged [`TrafficClass::Background`], so a hybrid simulation
+/// ([`BackgroundModel::Fluid`]) models it as fluid. Background demands are
+/// appended after all foreground demands, still as consecutive
+/// forward/reverse pairs, so [`pair_rtts`] keeps working (background pairs
+/// report their propagation RTT: fluid flows deliver no packets).
+///
+/// [`BackgroundModel::Fluid`]: cisp_netsim::BackgroundModel::Fluid
+pub fn lower_classified(
+    topology: &HybridTopology,
+    foreground: &DistMatrix,
+    background: &DistMatrix,
+    background_aggregate_gbps: f64,
+    config: &EvaluateConfig,
+) -> LoweredNetwork {
+    let aggregate = config.design_aggregate_gbps * config.load_fraction;
+    lower_with(
+        topology,
+        &[
+            (foreground, aggregate, TrafficClass::Foreground),
+            (
+                background,
+                background_aggregate_gbps,
+                TrafficClass::Background,
+            ),
+        ],
+        config,
+    )
+}
+
+/// [`lower_classified`] over a `cisp_traffic` classified split.
+pub fn lower_traffic_classified(
+    topology: &HybridTopology,
+    classified: &ClassifiedTraffic,
+    background_aggregate_gbps: f64,
+    config: &EvaluateConfig,
+) -> LoweredNetwork {
+    lower_classified(
+        topology,
+        classified.foreground.as_matrix(),
+        classified.background.as_matrix(),
+        background_aggregate_gbps,
+        config,
+    )
+}
+
+/// Shared lowering core: build the network once, then emit one demand per
+/// direction per pair for every `(matrix, aggregate_gbps, class)` entry, in
+/// entry order. Zero-aggregate or all-zero entries contribute nothing; at
+/// least one entry must carry traffic.
+fn lower_with(
+    topology: &HybridTopology,
+    traffic_classes: &[(&DistMatrix, f64, TrafficClass)],
+    config: &EvaluateConfig,
+) -> LoweredNetwork {
     let n = topology.num_sites();
-    assert_eq!(
-        offered_traffic.n(),
-        n,
-        "traffic matrix must cover the sites"
-    );
+    for (offered_traffic, aggregate, _) in traffic_classes {
+        assert_eq!(
+            offered_traffic.n(),
+            n,
+            "traffic matrix must cover the sites"
+        );
+        assert!(*aggregate >= 0.0);
+    }
     assert!(config.load_fraction >= 0.0);
 
     // Deduplicate co-located sites (geodesic distance zero) onto one
@@ -322,32 +394,43 @@ pub fn lower(
         }
     }
 
-    // Offered demands: the matrix scaled so its pair sum is
-    // `load_fraction × design target`, each pair split across directions.
-    // `demand_pairs` keeps the original *site* pair; the demand endpoints
-    // are the representative nodes (a co-located pair becomes a
-    // `src == dst` demand, which emits nothing — its traffic needs no
-    // network).
-    let total = offered_traffic.upper_triangle_sum();
-    assert!(total > 0.0, "offered traffic matrix is empty");
-    let scale = config.design_aggregate_gbps * config.load_fraction / total;
+    // Offered demands: each class's matrix scaled so its pair sum is the
+    // class aggregate, each pair split across directions. `demand_pairs`
+    // keeps the original *site* pair; the demand endpoints are the
+    // representative nodes (a co-located pair becomes a `src == dst`
+    // demand, which emits nothing — its traffic needs no network).
     let mut demands = Vec::new();
     let mut demand_pairs = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let gbps = offered_traffic.get(i, j) * scale;
-            if gbps > 0.0 {
-                for (src, dst) in [(i, j), (j, i)] {
-                    demands.push(Demand {
-                        src: rep[src],
-                        dst: rep[dst],
-                        amount_bps: gbps * 1e9 / 2.0,
-                    });
-                    demand_pairs.push((src, dst));
+    let mut any_traffic = false;
+    for &(offered_traffic, aggregate_gbps, class) in traffic_classes {
+        let total = offered_traffic.upper_triangle_sum();
+        if total > 0.0 {
+            // A zero aggregate (e.g. `load_fraction: 0`) legitimately emits
+            // no demands; only all-zero *matrices* are a caller error.
+            any_traffic = true;
+        }
+        if total <= 0.0 || aggregate_gbps <= 0.0 {
+            continue;
+        }
+        let scale = aggregate_gbps / total;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let gbps = offered_traffic.get(i, j) * scale;
+                if gbps > 0.0 {
+                    for (src, dst) in [(i, j), (j, i)] {
+                        demands.push(Demand {
+                            src: rep[src],
+                            dst: rep[dst],
+                            amount_bps: gbps * 1e9 / 2.0,
+                            class,
+                        });
+                        demand_pairs.push((src, dst));
+                    }
                 }
             }
         }
     }
+    assert!(any_traffic, "offered traffic matrix is empty");
 
     LoweredNetwork {
         network,
@@ -861,5 +944,82 @@ mod tests {
         let lowered = lower(&topo, topo.traffic(), &fast_config());
         let mask = lowered.disabled_mask(&[99, 7]);
         assert!(mask.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn classified_lowering_appends_tagged_background_pairs() {
+        let topo = test_topology();
+        let config = fast_config();
+        let plain = lower(&topo, topo.traffic(), &config);
+        let classified = lower_classified(&topo, topo.traffic(), topo.traffic(), 1.0, &config);
+        // Foreground demands come first and are identical to the plain
+        // lowering; the background entry appends its own fwd/rev pairs.
+        assert_eq!(classified.demands.len(), 2 * plain.demands.len());
+        assert_eq!(
+            &classified.demands[..plain.demands.len()],
+            &plain.demands[..]
+        );
+        for (k, d) in classified.demands.iter().enumerate() {
+            let expect_bg = k >= plain.demands.len();
+            assert_eq!(d.is_background(), expect_bg, "demand {k}");
+        }
+        // Background scaled to its own aggregate: 1 Gbps total.
+        let bg_bps: f64 = classified.demands[plain.demands.len()..]
+            .iter()
+            .map(|d| d.amount_bps)
+            .sum();
+        assert!((bg_bps - 1e9).abs() < 1.0, "background total {bg_bps}");
+        // Pair order still alternates forward/reverse — pair_rtts' contract.
+        for k in (0..classified.demand_pairs.len()).step_by(2) {
+            let (i, j) = classified.demand_pairs[k];
+            assert_eq!(classified.demand_pairs[k + 1], (j, i));
+        }
+        // A zero background aggregate lowers to exactly the plain result.
+        let zero_bg = lower_classified(&topo, topo.traffic(), topo.traffic(), 0.0, &config);
+        assert_eq!(zero_bg.demands, plain.demands);
+    }
+
+    #[test]
+    fn hybrid_evaluation_flows_through_pair_rtts() {
+        // The classified lowering plus a Fluid background runs through the
+        // same simulation/report machinery the weather and app layers use:
+        // foreground pairs keep queueing-aware RTTs, background pairs fall
+        // back to propagation (fluid flows deliver no packets), and the
+        // report carries the class stats.
+        let topo = test_topology();
+        let mut config = fast_config();
+        config.sim.background = cisp_netsim::BackgroundModel::Fluid;
+        let lowered = lower_classified(&topo, topo.traffic(), topo.traffic(), 0.5, &config);
+        let report = lowered.simulation().run();
+        assert!(report.delivered > 0);
+        let bg = report
+            .background
+            .expect("hybrid run must report class stats");
+        assert_eq!(bg.flows, 12);
+        assert!(bg.offered_bits > 0.0);
+        let rtts = pair_rtts(&lowered, &report, &topo);
+        assert_eq!(rtts.len(), 12); // 6 foreground + 6 background pairs
+        for p in &rtts[..6] {
+            assert!(p.delivered > 0);
+            assert!(p.simulated_rtt_ms >= p.propagation_rtt_ms - 1e-9);
+        }
+        for p in &rtts[6..] {
+            assert_eq!(p.delivered, 0);
+            assert_eq!(p.simulated_rtt_ms, p.propagation_rtt_ms);
+        }
+    }
+
+    #[test]
+    fn traffic_classified_wrapper_matches_raw_matrices() {
+        let topo = test_topology();
+        let config = fast_config();
+        let classified = ClassifiedTraffic {
+            foreground: TrafficMatrix::from_dist_matrix(topo.traffic().clone()),
+            background: TrafficMatrix::from_dist_matrix(topo.traffic().clone()),
+        };
+        let a = lower_classified(&topo, topo.traffic(), topo.traffic(), 2.0, &config);
+        let b = lower_traffic_classified(&topo, &classified, 2.0, &config);
+        assert_eq!(a.demands.len(), b.demands.len());
+        assert_eq!(a.network.num_links(), b.network.num_links());
     }
 }

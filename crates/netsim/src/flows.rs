@@ -62,9 +62,9 @@ pub fn emission_times(
     times
 }
 
-/// [`emission_times`] into a caller-owned buffer (cleared first), so the
-/// engine's per-worker scheduling loop reuses one allocation across flows
-/// instead of building a fresh `Vec` per flow.
+/// [`emission_times`] into a caller-owned buffer (cleared first), so
+/// callers can reuse one allocation across flows instead of building a
+/// fresh `Vec` per flow.
 pub fn emission_times_into(
     flow: &FlowSpec,
     flow_index: usize,
@@ -73,41 +73,100 @@ pub fn emission_times_into(
     seed: u64,
     times: &mut Vec<f64>,
 ) {
-    assert!(duration > 0.0);
-    assert!(flow.rate_bps > 0.0 && flow.packet_bytes > 0.0);
     let gap = flow.mean_gap_s();
     times.clear();
     times.reserve((duration / gap).ceil() as usize + 1);
-    match process {
-        ArrivalProcess::ConstantBitRate => {
-            // Deterministic per-flow phase in [0, gap).
-            let phase = {
-                let mut h = seed ^ (flow_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                h ^= h >> 33;
-                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-                h ^= h >> 33;
-                (h >> 11) as f64 / (1u64 << 53) as f64 * gap
-            };
-            let mut t = phase;
-            while t < duration {
-                times.push(t);
-                t += gap;
+    let mut schedule = EmissionSchedule::new(flow, flow_index, process, seed);
+    while let Some(t) = schedule.next_emission(duration) {
+        times.push(t);
+    }
+}
+
+/// A flow's emission times, produced one at a time — the engine's event
+/// heap holds only each flow's *next* emission instead of every packet of
+/// the run, keeping the heap at O(flows + packets in flight). The sequence
+/// is float-for-float the one [`emission_times`] materialises (the running
+/// time accumulates through the same operations), so lazy and eager
+/// scheduling drive bit-identical simulations.
+#[derive(Debug, Clone)]
+pub enum EmissionSchedule {
+    /// Evenly spaced from a deterministic per-flow phase in `[0, gap)`.
+    Cbr {
+        /// Next emission time.
+        next: f64,
+        /// Inter-packet gap, seconds.
+        gap: f64,
+    },
+    /// Exponential inter-arrival times from a per-flow seeded RNG.
+    Poisson {
+        /// Next candidate emission time.
+        next: f64,
+        /// Mean inter-packet gap, seconds.
+        gap: f64,
+        /// The flow's private RNG stream.
+        rng: Box<StdRng>,
+    },
+}
+
+impl EmissionSchedule {
+    /// The emission schedule of `flow` under `process`.
+    pub fn new(flow: &FlowSpec, flow_index: usize, process: ArrivalProcess, seed: u64) -> Self {
+        assert!(flow.rate_bps > 0.0 && flow.packet_bytes > 0.0);
+        let gap = flow.mean_gap_s();
+        match process {
+            ArrivalProcess::ConstantBitRate => {
+                // Deterministic per-flow phase in [0, gap).
+                let phase = {
+                    let mut h = seed ^ (flow_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    h ^= h >> 33;
+                    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                    h ^= h >> 33;
+                    (h >> 11) as f64 / (1u64 << 53) as f64 * gap
+                };
+                EmissionSchedule::Cbr { next: phase, gap }
             }
-        }
-        ArrivalProcess::Poisson => {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (flow_index as u64).wrapping_mul(0xABCD_EF12));
-            let mut t = 0.0;
-            loop {
-                let u: f64 = rng.gen::<f64>().max(1e-12);
-                t += -gap * u.ln();
-                if t >= duration {
-                    break;
+            ArrivalProcess::Poisson => {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (flow_index as u64).wrapping_mul(0xABCD_EF12));
+                let next = first_poisson_gap(&mut rng, gap);
+                EmissionSchedule::Poisson {
+                    next,
+                    gap,
+                    rng: Box::new(rng),
                 }
-                times.push(t);
             }
         }
     }
+
+    /// The next emission time in `[0, duration)`, or `None` once the flow
+    /// has emitted its last packet.
+    pub fn next_emission(&mut self, duration: f64) -> Option<f64> {
+        assert!(duration > 0.0);
+        match self {
+            EmissionSchedule::Cbr { next, gap } => {
+                let t = *next;
+                if t >= duration {
+                    return None;
+                }
+                *next = t + *gap;
+                Some(t)
+            }
+            EmissionSchedule::Poisson { next, gap, rng } => {
+                let t = *next;
+                if t >= duration {
+                    return None;
+                }
+                *next = t + first_poisson_gap(rng, *gap);
+                Some(t)
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival draw with mean `gap`.
+fn first_poisson_gap(rng: &mut StdRng, gap: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -gap * u.ln()
 }
 
 #[cfg(test)]

@@ -33,6 +33,13 @@
 //!   bounded by the partition's propagation-delay lookahead, boundary-event
 //!   exchange at window barriers); every `(mode, workers, window)`
 //!   configuration produces a bit-identical report.
+//! * [`fluid`] — the flow-level fluid model behind hybrid execution:
+//!   demands tagged [`routing::TrafficClass::Background`] become per-link
+//!   FIFO fluid queues advanced piecewise-linearly between rate-change
+//!   events ([`sim::SimConfig::background`] =
+//!   [`fluid::BackgroundModel::Fluid`]), while foreground packets ride on
+//!   the solved backlog timelines — million-user bulk demands at orders of
+//!   magnitude fewer events.
 //! * [`tcp`] — the simplified window-based TCP (with and without pacing) used
 //!   by the speed-mismatch experiment.
 //!
@@ -40,13 +47,15 @@
 //! closed-form M/D/1 and link-saturation results in its test-suite.
 
 pub mod flows;
+pub mod fluid;
 pub mod monitor;
 pub mod network;
 pub mod routing;
 pub mod sim;
 pub mod tcp;
 
-pub use monitor::SimReport;
+pub use fluid::BackgroundModel;
+pub use monitor::{BackgroundStats, SimReport};
 pub use network::{LinkSpec, Network};
-pub use routing::RoutingScheme;
+pub use routing::{RoutingScheme, TrafficClass};
 pub use sim::{ExecMode, SimConfig, Simulation};

@@ -160,8 +160,38 @@ impl FlowMonitor {
             },
             max_link_utilization: link_utilizations.iter().copied().fold(0.0, f64::max),
             link_utilizations,
+            background: None,
         }
     }
+}
+
+/// Aggregate statistics of the background traffic class in a hybrid run —
+/// what the fluid model produced instead of per-packet samples. Foreground
+/// statistics stay exact and per-flow in the rest of [`SimReport`]; the
+/// background class only matters in aggregate (its throughput, and the queue
+/// it induced), so that is all the fluid model reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundStats {
+    /// Background flows modelled as fluid.
+    pub flows: usize,
+    /// Bits offered by background flows over the simulated duration.
+    pub offered_bits: f64,
+    /// Bits delivered to background destinations (fluid integral).
+    pub delivered_bits: f64,
+    /// Bits dropped at capped buffers (fluid integral).
+    pub dropped_bits: f64,
+    /// Aggregate delivered background throughput, bits/s.
+    pub mean_throughput_bps: f64,
+    /// Time-averaged total fluid backlog across links, bytes.
+    pub mean_backlog_bytes: f64,
+    /// Peak total fluid backlog across links, bytes.
+    pub peak_backlog_bytes: f64,
+    /// Rate-change events the fluid solver processed.
+    pub rate_events: u64,
+    /// Packet events a pure packet run of the background class would have
+    /// processed (one per hop plus delivery, per packet) — the work the
+    /// fluid model avoided.
+    pub packet_equivalent_events: f64,
 }
 
 /// Summary of a simulation run — the numbers the paper's Figs. 5, 6 and 11
@@ -193,6 +223,10 @@ pub struct SimReport {
     pub max_link_utilization: f64,
     /// Per-link utilisation.
     pub link_utilizations: Vec<f64>,
+    /// Aggregate background-class statistics — `Some` only when a hybrid run
+    /// actually modelled background flows as fluid, so reports from
+    /// all-foreground runs stay exactly equal to pure packet reports.
+    pub background: Option<BackgroundStats>,
 }
 
 #[cfg(test)]

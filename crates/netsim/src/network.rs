@@ -177,14 +177,36 @@ impl LinkStates {
     /// `now` — the virtual-clock FIFO model.
     #[inline]
     pub fn transmit(&mut self, spec: &LinkSpec, id: LinkId, now: f64, bytes: f64) -> Transmit {
+        self.transmit_queued(spec, id, now, bytes, 0.0)
+    }
+
+    /// [`LinkStates::transmit`] with `extra_backlog_bytes` of queue already
+    /// occupying the link that the virtual clock does not know about — the
+    /// hybrid engine's coupling point, where the fluid model's background
+    /// backlog delays foreground packets. The packet waits behind the extra
+    /// bytes (`now + extra·8/rate`) unless the virtual clock is later
+    /// (`free_at` already embeds the fluid wait of earlier packets, so taking
+    /// the max avoids double counting), and the drop check sees the combined
+    /// occupancy. With `extra_backlog_bytes == 0.0` this is bit-identical to
+    /// the pure packet model.
+    #[inline]
+    pub fn transmit_queued(
+        &mut self,
+        spec: &LinkSpec,
+        id: LinkId,
+        now: f64,
+        bytes: f64,
+        extra_backlog_bytes: f64,
+    ) -> Transmit {
         // Backlog implied by the virtual clock.
         let backlog_s = (self.free_at[id] - now).max(0.0);
-        let backlog_bytes = backlog_s * spec.rate_bps / 8.0;
+        let backlog_bytes = backlog_s * spec.rate_bps / 8.0 + extra_backlog_bytes;
         if backlog_bytes + bytes > spec.buffer_bytes && spec.buffer_bytes > 0.0 {
             self.packets_dropped[id] += 1;
             return Transmit::Dropped;
         }
-        let start = now.max(self.free_at[id]);
+        let ready = now + extra_backlog_bytes * 8.0 / spec.rate_bps;
+        let start = ready.max(self.free_at[id]);
         let queue_delay = start - now;
         let finish = start + spec.serialization_s(bytes);
         self.free_at[id] = finish;

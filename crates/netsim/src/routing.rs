@@ -39,6 +39,24 @@ pub enum RoutingScheme {
     ThroughputOptimal,
 }
 
+/// Latency class of a demand.
+///
+/// Foreground traffic — the latency-sensitive flows the paper's value metric
+/// is about (gaming frames, small web transfers) — is always simulated
+/// packet by packet. Background bulk traffic is eligible for flow-level
+/// fluid modelling when the engine runs with
+/// [`crate::sim::BackgroundModel::Fluid`]; under the default
+/// [`crate::sim::BackgroundModel::Packet`] the tag changes nothing, so
+/// untagged callers keep bit-identical behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Latency-sensitive traffic, simulated packet-level in every mode.
+    #[default]
+    Foreground,
+    /// Bulk traffic, modelled as fluid by the hybrid engine.
+    Background,
+}
+
 /// A demand to be routed: `amount_bps` from `src` to `dst`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Demand {
@@ -48,6 +66,36 @@ pub struct Demand {
     pub dst: NodeId,
     /// Offered load in bits per second.
     pub amount_bps: f64,
+    /// Latency class ([`TrafficClass::Foreground`] unless tagged otherwise).
+    pub class: TrafficClass,
+}
+
+impl Demand {
+    /// A foreground (latency-sensitive) demand — the default class every
+    /// pre-existing caller gets.
+    pub fn new(src: NodeId, dst: NodeId, amount_bps: f64) -> Self {
+        Self {
+            src,
+            dst,
+            amount_bps,
+            class: TrafficClass::Foreground,
+        }
+    }
+
+    /// A background (bulk) demand, eligible for fluid modelling.
+    pub fn background(src: NodeId, dst: NodeId, amount_bps: f64) -> Self {
+        Self {
+            src,
+            dst,
+            amount_bps,
+            class: TrafficClass::Background,
+        }
+    }
+
+    /// `true` when tagged [`TrafficClass::Background`].
+    pub fn is_background(&self) -> bool {
+        self.class == TrafficClass::Background
+    }
 }
 
 /// The routes chosen for a set of demands, stored in one flat arena: route
@@ -302,11 +350,7 @@ mod tests {
     #[test]
     fn shortest_path_picks_low_latency_route() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 1e8,
-        }];
+        let demands = vec![Demand::new(0, 1, 1e8)];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         assert!((table.route_latency_s(&net, 0) - 0.010).abs() < 1e-9);
     }
@@ -316,18 +360,7 @@ mod tests {
         let net = two_path_network(1e9, 1e9);
         // Two demands of 600 Mbps each: on one path they exceed capacity,
         // min-max routing must place them on different paths.
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 1,
-                amount_bps: 6e8,
-            },
-            Demand {
-                src: 0,
-                dst: 1,
-                amount_bps: 6e8,
-            },
-        ];
+        let demands = vec![Demand::new(0, 1, 6e8), Demand::new(0, 1, 6e8)];
         let sp = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         let mm = compute_routes(&net, &demands, RoutingScheme::MinMaxUtilization);
         assert!(sp.max_utilization(&net, &demands) > 1.0);
@@ -341,13 +374,7 @@ mod tests {
     #[test]
     fn throughput_optimal_also_balances() {
         let net = two_path_network(1e9, 1e9);
-        let demands: Vec<Demand> = (0..4)
-            .map(|_| Demand {
-                src: 0,
-                dst: 1,
-                amount_bps: 3e8,
-            })
-            .collect();
+        let demands: Vec<Demand> = (0..4).map(|_| Demand::new(0, 1, 3e8)).collect();
         let to = compute_routes(&net, &demands, RoutingScheme::ThroughputOptimal);
         assert!(to.max_utilization(&net, &demands) <= 0.65);
     }
@@ -362,11 +389,7 @@ mod tests {
             propagation_s: 0.001,
             buffer_bytes: 1e6,
         });
-        let demands = vec![Demand {
-            src: 0,
-            dst: 2,
-            amount_bps: 1e6,
-        }];
+        let demands = vec![Demand::new(0, 2, 1e6)];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         assert!(table.route(0).is_empty());
     }
@@ -374,18 +397,7 @@ mod tests {
     #[test]
     fn link_loads_accumulate_over_demands() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 1,
-                amount_bps: 1e8,
-            },
-            Demand {
-                src: 1,
-                dst: 0,
-                amount_bps: 2e8,
-            },
-        ];
+        let demands = vec![Demand::new(0, 1, 1e8), Demand::new(1, 0, 2e8)];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         let loads = table.link_loads_bps(&net, &demands);
         let total: f64 = loads.iter().sum();
@@ -396,11 +408,7 @@ mod tests {
     #[test]
     fn same_src_dst_demand_has_empty_route() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![Demand {
-            src: 2,
-            dst: 2,
-            amount_bps: 1e6,
-        }];
+        let demands = vec![Demand::new(2, 2, 1e6)];
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         assert!(table.route(0).is_empty());
         assert_eq!(table.route_latency_s(&net, 0), 0.0);
@@ -409,11 +417,7 @@ mod tests {
     #[test]
     fn disabled_links_are_avoided_by_every_scheme() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 1e8,
-        }];
+        let demands = vec![Demand::new(0, 1, 1e8)];
         // Fail the short path's first hop (link 0 = 0→2): routes must fall
         // back to the long path through node 3.
         let mut disabled = vec![false; net.num_links()];
@@ -439,18 +443,7 @@ mod tests {
     #[test]
     fn pinned_routes_install_explicit_paths() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 1,
-                amount_bps: 1e8,
-            },
-            Demand {
-                src: 3,
-                dst: 3,
-                amount_bps: 1e6,
-            },
-        ];
+        let demands = vec![Demand::new(0, 1, 1e8), Demand::new(3, 3, 1e6)];
         // Pin the *long* path for demand 0 (Dijkstra would pick the short
         // one) and an empty path for the self-demand.
         let mut paths = PathStore::new();
@@ -470,11 +463,7 @@ mod tests {
     #[should_panic(expected = "not contiguous")]
     fn pinned_routes_reject_discontiguous_paths() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 1e8,
-        }];
+        let demands = vec![Demand::new(0, 1, 1e8)];
         let mut paths = PathStore::new();
         paths.push_path(&[0, 6]); // 0→2 then 3→1: broken walk
         install_pinned_routes(&net, &demands, paths);
@@ -484,11 +473,7 @@ mod tests {
     #[should_panic(expected = "does not end")]
     fn pinned_routes_reject_wrong_destination() {
         let net = two_path_network(1e9, 1e9);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 1e8,
-        }];
+        let demands = vec![Demand::new(0, 1, 1e8)];
         let mut paths = PathStore::new();
         paths.push_path(&[0]); // stops at node 2
         install_pinned_routes(&net, &demands, paths);
@@ -499,11 +484,7 @@ mod tests {
         let net = two_path_network(1e9, 1e9);
         let demands: Vec<Demand> = [1usize, 2, 3]
             .iter()
-            .map(|&dst| Demand {
-                src: 0,
-                dst,
-                amount_bps: 1e6,
-            })
+            .map(|&dst| Demand::new(0, dst, 1e6))
             .collect();
         let table = compute_routes(&net, &demands, RoutingScheme::ShortestPath);
         assert!((table.route_latency_s(&net, 0) - 0.010).abs() < 1e-9);

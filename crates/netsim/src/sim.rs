@@ -40,10 +40,29 @@
 //! are spawned once per run and handed stable state, not re-fanned per
 //! event batch.
 //!
+//! # Hybrid execution
+//!
+//! With [`SimConfig::background`] set to [`BackgroundModel::Fluid`], demands
+//! tagged [`TrafficClass::Background`] leave the packet engine entirely:
+//! they are solved once, up front, by the flow-level fluid model of
+//! [`crate::fluid`], and the packet engine simulates only the foreground
+//! flows — each packet waiting behind the fluid backlog occupying its link
+//! at arrival time. Because the fluid solution is computed immutably before
+//! dispatch, the hybrid report is still bit-identical across every
+//! `(mode, workers, window)` configuration.
+//!
+//! Two further event-count levers ride on the hot loop itself:
+//! hop-collapsing ([`SimConfig::hop_collapse`]) delivers a packet across
+//! consecutive idle hops — long conduit paths especially — in one event by
+//! processing a freshly produced event inline whenever it provably would be
+//! the very next pop, which elides the heap round trip without changing the
+//! event order (bit-identical by construction).
+//!
 //! [`PathStore`]: cisp_graph::PathStore
+//! [`TrafficClass::Background`]: crate::routing::TrafficClass::Background
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Barrier, Mutex};
 use std::thread;
@@ -51,7 +70,8 @@ use std::thread;
 use cisp_graph::{partition_lookahead, partition_path_links};
 use serde::{Deserialize, Serialize};
 
-use crate::flows::{emission_times_into, ArrivalProcess, FlowSpec};
+use crate::flows::{ArrivalProcess, EmissionSchedule, FlowSpec};
+use crate::fluid::{self, BackgroundModel, FluidOutcome};
 use crate::monitor::{FlowMonitor, SimReport};
 use crate::network::{DirtyLinks, LinkState, LinkStates, Network, Transmit};
 use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
@@ -101,6 +121,17 @@ pub struct SimConfig {
     /// Execution mode (component-sharded or time-windowed). Results are
     /// bit-identical for every mode.
     pub mode: ExecMode,
+    /// How background-class demands execute: packet-level like everything
+    /// else (the default), or as flow-level fluid queues that foreground
+    /// packets ride on (the hybrid engine, [`crate::fluid`]). Composes with
+    /// every [`ExecMode`]; with no background demands the report is
+    /// bit-identical either way.
+    pub background: BackgroundModel,
+    /// Deliver packets across consecutive idle hops in one event by
+    /// processing a freshly produced event inline when it provably would be
+    /// the very next pop. Bit-identical to the uncollapsed path by
+    /// construction; `false` only exists so tests can assert that.
+    pub hop_collapse: bool,
 }
 
 impl Default for SimConfig {
@@ -113,6 +144,8 @@ impl Default for SimConfig {
             seed: 1,
             workers: 0,
             mode: ExecMode::ComponentSharded,
+            background: BackgroundModel::Packet,
+            hop_collapse: true,
         }
     }
 }
@@ -193,13 +226,29 @@ struct ShardPartial {
 
 /// A worker's reusable scratch: private link-state arrays over the shared
 /// link table, the event heap, the dirty-link tracker used to harvest and
-/// recycle only the links the worker actually touched, and the emission
-/// time buffer reused across flows.
+/// recycle only the links the worker actually touched, and the per-link
+/// in-transit pipelines backing the staged heap.
+///
+/// Staging invariant: arrivals coming off one link are strictly ordered in
+/// time (FIFO finish times plus a constant propagation), so the heap holds
+/// at most the *earliest* in-transit event per link — the pipeline's head —
+/// and the rest wait in that link's `transit` queue. Popping a head
+/// promotes its successor. Every pending event is `>=` its pipeline head,
+/// so the heap minimum is still the global minimum and the pop sequence is
+/// exactly the unstaged one; the heap just stays at O(links + flows)
+/// instead of O(packets in flight).
 struct WorkerState {
     states: LinkStates,
     dirty: DirtyLinks,
     heap: BinaryHeap<Event>,
-    emissions: Vec<f64>,
+    transit: Vec<VecDeque<Event>>,
+    head_in_heap: Vec<bool>,
+    /// Earliest pending emission entering each link (`+∞` when no flow
+    /// starting at the link has a packet left). This is the transit-feeder
+    /// chain's emission guard: a packet may cross a link inline only if it
+    /// arrives strictly before every pending emission injected there.
+    /// Component-local; reset to `+∞` after each component.
+    emission_at: Vec<f64>,
 }
 
 impl WorkerState {
@@ -208,17 +257,106 @@ impl WorkerState {
             states: LinkStates::new(num_links),
             dirty: DirtyLinks::new(num_links),
             heap: BinaryHeap::new(),
-            emissions: Vec::new(),
+            transit: vec![VecDeque::new(); num_links],
+            head_in_heap: vec![false; num_links],
+            emission_at: vec![f64::INFINITY; num_links],
+        }
+    }
+
+    /// Enqueue an event produced by a transmit on `link`: into the heap if
+    /// it is the pipeline's head, behind the head otherwise.
+    #[inline]
+    fn stage(&mut self, link: usize, next: Event) {
+        if self.head_in_heap[link] {
+            self.transit[link].push_back(next);
+        } else {
+            self.head_in_heap[link] = true;
+            self.heap.push(next);
+        }
+    }
+
+    /// A popped event crossed `link`: promote the pipeline's next event
+    /// into the heap.
+    #[inline]
+    fn promote(&mut self, link: usize) {
+        if let Some(e) = self.transit[link].pop_front() {
+            self.heap.push(e);
+        } else {
+            self.head_in_heap[link] = false;
         }
     }
 }
 
-/// Everything the windowed gang shares, borrowed into every worker thread.
-struct WindowedPlan<'a> {
+/// No route crosses into this link from another link.
+const FEEDER_NONE: u32 = u32::MAX;
+/// Packets cross into this link from several predecessors, so its arrival
+/// order needs the event heap.
+const FEEDER_MANY: u32 = u32::MAX - 1;
+
+/// For every link, the *only* link packets can cross in from — or a
+/// sentinel. Emissions injected at a route's first hop are tracked
+/// separately (see `WorkerState::emission_at`), so a route starting at a
+/// link does not disqualify it here.
+///
+/// Consecutive conduit segments typically qualify: all transit into the
+/// downstream segment comes off the upstream one. When
+/// `transit_feeder[m] == l`, link `m`'s transit arrivals are exactly link
+/// `l`'s departures toward it (a subsequence of `l`'s strictly increasing
+/// finish times), which licenses the hop-collapsing chain: a packet coming
+/// off `l` may cross `m` inline — without waiting for its turn in the event
+/// heap — provided no earlier departure of `l` is still pending and no
+/// pending emission enters `m` first, because per-link state depends only
+/// on per-link arrival order.
+fn transit_feeders(routes: &RoutingTable, num_links: usize) -> Vec<u32> {
+    let mut feeder = vec![FEEDER_NONE; num_links];
+    for k in 0..routes.len() {
+        let route = routes.route(k);
+        for pair in route.windows(2) {
+            let (prev, l) = (pair[0], pair[1] as usize);
+            if feeder[l] == FEEDER_NONE {
+                feeder[l] = prev;
+            } else if feeder[l] != prev {
+                feeder[l] = FEEDER_MANY;
+            }
+        }
+    }
+    feeder
+}
+
+/// The earliest pending emission among the flows starting at link `m`.
+/// `starters` is the component's `(first_link, flow_pos)` list sorted by
+/// link; `pending` holds each flow's next emission time (`+∞` = exhausted).
+#[inline]
+fn emission_min(starters: &[(u32, u32)], pending: &[f64], m: u32) -> f64 {
+    let lo = starters.partition_point(|&(l, _)| l < m);
+    let mut min = f64::INFINITY;
+    for &(l, pos) in &starters[lo..] {
+        if l != m {
+            break;
+        }
+        min = min.min(pending[pos as usize]);
+    }
+    min
+}
+
+/// The immutable inputs every engine entry point reads: the network and
+/// routed demand set, the run configuration, the fluid solution foreground
+/// packets ride on (hybrid runs, `None` under pure packet execution), and
+/// the per-link sole-transit-feeder table ([`transit_feeders`]) backing the
+/// collapsing chain.
+#[derive(Clone, Copy)]
+struct EngineContext<'a> {
     network: &'a Network,
     routes: &'a RoutingTable,
     demands: &'a [Demand],
     config: &'a SimConfig,
+    fluid: Option<&'a FluidOutcome>,
+    feeders: &'a [u32],
+}
+
+/// Everything the windowed gang shares, borrowed into every worker thread.
+struct WindowedPlan<'a> {
+    ctx: EngineContext<'a>,
     comps: &'a [Vec<u32>],
     /// Shard owning each link (valid for links on some component's routes;
     /// components are link-disjoint, so one global array serves all).
@@ -310,8 +448,13 @@ impl Simulation {
     /// Group the active flows (non-empty route, positive rate) into
     /// link-disjoint components via union-find over each route's links.
     /// Component order follows the first demand of each component, so the
-    /// decomposition is deterministic.
+    /// decomposition is deterministic. Under the hybrid engine
+    /// ([`BackgroundModel::Fluid`]) background demands belong to the fluid
+    /// solver, not the packet engine, so they are excluded here — an
+    /// all-background demand set packet-simulates zero components.
     fn partition_flows(&self) -> Vec<Vec<u32>> {
+        let fluid_active = self.config.background == BackgroundModel::Fluid;
+        let skip = |d: &Demand| d.amount_bps <= 0.0 || (fluid_active && d.is_background());
         let num_links = self.network.num_links();
         let mut parent: Vec<u32> = (0..num_links as u32).collect();
         fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -323,7 +466,7 @@ impl Simulation {
             x
         }
         for (k, d) in self.demands.iter().enumerate() {
-            if d.amount_bps <= 0.0 {
+            if skip(d) {
                 continue;
             }
             let route = self.routes.route(k);
@@ -339,7 +482,7 @@ impl Simulation {
         let mut comp_of_root: Vec<usize> = vec![usize::MAX; num_links];
         let mut comps: Vec<Vec<u32>> = Vec::new();
         for (k, d) in self.demands.iter().enumerate() {
-            if d.amount_bps <= 0.0 || self.routes.route(k).is_empty() {
+            if skip(d) || self.routes.route(k).is_empty() {
                 continue;
             }
             let root = find(&mut parent, self.routes.route(k)[0]) as usize;
@@ -355,8 +498,21 @@ impl Simulation {
         comps
     }
 
-    /// Schedule every packet emission of `flow` into the worker's heap.
-    fn schedule_flow(demands: &[Demand], config: &SimConfig, w: &mut WorkerState, flow_index: u32) {
+    /// Start `flow`'s lazy emission schedule: push its first emission into
+    /// the worker's heap and return the schedule that produces the rest,
+    /// plus the pushed emission time (`+∞` if the flow emits nothing).
+    /// The heap holds one pending emission per flow; each popped emission
+    /// schedules its successor (strictly later, so it is pushed before it
+    /// could ever pop). The event *set* is exactly the eagerly-scheduled
+    /// one, and the strict `(time, flow, hop)` event order makes the pop
+    /// sequence a function of the set alone — bit-identical runs on a heap
+    /// of O(flows + packets in flight) instead of O(total packets).
+    fn schedule_flow(
+        demands: &[Demand],
+        config: &SimConfig,
+        w: &mut WorkerState,
+        flow_index: u32,
+    ) -> (EmissionSchedule, f64) {
         let demand = demands[flow_index as usize];
         let flow = FlowSpec {
             src: demand.src,
@@ -364,15 +520,11 @@ impl Simulation {
             rate_bps: demand.amount_bps,
             packet_bytes: config.packet_bytes,
         };
-        emission_times_into(
-            &flow,
-            flow_index as usize,
-            config.duration_s,
-            config.arrivals,
-            config.seed,
-            &mut w.emissions,
-        );
-        for &t in &w.emissions {
+        let mut schedule =
+            EmissionSchedule::new(&flow, flow_index as usize, config.arrivals, config.seed);
+        let mut pending = f64::INFINITY;
+        if let Some(t) = schedule.next_emission(config.duration_s) {
+            pending = t;
             w.heap.push(Event {
                 time: t,
                 flow: flow_index,
@@ -381,19 +533,49 @@ impl Simulation {
                 queue_delay: 0.0,
             });
         }
+        (schedule, pending)
+    }
+
+    /// Refill one flow's emission after its current emission event popped:
+    /// emissions are generated lazily, one outstanding per flow. Returns
+    /// the new pending emission time (`+∞` once the flow is exhausted).
+    #[inline]
+    fn refill_emission(
+        schedule: &mut EmissionSchedule,
+        config: &SimConfig,
+        w: &mut WorkerState,
+        flow_index: u32,
+    ) -> f64 {
+        if let Some(t) = schedule.next_emission(config.duration_s) {
+            w.heap.push(Event {
+                time: t,
+                flow: flow_index,
+                hop: 0,
+                sent_at: t,
+                queue_delay: 0.0,
+            });
+            t
+        } else {
+            f64::INFINITY
+        }
     }
 
     /// Simulate one component's flows against the worker's private link
     /// state. All scoring of time and tie-breaks happens inside the
     /// component, so the outcome does not depend on which worker runs it.
     fn run_component(
-        network: &Network,
-        routes: &RoutingTable,
-        demands: &[Demand],
-        config: &SimConfig,
+        ctx: &EngineContext<'_>,
         w: &mut WorkerState,
         flows: &[u32],
     ) -> ComponentOutcome {
+        let EngineContext {
+            network,
+            routes,
+            demands,
+            config,
+            fluid,
+            feeders,
+        } = *ctx;
         // Track the links this component dirties (for extraction + reset).
         for &f in flows {
             for &l in routes.route(f as usize) {
@@ -401,54 +583,151 @@ impl Simulation {
             }
         }
 
-        // Schedule every packet emission of the component's flows.
+        // Seed each flow's first emission; the rest are generated lazily.
+        // `starters`/`pending` back the chain's emission guard: for every
+        // link, the earliest emission still to enter it (`w.emission_at`).
         w.heap.clear();
-        for &f in flows {
-            Self::schedule_flow(demands, config, w, f);
+        let mut schedules: Vec<EmissionSchedule> = Vec::with_capacity(flows.len());
+        let mut pending: Vec<f64> = Vec::with_capacity(flows.len());
+        let mut starters: Vec<(u32, u32)> = Vec::with_capacity(flows.len());
+        for (pos, &f) in flows.iter().enumerate() {
+            let (schedule, t) = Self::schedule_flow(demands, config, w, f);
+            schedules.push(schedule);
+            pending.push(t);
+            if let Some(&first) = routes.route(f as usize).first() {
+                starters.push((first, pos as u32));
+                let e = &mut w.emission_at[first as usize];
+                *e = e.min(t);
+            }
         }
+        starters.sort_unstable();
 
-        // Process events in timestamp order.
-        let mut delays = Vec::new();
-        let mut queue_delays = Vec::new();
+        // Process events in timestamp order. Deliveries never touch link
+        // state, so they skip the heap entirely: the final transmit records
+        // them out of order and the sort below restores the serial pop
+        // order — `(time, flow)` is unique across deliveries (one link's
+        // finishes strictly increase, and a flow delivers over one link),
+        // so the sorted sequence *is* the heap's `(time, flow, hop)` order.
+        let expected: f64 = flows
+            .iter()
+            .map(|&f| demands[f as usize].amount_bps * config.duration_s)
+            .sum::<f64>()
+            / (config.packet_bytes * 8.0);
+        let mut deliveries: Vec<Event> = Vec::with_capacity(expected as usize + flows.len());
         let mut flow_stats = vec![FlowStat::default(); flows.len()];
         let links = network.links();
-        while let Some(ev) = w.heap.pop() {
-            let route = routes.route(ev.flow as usize);
-            if ev.hop as usize >= route.len() {
-                // Packet has arrived at its destination.
-                let pos = flows.binary_search(&ev.flow).expect("flow in component");
-                let delay = ev.time - ev.sent_at;
-                delays.push(delay);
-                queue_delays.push(ev.queue_delay);
-                flow_stats[pos].delay_sum += delay;
-                flow_stats[pos].delivered += 1;
-                continue;
+        let hop_collapse = config.hop_collapse;
+        'events: while let Some(popped) = w.heap.pop() {
+            if popped.hop == 0 {
+                let pos = flows
+                    .binary_search(&popped.flow)
+                    .expect("flow in component");
+                pending[pos] = Self::refill_emission(&mut schedules[pos], config, w, popped.flow);
+                if let Some(&first) = routes.route(popped.flow as usize).first() {
+                    w.emission_at[first as usize] = emission_min(&starters, &pending, first);
+                }
+            } else {
+                let crossed = routes.route(popped.flow as usize)[popped.hop as usize - 1];
+                w.promote(crossed as usize);
             }
-            let link = route[ev.hop as usize] as usize;
-            match w
-                .states
-                .transmit(&links[link], link, ev.time, config.packet_bytes)
-            {
-                Transmit::Delivered {
-                    arrival,
-                    queue_delay,
-                } => {
-                    w.heap.push(Event {
-                        time: arrival,
-                        flow: ev.flow,
-                        hop: ev.hop + 1,
-                        sent_at: ev.sent_at,
-                        queue_delay: ev.queue_delay + queue_delay,
-                    });
-                }
-                Transmit::Dropped => {
+            let mut ev = popped;
+            loop {
+                let route = routes.route(ev.flow as usize);
+                if ev.hop as usize >= route.len() {
+                    // Zero-hop flow (src == dst): the emission itself is the
+                    // delivery.
                     let pos = flows.binary_search(&ev.flow).expect("flow in component");
-                    flow_stats[pos].dropped += 1;
+                    flow_stats[pos].delay_sum += ev.time - ev.sent_at;
+                    flow_stats[pos].delivered += 1;
+                    deliveries.push(ev);
+                    continue 'events;
                 }
+                let link = route[ev.hop as usize] as usize;
+                let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
+                match w.states.transmit_queued(
+                    &links[link],
+                    link,
+                    ev.time,
+                    config.packet_bytes,
+                    fluid_backlog,
+                ) {
+                    Transmit::Delivered {
+                        arrival,
+                        queue_delay,
+                    } => {
+                        let next = Event {
+                            time: arrival,
+                            flow: ev.flow,
+                            hop: ev.hop + 1,
+                            sent_at: ev.sent_at,
+                            queue_delay: ev.queue_delay + queue_delay,
+                        };
+                        let next_hop = next.hop as usize;
+                        if next_hop >= route.len() {
+                            // Final hop: record the delivery now instead of
+                            // round-tripping it through the heap.
+                            let pos = flows.binary_search(&next.flow).expect("flow in component");
+                            flow_stats[pos].delay_sum += next.time - next.sent_at;
+                            flow_stats[pos].delivered += 1;
+                            deliveries.push(next);
+                            continue 'events;
+                        }
+                        if hop_collapse {
+                            // Transit-feeder chain: all transit into the
+                            // upcoming link comes off `link` alone, no
+                            // earlier departure of `link` is still pending
+                            // (the pipeline is empty), and this packet
+                            // arrives strictly before any emission enters
+                            // the link — so it is provably the link's next
+                            // arrival. Cross it inline; per-link state
+                            // depends only on per-link arrival order, so
+                            // the report is unchanged.
+                            let upcoming = route[next_hop] as usize;
+                            if feeders[upcoming] == link as u32
+                                && next.time < w.emission_at[upcoming]
+                                && !w.head_in_heap[link]
+                            {
+                                ev = next;
+                                continue;
+                            }
+                            // Hop collapse: when `next` strictly precedes
+                            // the entire heap in the event order it would be
+                            // the very next pop, so process it inline — the
+                            // event sequence is exactly the serial one and
+                            // the heap round trip is elided. Idle
+                            // multi-segment conduit paths collapse to one
+                            // event per packet.
+                            if w.heap.peek().is_none_or(|top| next > *top) {
+                                ev = next;
+                                continue;
+                            }
+                        }
+                        w.stage(link, next);
+                    }
+                    Transmit::Dropped => {
+                        let pos = flows.binary_search(&ev.flow).expect("flow in component");
+                        flow_stats[pos].dropped += 1;
+                    }
+                }
+                continue 'events;
             }
         }
 
-        // Extract the dirtied link states and recycle the worker arrays.
+        // Restore the serial pop order (stable sort: the stream is nearly
+        // sorted already, so this is close to one linear merge pass).
+        deliveries.sort_by(|a, b| {
+            (a.time, a.flow)
+                .partial_cmp(&(b.time, b.flow))
+                .expect("delivery times are finite")
+        });
+        let delays = deliveries.iter().map(|e| e.time - e.sent_at).collect();
+        let queue_delays = deliveries.iter().map(|e| e.queue_delay).collect();
+
+        // Extract the dirtied link states and recycle the worker arrays
+        // (the emission-guard entries too — `w` serves the next component).
+        for &(first, _) in &starters {
+            w.emission_at[first as usize] = f64::INFINITY;
+        }
         let touched_links = w.dirty.drain_snapshots(&mut w.states);
 
         ComponentOutcome {
@@ -462,21 +741,16 @@ impl Simulation {
     /// Component-sharded execution: persistent workers drain the component
     /// queue (`workers <= 1` runs inline).
     fn run_components(
-        network: &Network,
-        routes: &RoutingTable,
-        demands: &[Demand],
-        config: &SimConfig,
+        ctx: &EngineContext<'_>,
         comps: &[Vec<u32>],
         workers: usize,
     ) -> Vec<Option<ComponentOutcome>> {
-        let num_links = network.num_links();
+        let num_links = ctx.network.num_links();
         let mut outcomes: Vec<Option<ComponentOutcome>> = (0..comps.len()).map(|_| None).collect();
         if workers <= 1 {
             let mut w = WorkerState::new(num_links);
             for (i, comp) in comps.iter().enumerate() {
-                outcomes[i] = Some(Self::run_component(
-                    network, routes, demands, config, &mut w, comp,
-                ));
+                outcomes[i] = Some(Self::run_component(ctx, &mut w, comp));
             }
         } else {
             // Persistent workers drain the component queue; assignment order
@@ -495,12 +769,7 @@ impl Simulation {
                                 if i >= comps.len() {
                                     break;
                                 }
-                                done.push((
-                                    i,
-                                    Self::run_component(
-                                        network, routes, demands, config, &mut w, &comps[i],
-                                    ),
-                                ));
+                                done.push((i, Self::run_component(ctx, &mut w, &comps[i])));
                             }
                             done
                         })
@@ -526,10 +795,7 @@ impl Simulation {
     /// event horizon in barrier-synchronised windows with boundary-event
     /// exchange. Deterministic merge restores the serial event order.
     fn run_windowed(
-        network: &Network,
-        routes: &RoutingTable,
-        demands: &[Demand],
-        config: &SimConfig,
+        ctx: &EngineContext<'_>,
         comps: &[Vec<u32>],
         workers: usize,
         window_s: f64,
@@ -537,6 +803,7 @@ impl Simulation {
         if comps.is_empty() {
             return Vec::new();
         }
+        let (network, routes) = (ctx.network, ctx.routes);
         let num_links = network.num_links();
 
         // Plan: per-link shard owner and per-component effective window.
@@ -570,10 +837,7 @@ impl Simulation {
         }
 
         let plan = WindowedPlan {
-            network,
-            routes,
-            demands,
-            config,
+            ctx: *ctx,
             comps,
             owner,
             windows,
@@ -614,9 +878,17 @@ impl Simulation {
     /// One gang member's run over every component: simulate the events on
     /// the links this shard owns, window by window.
     fn run_windowed_shard(plan: &WindowedPlan<'_>, me: usize) -> Vec<ShardPartial> {
-        let links = plan.network.links();
+        let EngineContext {
+            network,
+            routes,
+            demands,
+            config,
+            fluid,
+            feeders,
+        } = plan.ctx;
+        let links = network.links();
         let me_u32 = me as u32;
-        let mut w = WorkerState::new(plan.network.num_links());
+        let mut w = WorkerState::new(network.num_links());
         let mut outbox: Vec<Vec<Event>> = (0..plan.workers).map(|_| Vec::new()).collect();
         let mut partials = Vec::with_capacity(plan.comps.len());
 
@@ -627,17 +899,29 @@ impl Simulation {
             // owns (every other event of those flows migrates here or away
             // through the boundary exchange).
             w.heap.clear();
-            for &f in comp {
-                let route = plan.routes.route(f as usize);
+            let mut schedules: Vec<Option<EmissionSchedule>> = vec![None; comp.len()];
+            let mut pending: Vec<f64> = vec![f64::INFINITY; comp.len()];
+            let mut starters: Vec<(u32, u32)> = Vec::new();
+            for (pos, &f) in comp.iter().enumerate() {
+                let route = routes.route(f as usize);
                 for &l in route {
                     if plan.owner[l as usize] == me_u32 {
                         w.dirty.mark(l as usize);
                     }
                 }
                 if plan.owner[route[0] as usize] == me_u32 {
-                    Self::schedule_flow(plan.demands, plan.config, &mut w, f);
+                    let (schedule, t) = Self::schedule_flow(demands, config, &mut w, f);
+                    schedules[pos] = Some(schedule);
+                    pending[pos] = t;
+                    // A flow's emissions enter its first link, owned by this
+                    // shard — so the emission guard, like the schedule, is
+                    // complete with shard-local knowledge.
+                    starters.push((route[0], pos as u32));
+                    let e = &mut w.emission_at[route[0] as usize];
+                    *e = e.min(t);
                 }
             }
+            starters.sort_unstable();
 
             let mut partial = ShardPartial {
                 flow_stats: vec![FlowStat::default(); comp.len()],
@@ -659,59 +943,130 @@ impl Simulation {
                 let done = !start.is_finite();
                 if !done {
                     let end = start + window; // +∞ window ⇒ drain everything
-                    while let Some(&ev) = w.heap.peek() {
-                        if ev.time >= end {
+                    let hop_collapse = config.hop_collapse;
+                    'events: while let Some(&popped) = w.heap.peek() {
+                        if popped.time >= end {
                             break;
                         }
                         w.heap.pop();
-                        let route = plan.routes.route(ev.flow as usize);
-                        if ev.hop as usize >= route.len() {
-                            // Destination reached (this shard owns the last
-                            // link, so the delivery pops here, in time order).
-                            let pos = comp.binary_search(&ev.flow).expect("flow in component");
-                            partial.flow_stats[pos].delay_sum += ev.time - ev.sent_at;
-                            partial.flow_stats[pos].delivered += 1;
-                            partial.deliveries.push(ev);
-                            continue;
+                        if popped.hop == 0 {
+                            // Emission events live only on their scheduling
+                            // shard (boundary exchanges carry hop ≥ 1).
+                            let pos = comp.binary_search(&popped.flow).expect("flow in component");
+                            let schedule = schedules[pos]
+                                .as_mut()
+                                .expect("emission on its scheduling shard");
+                            pending[pos] =
+                                Self::refill_emission(schedule, config, &mut w, popped.flow);
+                            let first = routes.route(popped.flow as usize)[0];
+                            w.emission_at[first as usize] =
+                                emission_min(&starters, &pending, first);
+                        } else {
+                            // Promote the crossed link's pipeline — staged
+                            // only when this shard owns the link (inbox
+                            // events crossed a foreign link, unstaged).
+                            let crossed = routes.route(popped.flow as usize)
+                                [popped.hop as usize - 1]
+                                as usize;
+                            if plan.owner[crossed] == me_u32 {
+                                w.promote(crossed);
+                            }
                         }
-                        let link = route[ev.hop as usize] as usize;
-                        debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
-                        match w.states.transmit(
-                            &links[link],
-                            link,
-                            ev.time,
-                            plan.config.packet_bytes,
-                        ) {
-                            Transmit::Delivered {
-                                arrival,
-                                queue_delay,
-                            } => {
-                                let next = Event {
-                                    time: arrival,
-                                    flow: ev.flow,
-                                    hop: ev.hop + 1,
-                                    sent_at: ev.sent_at,
-                                    queue_delay: ev.queue_delay + queue_delay,
-                                };
-                                let next_hop = next.hop as usize;
-                                let dst = if next_hop < route.len() {
-                                    plan.owner[route[next_hop] as usize] as usize
-                                } else {
-                                    me // delivery event stays with the last link's owner
-                                };
-                                if dst == me {
-                                    w.heap.push(next);
-                                } else {
-                                    // Boundary event: its time is at least
-                                    // `start + lookahead >= end`, so handing
-                                    // it over at the barrier is early enough.
-                                    outbox[dst].push(next);
+                        let mut ev = popped;
+                        loop {
+                            let route = routes.route(ev.flow as usize);
+                            if ev.hop as usize >= route.len() {
+                                // Zero-hop flow (src == dst): the emission
+                                // itself is the delivery.
+                                let pos = comp.binary_search(&ev.flow).expect("flow in component");
+                                partial.flow_stats[pos].delay_sum += ev.time - ev.sent_at;
+                                partial.flow_stats[pos].delivered += 1;
+                                partial.deliveries.push(ev);
+                                continue 'events;
+                            }
+                            let link = route[ev.hop as usize] as usize;
+                            debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
+                            let fluid_backlog =
+                                fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
+                            match w.states.transmit_queued(
+                                &links[link],
+                                link,
+                                ev.time,
+                                config.packet_bytes,
+                                fluid_backlog,
+                            ) {
+                                Transmit::Delivered {
+                                    arrival,
+                                    queue_delay,
+                                } => {
+                                    let next = Event {
+                                        time: arrival,
+                                        flow: ev.flow,
+                                        hop: ev.hop + 1,
+                                        sent_at: ev.sent_at,
+                                        queue_delay: ev.queue_delay + queue_delay,
+                                    };
+                                    let next_hop = next.hop as usize;
+                                    if next_hop >= route.len() {
+                                        // Final hop: this shard owns the last
+                                        // link, so the delivery is recorded
+                                        // here — eagerly; the sort below
+                                        // restores per-shard time order.
+                                        let pos = comp
+                                            .binary_search(&next.flow)
+                                            .expect("flow in component");
+                                        partial.flow_stats[pos].delay_sum +=
+                                            next.time - next.sent_at;
+                                        partial.flow_stats[pos].delivered += 1;
+                                        partial.deliveries.push(next);
+                                        continue 'events;
+                                    }
+                                    let upcoming = route[next_hop] as usize;
+                                    let dst = plan.owner[upcoming] as usize;
+                                    if dst == me {
+                                        // Transit-feeder chain (see the
+                                        // serial engine). No window guard is
+                                        // needed: transit into the upcoming
+                                        // link comes off `link` (this shard's)
+                                        // alone, so inbox events can never
+                                        // land on it, and its emissions are
+                                        // scheduled on this shard — the guard
+                                        // state is complete locally.
+                                        if hop_collapse
+                                            && feeders[upcoming] == link as u32
+                                            && next.time < w.emission_at[upcoming]
+                                            && !w.head_in_heap[link]
+                                        {
+                                            ev = next;
+                                            continue;
+                                        }
+                                        // Hop collapse, with the extra windowed
+                                        // guards: `next` must stay inside this
+                                        // window and strictly precede the whole
+                                        // heap, so inlining it replays the exact
+                                        // serial-within-window order.
+                                        if hop_collapse
+                                            && next.time < end
+                                            && w.heap.peek().is_none_or(|top| next > *top)
+                                        {
+                                            ev = next;
+                                            continue;
+                                        }
+                                        w.stage(link, next);
+                                    } else {
+                                        // Boundary event: its time is at least
+                                        // `start + lookahead >= end`, so handing
+                                        // it over at the barrier is early enough.
+                                        outbox[dst].push(next);
+                                    }
+                                }
+                                Transmit::Dropped => {
+                                    let pos =
+                                        comp.binary_search(&ev.flow).expect("flow in component");
+                                    partial.flow_stats[pos].dropped += 1;
                                 }
                             }
-                            Transmit::Dropped => {
-                                let pos = comp.binary_search(&ev.flow).expect("flow in component");
-                                partial.flow_stats[pos].dropped += 1;
-                            }
+                            continue 'events;
                         }
                     }
                     for (dst, batch) in outbox.iter_mut().enumerate() {
@@ -733,6 +1088,17 @@ impl Simulation {
                 for ev in plan.inboxes[me].lock().expect("inbox poisoned").drain(..) {
                     w.heap.push(ev);
                 }
+            }
+            // Deliveries were recorded eagerly at their final transmit, a
+            // merge of per-link increasing streams; the shard-wide merge
+            // below needs each stream sorted by `(time, flow)`.
+            partial.deliveries.sort_by(|a, b| {
+                (a.time, a.flow)
+                    .partial_cmp(&(b.time, b.flow))
+                    .expect("delivery times are finite")
+            });
+            for &(first, _) in &starters {
+                w.emission_at[first as usize] = f64::INFINITY;
             }
             partial.links = w.dirty.drain_snapshots(&mut w.states);
             partials.push(partial);
@@ -795,23 +1161,44 @@ impl Simulation {
     /// both are pure performance knobs.
     pub fn run(&mut self) -> SimReport {
         self.network.reset();
+        // Hybrid runs solve the background class first — once, immutably —
+        // so every execution mode reads the same fluid backlogs and the
+        // bit-identity contract extends to hybrid reports.
+        let fluid_solution = if self.config.background == BackgroundModel::Fluid {
+            Some(fluid::solve(
+                &self.network,
+                &self.routes,
+                &self.demands,
+                &self.config,
+            ))
+        } else {
+            None
+        };
+        let fluid = fluid_solution.as_ref();
         let comps = self.partition_flows();
+        let feeders = transit_feeders(&self.routes, self.network.num_links());
         let requested = if self.config.workers == 0 {
             thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             self.config.workers
         };
 
-        let (network, routes, demands, config) =
-            (&self.network, &self.routes, &self.demands, &self.config);
+        let ctx = EngineContext {
+            network: &self.network,
+            routes: &self.routes,
+            demands: &self.demands,
+            config: &self.config,
+            fluid,
+            feeders: &feeders,
+        };
         let outcomes = match self.config.mode {
             ExecMode::ComponentSharded => {
                 let workers = requested.clamp(1, comps.len().max(1));
-                Self::run_components(network, routes, demands, config, &comps, workers)
+                Self::run_components(&ctx, &comps, workers)
             }
             ExecMode::TimeWindowed { window_s } => {
                 let workers = requested.max(1);
-                Self::run_windowed(network, routes, demands, config, &comps, workers, window_s)
+                Self::run_windowed(&ctx, &comps, workers, window_s)
             }
         };
 
@@ -836,10 +1223,26 @@ impl Simulation {
             }
         }
 
+        // Credit the fluid bytes each link carried before utilisations are
+        // computed: background load is visible in `link_utilizations` (what
+        // the weather layer's most-loaded-conduit analysis reads) exactly
+        // as packet-simulated background load would be.
+        if let Some(f) = fluid_solution.as_ref() {
+            for &(l, bytes) in f.link_bytes() {
+                self.network.states_mut().bytes_sent[l as usize] += bytes;
+            }
+        }
+
         let utilizations: Vec<f64> = (0..self.network.num_links())
             .map(|l| self.network.utilization(l, self.config.duration_s))
             .collect();
-        monitor.report(utilizations)
+        let mut report = monitor.report(utilizations);
+        if let Some(f) = fluid_solution {
+            if f.num_flows() > 0 {
+                report.background = Some(f.stats());
+            }
+        }
+        report
     }
 }
 
@@ -864,11 +1267,7 @@ mod tests {
 
     fn run_at_load(load: f64, buffer: f64, arrivals: ArrivalProcess) -> SimReport {
         let net = single_link_net(buffer);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 10e6 * load,
-        }];
+        let demands = vec![Demand::new(0, 1, 10e6 * load)];
         let mut sim = Simulation::new(
             net,
             demands,
@@ -938,11 +1337,7 @@ mod tests {
                 buffer_bytes: 1e9,
             });
         }
-        let demands = vec![Demand {
-            src: 0,
-            dst: 2,
-            amount_bps: 1e6,
-        }];
+        let demands = vec![Demand::new(0, 2, 1e6)];
         let mut sim = Simulation::new(net, demands, SimConfig::default());
         let report = sim.run();
         assert!(
@@ -966,18 +1361,7 @@ mod tests {
                 buffer_bytes: 30_000.0,
             });
         }
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 3,
-                amount_bps: 8e6,
-            },
-            Demand {
-                src: 1,
-                dst: 3,
-                amount_bps: 8e6,
-            },
-        ];
+        let demands = vec![Demand::new(0, 3, 8e6), Demand::new(1, 3, 8e6)];
         let mut sim = Simulation::new(net, demands, SimConfig::default());
         let report = sim.run();
         // Combined 16 Mbps into a 10 Mbps link: significant loss.
@@ -994,11 +1378,7 @@ mod tests {
     #[test]
     fn zero_rate_demand_produces_no_packets() {
         let net = single_link_net(1e6);
-        let demands = vec![Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 0.0,
-        }];
+        let demands = vec![Demand::new(0, 1, 0.0)];
         let mut sim = Simulation::new(net, demands, SimConfig::default());
         let report = sim.run();
         assert_eq!(report.delivered + report.dropped, 0);
@@ -1017,11 +1397,7 @@ mod tests {
                 propagation_s: 0.002 + p as f64 * 1e-4,
                 buffer_bytes: 30_000.0,
             });
-            demands.push(Demand {
-                src: 2 * p,
-                dst: 2 * p + 1,
-                amount_bps: 8e6,
-            });
+            demands.push(Demand::new(2 * p, 2 * p + 1, 8e6));
         }
         (net, demands)
     }
@@ -1043,11 +1419,7 @@ mod tests {
         }
         let mut demands = Vec::new();
         for i in 0..nodes {
-            demands.push(Demand {
-                src: i,
-                dst: (i + nodes / 2) % nodes,
-                amount_bps: 3e6,
-            });
+            demands.push(Demand::new(i, (i + nodes / 2) % nodes, 3e6));
         }
         (net, demands)
     }
@@ -1153,18 +1525,7 @@ mod tests {
                 buffer_bytes: 20_000.0,
             });
         }
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 2,
-                amount_bps: 2e6,
-            },
-            Demand {
-                src: 1,
-                dst: 2,
-                amount_bps: 2e6,
-            },
-        ];
+        let demands = vec![Demand::new(0, 2, 2e6), Demand::new(1, 2, 2e6)];
         let serial = Simulation::new(
             net.clone(),
             demands.clone(),
@@ -1218,6 +1579,178 @@ mod tests {
     }
 
     #[test]
+    fn hop_collapse_is_bit_identical_to_the_uncollapsed_path() {
+        // A long idle chain is the collapse's best case; the congested mesh
+        // and the multi-component set exercise it under queueing and under
+        // both engines. The reports must match float for float.
+        let mut chain = Network::new(8);
+        for i in 0..7 {
+            chain.add_link(LinkSpec {
+                from: i,
+                to: i + 1,
+                rate_bps: 1e9,
+                propagation_s: 0.002,
+                buffer_bytes: 1e9,
+            });
+        }
+        let chain_demands = vec![Demand::new(0, 7, 2e6)];
+        let cases = [
+            (chain, chain_demands),
+            single_component_mesh(8),
+            multi_component_inputs(5),
+        ];
+        for (net, demands) in cases {
+            for mode in [ExecMode::ComponentSharded, ExecMode::windowed_auto()] {
+                let config = |hop_collapse| SimConfig {
+                    duration_s: 0.2,
+                    workers: 2,
+                    mode,
+                    hop_collapse,
+                    ..SimConfig::default()
+                };
+                let collapsed = Simulation::new(net.clone(), demands.clone(), config(true)).run();
+                let plain = Simulation::new(net.clone(), demands.clone(), config(false)).run();
+                assert_eq!(collapsed, plain, "{mode:?}");
+                assert!(collapsed.delivered > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_without_background_demands_is_bit_identical_to_pure_packet() {
+        let (net, demands) = single_component_mesh(8);
+        let config = |background| SimConfig {
+            duration_s: 0.2,
+            seed: 3,
+            workers: 1,
+            background,
+            ..SimConfig::default()
+        };
+        let packet = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            config(BackgroundModel::Packet),
+        )
+        .run();
+        let hybrid = Simulation::new(net, demands, config(BackgroundModel::Fluid)).run();
+        assert_eq!(packet, hybrid);
+        assert!(hybrid.background.is_none());
+    }
+
+    #[test]
+    fn hybrid_report_is_bit_identical_across_modes_and_workers() {
+        let (net, mut demands) = single_component_mesh(8);
+        // Tag half the demands background.
+        for d in demands.iter_mut().skip(4) {
+            d.class = crate::routing::TrafficClass::Background;
+        }
+        let config = |workers, mode| SimConfig {
+            duration_s: 0.2,
+            seed: 3,
+            workers,
+            mode,
+            background: BackgroundModel::Fluid,
+            ..SimConfig::default()
+        };
+        let serial = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            config(1, ExecMode::ComponentSharded),
+        )
+        .run();
+        assert!(serial.background.is_some());
+        for workers in [2usize, 4] {
+            for mode in [
+                ExecMode::ComponentSharded,
+                ExecMode::windowed_auto(),
+                ExecMode::TimeWindowed { window_s: 1e-3 },
+            ] {
+                let report =
+                    Simulation::new(net.clone(), demands.clone(), config(workers, mode)).run();
+                assert_eq!(serial, report, "workers {workers}, {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_offloads_background_packets_and_reports_class_stats() {
+        // 6 Mbps foreground + 8 Mbps background share the 10 Mbps link:
+        // overloaded in aggregate. Hybrid simulates only the foreground
+        // packets; the background appears as fluid stats and as queueing
+        // delay on the foreground. The buffer is large enough that the
+        // fluid backlog (peak 4 Mbps × 0.5 s ÷ 8 = 250 kB) never fills it,
+        // so no class loses packets to drops.
+        let net = single_link_net(500_000.0);
+        let demands = vec![Demand::new(0, 1, 6e6), Demand::background(0, 1, 8e6)];
+        let config = |background| SimConfig {
+            duration_s: 0.5,
+            background,
+            ..SimConfig::default()
+        };
+        let hybrid =
+            Simulation::new(net.clone(), demands.clone(), config(BackgroundModel::Fluid)).run();
+        let packet = Simulation::new(net, demands, config(BackgroundModel::Packet)).run();
+
+        // The background flow emitted no packets in hybrid...
+        assert_eq!(hybrid.flow_delivered[1] + hybrid.flow_dropped[1], 0);
+        // ...but did in pure packet.
+        assert!(packet.flow_delivered[1] > 0);
+        // Hybrid processed far fewer packet events.
+        let hybrid_packets = hybrid.delivered + hybrid.dropped;
+        let packet_packets = packet.delivered + packet.dropped;
+        assert!(
+            hybrid_packets * 2 < packet_packets,
+            "{hybrid_packets} vs {packet_packets}"
+        );
+        // The fluid stats account for the background class.
+        let bg = hybrid.background.expect("hybrid must report class stats");
+        assert_eq!(bg.flows, 1);
+        assert!((bg.offered_bits - 8e6 * 0.5).abs() < 1.0);
+        assert!(bg.delivered_bits > 0.0);
+        assert!(bg.peak_backlog_bytes > 0.0);
+        assert!(bg.packet_equivalent_events > 100.0);
+        // The background queue delays foreground packets: mean queueing is
+        // well above the foreground-only level but bounded by the peak
+        // backlog drain time (250 kB at 10 Mbps = 200 ms).
+        assert!(hybrid.mean_queue_delay_ms > 0.0);
+        assert!(hybrid.mean_queue_delay_ms <= 200.0 + 1e-9);
+        // Background load is visible in link utilisation: the link is
+        // saturated in aggregate even though only foreground packets flow.
+        assert!(
+            hybrid.max_link_utilization > 0.9,
+            "{}",
+            hybrid.max_link_utilization
+        );
+    }
+
+    #[test]
+    fn hybrid_leaves_foreground_flows_off_background_routes_untouched() {
+        // Disjoint pairs: tagging one pair background must leave every
+        // other pair's per-flow statistics bit-identical to pure packet.
+        let (net, mut demands) = multi_component_inputs(4);
+        demands[2].class = crate::routing::TrafficClass::Background;
+        let config = |background| SimConfig {
+            duration_s: 0.3,
+            background,
+            ..SimConfig::default()
+        };
+        let packet = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            config(BackgroundModel::Packet),
+        )
+        .run();
+        let hybrid = Simulation::new(net, demands, config(BackgroundModel::Fluid)).run();
+        for k in [0usize, 1, 3] {
+            assert_eq!(packet.flow_mean_delay_ms[k], hybrid.flow_mean_delay_ms[k]);
+            assert_eq!(packet.flow_delivered[k], hybrid.flow_delivered[k]);
+            assert_eq!(packet.flow_dropped[k], hybrid.flow_dropped[k]);
+        }
+        assert_eq!(hybrid.flow_delivered[2], 0);
+        assert!(hybrid.background.is_some());
+    }
+
+    #[test]
     fn components_split_disjoint_flows() {
         let (net, demands) = multi_component_inputs(4);
         let sim = Simulation::new(net, demands, SimConfig::default());
@@ -1240,18 +1773,7 @@ mod tests {
                 buffer_bytes: 30_000.0,
             });
         }
-        let demands = vec![
-            Demand {
-                src: 0,
-                dst: 3,
-                amount_bps: 4e6,
-            },
-            Demand {
-                src: 1,
-                dst: 3,
-                amount_bps: 4e6,
-            },
-        ];
+        let demands = vec![Demand::new(0, 3, 4e6), Demand::new(1, 3, 4e6)];
         let sim = Simulation::new(net, demands, SimConfig::default());
         let comps = sim.partition_flows();
         assert_eq!(comps.len(), 1);

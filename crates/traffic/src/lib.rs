@@ -10,7 +10,10 @@
 //!   helpers for normalisation, scaling to an aggregate throughput, and
 //!   mixing.
 //! * [`models`] — the population-product, inter-DC (uniform between DC
-//!   pairs), and city-to-nearest-DC models over a shared site list.
+//!   pairs), and city-to-nearest-DC models over a shared site list, plus
+//!   the latency-class split ([`models::ClassifiedTraffic`]): user-facing
+//!   components as foreground, DC–DC bulk replication as background, for
+//!   the hybrid fluid/packet engine.
 //! * [`perturb`] — the population-perturbation model: each city's population
 //!   is re-weighted by a factor drawn uniformly from `[1−γ, 1+γ]`.
 
@@ -19,5 +22,7 @@ pub mod models;
 pub mod perturb;
 
 pub use matrix::TrafficMatrix;
-pub use models::{city_city_matrix, city_dc_matrix, dc_dc_matrix, SiteSet, TrafficMix};
+pub use models::{
+    city_city_matrix, city_dc_matrix, dc_dc_matrix, ClassifiedTraffic, SiteSet, TrafficMix,
+};
 pub use perturb::perturbed_populations;

@@ -195,6 +195,66 @@ impl TrafficMix {
             (self.dc_dc, &dc_dc_matrix(sites)),
         ])
     }
+
+    /// Materialise the mix split by latency class: the user-facing
+    /// components (city–city gaming/small-web and city–DC) are foreground,
+    /// the DC–DC bulk-replication component is background — the split the
+    /// hybrid fluid/packet engine consumes. The two matrices decompose the
+    /// full [`TrafficMix::matrix`]: summed weight-for-weight they reproduce
+    /// it, and each keeps its share of the mix's unit total, so existing
+    /// callers that ignore classes see bit-identical traffic.
+    pub fn classified(&self, sites: &SiteSet) -> ClassifiedTraffic {
+        let total_share = self.city_city + self.city_dc + self.dc_dc;
+        assert!(total_share > 0.0);
+        // `TrafficMatrix::mix` normalises to a unit total per call; rescale
+        // each subset by its share of the full mix so foreground +
+        // background equals `matrix()` exactly in aggregate.
+        let scale = |m: TrafficMatrix, share: f64| {
+            if m.total_weight() > 0.0 {
+                TrafficMatrix::from_dist_matrix(m.scaled_to_gbps(share / total_share))
+            } else {
+                m
+            }
+        };
+        let foreground = scale(
+            TrafficMatrix::mix(&[
+                (self.city_city, &city_city_matrix(sites)),
+                (self.city_dc, &city_dc_matrix(sites)),
+            ]),
+            self.city_city + self.city_dc,
+        );
+        let background = scale(dc_dc_matrix(sites), self.dc_dc);
+        ClassifiedTraffic {
+            foreground,
+            background,
+        }
+    }
+}
+
+/// A traffic mix split by latency class, for hybrid fluid/packet
+/// simulation: latency-sensitive user-facing traffic (foreground) and bulk
+/// replication traffic (background). Produced by [`TrafficMix::classified`];
+/// consumed by `cisp_core::evaluate::lower_traffic_classified`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifiedTraffic {
+    /// Latency-sensitive traffic, simulated packet-level.
+    pub foreground: TrafficMatrix,
+    /// Bulk traffic, eligible for fluid modelling.
+    pub background: TrafficMatrix,
+}
+
+impl ClassifiedTraffic {
+    /// The combined matrix both classes sum to — equal (weight for weight,
+    /// up to float rounding) to the [`TrafficMix::matrix`] this split came
+    /// from.
+    pub fn combined(&self) -> TrafficMatrix {
+        let n = self.foreground.num_sites();
+        assert_eq!(self.background.num_sites(), n);
+        let m = cisp_graph::DistMatrix::from_fn(n, |i, j| {
+            self.foreground.weight(i, j) + self.background.weight(i, j)
+        });
+        TrafficMatrix::from_dist_matrix(m)
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +353,49 @@ mod tests {
         let m = city_dc_matrix(&s);
         assert_eq!(m.total_weight(), 0.0);
         assert_eq!(s.closest_dc(0), None);
+    }
+
+    #[test]
+    fn classified_decomposes_the_full_mix() {
+        let s = site_set();
+        let mix = TrafficMix::designed();
+        let full = mix.matrix(&s);
+        let split = mix.classified(&s);
+        // Foreground + background reproduce the combined matrix weight for
+        // weight, so classifying never changes the aggregate traffic.
+        let combined = split.combined();
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                assert!(
+                    (combined.weight(i, j) - full.weight(i, j)).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    combined.weight(i, j),
+                    full.weight(i, j)
+                );
+            }
+        }
+        // Each class keeps its share of the mix: 4:3 user-facing vs 3 bulk.
+        assert!((split.foreground.total_weight() - 0.7).abs() < 1e-9);
+        assert!((split.background.total_weight() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classified_background_is_exactly_the_dc_dc_component() {
+        let s = site_set();
+        let split = TrafficMix::designed().classified(&s);
+        // Background has DC–DC weight only; foreground has none.
+        assert!(split.background.weight(s.dc_index(0), s.dc_index(1)) > 0.0);
+        assert_eq!(split.background.weight(0, 1), 0.0);
+        assert_eq!(split.foreground.weight(s.dc_index(0), s.dc_index(1)), 0.0);
+        assert!(split.foreground.weight(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn classified_with_no_datacenters_has_empty_background() {
+        let s = SiteSet::new(us_top_cities(5), Vec::new());
+        let mix = TrafficMix::designed();
+        let split = mix.classified(&s);
+        assert_eq!(split.background.total_weight(), 0.0);
+        assert!(split.foreground.total_weight() > 0.0);
     }
 }

@@ -142,11 +142,7 @@ fn designed_topology_simulates_with_low_queueing_at_moderate_load() {
         for j in (i + 1)..n {
             let gbps = 2.0 * traffic[i][j] / total;
             if gbps > 0.0 {
-                demands.push(Demand {
-                    src: i,
-                    dst: j,
-                    amount_bps: gbps * 1e9,
-                });
+                demands.push(Demand::new(i, j, gbps * 1e9));
             }
         }
     }

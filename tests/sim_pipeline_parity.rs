@@ -13,15 +13,17 @@
 //! `CISP_TEST_WORKERS` environment variable (comma-separated, default
 //! `1,2,4`) so CI can run the suite as a matrix over worker counts.
 
-use cisp::core::evaluate::{evaluate, lower, pair_rtts, EvaluateConfig};
+use cisp::core::evaluate::{evaluate, lower, lower_classified, pair_rtts, EvaluateConfig};
 use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
 use cisp::graph::csr::CsrGraph;
 use cisp::graph::{dijkstra, Graph, PathStore};
 use cisp::netsim::flows::ArrivalProcess;
 use cisp::netsim::network::{LinkSpec, Network};
-use cisp::netsim::routing::{compute_routes, compute_routes_avoiding, Demand, RoutingScheme};
+use cisp::netsim::routing::{
+    compute_routes, compute_routes_avoiding, Demand, RoutingScheme, TrafficClass,
+};
 use cisp::netsim::sim::{ExecMode, SimConfig, Simulation};
-use cisp::netsim::SimReport;
+use cisp::netsim::{BackgroundModel, SimReport};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -212,18 +214,10 @@ fn random_sim_inputs(seed: u64) -> (Network, Vec<Demand>) {
         // src == dst occasionally: an empty-route demand must stay inert.
         let src = rng.gen_range(0usize..n);
         let dst = rng.gen_range(0usize..n);
-        demands.push(Demand {
-            src,
-            dst,
-            amount_bps: rng.gen_range(5e5..4e6),
-        });
+        demands.push(Demand::new(src, dst, rng.gen_range(5e5..4e6)));
     }
     if rng.gen_bool(0.3) {
-        demands.push(Demand {
-            src: 0,
-            dst: 1,
-            amount_bps: 0.0,
-        });
+        demands.push(Demand::new(0, 1, 0.0));
     }
     (net, demands)
 }
@@ -279,6 +273,133 @@ fn check_engines_match_serial(seed: u64) -> TestCaseResult {
     Ok(())
 }
 
+/// Hybrid counterpart of [`check_engines_match_serial`]: tag a random
+/// subset of the demands background, then check that (a) the hybrid report
+/// is bit-identical across both engines, every tested worker count and
+/// window, and the uncollapsed hop path; (b) background demands emit no
+/// packets; and (c) every foreground flow's mean delay agrees with the
+/// pure-packet run within the documented fluid envelope — the worst-case
+/// queueing a fully backlogged route can add or hide,
+/// `Σ_route buffer_bytes · 8 / rate_bps`.
+fn check_hybrid_matches_serial_and_packet_envelope(seed: u64) -> TestCaseResult {
+    let (net, mut demands) = random_sim_inputs(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_bac6);
+    for d in demands.iter_mut() {
+        if rng.gen_bool(0.4) {
+            d.class = TrafficClass::Background;
+        }
+    }
+    let arrivals = if seed.is_multiple_of(2) {
+        ArrivalProcess::ConstantBitRate
+    } else {
+        ArrivalProcess::Poisson
+    };
+    let base = SimConfig {
+        duration_s: 0.03,
+        arrivals,
+        seed,
+        background: BackgroundModel::Fluid,
+        ..SimConfig::default()
+    };
+    let hybrid = Simulation::new(
+        net.clone(),
+        demands.clone(),
+        SimConfig { workers: 1, ..base },
+    )
+    .run();
+
+    // (a) Bit-identity across the whole execution matrix.
+    let uncollapsed = Simulation::new(
+        net.clone(),
+        demands.clone(),
+        SimConfig {
+            workers: 1,
+            hop_collapse: false,
+            ..base
+        },
+    )
+    .run();
+    prop_assert!(
+        hybrid == uncollapsed,
+        "hop collapse changed the hybrid report (seed {seed})"
+    );
+    for workers in test_worker_counts() {
+        let sharded =
+            Simulation::new(net.clone(), demands.clone(), SimConfig { workers, ..base }).run();
+        prop_assert!(
+            hybrid == sharded,
+            "hybrid sharded != serial at workers {workers} (seed {seed})"
+        );
+        for window_s in [0.0, 1.5e-3, 1.0] {
+            let windowed = Simulation::new(
+                net.clone(),
+                demands.clone(),
+                SimConfig {
+                    workers,
+                    mode: ExecMode::TimeWindowed { window_s },
+                    ..base
+                },
+            )
+            .run();
+            prop_assert!(
+                hybrid == windowed,
+                "hybrid windowed != serial at workers {workers}, window {window_s} (seed {seed})"
+            );
+        }
+    }
+
+    // (b) Background demands leave the packet engine entirely.
+    for (k, d) in demands.iter().enumerate() {
+        if d.class == TrafficClass::Background {
+            prop_assert!(
+                hybrid.flow_delivered[k] + hybrid.flow_dropped[k] == 0,
+                "background flow {k} emitted packets (seed {seed})"
+            );
+        }
+    }
+
+    // (c) Foreground agreement with pure packet, within the fluid envelope.
+    let packet = Simulation::new(
+        net.clone(),
+        demands.clone(),
+        SimConfig {
+            workers: 1,
+            background: BackgroundModel::Packet,
+            ..base
+        },
+    )
+    .run();
+    let routes = compute_routes(&net, &demands, base.routing);
+    let links = net.links();
+    for (k, d) in demands.iter().enumerate() {
+        if d.class == TrafficClass::Background
+            || hybrid.flow_delivered[k] == 0
+            || packet.flow_delivered[k] == 0
+        {
+            continue;
+        }
+        let envelope_ms: f64 = routes
+            .route(k)
+            .iter()
+            .map(|&l| {
+                let spec = &links[l as usize];
+                spec.buffer_bytes * 8.0 / spec.rate_bps
+            })
+            .sum::<f64>()
+            * 1e3;
+        let diff = (hybrid.flow_mean_delay_ms[k] - packet.flow_mean_delay_ms[k]).abs();
+        prop_assert!(
+            diff <= envelope_ms + 1e-9,
+            "foreground flow {} delay diff {} ms exceeds the fluid envelope {} ms (seed {})",
+            k,
+            diff,
+            envelope_ms,
+            seed
+        );
+    }
+    Ok(())
+}
+
 /// `PathStore` round-trip for one random path set: reads back exactly, in
 /// order, through both push entry points.
 fn check_path_store_roundtrip(seed: u64) -> TestCaseResult {
@@ -319,6 +440,17 @@ proptest! {
     #[test]
     fn windowed_and_sharded_engines_match_serial_on_random_networks(seed in 0u64..u64::MAX) {
         check_engines_match_serial(seed)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn hybrid_engine_is_bit_identical_across_modes_and_within_the_fluid_envelope(
+        seed in 0u64..u64::MAX,
+    ) {
+        check_hybrid_matches_serial_and_packet_envelope(seed)?;
     }
 }
 
@@ -370,10 +502,13 @@ fn empty_and_all_false_masks_match_baseline_routes() {
 /// Exact, human-diffable rendering of the golden snapshot: `{:?}` on `f64`
 /// prints the shortest decimal that round-trips, so equality of the rendered
 /// text is equality of the bits.
-fn format_report_snapshot(report: &SimReport) -> String {
+fn format_report_snapshot(title: &str, report: &SimReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str("# Golden SimReport of the end_to_end_backbone lowering (serial run).\n");
+    let _ = writeln!(
+        out,
+        "# Golden SimReport of the {title} lowering (serial run)."
+    );
     out.push_str("# Regenerate with: CISP_BLESS=1 cargo test --test sim_pipeline_parity golden\n");
     let _ = writeln!(out, "delivered: {}", report.delivered);
     let _ = writeln!(out, "dropped: {}", report.dropped);
@@ -406,6 +541,33 @@ fn format_report_snapshot(report: &SimReport) -> String {
             report.flow_delivered[k], report.flow_dropped[k], report.flow_mean_delay_ms[k]
         );
     }
+    if let Some(bg) = &report.background {
+        let _ = writeln!(out, "background_flows: {}", bg.flows);
+        let _ = writeln!(out, "background_offered_bits: {:?}", bg.offered_bits);
+        let _ = writeln!(out, "background_delivered_bits: {:?}", bg.delivered_bits);
+        let _ = writeln!(out, "background_dropped_bits: {:?}", bg.dropped_bits);
+        let _ = writeln!(
+            out,
+            "background_mean_throughput_bps: {:?}",
+            bg.mean_throughput_bps
+        );
+        let _ = writeln!(
+            out,
+            "background_mean_backlog_bytes: {:?}",
+            bg.mean_backlog_bytes
+        );
+        let _ = writeln!(
+            out,
+            "background_peak_backlog_bytes: {:?}",
+            bg.peak_backlog_bytes
+        );
+        let _ = writeln!(out, "background_rate_events: {}", bg.rate_events);
+        let _ = writeln!(
+            out,
+            "background_packet_equivalent_events: {:?}",
+            bg.packet_equivalent_events
+        );
+    }
     out
 }
 
@@ -427,13 +589,68 @@ fn golden_end_to_end_backbone_report_matches_snapshot() {
         },
     )
     .run();
-    let rendered = format_report_snapshot(&report);
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/golden/end_to_end_backbone_report.txt"
+    let rendered = format_report_snapshot("end_to_end_backbone", &report);
+    assert_snapshot_matches(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/end_to_end_backbone_report.txt"
+        ),
+        &rendered,
     );
+}
+
+/// Golden hybrid-report pin: the classified backbone (city traffic
+/// foreground, a second aggregate as fluid background) under
+/// [`BackgroundModel::Fluid`], serial run — including the background
+/// block of the snapshot. Guards the fluid solver's arithmetic the same
+/// way the packet golden guards the event engine's.
+#[test]
+fn golden_hybrid_backbone_report_matches_snapshot() {
+    let scenario = Scenario::build(&ScenarioConfig::tiny_test());
+    let outcome = scenario.design(300.0);
+    let traffic = population_product_traffic(scenario.cities());
+    let config = EvaluateConfig {
+        design_aggregate_gbps: 4.0,
+        load_fraction: 0.6,
+        sim: SimConfig {
+            duration_s: 0.1,
+            ..SimConfig::default()
+        },
+        ..EvaluateConfig::default()
+    };
+    let lowered = lower_classified(&outcome.topology, &traffic, &traffic, 2.0, &config);
+    let report = Simulation::new(
+        lowered.network.clone(),
+        lowered.demands.clone(),
+        SimConfig {
+            duration_s: 0.1,
+            seed: 7,
+            workers: 1,
+            background: BackgroundModel::Fluid,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert!(
+        report.background.is_some(),
+        "classified lowering must produce fluid background stats"
+    );
+    assert!(report.delivered > 0);
+    let rendered = format_report_snapshot("classified_hybrid_backbone", &report);
+    assert_snapshot_matches(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/hybrid_backbone_report.txt"
+        ),
+        &rendered,
+    );
+}
+
+/// Compare a rendered snapshot against its checked-in golden file, or
+/// regenerate the file when `CISP_BLESS=1` is set.
+fn assert_snapshot_matches(path: &str, rendered: &str) {
     if std::env::var_os("CISP_BLESS").is_some() {
-        std::fs::write(path, &rendered).expect("write golden snapshot");
+        std::fs::write(path, rendered).expect("write golden snapshot");
         return;
     }
     let golden = std::fs::read_to_string(path)

@@ -1,0 +1,85 @@
+//! Event-queue microbenchmarks: raw push/pop cost of the two
+//! [`cisp_netsim::queue::EventQueue`] backends, isolated from the
+//! simulation engine.
+//!
+//! Two access patterns per backend:
+//!
+//! * `hold` — the classic hold model and the engine's steady state: pop the
+//!   minimum, push a replacement a random increment later, at constant
+//!   occupancy. This is where the calendar queue's O(1)-amortised scheduling
+//!   shows up against the heap's O(log n).
+//! * `push_drain` — build up `n` events then drain to empty, exercising the
+//!   calendar's occupancy-driven resizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cisp_netsim::queue::{Event, EventQueue, QueueKind};
+
+const OCCUPANCY: usize = 4096;
+const HOLD_OPS: usize = 1024;
+
+/// Deterministic xorshift64* — the benches must not depend on a PRNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn ev(time: f64, flow: u32) -> Event {
+    Event {
+        time,
+        flow,
+        hop: 0,
+        sent_at: time,
+        queue_delay: 0.0,
+    }
+}
+
+fn prefill(kind: QueueKind, n: usize, rng: &mut Rng) -> EventQueue {
+    let mut q = EventQueue::new(kind);
+    for i in 0..n {
+        q.push(ev(rng.next_f64(), i as u32));
+    }
+    q
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+
+    for (label, kind) in [("heap", QueueKind::Heap), ("calendar", QueueKind::Calendar)] {
+        group.bench_function(format!("hold_{label}_{OCCUPANCY}"), |b| {
+            let mut rng = Rng(0x9E3779B97F4A7C15);
+            let mut q = prefill(kind, OCCUPANCY, &mut rng);
+            b.iter(|| {
+                for _ in 0..HOLD_OPS {
+                    let popped = q.pop().expect("constant occupancy");
+                    // Mean increment ~1/OCCUPANCY keeps event density (and
+                    // the calendar's adapted bucket width) stationary.
+                    let dt = rng.next_f64() * (2.0 / OCCUPANCY as f64);
+                    q.push(ev(popped.time + dt, popped.flow));
+                    black_box(popped.time);
+                }
+            })
+        });
+
+        group.bench_function(format!("push_drain_{label}_{OCCUPANCY}"), |b| {
+            b.iter(|| {
+                let mut rng = Rng(0xD1B54A32D192ED03);
+                let mut q = prefill(kind, OCCUPANCY, &mut rng);
+                while let Some(e) = q.pop() {
+                    black_box(e.time);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

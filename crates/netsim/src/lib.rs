@@ -24,8 +24,12 @@
 //!   configurable packet size.
 //! * [`monitor`] — the FlowMonitor equivalent: global *and per-flow* delay
 //!   and loss plus per-link utilisation and queueing statistics.
+//! * [`queue`] — the pluggable event-queue core ([`sim::SimConfig::queue`]):
+//!   the default binary heap, or an O(1)-amortised self-resizing calendar
+//!   (bucket) queue — both pop the identical `(time, flow, hop)` sequence,
+//!   so the backend is a pure performance knob.
 //! * [`sim`] — the event-driven engine tying it together: an unboxed
-//!   `(time, flow, hop)`-keyed event heap, with the demand set decomposed
+//!   `(time, flow, hop)`-keyed event queue, with the demand set decomposed
 //!   into link-disjoint components executed across persistent worker
 //!   threads ([`sim::SimConfig::workers`]), and — for single-component
 //!   heavy meshes — conservative time-windowed execution inside a component
@@ -50,6 +54,7 @@ pub mod flows;
 pub mod fluid;
 pub mod monitor;
 pub mod network;
+pub mod queue;
 pub mod routing;
 pub mod sim;
 pub mod tcp;
@@ -57,5 +62,6 @@ pub mod tcp;
 pub use fluid::BackgroundModel;
 pub use monitor::{BackgroundStats, SimReport};
 pub use network::{LinkSpec, Network};
+pub use queue::{QueueKind, QueueStats};
 pub use routing::{RoutingScheme, TrafficClass};
 pub use sim::{ExecMode, SimConfig, Simulation};

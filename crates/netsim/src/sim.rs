@@ -4,8 +4,11 @@
 //! computed up front by [`crate::routing`] into a flat [`PathStore`]-backed
 //! table, and the engine replays every packet's journey hop by hop through
 //! the FIFO link model of [`crate::network`]. Events are plain `Copy`
-//! structs ordered by `(time, flow, hop)` directly on the binary heap — no
-//! per-event allocation, no indirection.
+//! structs ordered by `(time, flow, hop)` directly in the event queue — no
+//! per-event allocation, no indirection. The queue backend itself is
+//! pluggable ([`SimConfig::queue`], [`crate::queue`]): the default binary
+//! heap, or an O(1)-amortised self-resizing calendar queue — both pop the
+//! identical sequence, so the backend is a pure performance knob.
 //!
 //! # Sharded execution
 //!
@@ -55,13 +58,18 @@
 //! hop-collapsing ([`SimConfig::hop_collapse`]) delivers a packet across
 //! consecutive idle hops — long conduit paths especially — in one event by
 //! processing a freshly produced event inline whenever it provably would be
-//! the very next pop, which elides the heap round trip without changing the
-//! event order (bit-identical by construction).
+//! the very next pop, which elides the queue round trip without changing
+//! the event order (bit-identical by construction); and sole-feeder chain
+//! draining: after a link's pipeline head pops, its remaining in-transit
+//! departures are advanced inline — front to back, without touching the
+//! global queue — for as long as each front provably is the next arrival
+//! at its sole-fed downstream link (all transit into that link comes off
+//! this one, and no pending emission enters it earlier). Per-link state
+//! depends only on per-link arrival order, so both levers are exact.
 //!
 //! [`PathStore`]: cisp_graph::PathStore
 //! [`TrafficClass::Background`]: crate::routing::TrafficClass::Background
 
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Barrier, Mutex};
@@ -74,6 +82,7 @@ use crate::flows::{ArrivalProcess, EmissionSchedule, FlowSpec};
 use crate::fluid::{self, BackgroundModel, FluidOutcome};
 use crate::monitor::{FlowMonitor, SimReport};
 use crate::network::{DirtyLinks, LinkState, LinkStates, Network, Transmit};
+use crate::queue::{Event, EventQueue, QueueKind, QueueStats};
 use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
 
 /// How the engine parallelises a run. Every mode produces a bit-identical
@@ -132,6 +141,11 @@ pub struct SimConfig {
     /// the very next pop. Bit-identical to the uncollapsed path by
     /// construction; `false` only exists so tests can assert that.
     pub hop_collapse: bool,
+    /// Event-queue backend ([`crate::queue`]): the default binary heap, or
+    /// the O(1)-amortised self-resizing calendar queue. Both pop the
+    /// identical `(time, flow, hop)` sequence, so reports are bit-identical
+    /// either way — a pure performance knob.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -146,51 +160,8 @@ impl Default for SimConfig {
             mode: ExecMode::ComponentSharded,
             background: BackgroundModel::Packet,
             hop_collapse: true,
+            queue: QueueKind::Heap,
         }
-    }
-}
-
-/// A scheduled packet-at-link event. Lives directly on the heap (plain
-/// `Copy` key, no boxing); ordered by `(time, flow, hop)` with earliest
-/// first, which both drives the simulation clock and makes tie-breaking
-/// deterministic.
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    /// Time the packet arrives at the head of this hop.
-    time: f64,
-    /// Flow (demand) index.
-    flow: u32,
-    /// Position within the flow's route.
-    hop: u32,
-    /// Time the packet originally entered the network.
-    sent_at: f64,
-    /// Accumulated queueing delay so far.
-    queue_delay: f64,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.flow == other.flow && self.hop == other.hop
-    }
-}
-impl Eq for Event {}
-
-impl Ord for Event {
-    /// Reversed comparison so `BinaryHeap` (a max-heap) pops the earliest
-    /// event; ties broken by flow then hop index.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.flow.cmp(&self.flow))
-            .then_with(|| other.hop.cmp(&self.hop))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
     }
 }
 
@@ -225,22 +196,29 @@ struct ShardPartial {
 }
 
 /// A worker's reusable scratch: private link-state arrays over the shared
-/// link table, the event heap, the dirty-link tracker used to harvest and
+/// link table, the event queue, the dirty-link tracker used to harvest and
 /// recycle only the links the worker actually touched, and the per-link
-/// in-transit pipelines backing the staged heap.
+/// in-transit pipelines backing the staged queue.
 ///
 /// Staging invariant: arrivals coming off one link are strictly ordered in
-/// time (FIFO finish times plus a constant propagation), so the heap holds
+/// time (FIFO finish times plus a constant propagation), so the queue holds
 /// at most the *earliest* in-transit event per link — the pipeline's head —
-/// and the rest wait in that link's `transit` queue. Popping a head
-/// promotes its successor. Every pending event is `>=` its pipeline head,
-/// so the heap minimum is still the global minimum and the pop sequence is
-/// exactly the unstaged one; the heap just stays at O(links + flows)
-/// instead of O(packets in flight).
+/// and the rest wait in that link's `transit` queue. Every pending event is
+/// `>=` its pipeline head, so the queue minimum is still the global minimum
+/// and the pop sequence is exactly the unstaged one; the queue just stays
+/// at O(links + flows) instead of O(packets in flight).
+///
+/// When a head pops, the chain drain (`Simulation::drain_chain`) advances
+/// the pipeline: qualifying fronts are processed inline, and the first
+/// non-qualifying front becomes the new head in the queue. While the drain
+/// is in flight, `head_in_heap` for the drained link is *stale-true* — the
+/// pipeline's events are outside the queue — which is exactly what makes
+/// `stage` keep appending behind them; the drain re-establishes the
+/// invariant before the next pop.
 struct WorkerState {
     states: LinkStates,
     dirty: DirtyLinks,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue,
     transit: Vec<VecDeque<Event>>,
     head_in_heap: Vec<bool>,
     /// Earliest pending emission entering each link (`+∞` when no flow
@@ -249,21 +227,62 @@ struct WorkerState {
     /// arrives strictly before every pending emission injected there.
     /// Component-local; reset to `+∞` after each component.
     emission_at: Vec<f64>,
+    /// Flow index → position in the current component's flow list, filled
+    /// in each component's prologue. Replaces a `binary_search` over the
+    /// component's flows on every delivery, drop, and emission refill.
+    /// Entries for flows outside the current component are stale, but a
+    /// component only ever looks up its own flows.
+    flow_pos: Vec<u32>,
+    /// Per-final-link delivery streams (serial engine). A link's finish
+    /// times strictly increase, so recording each delivery into its final
+    /// link's stream keeps every stream sorted by `(time, flow)`; stream 0
+    /// collects zero-hop deliveries (recorded in pop order, likewise
+    /// sorted). The component epilogue k-way merges the streams instead of
+    /// sorting one flat vector. The pool is recycled across components.
+    streams: Vec<Vec<Event>>,
+    /// How many entries of `streams` the current component uses (≥ 1).
+    active_streams: usize,
+    /// Link index → its stream in `streams`, `u32::MAX` when unassigned.
+    /// Lazily assigned at a link's first delivery; component-local.
+    stream_of: Vec<u32>,
+    /// Links assigned a stream this component, for `stream_of` reset.
+    stream_links: Vec<u32>,
 }
 
 impl WorkerState {
-    fn new(num_links: usize) -> Self {
+    fn new(num_links: usize, kind: QueueKind) -> Self {
         Self {
             states: LinkStates::new(num_links),
             dirty: DirtyLinks::new(num_links),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(kind),
             transit: vec![VecDeque::new(); num_links],
             head_in_heap: vec![false; num_links],
             emission_at: vec![f64::INFINITY; num_links],
+            flow_pos: Vec::new(),
+            streams: vec![Vec::new()],
+            active_streams: 1,
+            stream_of: vec![u32::MAX; num_links],
+            stream_links: Vec::new(),
         }
     }
 
-    /// Enqueue an event produced by a transmit on `link`: into the heap if
+    /// The delivery stream for `link`, assigning one on first use.
+    #[inline]
+    fn stream_for(&mut self, link: usize) -> &mut Vec<Event> {
+        let mut sid = self.stream_of[link] as usize;
+        if sid == u32::MAX as usize {
+            sid = self.active_streams;
+            self.stream_of[link] = sid as u32;
+            self.stream_links.push(link as u32);
+            self.active_streams += 1;
+            if self.streams.len() == sid {
+                self.streams.push(Vec::new());
+            }
+        }
+        &mut self.streams[sid]
+    }
+
+    /// Enqueue an event produced by a transmit on `link`: into the queue if
     /// it is the pipeline's head, behind the head otherwise.
     #[inline]
     fn stage(&mut self, link: usize, next: Event) {
@@ -271,18 +290,7 @@ impl WorkerState {
             self.transit[link].push_back(next);
         } else {
             self.head_in_heap[link] = true;
-            self.heap.push(next);
-        }
-    }
-
-    /// A popped event crossed `link`: promote the pipeline's next event
-    /// into the heap.
-    #[inline]
-    fn promote(&mut self, link: usize) {
-        if let Some(e) = self.transit[link].pop_front() {
-            self.heap.push(e);
-        } else {
-            self.head_in_heap[link] = false;
+            self.queue.push(next);
         }
     }
 }
@@ -323,20 +331,38 @@ fn transit_feeders(routes: &RoutingTable, num_links: usize) -> Vec<u32> {
     feeder
 }
 
-/// The earliest pending emission among the flows starting at link `m`.
-/// `starters` is the component's `(first_link, flow_pos)` list sorted by
-/// link; `pending` holds each flow's next emission time (`+∞` = exhausted).
+/// The earliest pending emission in one first-link starter group — a
+/// contiguous run of the sorted `starters` list (see [`starter_groups`]).
+/// `pending` holds each flow's next emission time (`+∞` = exhausted).
 #[inline]
-fn emission_min(starters: &[(u32, u32)], pending: &[f64], m: u32) -> f64 {
-    let lo = starters.partition_point(|&(l, _)| l < m);
+fn emission_min(group: &[(u32, u32)], pending: &[f64]) -> f64 {
     let mut min = f64::INFINITY;
-    for &(l, pos) in &starters[lo..] {
-        if l != m {
-            break;
-        }
+    for &(_, pos) in group {
         min = min.min(pending[pos as usize]);
     }
     min
+}
+
+/// For each flow position, the `[lo, hi)` run of `starters` (sorted by
+/// first link) that shares the flow's first link. Precomputed once per
+/// component so the per-emission guard update scans its own group directly
+/// instead of binary-searching `starters` on every hop-0 pop. Flows
+/// without a starter entry keep the empty `(0, 0)` range.
+fn starter_groups(starters: &[(u32, u32)], num_flows: usize) -> Vec<(u32, u32)> {
+    let mut group = vec![(0u32, 0u32); num_flows];
+    let mut i = 0;
+    while i < starters.len() {
+        let l = starters[i].0;
+        let mut j = i + 1;
+        while j < starters.len() && starters[j].0 == l {
+            j += 1;
+        }
+        for k in i..j {
+            group[starters[k].1 as usize] = (i as u32, j as u32);
+        }
+        i = j;
+    }
+    group
 }
 
 /// The immutable inputs every engine entry point reads: the network and
@@ -378,6 +404,7 @@ pub struct Simulation {
     demands: Vec<Demand>,
     routes: RoutingTable,
     config: SimConfig,
+    last_queue_stats: QueueStats,
 }
 
 impl Simulation {
@@ -403,7 +430,16 @@ impl Simulation {
             demands,
             routes,
             config,
+            last_queue_stats: QueueStats::default(),
         }
+    }
+
+    /// Event-queue occupancy statistics aggregated across every worker of
+    /// the most recent [`run`](Self::run) (all zeroes before the first
+    /// run). Deliberately *not* part of the [`SimReport`]: the stats differ
+    /// between queue backends while reports must stay bit-identical.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.last_queue_stats
     }
 
     /// The computed routing table.
@@ -499,13 +535,13 @@ impl Simulation {
     }
 
     /// Start `flow`'s lazy emission schedule: push its first emission into
-    /// the worker's heap and return the schedule that produces the rest,
+    /// the worker's queue and return the schedule that produces the rest,
     /// plus the pushed emission time (`+∞` if the flow emits nothing).
-    /// The heap holds one pending emission per flow; each popped emission
+    /// The queue holds one pending emission per flow; each popped emission
     /// schedules its successor (strictly later, so it is pushed before it
     /// could ever pop). The event *set* is exactly the eagerly-scheduled
     /// one, and the strict `(time, flow, hop)` event order makes the pop
-    /// sequence a function of the set alone — bit-identical runs on a heap
+    /// sequence a function of the set alone — bit-identical runs on a queue
     /// of O(flows + packets in flight) instead of O(total packets).
     fn schedule_flow(
         demands: &[Demand],
@@ -525,7 +561,7 @@ impl Simulation {
         let mut pending = f64::INFINITY;
         if let Some(t) = schedule.next_emission(config.duration_s) {
             pending = t;
-            w.heap.push(Event {
+            w.queue.push(Event {
                 time: t,
                 flow: flow_index,
                 hop: 0,
@@ -547,7 +583,7 @@ impl Simulation {
         flow_index: u32,
     ) -> f64 {
         if let Some(t) = schedule.next_emission(config.duration_s) {
-            w.heap.push(Event {
+            w.queue.push(Event {
                 time: t,
                 flow: flow_index,
                 hop: 0,
@@ -569,12 +605,10 @@ impl Simulation {
         flows: &[u32],
     ) -> ComponentOutcome {
         let EngineContext {
-            network,
             routes,
             demands,
             config,
-            fluid,
-            feeders,
+            ..
         } = *ctx;
         // Track the links this component dirties (for extraction + reset).
         for &f in flows {
@@ -586,11 +620,15 @@ impl Simulation {
         // Seed each flow's first emission; the rest are generated lazily.
         // `starters`/`pending` back the chain's emission guard: for every
         // link, the earliest emission still to enter it (`w.emission_at`).
-        w.heap.clear();
+        w.queue.clear();
+        if w.flow_pos.len() < demands.len() {
+            w.flow_pos.resize(demands.len(), 0);
+        }
         let mut schedules: Vec<EmissionSchedule> = Vec::with_capacity(flows.len());
         let mut pending: Vec<f64> = Vec::with_capacity(flows.len());
         let mut starters: Vec<(u32, u32)> = Vec::with_capacity(flows.len());
         for (pos, &f) in flows.iter().enumerate() {
+            w.flow_pos[f as usize] = pos as u32;
             let (schedule, t) = Self::schedule_flow(demands, config, w, f);
             schedules.push(schedule);
             pending.push(t);
@@ -601,127 +639,54 @@ impl Simulation {
             }
         }
         starters.sort_unstable();
+        let groups = starter_groups(&starters, flows.len());
 
         // Process events in timestamp order. Deliveries never touch link
         // state, so they skip the heap entirely: the final transmit records
-        // them out of order and the sort below restores the serial pop
-        // order — `(time, flow)` is unique across deliveries (one link's
-        // finishes strictly increase, and a flow delivers over one link),
-        // so the sorted sequence *is* the heap's `(time, flow, hop)` order.
+        // each one into its final link's stream (every stream is sorted by
+        // construction — a link's finish times strictly increase) and the
+        // k-way merge below restores the serial pop order — `(time, flow)`
+        // is unique across deliveries (a flow delivers over one link), so
+        // the merged sequence *is* the heap's `(time, flow, hop)` order.
         let expected: f64 = flows
             .iter()
             .map(|&f| demands[f as usize].amount_bps * config.duration_s)
             .sum::<f64>()
             / (config.packet_bytes * 8.0);
-        let mut deliveries: Vec<Event> = Vec::with_capacity(expected as usize + flows.len());
         let mut flow_stats = vec![FlowStat::default(); flows.len()];
-        let links = network.links();
-        let hop_collapse = config.hop_collapse;
-        'events: while let Some(popped) = w.heap.pop() {
-            if popped.hop == 0 {
-                let pos = flows
-                    .binary_search(&popped.flow)
-                    .expect("flow in component");
+        while let Some(popped) = w.queue.pop() {
+            // A hop ≥ 1 pop is a pipeline head leaving the queue: its
+            // crossed link's remaining departures stay outside the queue
+            // while the event (and the chain drain below) processes, so the
+            // collapse guards treat that pipeline as part of the frontier
+            // (`drain_src`).
+            let drain_src = if popped.hop == 0 {
+                let pos = w.flow_pos[popped.flow as usize] as usize;
                 pending[pos] = Self::refill_emission(&mut schedules[pos], config, w, popped.flow);
+                // The emission guard is only ever *read* for links fed by a
+                // sole transit feeder, so skip its upkeep everywhere else
+                // (on a pure mesh this is every emission).
                 if let Some(&first) = routes.route(popped.flow as usize).first() {
-                    w.emission_at[first as usize] = emission_min(&starters, &pending, first);
+                    if ctx.feeders[first as usize] < FEEDER_MANY {
+                        let (lo, hi) = groups[pos];
+                        w.emission_at[first as usize] =
+                            emission_min(&starters[lo as usize..hi as usize], &pending);
+                    }
                 }
+                usize::MAX
             } else {
-                let crossed = routes.route(popped.flow as usize)[popped.hop as usize - 1];
-                w.promote(crossed as usize);
-            }
-            let mut ev = popped;
-            loop {
-                let route = routes.route(ev.flow as usize);
-                if ev.hop as usize >= route.len() {
-                    // Zero-hop flow (src == dst): the emission itself is the
-                    // delivery.
-                    let pos = flows.binary_search(&ev.flow).expect("flow in component");
-                    flow_stats[pos].delay_sum += ev.time - ev.sent_at;
-                    flow_stats[pos].delivered += 1;
-                    deliveries.push(ev);
-                    continue 'events;
-                }
-                let link = route[ev.hop as usize] as usize;
-                let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
-                match w.states.transmit_queued(
-                    &links[link],
-                    link,
-                    ev.time,
-                    config.packet_bytes,
-                    fluid_backlog,
-                ) {
-                    Transmit::Delivered {
-                        arrival,
-                        queue_delay,
-                    } => {
-                        let next = Event {
-                            time: arrival,
-                            flow: ev.flow,
-                            hop: ev.hop + 1,
-                            sent_at: ev.sent_at,
-                            queue_delay: ev.queue_delay + queue_delay,
-                        };
-                        let next_hop = next.hop as usize;
-                        if next_hop >= route.len() {
-                            // Final hop: record the delivery now instead of
-                            // round-tripping it through the heap.
-                            let pos = flows.binary_search(&next.flow).expect("flow in component");
-                            flow_stats[pos].delay_sum += next.time - next.sent_at;
-                            flow_stats[pos].delivered += 1;
-                            deliveries.push(next);
-                            continue 'events;
-                        }
-                        if hop_collapse {
-                            // Transit-feeder chain: all transit into the
-                            // upcoming link comes off `link` alone, no
-                            // earlier departure of `link` is still pending
-                            // (the pipeline is empty), and this packet
-                            // arrives strictly before any emission enters
-                            // the link — so it is provably the link's next
-                            // arrival. Cross it inline; per-link state
-                            // depends only on per-link arrival order, so
-                            // the report is unchanged.
-                            let upcoming = route[next_hop] as usize;
-                            if feeders[upcoming] == link as u32
-                                && next.time < w.emission_at[upcoming]
-                                && !w.head_in_heap[link]
-                            {
-                                ev = next;
-                                continue;
-                            }
-                            // Hop collapse: when `next` strictly precedes
-                            // the entire heap in the event order it would be
-                            // the very next pop, so process it inline — the
-                            // event sequence is exactly the serial one and
-                            // the heap round trip is elided. Idle
-                            // multi-segment conduit paths collapse to one
-                            // event per packet.
-                            if w.heap.peek().is_none_or(|top| next > *top) {
-                                ev = next;
-                                continue;
-                            }
-                        }
-                        w.stage(link, next);
-                    }
-                    Transmit::Dropped => {
-                        let pos = flows.binary_search(&ev.flow).expect("flow in component");
-                        flow_stats[pos].dropped += 1;
-                    }
-                }
-                continue 'events;
+                routes.route(popped.flow as usize)[popped.hop as usize - 1] as usize
+            };
+            Self::process_event(ctx, w, &mut flow_stats, popped, drain_src);
+            if drain_src != usize::MAX {
+                Self::drain_chain(ctx, w, &mut flow_stats, drain_src);
             }
         }
 
-        // Restore the serial pop order (stable sort: the stream is nearly
-        // sorted already, so this is close to one linear merge pass).
-        deliveries.sort_by(|a, b| {
-            (a.time, a.flow)
-                .partial_cmp(&(b.time, b.flow))
-                .expect("delivery times are finite")
-        });
-        let delays = deliveries.iter().map(|e| e.time - e.sent_at).collect();
-        let queue_delays = deliveries.iter().map(|e| e.queue_delay).collect();
+        // Restore the serial pop order by merging the per-link streams.
+        let mut delays = Vec::with_capacity(expected as usize + flows.len());
+        let mut queue_delays = Vec::with_capacity(expected as usize + flows.len());
+        Self::merge_delivery_streams(w, &mut delays, &mut queue_delays);
 
         // Extract the dirtied link states and recycle the worker arrays
         // (the emission-guard entries too — `w` serves the next component).
@@ -738,55 +703,282 @@ impl Simulation {
         }
     }
 
+    /// Merge the component's per-link delivery streams — each sorted by
+    /// `(time, flow)`, keys unique across streams — into canonically
+    /// ordered delay samples, then recycle the stream pool for the next
+    /// component. A single live stream (every 1-hop mesh component) copies
+    /// straight through; otherwise a small head-heap merges k streams in
+    /// O(n log k) — cheaper than sorting the flat vector, and exactly the
+    /// order that sort produced.
+    fn merge_delivery_streams(
+        w: &mut WorkerState,
+        delays: &mut Vec<f64>,
+        queue_delays: &mut Vec<f64>,
+    ) {
+        {
+            let streams = &w.streams[..w.active_streams];
+            let mut live = streams.iter().filter(|s| !s.is_empty());
+            let first = live.next();
+            let second = live.next();
+            match (first, second) {
+                (None, _) => {}
+                (Some(only), None) => {
+                    delays.extend(only.iter().map(|e| e.time - e.sent_at));
+                    queue_delays.extend(only.iter().map(|e| e.queue_delay));
+                }
+                _ => {
+                    // Max-heap over reversed `Event` order pops the earliest
+                    // `(time, flow)` head; keys are unique across streams,
+                    // so the stream-id tiebreak never decides.
+                    let mut cursors = vec![0usize; streams.len()];
+                    let mut heads: BinaryHeap<(Event, u32)> =
+                        BinaryHeap::with_capacity(streams.len());
+                    for (sid, stream) in streams.iter().enumerate() {
+                        if let Some(&head) = stream.first() {
+                            heads.push((head, sid as u32));
+                        }
+                    }
+                    while let Some((e, sid)) = heads.pop() {
+                        delays.push(e.time - e.sent_at);
+                        queue_delays.push(e.queue_delay);
+                        let s = sid as usize;
+                        cursors[s] += 1;
+                        if let Some(&nxt) = streams[s].get(cursors[s]) {
+                            heads.push((nxt, sid));
+                        }
+                    }
+                }
+            }
+        }
+        for stream in &mut w.streams[..w.active_streams] {
+            stream.clear();
+        }
+        for &l in &w.stream_links {
+            w.stream_of[l as usize] = u32::MAX;
+        }
+        w.stream_links.clear();
+        w.active_streams = 1;
+    }
+
+    /// Sort a delivery stream into `(time, flow)` order — the canonical
+    /// report order every engine configuration must reproduce. The key is
+    /// unique (one link's finish times strictly increase, and a flow
+    /// delivers over one link), so the unstable sort is deterministic; the
+    /// eager-recording streams are nearly sorted, so the linear
+    /// already-sorted check usually wins outright.
+    fn sort_deliveries(deliveries: &mut [Event]) {
+        let key = |e: &Event| (e.time, e.flow);
+        if !deliveries.is_sorted_by(|a, b| key(a) <= key(b)) {
+            deliveries.sort_unstable_by(|a, b| a.time.total_cmp(&b.time).then(a.flow.cmp(&b.flow)));
+        }
+    }
+
+    /// Advance one event through its hops against the worker's private
+    /// state, inlining provably-next hops (the collapse guards), until the
+    /// packet is delivered, dropped, or parked in a pipeline/queue.
+    ///
+    /// `drain_src` names the link whose transit pipeline is currently held
+    /// *outside* the queue (the popped head's crossed link, through the
+    /// chain drain that follows; `usize::MAX` otherwise). Its pending
+    /// events are invisible to `queue.peek()`, so the plain collapse guard
+    /// must additionally prove `next` precedes that pipeline's front —
+    /// every other pipeline keeps its head in the queue, which `peek`
+    /// already bounds.
+    #[inline(always)]
+    fn process_event(
+        ctx: &EngineContext<'_>,
+        w: &mut WorkerState,
+        flow_stats: &mut [FlowStat],
+        popped: Event,
+        drain_src: usize,
+    ) {
+        let EngineContext {
+            network,
+            routes,
+            config,
+            fluid,
+            feeders,
+            ..
+        } = *ctx;
+        let links = network.links();
+        let hop_collapse = config.hop_collapse;
+        let mut ev = popped;
+        loop {
+            let route = routes.route(ev.flow as usize);
+            if ev.hop as usize >= route.len() {
+                // Zero-hop flow (src == dst): the emission itself is the
+                // delivery.
+                let pos = w.flow_pos[ev.flow as usize] as usize;
+                flow_stats[pos].delay_sum += ev.time - ev.sent_at;
+                flow_stats[pos].delivered += 1;
+                w.streams[0].push(ev);
+                return;
+            }
+            let link = route[ev.hop as usize] as usize;
+            let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
+            match w.states.transmit_queued(
+                &links[link],
+                link,
+                ev.time,
+                config.packet_bytes,
+                fluid_backlog,
+            ) {
+                Transmit::Delivered {
+                    arrival,
+                    queue_delay,
+                } => {
+                    let next = Event {
+                        time: arrival,
+                        flow: ev.flow,
+                        hop: ev.hop + 1,
+                        sent_at: ev.sent_at,
+                        queue_delay: ev.queue_delay + queue_delay,
+                    };
+                    let next_hop = next.hop as usize;
+                    if next_hop >= route.len() {
+                        // Final hop: record the delivery now instead of
+                        // round-tripping it through the queue.
+                        let pos = w.flow_pos[next.flow as usize] as usize;
+                        flow_stats[pos].delay_sum += next.time - next.sent_at;
+                        flow_stats[pos].delivered += 1;
+                        w.stream_for(link).push(next);
+                        return;
+                    }
+                    if hop_collapse {
+                        // Transit-feeder chain: all transit into the
+                        // upcoming link comes off `link` alone, no
+                        // earlier departure of `link` is still pending
+                        // (the pipeline is empty), and this packet
+                        // arrives strictly before any emission enters
+                        // the link — so it is provably the link's next
+                        // arrival. Cross it inline; per-link state
+                        // depends only on per-link arrival order, so
+                        // the report is unchanged.
+                        let upcoming = route[next_hop] as usize;
+                        if feeders[upcoming] == link as u32
+                            && next.time < w.emission_at[upcoming]
+                            && !w.head_in_heap[link]
+                        {
+                            ev = next;
+                            continue;
+                        }
+                        // Hop collapse: when `next` strictly precedes the
+                        // entire pending frontier — the queue, plus the
+                        // drained pipeline the queue cannot see — it would
+                        // be the very next pop, so process it inline; the
+                        // event sequence is exactly the serial one and the
+                        // queue round trip is elided. Idle multi-segment
+                        // conduit paths collapse to one event per packet.
+                        if w.queue.peek().is_none_or(|top| next > top)
+                            && (drain_src == usize::MAX
+                                || w.transit[drain_src].front().is_none_or(|f| next > *f))
+                        {
+                            ev = next;
+                            continue;
+                        }
+                    }
+                    w.stage(link, next);
+                }
+                Transmit::Dropped => {
+                    let pos = w.flow_pos[ev.flow as usize] as usize;
+                    flow_stats[pos].dropped += 1;
+                }
+            }
+            return;
+        }
+    }
+
+    /// After `src`'s pipeline head popped and processed, advance the
+    /// sole-feeder transit chain: while the pipeline's front provably is
+    /// the next arrival at its downstream link — that link's transit comes
+    /// off `src` alone, the front is `src`'s earliest remaining departure
+    /// (pipeline FIFO = departure-time order), and it arrives strictly
+    /// before any pending emission enters the link — process it inline
+    /// without a queue round trip. The first front that cannot be proven
+    /// next becomes the pipeline's new head in the queue; an emptied
+    /// pipeline clears `head_in_heap`. This is what lets a steady-state
+    /// conduit stream (many packets in flight per segment) advance one
+    /// whole pipeline per queue pop instead of one packet.
+    fn drain_chain(
+        ctx: &EngineContext<'_>,
+        w: &mut WorkerState,
+        flow_stats: &mut [FlowStat],
+        src: usize,
+    ) {
+        loop {
+            let Some(&front) = w.transit[src].front() else {
+                w.head_in_heap[src] = false;
+                return;
+            };
+            let m = ctx.routes.route(front.flow as usize)[front.hop as usize] as usize;
+            if ctx.config.hop_collapse
+                && ctx.feeders[m] == src as u32
+                && front.time < w.emission_at[m]
+            {
+                w.transit[src].pop_front();
+                Self::process_event(ctx, w, flow_stats, front, src);
+            } else {
+                w.transit[src].pop_front();
+                w.queue.push(front);
+                return;
+            }
+        }
+    }
+
     /// Component-sharded execution: persistent workers drain the component
     /// queue (`workers <= 1` runs inline).
     fn run_components(
         ctx: &EngineContext<'_>,
         comps: &[Vec<u32>],
         workers: usize,
-    ) -> Vec<Option<ComponentOutcome>> {
+    ) -> (Vec<Option<ComponentOutcome>>, QueueStats) {
         let num_links = ctx.network.num_links();
+        let kind = ctx.config.queue;
         let mut outcomes: Vec<Option<ComponentOutcome>> = (0..comps.len()).map(|_| None).collect();
+        let mut queue_stats = QueueStats::default();
         if workers <= 1 {
-            let mut w = WorkerState::new(num_links);
+            let mut w = WorkerState::new(num_links, kind);
             for (i, comp) in comps.iter().enumerate() {
                 outcomes[i] = Some(Self::run_component(ctx, &mut w, comp));
             }
+            queue_stats.merge(&w.queue.stats());
         } else {
             // Persistent workers drain the component queue; assignment order
             // is irrelevant because components are independent and merged by
             // index below.
             let next = AtomicUsize::new(0);
-            let per_worker: Vec<Vec<(usize, ComponentOutcome)>> = thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let next = &next;
-                        scope.spawn(move || {
-                            let mut w = WorkerState::new(num_links);
-                            let mut done = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, AtomicOrdering::Relaxed);
-                                if i >= comps.len() {
-                                    break;
+            let per_worker: Vec<(Vec<(usize, ComponentOutcome)>, QueueStats)> =
+                thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let next = &next;
+                            scope.spawn(move || {
+                                let mut w = WorkerState::new(num_links, kind);
+                                let mut done = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, AtomicOrdering::Relaxed);
+                                    if i >= comps.len() {
+                                        break;
+                                    }
+                                    done.push((i, Self::run_component(ctx, &mut w, &comps[i])));
                                 }
-                                done.push((i, Self::run_component(ctx, &mut w, &comps[i])));
-                            }
-                            done
+                                (done, w.queue.stats())
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("simulation worker panicked"))
-                    .collect()
-            });
-            for chunk in per_worker {
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("simulation worker panicked"))
+                        .collect()
+                });
+            for (chunk, stats) in per_worker {
+                queue_stats.merge(&stats);
                 for (i, outcome) in chunk {
                     outcomes[i] = Some(outcome);
                 }
             }
         }
-        outcomes
+        (outcomes, queue_stats)
     }
 
     /// Time-windowed execution: for every component (processed in order by
@@ -799,9 +991,9 @@ impl Simulation {
         comps: &[Vec<u32>],
         workers: usize,
         window_s: f64,
-    ) -> Vec<Option<ComponentOutcome>> {
+    ) -> (Vec<Option<ComponentOutcome>>, QueueStats) {
         if comps.is_empty() {
-            return Vec::new();
+            return (Vec::new(), QueueStats::default());
         }
         let (network, routes) = (ctx.network, ctx.routes);
         let num_links = network.num_links();
@@ -847,7 +1039,7 @@ impl Simulation {
             next_times: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         };
 
-        let mut per_shard: Vec<Vec<ShardPartial>> = if workers == 1 {
+        let shard_results: Vec<(Vec<ShardPartial>, QueueStats)> = if workers == 1 {
             vec![Self::run_windowed_shard(&plan, 0)]
         } else {
             thread::scope(|scope| {
@@ -863,8 +1055,14 @@ impl Simulation {
                     .collect()
             })
         };
+        let mut queue_stats = QueueStats::default();
+        let mut per_shard: Vec<Vec<ShardPartial>> = Vec::with_capacity(shard_results.len());
+        for (partials, stats) in shard_results {
+            queue_stats.merge(&stats);
+            per_shard.push(partials);
+        }
 
-        (0..comps.len())
+        let outcomes = (0..comps.len())
             .map(|ci| {
                 let parts: Vec<ShardPartial> = per_shard
                     .iter_mut()
@@ -872,23 +1070,22 @@ impl Simulation {
                     .collect();
                 Some(Self::merge_shard_partials(comps[ci].len(), parts))
             })
-            .collect()
+            .collect();
+        (outcomes, queue_stats)
     }
 
     /// One gang member's run over every component: simulate the events on
     /// the links this shard owns, window by window.
-    fn run_windowed_shard(plan: &WindowedPlan<'_>, me: usize) -> Vec<ShardPartial> {
+    fn run_windowed_shard(plan: &WindowedPlan<'_>, me: usize) -> (Vec<ShardPartial>, QueueStats) {
         let EngineContext {
             network,
             routes,
             demands,
             config,
-            fluid,
-            feeders,
+            ..
         } = plan.ctx;
-        let links = network.links();
         let me_u32 = me as u32;
-        let mut w = WorkerState::new(network.num_links());
+        let mut w = WorkerState::new(network.num_links(), config.queue);
         let mut outbox: Vec<Vec<Event>> = (0..plan.workers).map(|_| Vec::new()).collect();
         let mut partials = Vec::with_capacity(plan.comps.len());
 
@@ -898,11 +1095,15 @@ impl Simulation {
             // links, and injects the emissions of flows whose first hop it
             // owns (every other event of those flows migrates here or away
             // through the boundary exchange).
-            w.heap.clear();
+            w.queue.clear();
+            if w.flow_pos.len() < demands.len() {
+                w.flow_pos.resize(demands.len(), 0);
+            }
             let mut schedules: Vec<Option<EmissionSchedule>> = vec![None; comp.len()];
             let mut pending: Vec<f64> = vec![f64::INFINITY; comp.len()];
             let mut starters: Vec<(u32, u32)> = Vec::new();
             for (pos, &f) in comp.iter().enumerate() {
+                w.flow_pos[f as usize] = pos as u32;
                 let route = routes.route(f as usize);
                 for &l in route {
                     if plan.owner[l as usize] == me_u32 {
@@ -922,6 +1123,7 @@ impl Simulation {
                 }
             }
             starters.sort_unstable();
+            let groups = starter_groups(&starters, comp.len());
 
             let mut partial = ShardPartial {
                 flow_stats: vec![FlowStat::default(); comp.len()],
@@ -930,7 +1132,7 @@ impl Simulation {
             loop {
                 // Publish the local event horizon; after the barrier every
                 // shard derives the same window start (the global minimum).
-                let local_next = w.heap.peek().map_or(f64::INFINITY, |e| e.time);
+                let local_next = w.queue.peek().map_or(f64::INFINITY, |e| e.time);
                 plan.next_times[me].store(local_next.to_bits(), AtomicOrdering::Release);
                 plan.barrier.wait();
                 let start = plan
@@ -943,130 +1145,60 @@ impl Simulation {
                 let done = !start.is_finite();
                 if !done {
                     let end = start + window; // +∞ window ⇒ drain everything
-                    let hop_collapse = config.hop_collapse;
-                    'events: while let Some(&popped) = w.heap.peek() {
+                    while let Some(popped) = w.queue.peek() {
                         if popped.time >= end {
                             break;
                         }
-                        w.heap.pop();
-                        if popped.hop == 0 {
+                        w.queue.pop();
+                        // Hop ≥ 1 pops of locally-owned crossed links defer
+                        // their pipeline promotion to the chain drain below
+                        // (inbox events crossed a foreign link, unstaged).
+                        let drain_src = if popped.hop == 0 {
                             // Emission events live only on their scheduling
                             // shard (boundary exchanges carry hop ≥ 1).
-                            let pos = comp.binary_search(&popped.flow).expect("flow in component");
+                            let pos = w.flow_pos[popped.flow as usize] as usize;
                             let schedule = schedules[pos]
                                 .as_mut()
                                 .expect("emission on its scheduling shard");
                             pending[pos] =
                                 Self::refill_emission(schedule, config, &mut w, popped.flow);
                             let first = routes.route(popped.flow as usize)[0];
-                            w.emission_at[first as usize] =
-                                emission_min(&starters, &pending, first);
+                            if plan.ctx.feeders[first as usize] < FEEDER_MANY {
+                                let (lo, hi) = groups[pos];
+                                w.emission_at[first as usize] =
+                                    emission_min(&starters[lo as usize..hi as usize], &pending);
+                            }
+                            usize::MAX
                         } else {
-                            // Promote the crossed link's pipeline — staged
-                            // only when this shard owns the link (inbox
-                            // events crossed a foreign link, unstaged).
                             let crossed = routes.route(popped.flow as usize)
                                 [popped.hop as usize - 1]
                                 as usize;
                             if plan.owner[crossed] == me_u32 {
-                                w.promote(crossed);
+                                crossed
+                            } else {
+                                usize::MAX
                             }
-                        }
-                        let mut ev = popped;
-                        loop {
-                            let route = routes.route(ev.flow as usize);
-                            if ev.hop as usize >= route.len() {
-                                // Zero-hop flow (src == dst): the emission
-                                // itself is the delivery.
-                                let pos = comp.binary_search(&ev.flow).expect("flow in component");
-                                partial.flow_stats[pos].delay_sum += ev.time - ev.sent_at;
-                                partial.flow_stats[pos].delivered += 1;
-                                partial.deliveries.push(ev);
-                                continue 'events;
-                            }
-                            let link = route[ev.hop as usize] as usize;
-                            debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
-                            let fluid_backlog =
-                                fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
-                            match w.states.transmit_queued(
-                                &links[link],
-                                link,
-                                ev.time,
-                                config.packet_bytes,
-                                fluid_backlog,
-                            ) {
-                                Transmit::Delivered {
-                                    arrival,
-                                    queue_delay,
-                                } => {
-                                    let next = Event {
-                                        time: arrival,
-                                        flow: ev.flow,
-                                        hop: ev.hop + 1,
-                                        sent_at: ev.sent_at,
-                                        queue_delay: ev.queue_delay + queue_delay,
-                                    };
-                                    let next_hop = next.hop as usize;
-                                    if next_hop >= route.len() {
-                                        // Final hop: this shard owns the last
-                                        // link, so the delivery is recorded
-                                        // here — eagerly; the sort below
-                                        // restores per-shard time order.
-                                        let pos = comp
-                                            .binary_search(&next.flow)
-                                            .expect("flow in component");
-                                        partial.flow_stats[pos].delay_sum +=
-                                            next.time - next.sent_at;
-                                        partial.flow_stats[pos].delivered += 1;
-                                        partial.deliveries.push(next);
-                                        continue 'events;
-                                    }
-                                    let upcoming = route[next_hop] as usize;
-                                    let dst = plan.owner[upcoming] as usize;
-                                    if dst == me {
-                                        // Transit-feeder chain (see the
-                                        // serial engine). No window guard is
-                                        // needed: transit into the upcoming
-                                        // link comes off `link` (this shard's)
-                                        // alone, so inbox events can never
-                                        // land on it, and its emissions are
-                                        // scheduled on this shard — the guard
-                                        // state is complete locally.
-                                        if hop_collapse
-                                            && feeders[upcoming] == link as u32
-                                            && next.time < w.emission_at[upcoming]
-                                            && !w.head_in_heap[link]
-                                        {
-                                            ev = next;
-                                            continue;
-                                        }
-                                        // Hop collapse, with the extra windowed
-                                        // guards: `next` must stay inside this
-                                        // window and strictly precede the whole
-                                        // heap, so inlining it replays the exact
-                                        // serial-within-window order.
-                                        if hop_collapse
-                                            && next.time < end
-                                            && w.heap.peek().is_none_or(|top| next > *top)
-                                        {
-                                            ev = next;
-                                            continue;
-                                        }
-                                        w.stage(link, next);
-                                    } else {
-                                        // Boundary event: its time is at least
-                                        // `start + lookahead >= end`, so handing
-                                        // it over at the barrier is early enough.
-                                        outbox[dst].push(next);
-                                    }
-                                }
-                                Transmit::Dropped => {
-                                    let pos =
-                                        comp.binary_search(&ev.flow).expect("flow in component");
-                                    partial.flow_stats[pos].dropped += 1;
-                                }
-                            }
-                            continue 'events;
+                        };
+                        Self::process_windowed_event(
+                            plan,
+                            me,
+                            &mut w,
+                            &mut partial,
+                            &mut outbox,
+                            end,
+                            popped,
+                            drain_src,
+                        );
+                        if drain_src != usize::MAX {
+                            Self::drain_chain_windowed(
+                                plan,
+                                me,
+                                &mut w,
+                                &mut partial,
+                                &mut outbox,
+                                end,
+                                drain_src,
+                            );
                         }
                     }
                     for (dst, batch) in outbox.iter_mut().enumerate() {
@@ -1086,24 +1218,178 @@ impl Simulation {
                     break;
                 }
                 for ev in plan.inboxes[me].lock().expect("inbox poisoned").drain(..) {
-                    w.heap.push(ev);
+                    w.queue.push(ev);
                 }
             }
             // Deliveries were recorded eagerly at their final transmit, a
             // merge of per-link increasing streams; the shard-wide merge
             // below needs each stream sorted by `(time, flow)`.
-            partial.deliveries.sort_by(|a, b| {
-                (a.time, a.flow)
-                    .partial_cmp(&(b.time, b.flow))
-                    .expect("delivery times are finite")
-            });
+            Self::sort_deliveries(&mut partial.deliveries);
             for &(first, _) in &starters {
                 w.emission_at[first as usize] = f64::INFINITY;
             }
             partial.links = w.dirty.drain_snapshots(&mut w.states);
             partials.push(partial);
         }
-        partials
+        let stats = w.queue.stats();
+        (partials, stats)
+    }
+
+    /// The windowed counterpart of [`Self::process_event`]: advance one
+    /// event through its hops against this shard's state, handing boundary
+    /// events to their owning shard's outbox. The collapse guards gain the
+    /// window bound (`next.time < end`); the transit-feeder chain does not
+    /// need it — transit into a sole-fed local link comes off a local link
+    /// alone, so inbox events can never land on it and its emissions are
+    /// scheduled on this shard, making the guard state complete locally.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn process_windowed_event(
+        plan: &WindowedPlan<'_>,
+        me: usize,
+        w: &mut WorkerState,
+        partial: &mut ShardPartial,
+        outbox: &mut [Vec<Event>],
+        end: f64,
+        popped: Event,
+        drain_src: usize,
+    ) {
+        let EngineContext {
+            network,
+            routes,
+            config,
+            fluid,
+            feeders,
+            ..
+        } = plan.ctx;
+        let links = network.links();
+        let me_u32 = me as u32;
+        let hop_collapse = config.hop_collapse;
+        let mut ev = popped;
+        loop {
+            let route = routes.route(ev.flow as usize);
+            if ev.hop as usize >= route.len() {
+                // Zero-hop flow (src == dst): the emission itself is the
+                // delivery.
+                let pos = w.flow_pos[ev.flow as usize] as usize;
+                partial.flow_stats[pos].delay_sum += ev.time - ev.sent_at;
+                partial.flow_stats[pos].delivered += 1;
+                partial.deliveries.push(ev);
+                return;
+            }
+            let link = route[ev.hop as usize] as usize;
+            debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
+            let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
+            match w.states.transmit_queued(
+                &links[link],
+                link,
+                ev.time,
+                config.packet_bytes,
+                fluid_backlog,
+            ) {
+                Transmit::Delivered {
+                    arrival,
+                    queue_delay,
+                } => {
+                    let next = Event {
+                        time: arrival,
+                        flow: ev.flow,
+                        hop: ev.hop + 1,
+                        sent_at: ev.sent_at,
+                        queue_delay: ev.queue_delay + queue_delay,
+                    };
+                    let next_hop = next.hop as usize;
+                    if next_hop >= route.len() {
+                        // Final hop: this shard owns the last link, so the
+                        // delivery is recorded here — eagerly; the sort at
+                        // the end restores per-shard time order.
+                        let pos = w.flow_pos[next.flow as usize] as usize;
+                        partial.flow_stats[pos].delay_sum += next.time - next.sent_at;
+                        partial.flow_stats[pos].delivered += 1;
+                        partial.deliveries.push(next);
+                        return;
+                    }
+                    let upcoming = route[next_hop] as usize;
+                    let dst = plan.owner[upcoming] as usize;
+                    if dst == me {
+                        // Transit-feeder chain (see the serial engine). No
+                        // window guard is needed — the guard state is
+                        // complete locally (see the method docs).
+                        if hop_collapse
+                            && feeders[upcoming] == link as u32
+                            && next.time < w.emission_at[upcoming]
+                            && !w.head_in_heap[link]
+                        {
+                            ev = next;
+                            continue;
+                        }
+                        // Hop collapse, with the extra windowed guard:
+                        // `next` must stay inside this window and strictly
+                        // precede the whole pending frontier — the queue
+                        // plus the drained pipeline it cannot see — so
+                        // inlining it replays the exact
+                        // serial-within-window order.
+                        if hop_collapse
+                            && next.time < end
+                            && w.queue.peek().is_none_or(|top| next > top)
+                            && (drain_src == usize::MAX
+                                || w.transit[drain_src].front().is_none_or(|f| next > *f))
+                        {
+                            ev = next;
+                            continue;
+                        }
+                        w.stage(link, next);
+                    } else {
+                        // Boundary event: its time is at least
+                        // `start + lookahead >= end`, so handing it over at
+                        // the barrier is early enough.
+                        outbox[dst].push(next);
+                    }
+                }
+                Transmit::Dropped => {
+                    let pos = w.flow_pos[ev.flow as usize] as usize;
+                    partial.flow_stats[pos].dropped += 1;
+                }
+            }
+            return;
+        }
+    }
+
+    /// The windowed counterpart of [`Self::drain_chain`]: advance `src`'s
+    /// sole-feeder transit chain inline after its pipeline head popped.
+    /// Everything staged in a local pipeline is bound for a local link, so
+    /// the drained fronts stay on this shard by construction; like the
+    /// windowed feeder chain, the drain needs no window-end guard.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_chain_windowed(
+        plan: &WindowedPlan<'_>,
+        me: usize,
+        w: &mut WorkerState,
+        partial: &mut ShardPartial,
+        outbox: &mut [Vec<Event>],
+        end: f64,
+        src: usize,
+    ) {
+        let (routes, config) = (plan.ctx.routes, plan.ctx.config);
+        loop {
+            let Some(&front) = w.transit[src].front() else {
+                w.head_in_heap[src] = false;
+                return;
+            };
+            let m = routes.route(front.flow as usize)[front.hop as usize] as usize;
+            debug_assert_eq!(plan.owner[m], me as u32, "staged event on foreign link");
+            if config.hop_collapse
+                && plan.ctx.feeders[m] == src as u32
+                && front.time < w.emission_at[m]
+            {
+                w.transit[src].pop_front();
+                Self::process_windowed_event(plan, me, w, partial, outbox, end, front, src);
+            } else {
+                w.transit[src].pop_front();
+                w.queue.push(front);
+                return;
+            }
+        }
     }
 
     /// Merge one component's per-shard partials back into the serial
@@ -1191,16 +1477,26 @@ impl Simulation {
             fluid,
             feeders: &feeders,
         };
-        let outcomes = match self.config.mode {
+        let (outcomes, queue_stats) = match self.config.mode {
             ExecMode::ComponentSharded => {
                 let workers = requested.clamp(1, comps.len().max(1));
                 Self::run_components(&ctx, &comps, workers)
             }
             ExecMode::TimeWindowed { window_s } => {
                 let workers = requested.max(1);
-                Self::run_windowed(&ctx, &comps, workers, window_s)
+                if workers == 1 {
+                    // One effective worker owns every link: the windowed
+                    // machinery (barriers, horizon exchange, inboxes, the
+                    // per-shard merge) buys nothing, so degenerate to the
+                    // serial component loop — bit-identical by the
+                    // cross-mode contract, minus the window overhead.
+                    Self::run_components(&ctx, &comps, 1)
+                } else {
+                    Self::run_windowed(&ctx, &comps, workers, window_s)
+                }
             }
         };
+        self.last_queue_stats = queue_stats;
 
         // Merge in component order — the step that fixes the statistics'
         // sample order independent of worker count. Zero-flow demand sets
@@ -1612,6 +1908,113 @@ mod tests {
                 let plain = Simulation::new(net.clone(), demands.clone(), config(false)).run();
                 assert_eq!(collapsed, plain, "{mode:?}");
                 assert!(collapsed.delivered > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_queue_backend_is_bit_identical_across_modes_and_workers() {
+        for (net, demands) in [single_component_mesh(8), multi_component_inputs(5)] {
+            let config = |queue, workers, mode| SimConfig {
+                duration_s: 0.2,
+                arrivals: ArrivalProcess::Poisson,
+                seed: 7,
+                workers,
+                mode,
+                queue,
+                ..SimConfig::default()
+            };
+            let reference = Simulation::new(
+                net.clone(),
+                demands.clone(),
+                config(QueueKind::Heap, 1, ExecMode::ComponentSharded),
+            )
+            .run();
+            assert!(reference.delivered > 0);
+            for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                for workers in [1usize, 2, 4] {
+                    for mode in [
+                        ExecMode::ComponentSharded,
+                        ExecMode::windowed_auto(),
+                        ExecMode::TimeWindowed { window_s: 1e-3 },
+                    ] {
+                        let report = Simulation::new(
+                            net.clone(),
+                            demands.clone(),
+                            config(queue, workers, mode),
+                        )
+                        .run();
+                        assert_eq!(reference, report, "{queue:?}, workers {workers}, {mode:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_drain_is_bit_identical_under_many_packets_in_flight() {
+        // A conduit-like chain whose propagation far exceeds the
+        // inter-packet gap: ~80 packets in flight per segment keep every
+        // pipeline non-empty, which is exactly the regime the sole-feeder
+        // chain drain targets. The mid-chain entrant exercises the
+        // emission guard against a draining upstream pipeline. Collapse
+        // on/off and both queue backends must agree float for float.
+        let mut net = Network::new(6);
+        for i in 0..5 {
+            net.add_link(LinkSpec {
+                from: i,
+                to: i + 1,
+                rate_bps: 100e6,
+                propagation_s: 0.004,
+                buffer_bytes: 1e9,
+            });
+        }
+        let demands = vec![Demand::new(0, 5, 60e6), Demand::new(2, 4, 20e6)];
+        let mut reference = None;
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            for hop_collapse in [true, false] {
+                let report = Simulation::new(
+                    net.clone(),
+                    demands.clone(),
+                    SimConfig {
+                        duration_s: 0.3,
+                        queue,
+                        hop_collapse,
+                        ..SimConfig::default()
+                    },
+                )
+                .run();
+                assert!(report.delivered > 0);
+                match &reference {
+                    None => reference = Some(report),
+                    Some(r) => assert_eq!(*r, report, "{queue:?}, collapse={hop_collapse}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_stats_accumulate_for_both_backends() {
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            let (net, demands) = single_component_mesh(8);
+            let mut sim = Simulation::new(
+                net,
+                demands,
+                SimConfig {
+                    duration_s: 0.2,
+                    queue,
+                    ..SimConfig::default()
+                },
+            );
+            assert_eq!(sim.queue_stats(), QueueStats::default());
+            let report = sim.run();
+            assert!(report.delivered > 0);
+            let stats = sim.queue_stats();
+            assert!(stats.pushes > 0);
+            assert!(stats.peak_occupancy > 0);
+            assert!(stats.mean_occupancy() > 0.0);
+            if queue == QueueKind::Heap {
+                assert_eq!(stats.resizes, 0);
             }
         }
     }

@@ -1,0 +1,137 @@
+// The shim `proptest!` macro expands recursively per token; keep headroom
+// for the property bodies below.
+#![recursion_limit = "256"]
+
+//! Pop-order equivalence of the event-queue backends: the self-resizing
+//! calendar queue must pop the exact `(time, flow, hop)` sequence the
+//! binary-heap reference pops, on adversarial streams — duplicate
+//! timestamps, gap-scale regime changes and far-future outliers that force
+//! resizes, and arbitrary interleavings of pushes and pops. This is the
+//! structure-level half of the bit-identity contract; the engine-level half
+//! lives in `sim_pipeline_parity.rs`.
+
+use cisp::netsim::queue::{Event, EventQueue, QueueKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn key(e: &Event) -> (f64, u32, u32) {
+    (e.time, e.flow, e.hop)
+}
+
+fn ev(time: f64, flow: u32, hop: u32) -> Event {
+    Event {
+        time,
+        flow,
+        hop,
+        sent_at: time,
+        queue_delay: 0.0,
+    }
+}
+
+/// Pop both queues once and compare keys; returns the popped time (`None`
+/// when both are empty). Exact duplicates of the full key are allowed in
+/// these streams — key equality is the contract, not payload identity.
+fn pop_both(
+    heap: &mut EventQueue,
+    cal: &mut EventQueue,
+    seed: u64,
+) -> Result<Option<f64>, TestCaseError> {
+    let (a, b) = (heap.pop(), cal.pop());
+    match (a, b) {
+        (None, None) => Ok(None),
+        (Some(a), Some(b)) => {
+            prop_assert_eq!(key(&a), key(&b));
+            Ok(Some(a.time))
+        }
+        (a, b) => {
+            prop_assert!(false, "length mismatch: {:?} vs {:?} (seed {})", a, b, seed);
+            Ok(None)
+        }
+    }
+}
+
+/// One randomized interleaved push/pop session over both backends. The
+/// stream mixes gap scales spanning nine orders of magnitude (each regime
+/// change invalidates the calendar's adapted width, forcing resizes),
+/// exact-duplicate timestamps, and far-future outliers; pushes never
+/// precede the last popped time, like the engine's event streams.
+fn check_interleaved_pop_order(seed: u64) -> TestCaseResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heap = EventQueue::new(QueueKind::Heap);
+    let mut cal = EventQueue::new(QueueKind::Calendar);
+    let mut clock = 0.0f64;
+    let rounds = 8 + (rng.gen::<u64>() % 24) as usize;
+    for _ in 0..rounds {
+        let exp = (rng.gen::<u64>() % 9) as i32 - 7; // gap scale 1e-7 ..= 1e1
+        let gap_scale = 10f64.powi(exp);
+        for _ in 0..(rng.gen::<u64>() % 32) {
+            let t = match rng.gen::<u64>() % 10 {
+                0 => clock,                    // duplicate of the frontier
+                1 => clock + 1e13 * gap_scale, // far-future outlier
+                _ => clock + rng.gen::<f64>() * 100.0 * gap_scale,
+            };
+            let e = ev(
+                t,
+                (rng.gen::<u64>() % 64) as u32,
+                (rng.gen::<u64>() % 8) as u32,
+            );
+            heap.push(e);
+            cal.push(e);
+        }
+        // Peek must agree with peek before every comparison pop.
+        for _ in 0..(rng.gen::<u64>() % 24) {
+            let (pa, pb) = (heap.peek(), cal.peek());
+            prop_assert_eq!(pa.as_ref().map(key), pb.as_ref().map(key));
+            match pop_both(&mut heap, &mut cal, seed)? {
+                Some(t) => clock = t,
+                None => break,
+            }
+        }
+    }
+    // Drain to empty: lengths and the full tail sequence must agree.
+    prop_assert_eq!(heap.len(), cal.len());
+    while pop_both(&mut heap, &mut cal, seed)?.is_some() {}
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn calendar_queue_pops_the_heap_sequence_on_adversarial_streams(seed in 0u64..u64::MAX) {
+        check_interleaved_pop_order(seed)?;
+    }
+}
+
+#[test]
+fn regime_changes_force_resizes_and_preserve_order() {
+    // Deterministic pin: a dense micro-gap cluster, then sparse
+    // seconds-scale events, then a far-future outlier. The calendar must
+    // resize (occupancy growth + geometry correction) and still drain in
+    // heap order.
+    let mut heap = EventQueue::new(QueueKind::Heap);
+    let mut cal = EventQueue::new(QueueKind::Calendar);
+    let mut push = |e: Event| {
+        heap.push(e);
+        cal.push(e);
+    };
+    for i in 0..400u32 {
+        push(ev(i as f64 * 1e-6, i % 16, i % 4));
+    }
+    for i in 0..40u32 {
+        push(ev(1.0 + i as f64 * 0.5, i, 0));
+    }
+    push(ev(1e15, 999, 0));
+    loop {
+        match (heap.pop(), cal.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => assert_eq!(key(&a), key(&b)),
+            (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+        }
+    }
+    let stats = cal.stats();
+    assert!(stats.resizes > 0, "regime changes must trigger resizes");
+    assert_eq!(stats.pushes, 441);
+    assert_eq!(stats.peak_occupancy as usize, 441);
+}

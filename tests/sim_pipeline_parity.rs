@@ -11,7 +11,9 @@
 //!
 //! The worker counts the parity tests sweep come from the
 //! `CISP_TEST_WORKERS` environment variable (comma-separated, default
-//! `1,2,4`) so CI can run the suite as a matrix over worker counts.
+//! `1,2,4`) and the event-queue backends from `CISP_TEST_QUEUE`
+//! (comma-separated `heap`/`calendar`, default both) so CI can run the
+//! suite as a matrix over worker counts and queue backends.
 
 use cisp::core::evaluate::{evaluate, lower, lower_classified, pair_rtts, EvaluateConfig};
 use cisp::core::scenario::{population_product_traffic, Scenario, ScenarioConfig};
@@ -23,7 +25,7 @@ use cisp::netsim::routing::{
     compute_routes, compute_routes_avoiding, Demand, RoutingScheme, TrafficClass,
 };
 use cisp::netsim::sim::{ExecMode, SimConfig, Simulation};
-use cisp::netsim::{BackgroundModel, SimReport};
+use cisp::netsim::{BackgroundModel, QueueKind, SimReport};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +43,25 @@ fn test_worker_counts() -> Vec<usize> {
         })
         .filter(|v| !v.is_empty())
         .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Event-queue backends under test: `CISP_TEST_QUEUE` (comma-separated
+/// `heap`/`calendar`) or both by default. The serial references stay on the
+/// heap backend — the pinned reference — regardless of this knob.
+fn test_queue_kinds() -> Vec<QueueKind> {
+    std::env::var("CISP_TEST_QUEUE")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| match t.trim().to_ascii_lowercase().as_str() {
+                    "heap" => Some(QueueKind::Heap),
+                    "calendar" => Some(QueueKind::Calendar),
+                    _ => None,
+                })
+                .collect::<Vec<QueueKind>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![QueueKind::Heap, QueueKind::Calendar])
 }
 
 /// A random connected-ish graph: a scrambled spanning chain plus extra
@@ -120,21 +141,32 @@ fn lowered_backbone() -> (
 fn sharded_simulation_is_bit_identical_to_serial_on_designed_backbone() {
     let (lowered, _) = lowered_backbone();
     for arrivals in [ArrivalProcess::ConstantBitRate, ArrivalProcess::Poisson] {
-        let config = |workers| SimConfig {
+        let config = |workers, queue| SimConfig {
             duration_s: 0.1,
             arrivals,
             seed: 7,
             workers,
+            queue,
             ..SimConfig::default()
         };
-        let serial =
-            Simulation::new(lowered.network.clone(), lowered.demands.clone(), config(1)).run();
-        let sharded =
-            Simulation::new(lowered.network.clone(), lowered.demands.clone(), config(5)).run();
+        let serial = Simulation::new(
+            lowered.network.clone(),
+            lowered.demands.clone(),
+            config(1, QueueKind::Heap),
+        )
+        .run();
         assert!(serial.delivered > 0);
-        // Full `SimReport` equality: every scalar, every per-flow vector,
-        // every per-link utilisation, bit for bit.
-        assert_eq!(serial, sharded, "{arrivals:?}");
+        for queue in test_queue_kinds() {
+            let sharded = Simulation::new(
+                lowered.network.clone(),
+                lowered.demands.clone(),
+                config(5, queue),
+            )
+            .run();
+            // Full `SimReport` equality: every scalar, every per-flow
+            // vector, every per-link utilisation, bit for bit.
+            assert_eq!(serial, sharded, "{arrivals:?}, {queue:?}");
+        }
     }
 }
 
@@ -158,23 +190,29 @@ fn windowed_simulation_is_bit_identical_to_serial_on_designed_backbone() {
     .run();
     assert!(serial.delivered > 0);
     assert!(lowered.simulation().num_components() >= 1);
-    for workers in test_worker_counts() {
-        // Auto (lookahead) window, a fixed sub-millisecond window, and a
-        // window beyond the whole horizon.
-        for window_s in [0.0, 5e-4, 10.0] {
-            let report = Simulation::new(
-                lowered.network.clone(),
-                lowered.demands.clone(),
-                SimConfig {
-                    duration_s: 0.1,
-                    seed: 7,
-                    workers,
-                    mode: ExecMode::TimeWindowed { window_s },
-                    ..SimConfig::default()
-                },
-            )
-            .run();
-            assert_eq!(serial, report, "workers {workers}, window {window_s}");
+    for queue in test_queue_kinds() {
+        for workers in test_worker_counts() {
+            // Auto (lookahead) window, a fixed sub-millisecond window, and
+            // a window beyond the whole horizon.
+            for window_s in [0.0, 5e-4, 10.0] {
+                let report = Simulation::new(
+                    lowered.network.clone(),
+                    lowered.demands.clone(),
+                    SimConfig {
+                        duration_s: 0.1,
+                        seed: 7,
+                        workers,
+                        mode: ExecMode::TimeWindowed { window_s },
+                        queue,
+                        ..SimConfig::default()
+                    },
+                )
+                .run();
+                assert_eq!(
+                    serial, report,
+                    "{queue:?}, workers {workers}, window {window_s}"
+                );
+            }
         }
     }
 }
@@ -246,28 +284,40 @@ fn check_engines_match_serial(seed: u64) -> TestCaseResult {
         SimConfig { workers: 1, ..base },
     )
     .run();
-    for workers in test_worker_counts() {
-        let sharded =
-            Simulation::new(net.clone(), demands.clone(), SimConfig { workers, ..base }).run();
-        prop_assert!(
-            serial == sharded,
-            "sharded != serial at workers {workers} (seed {seed})"
-        );
-        for window_s in [0.0, 2e-4, 1.5e-3, 1.0] {
-            let windowed = Simulation::new(
+    for queue in test_queue_kinds() {
+        for workers in test_worker_counts() {
+            let sharded = Simulation::new(
                 net.clone(),
                 demands.clone(),
                 SimConfig {
                     workers,
-                    mode: ExecMode::TimeWindowed { window_s },
+                    queue,
                     ..base
                 },
             )
             .run();
             prop_assert!(
-                serial == windowed,
-                "windowed != serial at workers {workers}, window {window_s} (seed {seed})"
+                serial == sharded,
+                "sharded != serial at {queue:?}, workers {workers} (seed {seed})"
             );
+            for window_s in [0.0, 2e-4, 1.5e-3, 1.0] {
+                let windowed = Simulation::new(
+                    net.clone(),
+                    demands.clone(),
+                    SimConfig {
+                        workers,
+                        mode: ExecMode::TimeWindowed { window_s },
+                        queue,
+                        ..base
+                    },
+                )
+                .run();
+                prop_assert!(
+                    serial == windowed,
+                    "windowed != serial at {queue:?}, workers {workers}, window {window_s} \
+                     (seed {seed})"
+                );
+            }
         }
     }
     Ok(())
@@ -323,6 +373,22 @@ fn check_hybrid_matches_serial_and_packet_envelope(seed: u64) -> TestCaseResult 
         hybrid == uncollapsed,
         "hop collapse changed the hybrid report (seed {seed})"
     );
+    for queue in test_queue_kinds() {
+        let backend = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            SimConfig {
+                workers: 1,
+                queue,
+                ..base
+            },
+        )
+        .run();
+        prop_assert!(
+            hybrid == backend,
+            "queue backend changed the hybrid report ({queue:?}, seed {seed})"
+        );
+    }
     for workers in test_worker_counts() {
         let sharded =
             Simulation::new(net.clone(), demands.clone(), SimConfig { workers, ..base }).run();
@@ -578,17 +644,31 @@ fn format_report_snapshot(title: &str, report: &SimReport) -> String {
 #[test]
 fn golden_end_to_end_backbone_report_matches_snapshot() {
     let (lowered, _) = lowered_backbone();
+    let config = |queue| SimConfig {
+        duration_s: 0.1,
+        seed: 7,
+        workers: 1,
+        queue,
+        ..SimConfig::default()
+    };
     let report = Simulation::new(
         lowered.network.clone(),
         lowered.demands.clone(),
-        SimConfig {
-            duration_s: 0.1,
-            seed: 7,
-            workers: 1,
-            ..SimConfig::default()
-        },
+        config(QueueKind::Heap),
     )
     .run();
+    // The calendar backend must reproduce the pinned snapshot bit for bit —
+    // same report, hence byte-identical rendering.
+    let calendar = Simulation::new(
+        lowered.network.clone(),
+        lowered.demands.clone(),
+        config(QueueKind::Calendar),
+    )
+    .run();
+    assert_eq!(
+        report, calendar,
+        "calendar backend drifted from the heap reference"
+    );
     let rendered = format_report_snapshot("end_to_end_backbone", &report);
     assert_snapshot_matches(
         concat!(

@@ -8,9 +8,8 @@ use std::sync::RwLock;
 
 use cisp_bench::synthetic_design_input;
 use cisp_core::design::{score_candidates, DesignConfig, DesignInput, Designer};
-use cisp_core::engine::{
-    scoring_denominator, scoring_weights, RoundUpdate, ScoreContext, ShardState,
-};
+use cisp_core::engine::{RoundUpdate, ScoreContext, ShardState};
+use cisp_core::topology::{mean_stretch_with_link, mean_stretch_with_link_compact, ScoringWeights};
 use cisp_data::cities::us_top_cities;
 use cisp_data::towers::{TowerRegistry, TowerRegistryConfig};
 use cisp_geo::{fresnel, geodesic, GeoPoint};
@@ -143,6 +142,53 @@ fn bench_candidate_scoring(c: &mut Criterion) {
     group.finish();
 }
 
+/// The one-candidate scoring kernel itself: the scalar reference
+/// (`mean_stretch_with_link`, branchy per-pair skip tests) against the
+/// compact blocked form (`mean_stretch_with_link_compact`, precomputed
+/// weight matrix, branchless min/select chains, fixed-lane accumulators).
+/// The ratio here is the per-sweep speedup every scoring path — greedy
+/// rounds, swap trials, full rescans — inherits.
+fn bench_scoring_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring_kernel");
+    for &n in &[60usize, 120] {
+        let input = scoring_input(n);
+        let topology = input.empty_topology();
+        let sw = ScoringWeights::compute(
+            topology.effective_matrix(),
+            topology.geodesic_matrix(),
+            topology.traffic(),
+        )
+        .expect("synthetic input is finite");
+        // A mid-pool candidate, so the row spans are representative.
+        let pool = input.useful_candidates();
+        let l = &input.candidates[pool[pool.len() / 2]];
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| {
+                mean_stretch_with_link(
+                    topology.effective_matrix(),
+                    topology.geodesic_matrix(),
+                    topology.traffic(),
+                    black_box(l.site_a),
+                    black_box(l.site_b),
+                    black_box(l.mw_length_km),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("compact", n), &n, |b, _| {
+            b.iter(|| {
+                mean_stretch_with_link_compact(
+                    topology.effective_matrix(),
+                    &sw,
+                    black_box(l.site_a),
+                    black_box(l.site_b),
+                    black_box(l.mw_length_km),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The greedy inner loop, per accepted link: the rebuild-and-rescore engine
 /// re-sweeps every surviving candidate with the O(n²) kernel
 /// (`full_rescore`), while the incremental delta-scoring engine repairs the
@@ -191,21 +237,23 @@ fn bench_incremental_vs_full_rescore(c: &mut Criterion) {
         // Incremental: one shard repairs its cached predictions from the
         // accepted link's delta.
         let matrix = RwLock::new(topology.effective_matrix().clone());
-        let den = scoring_denominator(
+        let mut sw = ScoringWeights::compute(
             topology.effective_matrix(),
             topology.geodesic_matrix(),
             topology.traffic(),
         )
         .expect("synthetic input is finite");
-        let weights = scoring_weights(topology.geodesic_matrix(), topology.traffic());
+        assert!(
+            sw.enable_gain_bounds(topology.effective_matrix()),
+            "synthetic input is metric"
+        );
         let ctx = ScoreContext {
             candidates: &input.candidates,
             pool: &pool,
             geodesic: topology.geodesic_matrix(),
             traffic: topology.traffic(),
             matrix: &matrix,
-            weights: &weights,
-            den,
+            sw: Some(&sw),
         };
         let mut state = ShardState::new(0..pool.len());
         state.init_score(&ctx);
@@ -226,8 +274,7 @@ fn bench_incremental_vs_full_rescore(c: &mut Criterion) {
             Some(accepted_pos),
             Vec::new(),
             &matrix.read().unwrap(),
-            &weights,
-            den,
+            &sw,
         );
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             b.iter(|| {
@@ -248,6 +295,7 @@ criterion_group!(
     bench_dijkstra,
     bench_simplex,
     bench_candidate_scoring,
+    bench_scoring_kernel,
     bench_incremental_vs_full_rescore
 );
 criterion_main!(benches);

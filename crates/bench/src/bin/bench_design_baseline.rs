@@ -1,22 +1,39 @@
 //! Record the design-engine baseline: incremental delta-scoring vs full
 //! rescoring, per greedy round and end to end, at n ∈ {30, 60, 120}.
 //!
-//! Writes `BENCH_design.json` (or the path given as the first argument) with
-//! wall-clock medians and the speedup ratios, and asserts along the way that
-//! both engines select identical designs. All measurements are serial
-//! (`parallel: false`) so the recorded baseline does not depend on the
-//! machine's core count.
+//! Writes `BENCH_design.json` (or the path given as the first non-flag
+//! argument) with wall-clock medians and the speedup ratios, and asserts
+//! along the way that both engines select identical designs. All
+//! measurements are serial (`parallel: false`) so the recorded baseline does
+//! not depend on the machine's core count.
 //!
-//! Run with: `cargo run --release --bin bench_design_baseline`
+//! Output schema v2 (v1 carried only the per-size engine timings): each
+//! size entry adds the scalar vs compact kernel cost (`kernel_*_ns_per_pair`)
+//! and the incremental repair's metric row-skip ratio; the top level adds
+//! `auto_engine_pool_threshold` (the [`ScoringEngine::Auto`] dispatch point)
+//! and, under `--full`, a `full_scale` object with the paper-scale US
+//! scenario: build and design wall-clock, per-greedy-round cost, and the
+//! candidate-generation pruning counters — with the pruned pool asserted
+//! bit-identical to the oracle-filtered unpruned pool, and both scenarios'
+//! selected link sequences asserted identical, *before* anything is timed.
+//!
+//! Run with: `cargo run --release --bin bench_design_baseline [-- PATH]
+//! [--tiny | --full]`. `--tiny` is the CI smoke mode (n = 30 plus the
+//! miniature-scenario pruning parity check); `--full` appends the
+//! paper-scale entry to the default sizes.
 
 use std::sync::RwLock;
 use std::time::Instant;
 
-use cisp_bench::synthetic_design_input;
-use cisp_core::design::{score_candidates, DesignConfig, Designer, ScoringEngine};
-use cisp_core::engine::{
-    scoring_denominator, scoring_weights, RoundUpdate, ScoreContext, ShardState,
+use cisp_bench::{synthetic_design_input, Scale};
+use cisp_core::design::{
+    score_candidates, DesignConfig, DesignOutcome, Designer, ScoringEngine,
+    AUTO_FULL_RESCORE_MAX_POOL,
 };
+use cisp_core::engine::{RoundUpdate, ScoreContext, ShardState};
+use cisp_core::scenario::{Scenario, ScenarioConfig};
+use cisp_core::topology::{mean_stretch_with_link, mean_stretch_with_link_compact, ScoringWeights};
+use cisp_data::towers::TowerRegistryConfig;
 use cisp_graph::{improve_with_link_tracked, ImprovedPairs};
 
 /// Median wall-clock milliseconds of `f` over enough repetitions to be
@@ -51,6 +68,9 @@ struct SizeReport {
     greedy_full_rescore_ms: f64,
     greedy_incremental_ms: f64,
     selected_links: usize,
+    kernel_scalar_ns_per_pair: f64,
+    kernel_compact_ns_per_pair: f64,
+    repair_row_skip_ratio: f64,
 }
 
 fn measure(n: usize) -> SizeReport {
@@ -86,22 +106,60 @@ fn measure(n: usize) -> SizeReport {
     let round_full_rescore_ms =
         median_ms(|| drop(score_candidates(&after, &input.candidates, &pool, false)));
 
-    let matrix = RwLock::new(topology.effective_matrix().clone());
-    let den = scoring_denominator(
+    // --- Kernel cost per scored pair: one sweep of the whole pool against
+    // the warm matrix with each kernel, normalised by pool × pair count.
+    let pair_evals = (pool.len() * n * (n - 1) / 2) as f64;
+    let mut sw = ScoringWeights::compute(
         topology.effective_matrix(),
         topology.geodesic_matrix(),
         topology.traffic(),
     )
     .expect("synthetic input is finite");
-    let weights = scoring_weights(topology.geodesic_matrix(), topology.traffic());
+    assert!(
+        sw.enable_gain_bounds(topology.effective_matrix()),
+        "synthetic input is metric"
+    );
+    let kernel_scalar_ns_per_pair = median_ms(|| {
+        let mut acc = 0.0;
+        for &idx in &pool {
+            let l = &input.candidates[idx];
+            acc += mean_stretch_with_link(
+                topology.effective_matrix(),
+                topology.geodesic_matrix(),
+                topology.traffic(),
+                l.site_a,
+                l.site_b,
+                l.mw_length_km,
+            );
+        }
+        std::hint::black_box(acc);
+    }) * 1e6
+        / pair_evals;
+    let kernel_compact_ns_per_pair = median_ms(|| {
+        let mut acc = 0.0;
+        for &idx in &pool {
+            let l = &input.candidates[idx];
+            acc += mean_stretch_with_link_compact(
+                topology.effective_matrix(),
+                &sw,
+                l.site_a,
+                l.site_b,
+                l.mw_length_km,
+            );
+        }
+        std::hint::black_box(acc);
+    }) * 1e6
+        / pair_evals;
+
+    // --- One incremental repair round, on the same warm state.
+    let matrix = RwLock::new(topology.effective_matrix().clone());
     let ctx = ScoreContext {
         candidates: &input.candidates,
         pool: &pool,
         geodesic: topology.geodesic_matrix(),
         traffic: topology.traffic(),
         matrix: &matrix,
-        weights: &weights,
-        den,
+        sw: Some(&sw),
     };
     let mut state = ShardState::new(0..pool.len());
     state.init_score(&ctx);
@@ -122,13 +180,22 @@ fn measure(n: usize) -> SizeReport {
         Some(accepted_pos),
         Vec::new(),
         &matrix.read().unwrap(),
-        &weights,
-        den,
+        &sw,
     );
     let round_incremental_ms = median_ms(|| {
         let mut shard = state.clone();
         shard.apply(&ctx, &update);
     });
+    let repair_row_skip_ratio = {
+        let mut probe = state.clone();
+        probe.apply(&ctx, &update);
+        let stats = probe.stats();
+        if stats.rows_affected == 0 {
+            0.0
+        } else {
+            stats.rows_skipped as f64 / stats.rows_affected as f64
+        }
+    };
 
     // --- End-to-end greedy, both engines, serial.
     let incremental = Designer::with_config(&input, incremental_config).greedy(budget);
@@ -150,18 +217,231 @@ fn measure(n: usize) -> SizeReport {
         greedy_full_rescore_ms,
         greedy_incremental_ms,
         selected_links: incremental.selected.len(),
+        kernel_scalar_ns_per_pair,
+        kernel_compact_ns_per_pair,
+        repair_row_skip_ratio,
     }
+}
+
+/// Selected links as physical `(site_a, site_b, length)` tuples — the two
+/// scenarios' candidate indices differ (the pruned pool omits useless
+/// links), so index sequences are not comparable but link sequences are.
+fn selected_link_keys(scenario: &Scenario, outcome: &DesignOutcome) -> Vec<(usize, usize, f64)> {
+    outcome
+        .selected
+        .iter()
+        .map(|&i| {
+            let l = &scenario.design_input().candidates[i];
+            (l.site_a, l.site_b, l.mw_length_km)
+        })
+        .collect()
+}
+
+/// Assert that `pruned`'s candidate pool is exactly the oracle-surviving
+/// subset of `unpruned`'s, bit-identical link by link, and that both
+/// scenarios select identical link sequences at `budget`.
+fn assert_pruning_parity(pruned: &Scenario, unpruned: &Scenario, budget: f64) {
+    let useful = unpruned.design_input().useful_candidates();
+    assert_eq!(
+        pruned.design_input().candidates.len(),
+        useful.len(),
+        "pruned pool size mismatch"
+    );
+    for (p, &u) in pruned.design_input().candidates.iter().zip(&useful) {
+        assert_eq!(
+            p,
+            &unpruned.design_input().candidates[u],
+            "pruned pool diverged from the oracle-filtered unpruned pool"
+        );
+    }
+    let a = pruned.design(budget);
+    let b = unpruned.design(budget);
+    assert_eq!(
+        selected_link_keys(pruned, &a),
+        selected_link_keys(unpruned, &b),
+        "pruned and unpruned scenarios selected different links"
+    );
+    assert!(
+        (a.mean_stretch - b.mean_stretch).abs() == 0.0,
+        "pruned and unpruned scenarios reached different stretch"
+    );
+}
+
+struct FullScaleReport {
+    sites: usize,
+    towers: usize,
+    pool: usize,
+    budget: f64,
+    build_pruned_ms: f64,
+    build_unpruned_ms: f64,
+    generation_prune_ratio: f64,
+    pairs_total: u64,
+    pairs_bounded_out: u64,
+    design_ms: f64,
+    greedy_ms: f64,
+    greedy_rounds: usize,
+    greedy_round_ms: f64,
+    selected_links: usize,
+    mean_stretch: f64,
+    total_towers: usize,
+}
+
+/// The paper-scale US entry: every quantity measured once (this is the
+/// budgeted mode — a full build already takes long enough that medians
+/// would triple the cost for little gain on a quiet runner).
+fn measure_full_scale() -> FullScaleReport {
+    let seed = 42;
+    let mut config = ScenarioConfig::us_paper(seed);
+    config.towers = TowerRegistryConfig {
+        raw_count: Scale::Full.raw_towers(),
+        ..TowerRegistryConfig::default()
+    };
+    let t = Instant::now();
+    let pruned = Scenario::build(&config);
+    let build_pruned_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut unpruned_config = config.clone();
+    unpruned_config.prune_candidates = false;
+    let t = Instant::now();
+    let unpruned = Scenario::build(&unpruned_config);
+    let build_unpruned_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let budget = Scale::Full.us_budget_towers();
+    // Exactness first, timing second.
+    assert_pruning_parity(&pruned, &unpruned, budget);
+    let stats = pruned.pool_stats().expect("pruned build records stats");
+
+    let t = Instant::now();
+    let greedy = pruned.design_greedy(budget);
+    let greedy_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Rounds = one scoring scan per accepted link plus the final scan that
+    // finds nothing above `min_gain`.
+    let greedy_rounds = greedy.selected.len() + 1;
+    let t = Instant::now();
+    let designed = pruned.design(budget);
+    let design_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    FullScaleReport {
+        sites: pruned.cities().len(),
+        towers: pruned.towers().len(),
+        pool: pruned.design_input().candidates.len(),
+        budget,
+        build_pruned_ms,
+        build_unpruned_ms,
+        generation_prune_ratio: stats.generation_prune_ratio(),
+        pairs_total: stats.pairs_total,
+        pairs_bounded_out: stats.bucket_pruned + stats.pair_pruned,
+        design_ms,
+        greedy_ms,
+        greedy_rounds,
+        greedy_round_ms: greedy_ms / greedy_rounds as f64,
+        selected_links: designed.selected.len(),
+        mean_stretch: designed.mean_stretch,
+        total_towers: designed.total_towers,
+    }
+}
+
+fn size_entry(r: &SizeReport) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"n\": {},\n",
+            "      \"pool_candidates\": {},\n",
+            "      \"selected_links\": {},\n",
+            "      \"round_full_rescore_ms\": {:.4},\n",
+            "      \"round_incremental_ms\": {:.4},\n",
+            "      \"round_speedup\": {:.2},\n",
+            "      \"greedy_full_rescore_ms\": {:.2},\n",
+            "      \"greedy_incremental_ms\": {:.2},\n",
+            "      \"greedy_speedup\": {:.2},\n",
+            "      \"kernel_scalar_ns_per_pair\": {:.3},\n",
+            "      \"kernel_compact_ns_per_pair\": {:.3},\n",
+            "      \"repair_row_skip_ratio\": {:.4}\n",
+            "    }}"
+        ),
+        r.n,
+        r.pool,
+        r.selected_links,
+        r.round_full_rescore_ms,
+        r.round_incremental_ms,
+        r.round_full_rescore_ms / r.round_incremental_ms,
+        r.greedy_full_rescore_ms,
+        r.greedy_incremental_ms,
+        r.greedy_full_rescore_ms / r.greedy_incremental_ms,
+        r.kernel_scalar_ns_per_pair,
+        r.kernel_compact_ns_per_pair,
+        r.repair_row_skip_ratio,
+    )
+}
+
+fn full_scale_entry(r: &FullScaleReport) -> String {
+    format!(
+        concat!(
+            "  \"full_scale\": {{\n",
+            "    \"scenario\": \"us_paper(42), {} sites, {} towers\",\n",
+            "    \"budget_towers\": {},\n",
+            "    \"pool_candidates\": {},\n",
+            "    \"build_pruned_ms\": {:.1},\n",
+            "    \"build_unpruned_ms\": {:.1},\n",
+            "    \"generation_prune_ratio\": {:.4},\n",
+            "    \"pairs_total\": {},\n",
+            "    \"pairs_bounded_out\": {},\n",
+            "    \"greedy_ms\": {:.1},\n",
+            "    \"greedy_rounds\": {},\n",
+            "    \"greedy_round_ms\": {:.2},\n",
+            "    \"cisp_design_ms\": {:.1},\n",
+            "    \"selected_links\": {},\n",
+            "    \"total_towers\": {},\n",
+            "    \"mean_stretch\": {:.6},\n",
+            "    \"pruning_parity\": \"pruned pool == oracle-filtered unpruned pool; identical selections\"\n",
+            "  }},\n"
+        ),
+        r.sites,
+        r.towers,
+        r.budget,
+        r.pool,
+        r.build_pruned_ms,
+        r.build_unpruned_ms,
+        r.generation_prune_ratio,
+        r.pairs_total,
+        r.pairs_bounded_out,
+        r.greedy_ms,
+        r.greedy_rounds,
+        r.greedy_round_ms,
+        r.design_ms,
+        r.selected_links,
+        r.total_towers,
+        r.mean_stretch,
+    )
 }
 
 fn main() {
     let out_path = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "BENCH_design.json".to_string());
+    let scale = Scale::from_args();
+
+    if scale == Scale::Tiny {
+        // CI smoke: the miniature scenario's pruning parity, asserted end
+        // to end, plus the smallest synthetic measurement.
+        let pruned = Scenario::build(&ScenarioConfig::tiny_test());
+        let mut unpruned_config = ScenarioConfig::tiny_test();
+        unpruned_config.prune_candidates = false;
+        let unpruned = Scenario::build(&unpruned_config);
+        assert_pruning_parity(&pruned, &unpruned, 250.0);
+        println!("tiny-scenario pruning parity: ok");
+    }
+
+    let sizes: &[usize] = if scale == Scale::Tiny {
+        &[30]
+    } else {
+        &[30, 60, 120]
+    };
     let mut entries = Vec::new();
-    for n in [30usize, 60, 120] {
+    for &n in sizes {
         let r = measure(n);
         println!(
-            "n = {:3}: round {:9.3} ms -> {:7.3} ms ({:5.1}x), greedy {:9.1} ms -> {:8.1} ms ({:4.1}x), {} links",
+            "n = {:3}: round {:9.3} ms -> {:7.3} ms ({:5.1}x), greedy {:9.1} ms -> {:8.1} ms ({:4.1}x), {} links, kernel {:.2} -> {:.2} ns/pair, row-skip {:.1}%",
             r.n,
             r.round_full_rescore_ms,
             r.round_incremental_ms,
@@ -170,41 +450,49 @@ fn main() {
             r.greedy_incremental_ms,
             r.greedy_full_rescore_ms / r.greedy_incremental_ms,
             r.selected_links,
+            r.kernel_scalar_ns_per_pair,
+            r.kernel_compact_ns_per_pair,
+            r.repair_row_skip_ratio * 100.0,
         );
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"n\": {},\n",
-                "      \"pool_candidates\": {},\n",
-                "      \"selected_links\": {},\n",
-                "      \"round_full_rescore_ms\": {:.4},\n",
-                "      \"round_incremental_ms\": {:.4},\n",
-                "      \"round_speedup\": {:.2},\n",
-                "      \"greedy_full_rescore_ms\": {:.2},\n",
-                "      \"greedy_incremental_ms\": {:.2},\n",
-                "      \"greedy_speedup\": {:.2}\n",
-                "    }}"
-            ),
-            r.n,
-            r.pool,
-            r.selected_links,
-            r.round_full_rescore_ms,
-            r.round_incremental_ms,
-            r.round_full_rescore_ms / r.round_incremental_ms,
-            r.greedy_full_rescore_ms,
-            r.greedy_incremental_ms,
-            r.greedy_full_rescore_ms / r.greedy_incremental_ms,
-        ));
+        entries.push(size_entry(&r));
     }
+
+    let full_scale = if scale == Scale::Full {
+        let r = measure_full_scale();
+        println!(
+            "full scale: {} sites, {} towers, pool {} ({:.1}% of pairs bounded out), build {:.0} ms (unpruned {:.0} ms), greedy {:.0} ms ({} rounds, {:.1} ms/round), cisp {:.0} ms, {} links, stretch {:.4}",
+            r.sites,
+            r.towers,
+            r.pool,
+            r.generation_prune_ratio * 100.0,
+            r.build_pruned_ms,
+            r.build_unpruned_ms,
+            r.greedy_ms,
+            r.greedy_rounds,
+            r.greedy_round_ms,
+            r.design_ms,
+            r.selected_links,
+            r.mean_stretch,
+        );
+        full_scale_entry(&r)
+    } else {
+        String::new()
+    };
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"design greedy: incremental delta-scoring vs full rescore\",\n",
+            "  \"schema\": 2,\n",
             "  \"input\": \"synthetic_design_input (all-pairs candidates), serial scoring\",\n",
-            "  \"command\": \"cargo run --release --bin bench_design_baseline\",\n",
+            "  \"command\": \"cargo run --release --bin bench_design_baseline -- [--tiny|--full]\",\n",
+            "  \"auto_engine_pool_threshold\": {},\n",
+            "{}",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        AUTO_FULL_RESCORE_MAX_POOL,
+        full_scale,
         entries.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write baseline file");

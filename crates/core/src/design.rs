@@ -58,11 +58,12 @@ use cisp_graph::{improve_with_link_tracked, DistMatrix, ImprovedPairs};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{
-    scoring_denominator, scoring_weights, PoolScorer, RoundUpdate, ScoreContext, ShardPool,
-};
+use crate::engine::{PoolScorer, RoundUpdate, ScoreContext, ShardPool};
 use crate::links::CandidateLink;
-use crate::topology::{improve_with_link, mean_stretch_with_link, HybridTopology};
+use crate::topology::{
+    improve_with_link, mean_stretch_with_link, mean_stretch_with_link_compact, HybridTopology,
+    ScoringWeights,
+};
 
 /// How the greedy scores a candidate link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,22 +75,41 @@ pub enum GreedyScore {
     GainPerTower,
 }
 
+/// Pool-size threshold of [`ScoringEngine::Auto`]: pools at or below this
+/// size run the full-rescore engine (whose per-round cost is small and whose
+/// bound-ordered scan skips most of it), larger pools the incremental
+/// engine. Chosen from the recorded `BENCH_design.json` crossover: at
+/// n=30 (pool ≈ 435) full rescore wins, at n=60 (pool ≈ 1770) the
+/// incremental engine is ~2× ahead.
+pub const AUTO_FULL_RESCORE_MAX_POOL: usize = 512;
+
 /// How the greedy maintains candidate scores across rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScoringEngine {
-    /// Incremental delta-scoring (the default): cached per-candidate gains
-    /// repaired from each accepted link's improved-pair set, with exact
-    /// kernel re-scoring of touched candidates and of every round's winner.
-    /// Selects the same designs as [`Self::FullRescore`] whenever candidate
-    /// scores are separated by more than the repair's ulp-level summation
-    /// noise (~1e-14 relative; exactly tied scores could in principle break
-    /// ties differently — pinned equal on all parity/property fixtures).
-    /// Falls back to [`Self::FullRescore`] automatically when the input has
+    /// Pick the engine per run from the pool size (the default):
+    /// [`Self::FullRescore`] at or below [`AUTO_FULL_RESCORE_MAX_POOL`]
+    /// candidates — where cached-score bookkeeping costs more than it saves
+    /// — and [`Self::Incremental`] above it. Both engines select identical
+    /// designs, so this is purely a performance dispatch.
+    Auto,
+    /// Incremental delta-scoring: cached per-candidate gains repaired from
+    /// each accepted link's improved-pair set, with exact kernel re-scoring
+    /// of touched candidates and of every round's winner. Selects the same
+    /// designs as [`Self::FullRescore`] whenever candidate scores are
+    /// separated by more than the repair's ulp-level summation noise
+    /// (~1e-14 relative; exactly tied scores could in principle break ties
+    /// differently — pinned equal on all parity/property fixtures). Falls
+    /// back to [`Self::FullRescore`] automatically when the input has
     /// non-finite distances on traffic pairs (where the incremental
     /// decomposition does not apply).
     Incremental,
-    /// The conservative reference: every surviving candidate fully
-    /// re-scored against the current matrix each round.
+    /// The conservative reference: every surviving candidate re-scored
+    /// against the current matrix each round. When the run's starting
+    /// matrix is verified metric, the scan is bound-ordered: candidates
+    /// are scored in descending order of their O(1) gain upper bound
+    /// ([`ScoringWeights::gain_upper_bound`]) and the round stops as soon
+    /// as no unscored bound can beat the best exact score — the selected
+    /// argmax (and tie-break) is provably unchanged.
     FullRescore,
 }
 
@@ -122,7 +142,7 @@ impl Default for DesignConfig {
             max_swap_passes: 3,
             min_gain: 1e-9,
             parallel: true,
-            engine: ScoringEngine::Incremental,
+            engine: ScoringEngine::Auto,
         }
     }
 }
@@ -202,10 +222,16 @@ pub fn score_candidates(
     pool: &[usize],
     parallel: bool,
 ) -> Vec<f64> {
+    let sw = ScoringWeights::compute(
+        topology.effective_matrix(),
+        topology.geodesic_matrix(),
+        topology.traffic(),
+    );
     score_pool_against(
         topology.effective_matrix(),
         topology.geodesic_matrix(),
         topology.traffic(),
+        sw.as_ref(),
         candidates,
         pool,
         parallel,
@@ -214,25 +240,36 @@ pub fn score_candidates(
 
 /// The one serial-vs-parallel scoring dispatch: predicted mean stretch of
 /// each `pool` candidate against explicit matrices (the cached topology
-/// matrices in the greedy, a scratch matrix in the swap polish).
+/// matrices in the greedy, a scratch matrix in the swap polish). Uses the
+/// compact vectorised kernel when the caller precomputed [`ScoringWeights`],
+/// the scalar reference kernel otherwise. The two kernels agree to summation
+/// ulp (pinned by the kernel parity tests) but not bitwise — every path of a
+/// design run therefore uses one or the other consistently, never a mix.
+#[allow(clippy::too_many_arguments)]
 fn score_pool_against(
     effective: &DistMatrix,
     geodesic: &DistMatrix,
     traffic: &DistMatrix,
+    sw: Option<&ScoringWeights>,
     candidates: &[CandidateLink],
     pool: &[usize],
     parallel: bool,
 ) -> Vec<f64> {
     let score_one = |&idx: &usize| {
         let l = &candidates[idx];
-        mean_stretch_with_link(
-            effective,
-            geodesic,
-            traffic,
-            l.site_a,
-            l.site_b,
-            l.mw_length_km,
-        )
+        match sw {
+            Some(sw) => {
+                mean_stretch_with_link_compact(effective, sw, l.site_a, l.site_b, l.mw_length_km)
+            }
+            None => mean_stretch_with_link(
+                effective,
+                geodesic,
+                traffic,
+                l.site_a,
+                l.site_b,
+                l.mw_length_km,
+            ),
+        }
     };
     if parallel {
         pool.par_iter().map(score_one).collect()
@@ -266,31 +303,17 @@ impl<'a> Designer<'a> {
         }
     }
 
-    /// Score the whole pool against `topology` and return `(score, index)`
-    /// entries in pool order.
-    fn score_pool(
-        &self,
-        topology: &HybridTopology,
-        current_stretch: f64,
-        pool: &[usize],
-    ) -> Vec<(f64, usize)> {
-        score_candidates(topology, &self.input.candidates, pool, self.config.parallel)
-            .into_iter()
-            .zip(pool.iter().copied())
-            .map(|(with_link, idx)| {
-                let gain = current_stretch - with_link;
-                (
-                    self.score(gain, self.input.candidates[idx].tower_count),
-                    idx,
-                )
-            })
-            .collect()
-    }
-
     /// Greedy design over an explicit candidate pool (indices into the input
     /// candidate list), dispatched to the configured scoring engine.
     fn greedy_over(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
         match self.config.engine {
+            ScoringEngine::Auto => {
+                if pool.len() <= AUTO_FULL_RESCORE_MAX_POOL {
+                    self.greedy_full_rescore(pool, budget_towers)
+                } else {
+                    self.greedy_incremental(pool, budget_towers)
+                }
+            }
             ScoringEngine::Incremental => self.greedy_incremental(pool, budget_towers),
             ScoringEngine::FullRescore => self.greedy_full_rescore(pool, budget_towers),
         }
@@ -317,26 +340,30 @@ impl<'a> Designer<'a> {
     fn greedy_incremental(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
         let input = self.input;
         let base = input.empty_topology();
-        let den = scoring_denominator(
+        let sw = ScoringWeights::compute(
             base.effective_matrix(),
             base.geodesic_matrix(),
             base.traffic(),
         );
-        let Some(den) = den else {
-            // Non-finite distances (or no traffic at all): the delta
-            // decomposition does not apply; use the reference engine.
+        let Some(mut sw) = sw else {
+            // Non-finite distances on scored pairs (or no traffic at all):
+            // the delta decomposition does not apply; use the reference
+            // engine (which falls back to the scalar kernel for the same
+            // reason).
             return self.greedy_full_rescore(pool, budget_towers);
         };
+        // Arms the O(1) per-row metric skip of the repair sweeps when the
+        // starting matrix is verified metric (distances only shrink, so one
+        // check covers every round). No-op on non-metric inputs.
+        sw.enable_gain_bounds(base.effective_matrix());
         let effective = RwLock::new(input.fiber_km.clone());
-        let weights = scoring_weights(base.geodesic_matrix(), base.traffic());
         let ctx = ScoreContext {
             candidates: &input.candidates,
             pool,
             geodesic: base.geodesic_matrix(),
             traffic: base.traffic(),
             matrix: &effective,
-            weights: &weights,
-            den,
+            sw: Some(&sw),
         };
         let workers = self.shard_count(pool.len());
         let selected = if workers <= 1 || pool.is_empty() {
@@ -435,14 +462,26 @@ impl<'a> Designer<'a> {
                 let exact = {
                     let matrix = ctx.matrix.read().unwrap();
                     let l = &self.input.candidates[pool[pos]];
-                    mean_stretch_with_link(
-                        &matrix,
-                        ctx.geodesic,
-                        ctx.traffic,
-                        l.site_a,
-                        l.site_b,
-                        l.mw_length_km,
-                    )
+                    // Same kernel as the shards' exact rescoring, so the
+                    // winner's refreshed value is bit-identical to what a
+                    // shard fallback would have produced.
+                    match ctx.sw {
+                        Some(sw) => mean_stretch_with_link_compact(
+                            &matrix,
+                            sw,
+                            l.site_a,
+                            l.site_b,
+                            l.mw_length_km,
+                        ),
+                        None => mean_stretch_with_link(
+                            &matrix,
+                            ctx.geodesic,
+                            ctx.traffic,
+                            l.site_a,
+                            l.site_b,
+                            l.mw_length_km,
+                        ),
+                    }
                 };
                 values[pos] = exact;
                 refreshed[pos] = true;
@@ -470,8 +509,8 @@ impl<'a> Designer<'a> {
                 Some(pos),
                 overrides,
                 &ctx.matrix.read().unwrap(),
-                ctx.weights,
-                ctx.den,
+                ctx.sw
+                    .expect("incremental greedy always precomputes weights"),
             );
             scorer.apply(ctx, update, &mut values);
         }
@@ -483,8 +522,26 @@ impl<'a> Designer<'a> {
     /// accepted link, and the true argmax is taken (ties broken by earliest
     /// pool position). This is the semantics the incremental engine is
     /// pinned against — and the cost profile it exists to remove.
+    ///
+    /// When the starting matrix is verified metric, the per-round scan is
+    /// bound-ordered ([`Self::bound_ordered_argmax`]): candidates are sorted
+    /// by their O(1) gain upper bound and exact scoring stops once no
+    /// remaining bound can beat the incumbent. Every skipped candidate's
+    /// exact priority is at most its bound, which is strictly below the
+    /// incumbent's exact priority — so the argmax and its tie-break are
+    /// identical to the plain scan's.
     fn greedy_full_rescore(&self, pool: &[usize], budget_towers: f64) -> DesignOutcome {
         let mut topology = self.input.empty_topology();
+        let mut sw = ScoringWeights::compute(
+            topology.effective_matrix(),
+            topology.geodesic_matrix(),
+            topology.traffic(),
+        );
+        let bounds_armed = match sw.as_mut() {
+            Some(sw) => sw.enable_gain_bounds(topology.effective_matrix()),
+            None => false,
+        };
+        let sw = sw;
         let mut selected = Vec::new();
         let mut history = Vec::new();
         let mut total_towers = 0usize;
@@ -502,16 +559,38 @@ impl<'a> Designer<'a> {
             if affordable.is_empty() {
                 break;
             }
-            // One full batch of O(n²) scoring sweeps, fanned out across
-            // cores, then the exact argmax (strict `>` keeps the earliest
-            // pool position on ties).
-            let scores = self.score_pool(&topology, current_stretch, &affordable);
-            let mut best: Option<(f64, usize)> = None;
-            for &(score, idx) in &scores {
-                if score > self.config.min_gain && (best.is_none() || score > best.unwrap().0) {
-                    best = Some((score, idx));
+            let best = if bounds_armed {
+                self.bound_ordered_argmax(
+                    &topology,
+                    sw.as_ref().expect("armed bounds imply computed weights"),
+                    current_stretch,
+                    &affordable,
+                )
+            } else {
+                // One full batch of O(n²) scoring sweeps, fanned out across
+                // cores, then the exact argmax (strict `>` keeps the
+                // earliest pool position on ties).
+                let scores = score_pool_against(
+                    topology.effective_matrix(),
+                    topology.geodesic_matrix(),
+                    topology.traffic(),
+                    sw.as_ref(),
+                    &self.input.candidates,
+                    &affordable,
+                    self.config.parallel,
+                );
+                let mut best: Option<(f64, usize)> = None;
+                for (&idx, &with_link) in affordable.iter().zip(&scores) {
+                    let score = self.score(
+                        current_stretch - with_link,
+                        self.input.candidates[idx].tower_count,
+                    );
+                    if score > self.config.min_gain && (best.is_none() || score > best.unwrap().0) {
+                        best = Some((score, idx));
+                    }
                 }
-            }
+                best
+            };
             let Some((_, idx)) = best else { break };
             let link = self.input.candidates[idx].clone();
             total_towers += link.tower_count;
@@ -533,6 +612,82 @@ impl<'a> Designer<'a> {
             topology,
             history,
         }
+    }
+
+    /// Bound-ordered exact argmax over `affordable`: the same `(priority,
+    /// index)` winner as the plain scan, exactly scoring only candidates
+    /// whose gain upper bound could still beat the incumbent.
+    ///
+    /// Both scoring rules are monotone in the gain at fixed tower cost, so
+    /// `priority <= self.score(gain_upper_bound, cost)` always holds; a
+    /// candidate whose bound is strictly below the incumbent's exact
+    /// priority (or at most `min_gain`) can therefore never be selected.
+    /// Bounds *equal* to the incumbent priority keep scoring — such a
+    /// candidate could tie exactly and win the earliest-position tie-break.
+    fn bound_ordered_argmax(
+        &self,
+        topology: &HybridTopology,
+        sw: &ScoringWeights,
+        current_stretch: f64,
+        affordable: &[usize],
+    ) -> Option<(f64, usize)> {
+        let effective = topology.effective_matrix();
+        // (priority bound, scan order, candidate index).
+        let mut entries: Vec<(f64, usize, usize)> = affordable
+            .iter()
+            .enumerate()
+            .map(|(ord, &idx)| {
+                let l = &self.input.candidates[idx];
+                let gain_ub =
+                    sw.gain_upper_bound(effective.get(l.site_a, l.site_b), l.mw_length_km);
+                (self.score(gain_ub, l.tower_count), ord, idx)
+            })
+            .filter(|&(bound, _, _)| bound > self.config.min_gain)
+            .collect();
+        // Descending bound; the plain scan's order on equal bounds.
+        entries.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Incumbent under the plain scan's tie-break: highest exact
+        // priority, earliest scan order among equals.
+        let mut best: Option<(f64, usize, usize)> = None;
+        const CHUNK: usize = 64;
+        let mut start = 0;
+        while start < entries.len() {
+            if let Some((best_priority, _, _)) = best {
+                if entries[start].0 < best_priority {
+                    break;
+                }
+            }
+            let chunk = &entries[start..(start + CHUNK).min(entries.len())];
+            let chunk_pool: Vec<usize> = chunk.iter().map(|&(_, _, idx)| idx).collect();
+            let scores = score_pool_against(
+                effective,
+                topology.geodesic_matrix(),
+                topology.traffic(),
+                Some(sw),
+                &self.input.candidates,
+                &chunk_pool,
+                self.config.parallel,
+            );
+            for (&(_, ord, idx), &with_link) in chunk.iter().zip(&scores) {
+                let priority = self.score(
+                    current_stretch - with_link,
+                    self.input.candidates[idx].tower_count,
+                );
+                if priority <= self.config.min_gain {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bp, bo, _)) => priority > bp || (priority == bp && ord < bo),
+                };
+                if better {
+                    best = Some((priority, ord, idx));
+                }
+            }
+            start += CHUNK;
+        }
+        best.map(|(priority, _, idx)| (priority, idx))
     }
 
     /// Pure greedy design at the given tower budget (all useful candidates).
@@ -576,17 +731,22 @@ impl<'a> Designer<'a> {
         }
         let geodesic = outcome.topology.geodesic_matrix().clone();
         let scratch = RwLock::new(outcome.topology.fiber_matrix().clone());
-        // Trial scoring is exact-kernel only; the incremental repair's
-        // weights and denominator are never consulted.
-        let weights = DistMatrix::zeros(geodesic.n());
+        // Every swap trial's scratch matrix is the fiber matrix improved by
+        // some link subset, so distances are finite wherever fiber is —
+        // weights computed against fiber stay valid for every trial, and the
+        // shards' exact kernel runs compact whenever they exist.
+        let sw = ScoringWeights::compute(
+            outcome.topology.fiber_matrix(),
+            &geodesic,
+            &self.input.traffic,
+        );
         let ctx = ScoreContext {
             candidates: &self.input.candidates,
             pool,
             geodesic: &geodesic,
             traffic: &self.input.traffic,
             matrix: &scratch,
-            weights: &weights,
-            den: 1.0,
+            sw: sw.as_ref(),
         };
         let workers = self.shard_count(pool.len());
         if workers <= 1 {
@@ -901,13 +1061,42 @@ mod tests {
     }
 
     #[test]
+    fn auto_engine_matches_both_pinned_engines() {
+        let input = synthetic_input(9);
+        // Small pool: Auto must take the full-rescore path...
+        assert!(input.useful_candidates().len() <= AUTO_FULL_RESCORE_MAX_POOL);
+        let auto = Designer::new(&input).cisp(35.0);
+        for engine in [ScoringEngine::Incremental, ScoringEngine::FullRescore] {
+            let pinned = Designer::with_config(
+                &input,
+                DesignConfig {
+                    engine,
+                    ..DesignConfig::default()
+                },
+            )
+            .cisp(35.0);
+            // ...but since both engines select identically, Auto matching
+            // both is the real invariant.
+            assert_eq!(auto.selected, pinned.selected, "{engine:?}");
+            assert!((auto.mean_stretch - pinned.mean_stretch).abs() == 0.0);
+        }
+    }
+
+    #[test]
     fn incremental_engine_falls_back_on_non_finite_fiber() {
         // Disconnect one pair in the fiber matrix: the incremental
         // decomposition no longer applies, and the designer must silently
         // use the full-rescore reference instead of misbehaving.
         let mut input = synthetic_input(6);
         input.fiber_km.set_sym(0, 5, f64::INFINITY);
-        let incremental = Designer::new(&input).greedy(30.0);
+        let incremental = Designer::with_config(
+            &input,
+            DesignConfig {
+                engine: ScoringEngine::Incremental,
+                ..DesignConfig::default()
+            },
+        )
+        .greedy(30.0);
         let full = Designer::with_config(
             &input,
             DesignConfig {

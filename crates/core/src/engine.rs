@@ -48,7 +48,7 @@ use std::thread::Scope;
 use cisp_graph::{pair_count, pair_index, DistMatrix, ImprovedPairs};
 
 use crate::links::CandidateLink;
-use crate::topology::mean_stretch_with_link;
+use crate::topology::{mean_stretch_with_link, mean_stretch_with_link_compact, ScoringWeights};
 
 /// Everything a scoring shard needs to score its candidates: the candidate
 /// pool, the weighting matrices, and the (designer-updated) matrix scored
@@ -68,63 +68,19 @@ pub struct ScoreContext<'a> {
     /// matrix, or the swap polish's trial scratch. The designer write-locks
     /// it between rounds; shards read-lock it while scoring.
     pub matrix: &'a RwLock<DistMatrix>,
-    /// Per-pair objective weights `h / g` from [`scoring_weights`] (zero for
-    /// pairs the objective skips). Only the incremental repair reads these —
-    /// exact scoring recomputes the kernel's own arithmetic.
-    pub weights: &'a DistMatrix,
-    /// Denominator of the weighted-mean-stretch objective (Σ h over scored
-    /// pairs), from [`scoring_denominator`]. Unused by exact scoring.
-    pub den: f64,
+    /// Compacted per-run scoring weights ([`ScoringWeights::compute`]),
+    /// when the run's starting matrix admits them. `Some` routes every
+    /// exact score through the vectorised compact kernel and feeds the
+    /// repair sweeps' `h/g` weights; `None` (some scored pair unreachable)
+    /// keeps everything on the scalar kernel — which the incremental
+    /// engine never does, since it falls back to full rescoring instead.
+    pub sw: Option<&'a ScoringWeights>,
 }
 
-/// Per-pair weights of the mean-stretch objective: `h / g` where the pair
-/// qualifies (positive traffic and geodesic distance), zero where the
-/// kernels skip it. Precomputed once per design run so the repair sweeps
-/// multiply instead of dividing.
-pub fn scoring_weights(geodesic: &DistMatrix, traffic: &DistMatrix) -> DistMatrix {
-    DistMatrix::from_fn(geodesic.n(), |s, t| {
-        let h = traffic.get(s, t);
-        let g = geodesic.get(s, t);
-        if s != t && h > 0.0 && g > 0.0 {
-            h / g
-        } else {
-            0.0
-        }
-    })
-}
-
-/// Σ h over the pairs the scoring kernels aggregate (positive traffic,
-/// positive geodesic distance), provided every such pair currently has a
-/// finite effective distance. Returns `None` when a non-finite distance (or
-/// an all-zero traffic matrix) makes the incremental decomposition invalid —
-/// callers must then fall back to full rescoring. Distances only shrink as
-/// links are added, so one check up front covers the whole design run.
-pub fn scoring_denominator(
-    effective: &DistMatrix,
-    geodesic: &DistMatrix,
-    traffic: &DistMatrix,
-) -> Option<f64> {
-    let n = effective.n();
-    let mut den = 0.0;
-    for s in 0..n {
-        let eff_row = effective.row(s);
-        let geo_row = geodesic.row(s);
-        let h_row = traffic.row(s);
-        for t in (s + 1)..n {
-            if h_row[t] > 0.0 && geo_row[t] > 0.0 {
-                if !eff_row[t].is_finite() {
-                    return None;
-                }
-                den += h_row[t];
-            }
-        }
-    }
-    if den > 0.0 {
-        Some(den)
-    } else {
-        None
-    }
-}
+/// Width of the repair sweep's blockwise row scan: candidate-beats-pair
+/// tests are evaluated `REPAIR_BLOCK` pairs at a time, with a one-compare
+/// per-block lower-bound skip in front of the branchless any-hit fold.
+const REPAIR_BLOCK: usize = 16;
 
 /// The per-round delta the designer broadcasts to every shard after
 /// accepting a link, with the lookup structures the repair sweeps need
@@ -153,6 +109,14 @@ pub struct RoundUpdate {
     direct_base: f64,
     /// Largest current distance per row — the via part's row-prune bound.
     row_max: Vec<f64>,
+    /// Largest current distance per [`REPAIR_BLOCK`]-wide block of each row
+    /// (row-major, `n.div_ceil(REPAIR_BLOCK)` entries per row) — the via
+    /// part's per-block prune bound.
+    row_blockmax: Vec<f64>,
+    /// Distance slack of the metric row-skip test
+    /// ([`ScoringWeights::row_skip_slack_km`]); `None` when the run's
+    /// matrix was not verified metric, disabling the skip.
+    row_skip_slack: Option<f64>,
 }
 
 impl RoundUpdate {
@@ -166,10 +130,10 @@ impl RoundUpdate {
         removed_pos: Option<usize>,
         overrides: Vec<(usize, f64)>,
         matrix: &DistMatrix,
-        weights: &DistMatrix,
-        den: f64,
+        sw: &ScoringWeights,
     ) -> Self {
         let n = improved.n();
+        let den = sw.den();
         let mut old_overlay = vec![0.0; pair_count(n)];
         let mut changed_nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
         for &(a, b, old) in improved.pairs() {
@@ -181,7 +145,7 @@ impl RoundUpdate {
             .pairs()
             .iter()
             .filter_map(|&(a, b, old_d)| {
-                let w = weights.get(a as usize, b as usize);
+                let w = sw.weights().get(a as usize, b as usize);
                 (w > 0.0).then(|| (a, b, old_d, matrix.get(a as usize, b as usize), w))
             })
             .collect();
@@ -189,9 +153,16 @@ impl RoundUpdate {
             .iter()
             .map(|&(_, _, old_d, new_d, w)| w * (new_d - old_d) / den)
             .sum();
-        let row_max = (0..n)
-            .map(|s| matrix.row(s).iter().copied().fold(0.0_f64, f64::max))
-            .collect();
+        let nb = n.div_ceil(REPAIR_BLOCK);
+        let mut row_max = vec![0.0_f64; n];
+        let mut row_blockmax = vec![0.0_f64; n * nb];
+        for s in 0..n {
+            for (b, chunk) in matrix.row(s).chunks(REPAIR_BLOCK).enumerate() {
+                let m = chunk.iter().copied().fold(0.0_f64, f64::max);
+                row_blockmax[s * nb + b] = m;
+                row_max[s] = row_max[s].max(m);
+            }
+        }
         Self {
             improved,
             removed_pos,
@@ -201,6 +172,8 @@ impl RoundUpdate {
             direct_pairs,
             direct_base,
             row_max,
+            row_blockmax,
+            row_skip_slack: sw.row_skip_slack_km(),
         }
     }
 
@@ -227,6 +200,22 @@ impl RoundUpdate {
     }
 }
 
+/// Counters of how one shard's repair rounds split their work, accumulated
+/// across every [`ShardState::apply`] call. Purely observational (the bench
+/// binary records the pruning ratios); never read by the engine itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairStats {
+    /// Candidates re-scored with the exact kernel (repair would have cost
+    /// at least as much).
+    pub exact_fallbacks: u64,
+    /// Candidates repaired incrementally.
+    pub repaired: u64,
+    /// Changed-neighbour rows visited by the via-part sweeps.
+    pub rows_affected: u64,
+    /// Of those, rows skipped in O(1) by the metric or row-max bound.
+    pub rows_skipped: u64,
+}
+
 /// One shard: a stable contiguous range of pool positions and their cached
 /// predicted-stretch values. [`ShardPool`] workers each own one; the serial
 /// path owns a single shard spanning the whole pool. All scoring math lives
@@ -243,6 +232,12 @@ pub struct ShardState {
     /// length (a lower bound on any via through the candidate) stays below
     /// an improved pair's old distance. Built by [`Self::init_score`].
     by_m: Vec<(f64, u32)>,
+    /// The endpoint sites of each `by_m` entry, same order — a compact
+    /// parallel array so the correction pass streams sequentially instead
+    /// of chasing `candidates[pool[pos]]` pointers per prefix entry.
+    by_m_sites: Vec<(u32, u32)>,
+    /// Work counters across all rounds.
+    stats: RepairStats,
 }
 
 impl ShardState {
@@ -254,6 +249,8 @@ impl ShardState {
             values: vec![f64::INFINITY; len],
             removed: vec![false; len],
             by_m: Vec::new(),
+            by_m_sites: Vec::new(),
+            stats: RepairStats::default(),
         }
     }
 
@@ -267,18 +264,30 @@ impl ShardState {
         &self.values
     }
 
-    /// Exact kernel score of one pool position against `matrix`.
+    /// Accumulated repair-work counters.
+    pub fn stats(&self) -> RepairStats {
+        self.stats
+    }
+
+    /// Exact kernel score of one pool position against `matrix`: the
+    /// compact vectorised kernel when the run precomputed
+    /// [`ScoringWeights`], the scalar reference kernel otherwise.
     #[inline]
     fn exact(ctx: &ScoreContext, matrix: &DistMatrix, pos: usize) -> f64 {
         let l = &ctx.candidates[ctx.pool[pos]];
-        mean_stretch_with_link(
-            matrix,
-            ctx.geodesic,
-            ctx.traffic,
-            l.site_a,
-            l.site_b,
-            l.mw_length_km,
-        )
+        match ctx.sw {
+            Some(sw) => {
+                mean_stretch_with_link_compact(matrix, sw, l.site_a, l.site_b, l.mw_length_km)
+            }
+            None => mean_stretch_with_link(
+                matrix,
+                ctx.geodesic,
+                ctx.traffic,
+                l.site_a,
+                l.site_b,
+                l.mw_length_km,
+            ),
+        }
     }
 
     /// The *via part* of one cached prediction's incremental repair: the
@@ -294,19 +303,27 @@ impl ShardState {
     /// candidate-independent base plus pair-major corrections), the repair
     /// telescopes to exactly `min(via_new, d_new) − min(via_old, d_old)`
     /// per pair — a full rescore's change.
+    #[allow(clippy::too_many_arguments)]
     fn via_repair(
-        ctx: &ScoreContext,
+        sw: &ScoringWeights,
         matrix: &DistMatrix,
         link: &CandidateLink,
         update: &RoundUpdate,
         in_affected: &mut [bool],
         affected: &mut Vec<u32>,
+        blockmin: &mut Vec<f64>,
+        stats: &mut RepairStats,
     ) -> f64 {
         let n = matrix.n();
+        let nb = n.div_ceil(REPAIR_BLOCK);
         let (i, j, m) = (link.site_a, link.site_b, link.mw_length_km);
         let row_i = matrix.row(i);
         let row_j = matrix.row(j);
         let mut dnum = 0.0;
+        // Per-block minima of the endpoint rows, for the per-block skip
+        // below. Built lazily: candidates whose every affected row is
+        // dismissed by the O(1) row tests never pay the 2n-op build.
+        let mut blockmin_ready = false;
 
         // The candidate's changed neighbours: vertices whose via-term
         // inputs (distance to an endpoint) moved.
@@ -319,12 +336,25 @@ impl ShardState {
                 }
             }
         }
+        stats.rows_affected += affected.len() as u64;
+        // Metric row skip: on a verified-metric matrix a via through this
+        // candidate can only beat some pair of row `s` if the endpoints'
+        // distances to `s` differ by more than the link length
+        // (`d_si + m < d_st ≤ d_sj + d_jt` minus the common `d_jt` leg
+        // forces `d_si + m < d_sj`, and symmetrically) — an O(1) test that
+        // skips the whole row scan, with the slack absorbing float noise
+        // in the triangle inequality.
+        let m_slack = m - update.row_skip_slack.unwrap_or(f64::INFINITY);
 
         // Via part: every pair incident to a changed neighbour (each
         // unordered pair visited once — a pair inside the affected set is
         // handled by its larger vertex).
         for &s in affected.iter() {
             let s = s as usize;
+            if (row_i[s] - row_j[s]).abs() <= m_slack {
+                stats.rows_skipped += 1;
+                continue;
+            }
             let d_si_m = row_i[s] + m;
             let d_sj_m = row_j[s] + m;
             // Row prune: every via through this row is at least
@@ -332,22 +362,45 @@ impl ShardState {
             // largest current distance, no pair of the row can be beaten
             // and the whole row contributes nothing.
             if d_si_m.min(d_sj_m) >= update.row_max[s] {
+                stats.rows_skipped += 1;
                 continue;
             }
             let d_si_old = update.old_dist(matrix, s, i);
             let d_sj_old = update.old_dist(matrix, s, j);
             let eff_row = matrix.row(s);
-            let w_row = ctx.weights.row(s);
-            // Blockwise scan: a branchless vector-friendly pass asks "does
-            // the candidate beat any pair in this block?", and only blocks
-            // with a hit (rare — the fast-path rate is a few percent) are
-            // re-walked scalar. A pair the candidate does not beat now was
-            // (vias only shrink) not beaten before either and contributes
-            // nothing.
-            const BLOCK: usize = 16;
+            let w_row = sw.weights().row(s);
+            if !blockmin_ready {
+                blockmin.clear();
+                blockmin.extend(
+                    row_i
+                        .chunks(REPAIR_BLOCK)
+                        .map(|c| c.iter().copied().fold(f64::INFINITY, f64::min)),
+                );
+                blockmin.extend(
+                    row_j
+                        .chunks(REPAIR_BLOCK)
+                        .map(|c| c.iter().copied().fold(f64::INFINITY, f64::min)),
+                );
+                blockmin_ready = true;
+            }
+            let (bmin_i, bmin_j) = blockmin.split_at(nb);
+            let row_bmax = &update.row_blockmax[s * nb..(s + 1) * nb];
+            // Blockwise scan, two tiers per block: a one-compare lower-bound
+            // skip (the cheapest via anyone in the block could offer, from
+            // the endpoint rows' block minima, against the block's largest
+            // current distance), then a branchless vector-friendly pass
+            // asking "does the candidate beat any pair in this block?" —
+            // only blocks with a hit (rare — the fast-path rate is a few
+            // percent) are re-walked scalar. A pair the candidate does not
+            // beat now was (vias only shrink) not beaten before either and
+            // contributes nothing.
             let mut t0 = 0;
-            while t0 < n {
-                let t1 = (t0 + BLOCK).min(n);
+            for b in 0..nb {
+                let t1 = (t0 + REPAIR_BLOCK).min(n);
+                if (d_si_m + bmin_j[b]).min(d_sj_m + bmin_i[b]) >= row_bmax[b] {
+                    t0 = t1;
+                    continue;
+                }
                 let any_hit = row_j[t0..t1]
                     .iter()
                     .zip(&row_i[t0..t1])
@@ -393,7 +446,7 @@ impl ShardState {
         for &v in affected.iter() {
             in_affected[v as usize] = false;
         }
-        dnum / ctx.den
+        dnum / sw.den()
     }
 
     /// Score every owned candidate with the exact kernel (round 0), and
@@ -412,6 +465,14 @@ impl ShardState {
             .collect();
         self.by_m
             .sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+        self.by_m_sites = self
+            .by_m
+            .iter()
+            .map(|&(_, pos)| {
+                let l = &ctx.candidates[ctx.pool[pos as usize]];
+                (l.site_a as u32, l.site_b as u32)
+            })
+            .collect();
     }
 
     /// Apply one accepted-link round: sync the designer's exact overrides,
@@ -433,13 +494,25 @@ impl ShardState {
         let pairs = pair_count(n);
         let improved_len = update.improved.len();
         debug_assert_eq!(self.by_m.len(), self.range.len(), "init_score not run");
+        let sw = ctx
+            .sw
+            .expect("incremental repair requires precomputed ScoringWeights");
         let mut in_affected = vec![false; n];
         let mut affected: Vec<u32> = Vec::with_capacity(n);
+        let mut blockmin: Vec<f64> = Vec::with_capacity(2 * n.div_ceil(REPAIR_BLOCK));
         let matrix = ctx.matrix.read().unwrap();
 
         // Pass 1, candidate-major: the via part plus the direct base. A
-        // candidate whose repair would visit as many pairs as a full sweep
-        // is deferred to an exact kernel re-score instead (pass 3).
+        // candidate whose repair would visit more pairs than a full sweep
+        // costs is deferred to an exact kernel re-score instead (pass 3).
+        // With the metric row skip armed most affected rows are dismissed
+        // in O(1), so a repaired row is far cheaper than a swept one and
+        // the break-even point moves towards repair accordingly.
+        let row_cost_div = if update.row_skip_slack.is_some() {
+            4
+        } else {
+            1
+        };
         let mut needs_exact: Vec<u32> = Vec::new();
         for (k, pos) in self.range.clone().enumerate() {
             if self.removed[k] {
@@ -448,13 +521,24 @@ impl ShardState {
             let l = &ctx.candidates[ctx.pool[pos]];
             let neighbour_rows =
                 update.changed_nbrs[l.site_a].len() + update.changed_nbrs[l.site_b].len();
-            if neighbour_rows * n + improved_len >= pairs {
+            if neighbour_rows * n / row_cost_div + improved_len >= pairs {
                 needs_exact.push(k as u32);
             } else {
+                self.stats.repaired += 1;
                 self.values[k] += update.direct_base
-                    + Self::via_repair(ctx, &matrix, l, update, &mut in_affected, &mut affected);
+                    + Self::via_repair(
+                        sw,
+                        &matrix,
+                        l,
+                        update,
+                        &mut in_affected,
+                        &mut affected,
+                        &mut blockmin,
+                        &mut self.stats,
+                    );
             }
         }
+        self.stats.exact_fallbacks += needs_exact.len() as u64;
 
         // Pass 2, pair-major: the direct part's corrections. A candidate
         // corrects the base only when one of its vias beats the pair's old
@@ -476,18 +560,21 @@ impl ShardState {
                 old_row_b[t] = update.old_dist(&matrix, b, t);
             }
             let dd = new_d - old_d;
-            let w_den = w / ctx.den;
-            for &(m_c, pos) in &self.by_m {
+            let w_den = w / sw.den();
+            // Streams the compact parallel arrays only: no per-entry
+            // `candidates[pool[pos]]` pointer chase, and no removed/deferred
+            // mask test — a removed candidate's value is never read again,
+            // and a deferred one's is overwritten by pass 3, so adding their
+            // (exact) corrections is harmless.
+            for (&(m_c, pos), &(i, j)) in self.by_m.iter().zip(&self.by_m_sites) {
                 if m_c >= old_d {
                     break; // ascending: every later via is ≥ old_d
                 }
-                let k = pos as usize - self.range.start;
-                let l = &ctx.candidates[ctx.pool[pos as usize]];
-                let (i, j) = (l.site_a, l.site_b);
+                let (i, j) = (i as usize, j as usize);
                 let via_old =
                     (old_row_a[i] + m_c + old_row_b[j]).min(old_row_a[j] + m_c + old_row_b[i]);
                 let corr = (via_old.min(new_d) - via_old.min(old_d)) - dd;
-                self.values[k] += w_den * corr;
+                self.values[pos as usize - self.range.start] += w_den * corr;
             }
         }
 
@@ -712,17 +799,19 @@ mod tests {
         let n = 7;
         let (candidates, geodesic, fiber, traffic) = fixture(n);
         let pool: Vec<usize> = (0..candidates.len()).collect();
-        let den = scoring_denominator(&fiber, &geodesic, &traffic).unwrap();
+        let mut sw = ScoringWeights::compute(&fiber, &geodesic, &traffic).unwrap();
+        // The fixture's 2×-geodesic fiber is metric, so the repair's O(1)
+        // metric row skip is exercised here too — repaired values must
+        // still match the exact kernel.
+        assert!(sw.enable_gain_bounds(&fiber));
         let matrix = RwLock::new(fiber.clone());
-        let weights = scoring_weights(&geodesic, &traffic);
         let ctx = ScoreContext {
             candidates: &candidates,
             pool: &pool,
             geodesic: &geodesic,
             traffic: &traffic,
             matrix: &matrix,
-            weights: &weights,
-            den,
+            sw: Some(&sw),
         };
         let mut scorer = PoolScorer::inline(pool.len());
         let mut values = vec![0.0; pool.len()];
@@ -743,14 +832,7 @@ mod tests {
         }
         scorer.apply(
             &ctx,
-            RoundUpdate::new(
-                improved,
-                Some(0),
-                Vec::new(),
-                &matrix.read().unwrap(),
-                &weights,
-                den,
-            ),
+            RoundUpdate::new(improved, Some(0), Vec::new(), &matrix.read().unwrap(), &sw),
             &mut values,
         );
 
@@ -762,6 +844,50 @@ mod tests {
                 (v - exact).abs() < 1e-12,
                 "pos {pos}: repaired {v} vs exact {exact}"
             );
+        }
+    }
+
+    /// The repair must stay exact when the metric row skip is *not* armed
+    /// as well (non-metric fixtures take this path).
+    #[test]
+    fn delta_repair_tracks_exact_rescoring_without_metric_skip() {
+        let n = 7;
+        let (candidates, geodesic, fiber, traffic) = fixture(n);
+        let pool: Vec<usize> = (0..candidates.len()).collect();
+        let sw = ScoringWeights::compute(&fiber, &geodesic, &traffic).unwrap();
+        let matrix = RwLock::new(fiber.clone());
+        let ctx = ScoreContext {
+            candidates: &candidates,
+            pool: &pool,
+            geodesic: &geodesic,
+            traffic: &traffic,
+            matrix: &matrix,
+            sw: Some(&sw),
+        };
+        let mut state = ShardState::new(0..pool.len());
+        state.init_score(&ctx);
+        let accepted = candidates[1].clone();
+        let mut improved = ImprovedPairs::new(n);
+        {
+            let mut m = matrix.write().unwrap();
+            improve_with_link_tracked(
+                &mut m,
+                accepted.site_a,
+                accepted.site_b,
+                accepted.mw_length_km,
+                &mut improved,
+            );
+        }
+        let update = RoundUpdate::new(improved, Some(1), Vec::new(), &matrix.read().unwrap(), &sw);
+        assert!(update.row_skip_slack.is_none());
+        state.apply(&ctx, &update);
+        let m = matrix.read().unwrap();
+        for (pos, &v) in state.values().iter().enumerate() {
+            if pos == 1 {
+                continue;
+            }
+            let exact = ShardState::exact(&ctx, &m, pos);
+            assert!((v - exact).abs() < 1e-12, "pos {pos}: {v} vs {exact}");
         }
     }
 
@@ -816,17 +942,16 @@ mod tests {
             let l = &candidates[idx];
             cisp_graph::improve_with_link(&mut m, l.site_a, l.site_b, l.mw_length_km);
         }
-        let den = scoring_denominator(&m, &geodesic_m, &traffic).unwrap();
+        let mut sw = ScoringWeights::compute(&m, &geodesic_m, &traffic).unwrap();
+        assert!(sw.enable_gain_bounds(&m), "2× geodesic fiber is metric");
         let matrix = RwLock::new(m);
-        let weights = scoring_weights(&geodesic_m, &traffic);
         let ctx = ScoreContext {
             candidates: &candidates,
             pool: &pool,
             geodesic: &geodesic_m,
             traffic: &traffic,
             matrix: &matrix,
-            weights: &weights,
-            den,
+            sw: Some(&sw),
         };
         let mut state = ShardState::new(0..pool.len());
         state.init_score(&ctx);
@@ -837,41 +962,21 @@ mod tests {
             improve_with_link_tracked(&mut mm, l.site_a, l.site_b, l.mw_length_km, &mut improved);
         }
         let p_len = improved.len();
-        let update = RoundUpdate::new(
-            improved,
-            None,
-            Vec::new(),
-            &matrix.read().unwrap(),
-            &weights,
-            den,
-        );
-        // Stats: fallback count, affected-row total.
-        let pairs = pair_count(n);
-        let mut fallbacks = 0usize;
-        let mut rows_total = 0usize;
-        for &idx in &pool {
-            let c = &candidates[idx];
-            let nr = update.changed_nbrs[c.site_a].len() + update.changed_nbrs[c.site_b].len();
-            if nr * n + p_len >= pairs {
-                fallbacks += 1;
-            } else {
-                rows_total += nr;
-            }
-        }
-        println!(
-            "|P| = {p_len}, exact fallbacks = {fallbacks}/{}, affected rows total = {rows_total}",
-            pool.len()
-        );
+        let update = RoundUpdate::new(improved, None, Vec::new(), &matrix.read().unwrap(), &sw);
+        println!("|P| = {p_len}, pool = {}", pool.len());
+        let mut stats = RepairStats::default();
         let apply_best = (0..7)
             .map(|_| {
                 let mut s2 = state.clone();
                 let t = std::time::Instant::now();
                 s2.apply(&ctx, &update);
-                t.elapsed()
+                let dt = t.elapsed();
+                stats = s2.stats();
+                dt
             })
             .min()
             .unwrap();
-        println!("apply (best of 7): {apply_best:?}");
+        println!("apply (best of 7): {apply_best:?}, stats (last run): {stats:?}");
         let mg = matrix.read().unwrap();
         let full_best = (0..3)
             .map(|_| {
@@ -890,13 +995,43 @@ mod tests {
     }
 
     #[test]
-    fn scoring_denominator_rejects_unreachable_and_empty_traffic() {
-        let (_, geodesic, fiber, traffic) = fixture(4);
-        assert!(scoring_denominator(&fiber, &geodesic, &traffic).is_some());
-        let mut broken = fiber.clone();
-        broken.set_sym(0, 3, f64::INFINITY);
-        assert!(scoring_denominator(&broken, &geodesic, &traffic).is_none());
-        let silent = DistMatrix::zeros(4);
-        assert!(scoring_denominator(&fiber, &geodesic, &silent).is_none());
+    fn repair_stats_accumulate() {
+        let n = 6;
+        let (candidates, geodesic, fiber, traffic) = fixture(n);
+        let pool: Vec<usize> = (0..candidates.len()).collect();
+        let mut sw = ScoringWeights::compute(&fiber, &geodesic, &traffic).unwrap();
+        sw.enable_gain_bounds(&fiber);
+        let matrix = RwLock::new(fiber.clone());
+        let ctx = ScoreContext {
+            candidates: &candidates,
+            pool: &pool,
+            geodesic: &geodesic,
+            traffic: &traffic,
+            matrix: &matrix,
+            sw: Some(&sw),
+        };
+        let mut state = ShardState::new(0..pool.len());
+        state.init_score(&ctx);
+        let accepted = candidates[0].clone();
+        let mut improved = ImprovedPairs::new(n);
+        {
+            let mut m = matrix.write().unwrap();
+            improve_with_link_tracked(
+                &mut m,
+                accepted.site_a,
+                accepted.site_b,
+                accepted.mw_length_km,
+                &mut improved,
+            );
+        }
+        let update = RoundUpdate::new(improved, Some(0), Vec::new(), &matrix.read().unwrap(), &sw);
+        state.apply(&ctx, &update);
+        let stats = state.stats();
+        assert_eq!(
+            stats.repaired + stats.exact_fallbacks,
+            (pool.len() - 1) as u64,
+            "every surviving candidate is either repaired or re-scored"
+        );
+        assert!(stats.rows_skipped <= stats.rows_affected);
     }
 }

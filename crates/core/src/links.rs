@@ -13,7 +13,7 @@
 
 use cisp_data::towers::TowerRegistry;
 use cisp_geo::{geodesic, GeoPoint};
-use cisp_graph::{dijkstra, Graph};
+use cisp_graph::{dijkstra, DistMatrix, Graph};
 use serde::{Deserialize, Serialize};
 
 use crate::hops::FeasibleHop;
@@ -176,6 +176,211 @@ impl<'a> LinkBuilder<'a> {
         }
         links
     }
+
+    /// Compute candidate links for every connected pair of sites, pruned
+    /// against the fiber oracle *during* generation instead of after it.
+    ///
+    /// Exactly the links of [`Self::all_candidate_links`] that survive the
+    /// fiber-oracle elimination (`mw_length_km < fiber_km[a][b]`) are
+    /// emitted, bit-identical and in the same a-major b-ascending order —
+    /// pinned by `tests/design_pool_pruning.rs` — but three bounds avoid
+    /// paying for provably useless pairs:
+    ///
+    /// 1. **Grid bound**: sites are bucketed into a geographic grid; a whole
+    ///    bucket is skipped for source `a` when even its *closest possible*
+    ///    member (`geodesic(a, centroid) − radius`, a triangle-inequality
+    ///    lower bound that holds wherever the centroid lands) is at least
+    ///    the bucket's largest fiber distance from `a` — a microwave path
+    ///    can never be shorter than the geodesic, so no member can beat
+    ///    fiber.
+    /// 2. **Pair bound**: same test per surviving pair with the exact
+    ///    geodesic.
+    /// 3. **Search bound**: the per-source Dijkstra abandons its frontier
+    ///    beyond the largest fiber distance of the surviving targets
+    ///    ([`dijkstra::shortest_path_tree_within`]); tower paths longer than
+    ///    every remaining oracle are unextractable anyway.
+    ///
+    /// All three prune only candidates the oracle would discard: the bounds
+    /// sit a safety margin (`GEO_SAFETY_KM`) above the exact `<` comparison,
+    /// so float noise in summed geodesic legs cannot drop a useful link.
+    pub fn pruned_candidate_links(
+        &self,
+        fiber_km: &DistMatrix,
+    ) -> (Vec<CandidateLink>, PoolPruneStats) {
+        // Margin between "geodesic already at fiber" and the prune decision:
+        // microwave path lengths are sums of geodesic legs, mathematically
+        // >= the direct geodesic but computed with ~ulp noise. One
+        // millimetre dwarfs that noise by many orders of magnitude while
+        // pruning everything the oracle would reject by more than it.
+        const GEO_SAFETY_KM: f64 = 1e-6;
+        let n = self.sites.len();
+        assert_eq!(fiber_km.n(), n, "fiber matrix size must match site count");
+        let grid = SiteGrid::build(self.sites);
+        let mut stats = PoolPruneStats {
+            pairs_total: (n * n.saturating_sub(1) / 2) as u64,
+            ..PoolPruneStats::default()
+        };
+        let mut links = Vec::new();
+        let mut targets: Vec<usize> = Vec::new();
+        for a in 0..n {
+            let fib_row = fiber_km.row(a);
+            targets.clear();
+            for bucket in &grid.buckets {
+                // Members paired as (a, b) with b > a only, so every
+                // unordered pair is examined exactly once.
+                let members = || bucket.members.iter().copied().filter(|&b| b > a);
+                let pairs = members().count();
+                if pairs == 0 {
+                    continue;
+                }
+                let max_fib = members().fold(0.0f64, |acc, b| acc.max(fib_row[b]));
+                let lb_geo = (geodesic::distance_km(self.sites[a], bucket.centroid)
+                    - bucket.radius_km)
+                    .max(0.0);
+                if lb_geo >= max_fib + GEO_SAFETY_KM {
+                    stats.bucket_pruned += pairs as u64;
+                    continue;
+                }
+                for b in members() {
+                    if geodesic::distance_km(self.sites[a], self.sites[b])
+                        >= fib_row[b] + GEO_SAFETY_KM
+                    {
+                        stats.pair_pruned += 1;
+                    } else {
+                        targets.push(b);
+                    }
+                }
+            }
+            if targets.is_empty() {
+                continue;
+            }
+            targets.sort_unstable();
+            // Every settled distance below the cap is bit-identical to the
+            // unbounded run's, and every unsettled node's tentative distance
+            // exceeds the cap — so the strict `< fiber` extraction below
+            // sees exactly the unbounded run's output.
+            let cap = targets.iter().fold(0.0f64, |acc, &b| acc.max(fib_row[b]));
+            let tree = dijkstra::shortest_path_tree_within(&self.graph, self.site_node(a), cap);
+            for &b in &targets {
+                let node = self.site_node(b);
+                let dist = tree.dist[node];
+                if !dist.is_finite() {
+                    stats.unreachable += 1;
+                } else if dist < fib_row[b] {
+                    let path = tree.path_to(node).expect("settled node has a path");
+                    let tower_path: Vec<usize> = path
+                        .interior_nodes()
+                        .iter()
+                        .copied()
+                        .filter(|&v| v < self.towers.len())
+                        .collect();
+                    links.push(CandidateLink {
+                        site_a: a,
+                        site_b: b,
+                        mw_length_km: path.cost,
+                        tower_count: tower_path.len(),
+                        tower_path,
+                    });
+                    stats.emitted += 1;
+                } else {
+                    stats.oracle_dropped += 1;
+                }
+            }
+        }
+        (links, stats)
+    }
+}
+
+/// Observational counters of one [`LinkBuilder::pruned_candidate_links`]
+/// run: how each unordered site pair was resolved. The categories partition
+/// `pairs_total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolPruneStats {
+    /// Unordered site pairs considered (`n·(n−1)/2`).
+    pub pairs_total: u64,
+    /// Pairs discarded wholesale by the grid-bucket geodesic lower bound.
+    pub bucket_pruned: u64,
+    /// Pairs discarded by the exact per-pair geodesic-vs-fiber bound.
+    pub pair_pruned: u64,
+    /// Pairs whose tower search found no path within the fiber cap at all.
+    pub unreachable: u64,
+    /// Pairs whose tower path exists but is no shorter than fiber (includes
+    /// paths abandoned beyond the search cap).
+    pub oracle_dropped: u64,
+    /// Pairs emitted as useful candidate links.
+    pub emitted: u64,
+}
+
+impl PoolPruneStats {
+    /// Fraction of pairs resolved without running a tower-path search
+    /// (grid- or pair-bounded out), in `[0, 1]`.
+    pub fn generation_prune_ratio(&self) -> f64 {
+        if self.pairs_total == 0 {
+            0.0
+        } else {
+            (self.bucket_pruned + self.pair_pruned) as f64 / self.pairs_total as f64
+        }
+    }
+}
+
+/// A geographic bucketing of the sites: grid cells over the lat/lon
+/// bounding box, each carrying its member centroid and covering radius.
+/// Only the *bound* `geodesic(x, member) >= geodesic(x, centroid) − radius`
+/// is relied on, which the triangle inequality gives for any centroid — a
+/// skewed centroid (e.g. near the antimeridian) only weakens pruning,
+/// never correctness.
+struct SiteGrid {
+    buckets: Vec<SiteBucket>,
+}
+
+struct SiteBucket {
+    /// Site indices in this cell, ascending.
+    members: Vec<usize>,
+    centroid: GeoPoint,
+    radius_km: f64,
+}
+
+impl SiteGrid {
+    fn build(sites: &[GeoPoint]) -> Self {
+        let side = (sites.len() as f64).sqrt().ceil().max(1.0) as usize;
+        let mut min_lat = f64::INFINITY;
+        let mut max_lat = f64::NEG_INFINITY;
+        let mut min_lon = f64::INFINITY;
+        let mut max_lon = f64::NEG_INFINITY;
+        for p in sites {
+            min_lat = min_lat.min(p.lat_deg);
+            max_lat = max_lat.max(p.lat_deg);
+            min_lon = min_lon.min(p.lon_deg);
+            max_lon = max_lon.max(p.lon_deg);
+        }
+        let dlat = ((max_lat - min_lat) / side as f64).max(1e-9);
+        let dlon = ((max_lon - min_lon) / side as f64).max(1e-9);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); side * side];
+        for (i, p) in sites.iter().enumerate() {
+            let r = (((p.lat_deg - min_lat) / dlat) as usize).min(side - 1);
+            let c = (((p.lon_deg - min_lon) / dlon) as usize).min(side - 1);
+            members[r * side + c].push(i);
+        }
+        let buckets = members
+            .into_iter()
+            .filter(|m| !m.is_empty())
+            .map(|m| {
+                let lat = m.iter().map(|&i| sites[i].lat_deg).sum::<f64>() / m.len() as f64;
+                let lon = m.iter().map(|&i| sites[i].lon_deg).sum::<f64>() / m.len() as f64;
+                let centroid = GeoPoint::new(lat, lon);
+                let radius_km = m
+                    .iter()
+                    .map(|&i| geodesic::distance_km(centroid, sites[i]))
+                    .fold(0.0, f64::max);
+                SiteBucket {
+                    members: m,
+                    centroid,
+                    radius_km,
+                }
+            })
+            .collect();
+        Self { buckets }
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +516,71 @@ mod tests {
         let mut sorted = link.tower_path.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, link.tower_path);
+    }
+
+    /// Four sites spread along a ~300 km west-east corridor with a tower
+    /// chain every ~25 km, so several site pairs have real tower paths.
+    fn corridor_setup() -> (Vec<GeoPoint>, TowerRegistry) {
+        let west = GeoPoint::new(40.0, -100.0);
+        let east = GeoPoint::new(40.0, -96.5);
+        let sites: Vec<GeoPoint> = (0..4)
+            .map(|i| geodesic::intermediate(west, east, i as f64 / 3.0))
+            .collect();
+        let towers: Vec<Tower> = (0..=12)
+            .map(|i| {
+                let p = geodesic::intermediate(west, east, i as f64 / 12.0);
+                tower(p.lat_deg, p.lon_deg)
+            })
+            .collect();
+        (sites, TowerRegistry::from_towers(towers))
+    }
+
+    #[test]
+    fn pruned_links_equal_oracle_filtered_full_generation() {
+        let (sites, reg) = corridor_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let full = builder.all_candidate_links();
+        assert!(!full.is_empty());
+        // Generous fiber (2× geodesic): every tower path is useful.
+        let fiber = DistMatrix::from_fn(sites.len(), |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * 2.0
+        });
+        let (pruned, stats) = builder.pruned_candidate_links(&fiber);
+        let filtered: Vec<CandidateLink> = full
+            .iter()
+            .filter(|l| l.mw_length_km < fiber.get(l.site_a, l.site_b))
+            .cloned()
+            .collect();
+        assert_eq!(pruned, filtered);
+        assert_eq!(stats.emitted, pruned.len() as u64);
+        assert_eq!(
+            stats.bucket_pruned
+                + stats.pair_pruned
+                + stats.unreachable
+                + stats.oracle_dropped
+                + stats.emitted,
+            stats.pairs_total
+        );
+    }
+
+    #[test]
+    fn pruned_links_drop_pairs_fiber_already_wins() {
+        let (sites, reg) = corridor_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        // Fiber at 0.9× geodesic: no microwave path can beat it anywhere, so
+        // every pair must be bounded out before any Dijkstra pays for it.
+        let fiber = DistMatrix::from_fn(sites.len(), |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * 0.9
+        });
+        let (pruned, stats) = builder.pruned_candidate_links(&fiber);
+        assert!(pruned.is_empty());
+        assert_eq!(stats.bucket_pruned + stats.pair_pruned, stats.pairs_total);
+        assert_eq!(stats.generation_prune_ratio(), 1.0);
+        // And the full generation still finds links — the prune, not the
+        // tower graph, removed them.
+        assert!(!builder.all_candidate_links().is_empty());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::augment::{augment_for_throughput, AugmentConfig, Augmentation};
 use crate::cost::{CostBreakdown, CostModel};
 use crate::design::{DesignConfig, DesignInput, DesignOutcome, Designer};
 use crate::hops::{HopConfig, HopFeasibility};
-use crate::links::{LinkBuilder, LinkBuilderConfig};
+use crate::links::{LinkBuilder, LinkBuilderConfig, PoolPruneStats};
 use crate::topology::HybridTopology;
 
 /// Which terrain model a scenario uses.
@@ -64,6 +64,20 @@ pub struct ScenarioConfig {
     pub links: LinkBuilderConfig,
     /// Design heuristic parameters.
     pub design: DesignConfig,
+    /// Generate candidates with the fiber-oracle-bounded pruned path
+    /// ([`LinkBuilder::pruned_candidate_links`], the default) instead of
+    /// the exhaustive one. Either way the design input holds exactly the
+    /// links that survive the oracle — the flag exists so benchmarks and
+    /// parity tests can pay for (and compare against) the unpruned pool.
+    #[serde(default = "default_true")]
+    pub prune_candidates: bool,
+}
+
+// Referenced by the `serde(default)` attribute above; the offline serde
+// shim's no-op derive never expands that reference, hence the allow.
+#[allow(dead_code)]
+fn default_true() -> bool {
+    true
 }
 
 impl ScenarioConfig {
@@ -81,6 +95,7 @@ impl ScenarioConfig {
             fiber: FiberConfig::default(),
             links: LinkBuilderConfig::default(),
             design: DesignConfig::default(),
+            prune_candidates: true,
         }
     }
 
@@ -109,6 +124,7 @@ impl ScenarioConfig {
             fiber: FiberConfig::default(),
             links: LinkBuilderConfig::default(),
             design: DesignConfig::default(),
+            prune_candidates: true,
         }
     }
 
@@ -129,6 +145,7 @@ pub struct Scenario {
     towers: TowerRegistry,
     fiber: FiberNetwork,
     input: DesignInput,
+    pool_stats: Option<PoolPruneStats>,
 }
 
 impl Scenario {
@@ -175,10 +192,15 @@ impl Scenario {
         let feasibility = HopFeasibility::new(&towers, &terrain, &clutter, config.hops);
         let hops = feasibility.all_feasible_hops();
         let builder = LinkBuilder::new(&sites, &towers, &hops, config.links);
-        let candidates = builder.all_candidate_links();
 
         let traffic = population_product_traffic(&cities);
         let fiber_km = fiber.latency_equivalent_matrix();
+        let (candidates, pool_stats) = if config.prune_candidates {
+            let (links, stats) = builder.pruned_candidate_links(&fiber_km);
+            (links, Some(stats))
+        } else {
+            (builder.all_candidate_links(), None)
+        };
 
         let input = DesignInput {
             sites,
@@ -193,6 +215,7 @@ impl Scenario {
             towers,
             fiber,
             input,
+            pool_stats,
         }
     }
 
@@ -219,6 +242,12 @@ impl Scenario {
     /// The assembled design input (sites, traffic, fiber, candidates).
     pub fn design_input(&self) -> &DesignInput {
         &self.input
+    }
+
+    /// Candidate-generation pruning counters, when the scenario was built
+    /// with `prune_candidates` (None on the exhaustive path).
+    pub fn pool_stats(&self) -> Option<PoolPruneStats> {
+        self.pool_stats
     }
 
     /// Run the cISP design heuristic at a tower budget (on the incremental
@@ -426,6 +455,38 @@ mod tests {
             outcome.topology.effective_matrix()
         );
         assert_eq!(conduit.mean_stretch(), outcome.mean_stretch);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_scenarios_design_identically() {
+        let pruned = tiny();
+        let mut config = ScenarioConfig::tiny_test();
+        config.prune_candidates = false;
+        let unpruned = Scenario::build(&config);
+        // The pruned pool is exactly the oracle-surviving subset of the
+        // exhaustive pool, link for link.
+        let useful = unpruned.design_input().useful_candidates();
+        assert_eq!(pruned.design_input().candidates.len(), useful.len());
+        for (p, &u) in pruned.design_input().candidates.iter().zip(&useful) {
+            assert_eq!(p, &unpruned.design_input().candidates[u]);
+        }
+        assert!(pruned.pool_stats().is_some());
+        assert!(unpruned.pool_stats().is_none());
+        // Candidate indices differ between the two pools, so compare the
+        // selected links as physical (site_a, site_b, length) tuples.
+        let key = |s: &Scenario, o: &DesignOutcome| -> Vec<(usize, usize, f64)> {
+            o.selected
+                .iter()
+                .map(|&i| {
+                    let l = &s.design_input().candidates[i];
+                    (l.site_a, l.site_b, l.mw_length_km)
+                })
+                .collect()
+        };
+        let a = pruned.design(250.0);
+        let b = unpruned.design(250.0);
+        assert_eq!(key(&pruned, &a), key(&unpruned, &b));
+        assert!((a.mean_stretch - b.mean_stretch).abs() == 0.0);
     }
 
     #[test]

@@ -110,6 +110,251 @@ pub fn mean_stretch_with_link(
     }
 }
 
+/// Accumulator lanes of the compact scoring kernel. Eight f64 lanes span two
+/// AVX2 registers (or four SSE2 ones); the fixed width keeps the horizontal
+/// reduction order — and therefore the result — identical on every machine
+/// and across serial vs sharded runs.
+const LANES: usize = 8;
+
+/// Precomputed, compacted scoring weights for one design run.
+///
+/// [`mean_stretch_with_link`] re-derives `h/geo` and re-tests the
+/// `h <= 0 || geo <= 0` skip and the finiteness of every effective distance
+/// on each of its O(n²) iterations. Over a design run none of that changes:
+/// traffic and geodesic distances are fixed, and once every scored pair has a
+/// finite effective distance it stays finite (link additions only shrink
+/// distances). `ScoringWeights` hoists all of it out — a dense symmetric
+/// `h/geo` weight matrix (zero where a pair is skipped), per-row nonzero
+/// column spans over the strict upper triangle, and the constant denominator
+/// `Σh` — so the per-candidate kernel
+/// ([`mean_stretch_with_link_compact`]) becomes a branchless fused
+/// multiply-add sweep.
+///
+/// [`ScoringWeights::compute`] returns `None` when the invariant does not
+/// hold (some scored pair is unreachable, or no pair carries traffic);
+/// callers then stay on the scalar kernel, whose per-pair finiteness test
+/// handles pairs that become reachable mid-run.
+#[derive(Debug, Clone)]
+pub struct ScoringWeights {
+    /// Dense symmetric `h/geo` weight matrix; zero where the pair is skipped.
+    weights: DistMatrix,
+    /// Per-row `[lo, hi)` column span containing every nonzero weight in the
+    /// strict upper triangle (`lo >= hi` for rows with none).
+    span: Vec<(u32, u32)>,
+    /// `Σ h` over scored pairs — the kernel's constant denominator.
+    den: f64,
+    /// `Σ h/geo` over scored pairs — the gain bound's total weight mass.
+    wsum: f64,
+    /// Gain-bound parameters, set by [`Self::enable_gain_bounds`] once the
+    /// effective matrix is verified metric.
+    bounds: Option<GainBoundParams>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GainBoundParams {
+    /// Absolute distance slack absorbing float noise in triangle-inequality
+    /// arguments (a few ulps of the largest finite distance).
+    slack_km: f64,
+}
+
+/// Relative tolerance of the one-time metricity check gating the gain
+/// bounds. Great-circle distances of near-collinear triples computed
+/// independently violate the triangle inequality by ~1e-10 relative; 1e-8
+/// leaves two orders of margin while staying far below any real detour.
+const METRIC_REL_TOL: f64 = 1e-8;
+
+impl ScoringWeights {
+    /// Precompute the compact weights for scoring against matrices that
+    /// start from `effective`. Returns `None` when some traffic-carrying
+    /// pair has a non-finite effective distance (the constant-denominator
+    /// invariant would not hold) or when no pair qualifies at all.
+    pub fn compute(
+        effective: &DistMatrix,
+        geodesic: &DistMatrix,
+        traffic: &DistMatrix,
+    ) -> Option<Self> {
+        let n = effective.n();
+        let mut weights = DistMatrix::zeros(n);
+        let mut span = vec![(0u32, 0u32); n];
+        let mut den = 0.0;
+        let mut wsum = 0.0;
+        for (s, sp) in span.iter_mut().enumerate() {
+            let eff_row = effective.row(s);
+            let geo_row = geodesic.row(s);
+            let h_row = traffic.row(s);
+            let mut lo = n;
+            let mut hi = 0;
+            for t in (s + 1)..n {
+                let h = h_row[t];
+                let geo = geo_row[t];
+                if h <= 0.0 || geo <= 0.0 {
+                    continue;
+                }
+                if !eff_row[t].is_finite() {
+                    return None;
+                }
+                let w = h / geo;
+                weights.set_sym(s, t, w);
+                den += h;
+                wsum += w;
+                lo = lo.min(t);
+                hi = t + 1;
+            }
+            if lo < hi {
+                *sp = (lo as u32, hi as u32);
+            }
+        }
+        if den <= 0.0 {
+            return None;
+        }
+        Some(Self {
+            weights,
+            span,
+            den,
+            wsum,
+            bounds: None,
+        })
+    }
+
+    /// The dense symmetric `h/geo` weight matrix (zero where skipped).
+    pub fn weights(&self) -> &DistMatrix {
+        &self.weights
+    }
+
+    /// The constant scoring denominator `Σ h`.
+    pub fn den(&self) -> f64 {
+        self.den
+    }
+
+    /// Total weight mass `Σ h/geo` over scored pairs.
+    pub fn wsum(&self) -> f64 {
+        self.wsum
+    }
+
+    /// Verify that `effective` satisfies the triangle inequality (within
+    /// float tolerance) and, if so, arm the O(1) pruning bounds
+    /// ([`Self::gain_upper_bound`], [`Self::row_skip_slack_km`]). Returns
+    /// whether bounds were armed.
+    ///
+    /// The bounds' soundness rests on metricity, which
+    /// [`improve_with_link`] preserves — so one check against the run's
+    /// starting matrix covers every later round. Non-metric inputs (e.g.
+    /// arbitrary test fixtures) simply leave bounds disabled: every bound
+    /// degenerates to `+∞` and nothing is ever pruned.
+    pub fn enable_gain_bounds(&mut self, effective: &DistMatrix) -> bool {
+        if effective.is_metric_within(METRIC_REL_TOL) {
+            let max_finite = effective
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .fold(0.0, f64::max);
+            self.bounds = Some(GainBoundParams {
+                slack_km: 4.0 * METRIC_REL_TOL * max_finite,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether [`Self::enable_gain_bounds`] armed the pruning bounds.
+    pub fn has_gain_bounds(&self) -> bool {
+        self.bounds.is_some()
+    }
+
+    /// Distance slack for the repair row-skip test, when bounds are armed:
+    /// a candidate `(i, j, m)` can only improve some pair in row `s` of a
+    /// metric matrix if `|d(s,i) - d(s,j)| > m - slack`.
+    ///
+    /// Proof sketch: `d(s,i) + m + d(j,t) < d(s,t) <= d(s,j) + d(j,t)`
+    /// forces `d(s,i) + m < d(s,j)` (and symmetrically for the other via
+    /// orientation); the slack absorbs the metricity check's tolerance.
+    pub fn row_skip_slack_km(&self) -> Option<f64> {
+        self.bounds.map(|b| b.slack_km)
+    }
+
+    /// Upper bound on the mean-stretch gain any candidate link `(i, j)` of
+    /// length `m` can achieve when the endpoints are currently `d_ij` apart
+    /// (`+∞` when bounds are disabled or `d_ij` is not finite).
+    ///
+    /// On a metric matrix no pair can improve by more than `d_ij - m`
+    /// (`d(s,t) <= d(s,i) + d_ij + d(j,t)`, while the via costs
+    /// `d(s,i) + m + d(j,t)`), so the gain is at most
+    /// `Σw · (d_ij - m) / Σh`. The bound is inflated by the float slack so
+    /// it stays an over-estimate of the computed (not just mathematical)
+    /// gain; an inflated bound only costs an unnecessary exact score, never
+    /// a wrong pruning decision.
+    pub fn gain_upper_bound(&self, d_ij: f64, m: f64) -> f64 {
+        match self.bounds {
+            Some(b) if d_ij.is_finite() => {
+                let headroom = ((d_ij - m) + b.slack_km).max(0.0);
+                (self.wsum * headroom / self.den) * (1.0 + 1e-9) + 1e-12
+            }
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// Compact-weights variant of [`mean_stretch_with_link`]: the designer's
+/// vectorisable exact scoring kernel.
+///
+/// Requires a [`ScoringWeights`] computed against a matrix this `effective`
+/// descends from by link additions (distances only shrink, so every scored
+/// pair stays finite and the denominator stays constant). The inner loop is
+/// branchless — the skip branch lives in the precomputed weights (zero
+/// weight) and per-row spans, the finiteness test in a `min(f64::MAX)`
+/// clamp (exact for scored pairs, which are finite; it only guards the
+/// `0 · ∞ = NaN` hazard on zero-weight lanes) — and accumulates in
+/// [`LANES`] fixed lanes with a deterministic pairwise horizontal
+/// reduction, so results are reproducible run-to-run and identical serial
+/// vs sharded.
+pub fn mean_stretch_with_link_compact(
+    effective: &DistMatrix,
+    sw: &ScoringWeights,
+    i: usize,
+    j: usize,
+    m: f64,
+) -> f64 {
+    let row_i = effective.row(i);
+    let row_j = effective.row(j);
+    let mut acc = [0.0f64; LANES];
+    let mut tail = 0.0;
+    for (s, &(lo, hi)) in sw.span.iter().enumerate() {
+        let (lo, hi) = (lo as usize, hi as usize);
+        if lo >= hi {
+            continue;
+        }
+        let d_si_m = row_i[s] + m;
+        let d_sj_m = row_j[s] + m;
+        let eff = effective.row_segment(s, lo, hi);
+        let w = sw.weights.row_segment(s, lo, hi);
+        let bi = &row_i[lo..hi];
+        let bj = &row_j[lo..hi];
+        let chunks = eff
+            .chunks_exact(LANES)
+            .zip(w.chunks_exact(LANES))
+            .zip(bi.chunks_exact(LANES))
+            .zip(bj.chunks_exact(LANES));
+        for (((e, wv), vi), vj) in chunks {
+            for l in 0..LANES {
+                let cand = (d_si_m + vj[l]).min(d_sj_m + vi[l]).min(e[l]).min(f64::MAX);
+                acc[l] += wv[l] * cand;
+            }
+        }
+        let full = eff.len() - eff.len() % LANES;
+        for l in full..eff.len() {
+            let cand = (d_si_m + bj[l])
+                .min(d_sj_m + bi[l])
+                .min(eff[l])
+                .min(f64::MAX);
+            tail += w[l] * cand;
+        }
+    }
+    let num = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    (num + tail) / sw.den
+}
+
 /// One directed hop of a conduit route: which physical segment the route
 /// traverses and in which direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -561,6 +806,117 @@ mod tests {
         let mut topo2 = HybridTopology::new(sites, uniform_traffic(3), fiber);
         topo2.add_mw_link(link);
         assert!((predicted - topo2.mean_stretch()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compact_kernel_matches_scalar_reference() {
+        let sites = line_sites();
+        let geo02 = geodesic::distance_km(sites[0], sites[2]);
+        let fiber = fiber_matrix(&sites);
+        // Mixed traffic (one zero pair) exercises the weight compaction.
+        let mut traffic = uniform_traffic(3);
+        traffic[0][1] = 0.0;
+        traffic[1][0] = 0.0;
+        traffic[1][2] = 3.5;
+        traffic[2][1] = 3.5;
+        let mut topo = HybridTopology::new(sites, traffic, fiber);
+        let sw = ScoringWeights::compute(
+            topo.effective_matrix(),
+            topo.geodesic_matrix(),
+            topo.traffic(),
+        )
+        .expect("all scored pairs finite");
+        for (i, j, len) in [(0, 2, geo02 * 1.02), (0, 1, 350.0), (1, 2, 410.0)] {
+            let scalar = mean_stretch_with_link(
+                topo.effective_matrix(),
+                topo.geodesic_matrix(),
+                topo.traffic(),
+                i,
+                j,
+                len,
+            );
+            let compact = mean_stretch_with_link_compact(topo.effective_matrix(), &sw, i, j, len);
+            assert!(
+                (scalar - compact).abs() < 1e-12,
+                "({i}, {j}, {len}): scalar {scalar} vs compact {compact}"
+            );
+        }
+        // The weights stay valid after link additions (distances only
+        // shrink), which is exactly how the design engine reuses them.
+        topo.add_mw_link(mw_link(0, 2, geo02 * 1.02, 8));
+        let scalar = mean_stretch_with_link(
+            topo.effective_matrix(),
+            topo.geodesic_matrix(),
+            topo.traffic(),
+            0,
+            1,
+            300.0,
+        );
+        let compact = mean_stretch_with_link_compact(topo.effective_matrix(), &sw, 0, 1, 300.0);
+        assert!((scalar - compact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_weights_reject_unreachable_and_empty_inputs() {
+        let sites = line_sites();
+        let geo = DistMatrix::from_fn(3, |i, j| geodesic::distance_km(sites[i], sites[j]));
+        let mut fiber = DistMatrix::from_nested(fiber_matrix(&sites));
+        let traffic = DistMatrix::from_nested(uniform_traffic(3));
+        // A traffic-carrying pair with no fiber breaks the constant-
+        // denominator invariant.
+        fiber.set_sym(0, 2, f64::INFINITY);
+        assert!(ScoringWeights::compute(&fiber, &geo, &traffic).is_none());
+        // …unless that pair carries no traffic.
+        let mut sparse = traffic.clone();
+        sparse.set_sym(0, 2, 0.0);
+        assert!(ScoringWeights::compute(&fiber, &geo, &sparse).is_some());
+        // No traffic at all → no denominator.
+        let zero = DistMatrix::zeros(3);
+        let full = DistMatrix::from_nested(fiber_matrix(&sites));
+        assert!(ScoringWeights::compute(&full, &geo, &zero).is_none());
+    }
+
+    #[test]
+    fn gain_bounds_are_sound_on_metric_matrices() {
+        let sites = line_sites();
+        let fiber = fiber_matrix(&sites);
+        let topo = HybridTopology::new(sites, uniform_traffic(3), fiber);
+        let mut sw = ScoringWeights::compute(
+            topo.effective_matrix(),
+            topo.geodesic_matrix(),
+            topo.traffic(),
+        )
+        .unwrap();
+        // Unarmed bounds never prune.
+        assert!(sw.gain_upper_bound(100.0, 50.0).is_infinite());
+        assert!(
+            sw.enable_gain_bounds(topo.effective_matrix()),
+            "2× geodesic is metric"
+        );
+        let current = topo.mean_stretch();
+        for (i, j) in [(0, 1), (0, 2), (1, 2)] {
+            let d_ij = topo.effective_km(i, j);
+            for factor in [1.0, 1.02, 1.3] {
+                let m = topo.geodesic_km(i, j) * factor;
+                let link = mw_link(i, j, m, 4);
+                let gain = current - topo.mean_stretch_with(&link);
+                let bound = sw.gain_upper_bound(d_ij, m);
+                assert!(
+                    gain <= bound,
+                    "({i}, {j}) × {factor}: gain {gain} exceeds bound {bound}"
+                );
+            }
+        }
+        // A link no shorter than the current distance provably gains nothing.
+        let d_01 = topo.effective_km(0, 1);
+        assert!(sw.gain_upper_bound(d_01, d_01 + 1.0) < 1e-9);
+        // Non-metric matrices leave bounds unarmed.
+        let mut broken = topo.effective_matrix().clone();
+        broken.set_sym(0, 2, 1e7);
+        let mut sw2 =
+            ScoringWeights::compute(&broken, topo.geodesic_matrix(), topo.traffic()).unwrap();
+        assert!(!sw2.enable_gain_bounds(&broken));
+        assert!(sw2.gain_upper_bound(100.0, 50.0).is_infinite());
     }
 
     #[test]

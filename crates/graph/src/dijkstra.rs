@@ -103,6 +103,31 @@ pub fn shortest_path_tree(
     source: NodeId,
     target: Option<NodeId>,
 ) -> ShortestPathTree {
+    bounded_tree(graph, source, target, f64::INFINITY)
+}
+
+/// Run Dijkstra from `source`, abandoning the search once every remaining
+/// frontier entry costs more than `max_cost`.
+///
+/// Nodes settled before the cut-off carry exactly the distances and
+/// predecessors the unbounded run would produce (the relaxation prefix is
+/// identical — same heap, same tie-breaking). Nodes *not* settled may be left
+/// with a tentative (over-estimated) distance or `INFINITY`; every such
+/// distance is `> max_cost`, so callers that filter results against a
+/// per-target threshold `<= max_cost` see output identical to the full run.
+/// This is the candidate-pool generator's bound: tower paths longer than the
+/// fiber oracle can never produce a useful microwave link, so the search
+/// stops paying for them.
+pub fn shortest_path_tree_within(graph: &Graph, source: NodeId, max_cost: f64) -> ShortestPathTree {
+    bounded_tree(graph, source, None, max_cost)
+}
+
+fn bounded_tree(
+    graph: &Graph,
+    source: NodeId,
+    target: Option<NodeId>,
+    max_cost: f64,
+) -> ShortestPathTree {
     let n = graph.node_count();
     assert!(source < n, "source out of range");
     let mut dist = vec![f64::INFINITY; n];
@@ -117,6 +142,9 @@ pub fn shortest_path_tree(
     });
 
     while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > max_cost {
+            break;
+        }
         if settled[node] {
             continue;
         }
@@ -253,6 +281,42 @@ mod tests {
         let tree = shortest_path_tree(&g, 0, None);
         assert!(tree.path_to(2).is_none());
         assert!(tree.path_to(1).is_some());
+    }
+
+    #[test]
+    fn bounded_tree_matches_full_run_below_the_cap() {
+        let mut g = Graph::new(50);
+        for i in 0..49 {
+            g.add_undirected_edge(i, i + 1, 1.0);
+        }
+        for i in (0..45).step_by(5) {
+            g.add_undirected_edge(i, i + 5, 3.0);
+        }
+        let full = shortest_path_tree(&g, 0, None);
+        let cap = 20.0;
+        let bounded = shortest_path_tree_within(&g, 0, cap);
+        for v in 0..50 {
+            if full.dist[v] <= cap {
+                assert_eq!(bounded.dist[v], full.dist[v], "node {v}");
+                assert_eq!(bounded.path_to(v), full.path_to(v), "node {v}");
+            } else {
+                // Unsettled nodes may carry tentative distances, but never one
+                // at or below the cap — a threshold filter drops all of them.
+                assert!(bounded.dist[v] > cap, "node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_tree_with_infinite_cap_is_the_full_run() {
+        let mut g = Graph::new(6);
+        for i in 0..5 {
+            g.add_undirected_edge(i, i + 1, 2.5);
+        }
+        let full = shortest_path_tree(&g, 0, None);
+        let bounded = shortest_path_tree_within(&g, 0, f64::INFINITY);
+        assert_eq!(bounded.dist, full.dist);
+        assert_eq!(bounded.prev, full.prev);
     }
 
     #[test]

@@ -101,6 +101,16 @@ impl DistMatrix {
         &self.data[i * self.n..(i + 1) * self.n]
     }
 
+    /// Columns `lo..hi` of row `i` as a contiguous slice. This is the blocked
+    /// access pattern of the vectorised scoring kernel: per-row nonzero-weight
+    /// spans index straight into the flat buffer with no per-element bounds
+    /// arithmetic.
+    #[inline]
+    pub fn row_segment(&self, i: usize, lo: usize, hi: usize) -> &[f64] {
+        debug_assert!(lo <= hi && hi <= self.n);
+        &self.data[i * self.n + lo..i * self.n + hi]
+    }
+
     /// The whole matrix as one row-major slice.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
@@ -166,6 +176,34 @@ impl DistMatrix {
     /// `true` if every entry equals its transpose partner within `tol`.
     pub fn is_symmetric(&self, tol: f64) -> bool {
         pair_indices(self.n).all(|(i, j)| (self.get(i, j) - self.get(j, i)).abs() <= tol)
+    }
+
+    /// `true` if the matrix satisfies the triangle inequality within a
+    /// relative tolerance: for every `(s, t)` and every via-vertex `v` with
+    /// finite legs, `d(s,t) <= (d(s,v) + d(v,t)) * (1 + rel_tol)`.
+    ///
+    /// An infinite `d(s,t)` with both legs finite counts as a violation (a
+    /// metric closure would have closed it), so callers that gate pruning
+    /// bounds on this check stay conservative on partially-connected inputs.
+    /// O(n³), intended to run once per design run, not per round.
+    pub fn is_metric_within(&self, rel_tol: f64) -> bool {
+        for v in 0..self.n {
+            let row_v = self.row(v);
+            for s in 0..self.n {
+                let d_sv = self.get(s, v);
+                if !d_sv.is_finite() {
+                    continue;
+                }
+                let row_s = self.row(s);
+                for t in 0..self.n {
+                    let d_vt = row_v[t];
+                    if d_vt.is_finite() && row_s[t] > (d_sv + d_vt) * (1.0 + rel_tol) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -584,6 +622,45 @@ mod tests {
         assert_eq!(pairs[0], (0, 1, 1.0));
         assert_eq!(pairs[5], (2, 3, 23.0));
         assert_eq!(pair_indices(4).count(), 6);
+    }
+
+    #[test]
+    fn row_segment_slices_the_flat_buffer() {
+        let m = DistMatrix::from_fn(4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.row_segment(2, 1, 3), &[21.0, 22.0]);
+        assert_eq!(m.row_segment(0, 0, 4), m.row(0));
+        assert!(m.row_segment(3, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn metric_check_accepts_closures_and_rejects_shortcut_violations() {
+        // A shortest-path closure over a line graph is metric.
+        let line = DistMatrix::from_fn(5, |i, j| (i as f64 - j as f64).abs());
+        assert!(line.is_metric_within(1e-9));
+        // Scaling preserves metricity.
+        let mut scaled = line.clone();
+        scaled.map_in_place(|v| v * 2.0);
+        assert!(scaled.is_metric_within(1e-9));
+        // Direct distance longer than a two-leg detour is a violation.
+        let mut broken = line.clone();
+        broken.set_sym(0, 4, 100.0);
+        assert!(!broken.is_metric_within(1e-9));
+        // An infinite pair with finite legs counts as a violation…
+        let mut open = line.clone();
+        open.set_sym(0, 4, f64::INFINITY);
+        assert!(!open.is_metric_within(1e-9));
+        // …but a fully disconnected vertex (infinite legs) does not.
+        let mut island = DistMatrix::filled(3, f64::INFINITY);
+        for i in 0..3 {
+            island.set(i, i, 0.0);
+        }
+        island.set_sym(0, 1, 1.0);
+        assert!(island.is_metric_within(1e-9));
+        // Tolerance absorbs ulp-level violations.
+        let mut ulp = line;
+        ulp.set_sym(0, 4, 4.0 + 1e-12);
+        assert!(ulp.is_metric_within(1e-9));
+        assert!(!ulp.is_metric_within(0.0));
     }
 
     #[test]

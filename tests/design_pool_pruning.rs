@@ -1,0 +1,221 @@
+//! Parity properties for grid-pruned candidate-pool generation.
+//!
+//! `LinkBuilder::pruned_candidate_links` bounds out site pairs that provably
+//! cannot beat the fiber oracle *before* paying for their tower-path search.
+//! These properties pin it, on random site/tower layouts, to the naive
+//! generate-everything-then-filter pipeline:
+//!
+//! * the pruned pool is exactly (`Vec` equality, bit-equal lengths, same
+//!   order) the oracle-filtered full pool, across fiber regimes from
+//!   "fiber always wins" to "microwave always wins";
+//! * a designer fed the pruned pool selects exactly the same physical links
+//!   as one fed the full pool, for every scoring engine, serial and
+//!   parallel.
+
+// The proptest shim's macro expansion is deeply recursive.
+#![recursion_limit = "256"]
+
+use cisp::core::design::{DesignConfig, DesignInput, Designer, ScoringEngine};
+use cisp::core::hops::{HopConfig, HopFeasibility};
+use cisp::core::links::{CandidateLink, LinkBuilder, LinkBuilderConfig};
+use cisp::data::towers::{Tower, TowerRegistry, TowerSource};
+use cisp::geo::{geodesic, GeoPoint};
+use cisp::graph::DistMatrix;
+use cisp::terrain::{clutter::ClutterModel, TerrainModel};
+use proptest::prelude::*;
+
+/// SplitMix64, used to derive deterministic pseudo-random fixtures from a
+/// proptest-drawn seed.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    z
+}
+
+/// Uniform f64 in [0, 1) from a seed/stream pair.
+fn unit(seed: u64, stream: u64) -> f64 {
+    (mix(seed ^ mix(stream)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn tower(lat: f64, lon: f64) -> Tower {
+    Tower {
+        location: GeoPoint::new(lat, lon),
+        height_m: 200.0,
+        source: TowerSource::RentalCompany,
+    }
+}
+
+/// A random layout: `n` sites scattered over a ~400×500 km region, with a
+/// tower at each site (guaranteeing attachment) plus a scattered backbone of
+/// towers dense enough that many — not all — pairs get tower paths.
+fn random_layout(n: usize, seed: u64) -> (Vec<GeoPoint>, TowerRegistry) {
+    let site = |k: u64| {
+        GeoPoint::new(
+            38.0 + 4.0 * unit(seed, 2 * k),
+            -102.0 + 6.0 * unit(seed, 2 * k + 1),
+        )
+    };
+    let sites: Vec<GeoPoint> = (0..n as u64).map(site).collect();
+    let mut towers: Vec<Tower> = sites.iter().map(|p| tower(p.lat_deg, p.lon_deg)).collect();
+    for k in 0..60u64 {
+        let lat = 38.0 + 4.0 * unit(seed, 1000 + 2 * k);
+        let lon = -102.0 + 6.0 * unit(seed, 1000 + 2 * k + 1);
+        towers.push(tower(lat, lon));
+    }
+    (sites, TowerRegistry::from_towers(towers))
+}
+
+/// Full pipeline from a layout to both candidate pools: feasible hops on
+/// flat terrain, then full-and-filtered vs pruned generation against the
+/// same fiber matrix.
+fn both_pools(
+    sites: &[GeoPoint],
+    towers: &TowerRegistry,
+    fiber_km: &DistMatrix,
+) -> (Vec<CandidateLink>, Vec<CandidateLink>) {
+    let terrain = TerrainModel::flat();
+    let clutter = ClutterModel::none();
+    let hops =
+        HopFeasibility::new(towers, &terrain, &clutter, HopConfig::default()).all_feasible_hops();
+    let builder = LinkBuilder::new(sites, towers, &hops, LinkBuilderConfig::default());
+    let full = builder.all_candidate_links();
+    let (pruned, stats) = builder.pruned_candidate_links(fiber_km);
+    // The stats categories must partition the pair universe.
+    assert_eq!(
+        stats.bucket_pruned
+            + stats.pair_pruned
+            + stats.unreachable
+            + stats.oracle_dropped
+            + stats.emitted,
+        stats.pairs_total
+    );
+    assert_eq!(stats.emitted, pruned.len() as u64);
+    (full, pruned)
+}
+
+/// The physical identity of a selected link, comparable across pools whose
+/// candidate indices differ.
+fn selected_keys(input: &DesignInput, selected: &[usize]) -> Vec<(usize, usize, f64)> {
+    selected
+        .iter()
+        .map(|&idx| {
+            let l = &input.candidates[idx];
+            (l.site_a, l.site_b, l.mw_length_km)
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case pays for an all-pairs hop-feasibility sweep, so fewer,
+    // denser cases than the pure-matrix properties.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The pruned pool is exactly the oracle-filtered full pool — same
+    // links, bit-equal lengths, same order — across fiber regimes. At
+    // factor 0.8 fiber beats every geodesic (everything bounded out); at
+    // 2.4 virtually every tower path survives; between, the mix exercises
+    // all stat categories.
+    #[test]
+    fn pruned_pool_equals_filtered_full_pool(
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        fiber_pct in 80u32..240,
+    ) {
+        let (sites, towers) = random_layout(n, seed);
+        let factor = fiber_pct as f64 / 100.0;
+        let fiber_km = DistMatrix::from_fn(n, |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * factor
+        });
+        let (full, pruned) = both_pools(&sites, &towers, &fiber_km);
+        let filtered: Vec<CandidateLink> = full
+            .iter()
+            .filter(|l| l.mw_length_km < fiber_km.get(l.site_a, l.site_b))
+            .cloned()
+            .collect();
+        prop_assert_eq!(pruned, filtered);
+    }
+
+    // A designer fed the pruned pool selects exactly the same physical
+    // links — compared as `(site_a, site_b, mw_length_km)`, since candidate
+    // indices differ between pools — as one fed the full pool, for every
+    // engine × parallelism combination, with bit-equal final stretch.
+    #[test]
+    fn pruned_pool_designs_identically_across_engines(
+        n in 4usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let (sites, towers) = random_layout(n, seed);
+        // Fiber at 1.15× geodesic: tight enough that the oracle rejects some
+        // tower paths, loose enough that useful candidates survive.
+        let fiber_km = DistMatrix::from_fn(n, |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * 1.15
+        });
+        let traffic = DistMatrix::from_fn(n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+                0.05 + 0.95 * unit(seed, 2000 + a * 97 + b)
+            }
+        });
+        let (full, pruned) = both_pools(&sites, &towers, &fiber_km);
+        let full_input = DesignInput {
+            sites: sites.clone(),
+            traffic: traffic.clone(),
+            fiber_km: fiber_km.clone(),
+            candidates: full,
+        };
+        let pruned_input = DesignInput {
+            sites,
+            traffic,
+            fiber_km,
+            candidates: pruned,
+        };
+        let budget = 40.0;
+        for engine in [
+            ScoringEngine::Auto,
+            ScoringEngine::Incremental,
+            ScoringEngine::FullRescore,
+        ] {
+            for parallel in [false, true] {
+                let config = DesignConfig { engine, parallel, ..DesignConfig::default() };
+                let of_full = Designer::with_config(&full_input, config).greedy(budget);
+                let of_pruned =
+                    Designer::with_config(&pruned_input, config).greedy(budget);
+                prop_assert_eq!(
+                    selected_keys(&full_input, &of_full.selected),
+                    selected_keys(&pruned_input, &of_pruned.selected)
+                );
+                prop_assert!(
+                    (of_full.mean_stretch - of_pruned.mean_stretch).abs() == 0.0,
+                    "stretch diverged: engine {:?} parallel {}", engine, parallel
+                );
+            }
+        }
+    }
+}
+
+/// Non-property sanity check on a fixed instance: the pruned pool is a
+/// strict subset of the full pool when fiber is tight, and designing from it
+/// still improves on fiber-only stretch.
+#[test]
+fn pruned_pool_design_improves_on_fiber_only() {
+    let (sites, towers) = random_layout(6, 424242);
+    let n = sites.len();
+    let fiber_km = DistMatrix::from_fn(n, |i, j| geodesic::distance_km(sites[i], sites[j]) * 1.8);
+    let traffic = DistMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { 1.0 });
+    let (full, pruned) = both_pools(&sites, &towers, &fiber_km);
+    assert!(!pruned.is_empty(), "layout should admit useful links");
+    assert!(pruned.len() <= full.len());
+    let input = DesignInput {
+        sites,
+        traffic,
+        fiber_km,
+        candidates: pruned,
+    };
+    let fiber_only = input.empty_topology().mean_stretch();
+    let outcome = Designer::new(&input).greedy(60.0);
+    assert!(outcome.mean_stretch < fiber_only);
+}

@@ -22,7 +22,10 @@
 
 use cisp::core::design::{DesignConfig, DesignInput, Designer, ScoringEngine};
 use cisp::core::links::CandidateLink;
-use cisp::core::topology::{improve_with_link, improve_with_link_tracked, HybridTopology};
+use cisp::core::topology::{
+    improve_with_link, improve_with_link_tracked, mean_stretch_with_link,
+    mean_stretch_with_link_compact, HybridTopology, ScoringWeights,
+};
 use cisp::geo::{geodesic, GeoPoint};
 use cisp::graph::DistMatrix;
 use cisp::graph::{ImprovedPairs, UpperTriangleMatrix};
@@ -266,15 +269,25 @@ proptest! {
         let input = random_input(n, seed);
         let budget = 4 * n;
 
-        // The incremental delta-scoring engine, serial and parallel.
+        // The incremental delta-scoring engine, serial and parallel. Pinned
+        // explicitly: the default `Auto` engine would pick full rescoring at
+        // these pool sizes, and this property exists to test the shards.
         let parallel = Designer::with_config(
             &input,
-            DesignConfig { parallel: true, ..DesignConfig::default() },
+            DesignConfig {
+                engine: ScoringEngine::Incremental,
+                parallel: true,
+                ..DesignConfig::default()
+            },
         )
         .greedy(budget as f64);
         let serial = Designer::with_config(
             &input,
-            DesignConfig { parallel: false, ..DesignConfig::default() },
+            DesignConfig {
+                engine: ScoringEngine::Incremental,
+                parallel: false,
+                ..DesignConfig::default()
+            },
         )
         .greedy(budget as f64);
         // The full-rescore reference engine.
@@ -283,6 +296,8 @@ proptest! {
             DesignConfig { engine: ScoringEngine::FullRescore, ..DesignConfig::default() },
         )
         .greedy(budget as f64);
+        // The default `Auto` engine, whichever side of its threshold it lands.
+        let auto = Designer::new(&input).greedy(budget as f64);
         let reference = naive_greedy(&input, budget);
 
         // Parallel and serial shard scoring must be bit-identical.
@@ -290,9 +305,12 @@ proptest! {
         prop_assert!((parallel.mean_stretch - serial.mean_stretch).abs() == 0.0);
         // The incremental engine must select the same design as the
         // full-rescore engine, and both the same as the naive full-rescoring
-        // nested-Vec greedy.
+        // nested-Vec greedy; `Auto` delegates to one of them so it must agree
+        // with both.
         prop_assert_eq!(&parallel.selected, &full.selected);
         prop_assert!((parallel.mean_stretch - full.mean_stretch).abs() == 0.0);
+        prop_assert_eq!(&auto.selected, &full.selected);
+        prop_assert!((auto.mean_stretch - full.mean_stretch).abs() == 0.0);
         prop_assert_eq!(&parallel.selected, &reference);
     }
 
@@ -305,12 +323,20 @@ proptest! {
         let budget = (3 * n) as f64;
         let parallel = Designer::with_config(
             &input,
-            DesignConfig { parallel: true, ..DesignConfig::default() },
+            DesignConfig {
+                engine: ScoringEngine::Incremental,
+                parallel: true,
+                ..DesignConfig::default()
+            },
         )
         .cisp(budget);
         let serial = Designer::with_config(
             &input,
-            DesignConfig { parallel: false, ..DesignConfig::default() },
+            DesignConfig {
+                engine: ScoringEngine::Incremental,
+                parallel: false,
+                ..DesignConfig::default()
+            },
         )
         .cisp(budget);
         let full_serial = Designer::with_config(
@@ -325,9 +351,71 @@ proptest! {
         prop_assert_eq!(&parallel.selected, &serial.selected);
         prop_assert_eq!(parallel.total_towers, serial.total_towers);
         prop_assert!((parallel.mean_stretch - serial.mean_stretch).abs() == 0.0);
-        // Incremental delta-scoring and full rescoring pick the same design.
+        // Incremental delta-scoring and full rescoring pick the same design,
+        // and the default `Auto` engine delegates to one of them.
         prop_assert_eq!(&serial.selected, &full_serial.selected);
         prop_assert!((serial.mean_stretch - full_serial.mean_stretch).abs() == 0.0);
+        let auto = Designer::new(&input).cisp(budget);
+        prop_assert_eq!(&auto.selected, &serial.selected);
+        prop_assert!((auto.mean_stretch - serial.mean_stretch).abs() == 0.0);
+    }
+
+    #[test]
+    fn compact_kernel_matches_scalar_and_nested_reference(
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        picks in (0usize..1_000, 0usize..1_000),
+    ) {
+        // Warm the topology with one accepted link so the effective matrix is
+        // mid-greedy rather than pristine fiber, then score another candidate
+        // with all three kernels: the compact blocked form, the scalar
+        // branchy form, and the nested-Vec reference. The two engine kernels
+        // accumulate in different orders (fixed-lane tree reduction vs
+        // left-to-right), so parity is to summation ulps, not bits.
+        let input = random_input(n, seed);
+        let mut topology = input.empty_topology();
+        let warm = input.candidates[picks.0 % input.candidates.len()].clone();
+        topology.add_mw_link(warm);
+        let link = input.candidates[picks.1 % input.candidates.len()].clone();
+
+        let sw = ScoringWeights::compute(
+            topology.effective_matrix(),
+            topology.geodesic_matrix(),
+            topology.traffic(),
+        );
+        prop_assert!(sw.is_some(), "finite random input must yield weights");
+        let sw = sw.unwrap();
+
+        let compact = mean_stretch_with_link_compact(
+            topology.effective_matrix(),
+            &sw,
+            link.site_a,
+            link.site_b,
+            link.mw_length_km,
+        );
+        let scalar = mean_stretch_with_link(
+            topology.effective_matrix(),
+            topology.geodesic_matrix(),
+            topology.traffic(),
+            link.site_a,
+            link.site_b,
+            link.mw_length_km,
+        );
+        let geodesic_km: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| geodesic::distance_km(input.sites[i], input.sites[j])).collect())
+            .collect();
+        let mut nested = topology.effective_matrix().to_nested();
+        improve_with_link_nested(&mut nested, link.site_a, link.site_b, link.mw_length_km);
+        let reference = mean_stretch_nested(&nested, &geodesic_km, &input.traffic.to_nested());
+
+        prop_assert!(
+            (compact - scalar).abs() < 1e-12,
+            "compact {compact} vs scalar {scalar}"
+        );
+        prop_assert!(
+            (compact - reference).abs() < 1e-12,
+            "compact {compact} vs reference {reference}"
+        );
     }
 
     #[test]

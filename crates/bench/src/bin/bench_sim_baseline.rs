@@ -44,7 +44,9 @@ use cisp_core::scenario::population_product_traffic;
 use cisp_netsim::network::{LinkSpec, Network};
 use cisp_netsim::routing::{compute_routes, Demand};
 use cisp_netsim::sim::{ExecMode, SimConfig, Simulation};
-use cisp_netsim::{BackgroundModel, QueueKind, QueueStats};
+use cisp_netsim::{
+    BackgroundModel, ClassReport, QueueDiscipline, QueueKind, QueueStats, SimReport,
+};
 
 /// Median wall-clock milliseconds of `f` over enough repetitions to be
 /// stable.
@@ -209,6 +211,11 @@ struct HybridReport {
     hybrid_ms: f64,
     background_flows: usize,
     foreground_flows: usize,
+    /// Foreground class statistics of the same hybrid workload under each
+    /// queue discipline, in `[Fifo, StrictPriority, WeightedFair]` order.
+    discipline_fg: [ClassReport; 3],
+    /// Background delivered bits under the same disciplines, same order.
+    discipline_bg_bits: [f64; 3],
 }
 
 /// Run the hybrid workload: same network and demand set, once with the
@@ -283,6 +290,57 @@ fn measure_hybrid(network: Network, demands: Vec<Demand>, base: SimConfig) -> Hy
     let bg = hybrid
         .background
         .expect("hybrid run must report background stats");
+    assert!(
+        !bg.truncated,
+        "the fluid solver's safety valve must not fire on the benchmark workload"
+    );
+
+    // Per-discipline foreground tail on the same hybrid workload. An
+    // explicit `Fifo` config must reproduce the default-config report
+    // bit-identically (asserted before any timing below), and strict
+    // priority must strictly improve the foreground P99 queueing delay
+    // while the fluid background keeps delivering within 5% of FIFO's bits.
+    let discipline_report = |discipline: QueueDiscipline| {
+        Simulation::new(
+            network.clone(),
+            demands.clone(),
+            SimConfig {
+                discipline,
+                ..hybrid_config
+            },
+        )
+        .run()
+    };
+    let fifo = discipline_report(QueueDiscipline::Fifo);
+    assert_eq!(
+        hybrid, fifo,
+        "an explicit Fifo discipline must be bit-identical to the default config"
+    );
+    let sp = discipline_report(QueueDiscipline::StrictPriority);
+    let wfq = discipline_report(QueueDiscipline::WeightedFair);
+    let fg_class = |r: &SimReport| {
+        r.per_class
+            .expect("classified hybrid run must report per-class stats")
+            .foreground
+    };
+    let bg_bits = |r: &SimReport| {
+        r.background
+            .expect("hybrid run must report background stats")
+            .delivered_bits
+    };
+    let (fifo_fg, sp_fg, wfq_fg) = (fg_class(&fifo), fg_class(&sp), fg_class(&wfq));
+    assert!(
+        sp_fg.p99_queue_delay_ms < fifo_fg.p99_queue_delay_ms,
+        "strict priority must strictly improve the foreground P99 queueing delay: {} ms vs FIFO's {} ms",
+        sp_fg.p99_queue_delay_ms,
+        fifo_fg.p99_queue_delay_ms,
+    );
+    let bg_ratio = bg_bits(&sp) / bg_bits(&fifo);
+    assert!(
+        (bg_ratio - 1.0).abs() <= 0.05,
+        "strict priority must keep background delivered bits within 5% of FIFO's, got ratio {bg_ratio}"
+    );
+
     let events_hybrid = events_processed(&hybrid_sim, hybrid.delivered, hybrid.dropped);
     let events_packet = events_processed(&packet_sim, packet.delivered, packet.dropped);
 
@@ -301,6 +359,8 @@ fn measure_hybrid(network: Network, demands: Vec<Demand>, base: SimConfig) -> Hy
         hybrid_ms,
         background_flows: bg.flows,
         foreground_flows: demands.iter().filter(|d| !d.is_background()).count(),
+        discipline_fg: [fifo_fg, sp_fg, wfq_fg],
+        discipline_bg_bits: [bg_bits(&fifo), bg_bits(&sp), bg_bits(&wfq)],
     }
 }
 
@@ -388,6 +448,12 @@ fn main() {
         let eval_config = EvaluateConfig {
             design_aggregate_gbps: 4.0,
             load_fraction: 0.5,
+            // Deep MW buffers so the fluid backlog's ramp on oversubscribed
+            // links shows up as *delay* in delivered foreground packets (the
+            // per-discipline contrast below), not just as drops: with the
+            // default shallow buffer the backlog pins at the buffer ceiling
+            // and FIFO's foreground queueing is all-or-nothing.
+            mw_buffer_bytes: 2_000_000.0,
             ..EvaluateConfig::default()
         };
         let conduit_topo = scenario.conduit_backed_topology(&outcome);
@@ -412,6 +478,15 @@ fn main() {
         hybrid_speedup >= 10.0,
         "hybrid engine must be at least 10x faster than pure packet on the million-user workload, got {hybrid_speedup:.1}x"
     );
+    for (label, fg) in ["fifo", "strict_priority", "weighted_fair"]
+        .iter()
+        .zip(&hybrid.discipline_fg)
+    {
+        println!(
+            "us_backbone_million_user[{label}]: fg P99 delay {:.3} ms, fg P99 queueing delay {:.3} ms",
+            fg.p99_delay_ms, fg.p99_queue_delay_ms,
+        );
+    }
 
     let mut entries = Vec::new();
     for r in &reports {
@@ -497,7 +572,10 @@ fn main() {
             "    \"speedup\": {:.1},\n",
             "    \"events_pure_packet\": {},\n",
             "    \"events_hybrid\": {},\n",
-            "    \"packet_equivalent_events_avoided\": {:.0}\n",
+            "    \"packet_equivalent_events_avoided\": {:.0},\n",
+            "    \"disciplines\": {{\n",
+            "{}\n",
+            "    }}\n",
             "  }}"
         ),
         hybrid.foreground_flows,
@@ -508,6 +586,21 @@ fn main() {
         hybrid.events_packet,
         hybrid.events_hybrid,
         hybrid.packet_equivalent_events_avoided,
+        ["fifo", "strict_priority", "weighted_fair"]
+            .iter()
+            .zip(&hybrid.discipline_fg)
+            .zip(&hybrid.discipline_bg_bits)
+            .map(|((label, fg), bg_bits)| format!(
+                concat!(
+                    "      \"{}\": {{ \"fg_p99_delay_ms\": {:.4}, ",
+                    "\"fg_p99_queue_delay_ms\": {:.4}, ",
+                    "\"fg_mean_delay_ms\": {:.4}, ",
+                    "\"bg_delivered_bits\": {:.0} }}"
+                ),
+                label, fg.p99_delay_ms, fg.p99_queue_delay_ms, fg.mean_delay_ms, bg_bits,
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
     );
     let json = format!(
         concat!(

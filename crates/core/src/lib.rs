@@ -47,6 +47,7 @@
 pub mod augment;
 pub mod cost;
 pub mod design;
+pub mod economics;
 pub mod engine;
 pub mod evaluate;
 pub mod hops;
@@ -57,6 +58,7 @@ pub mod topology;
 
 pub use cost::CostModel;
 pub use design::{DesignInput, DesignOutcome, Designer};
+pub use economics::{rank_upgrades, UpgradeConfig, UpgradeOption, UpgradeRanking};
 pub use hops::{HopConfig, HopFeasibility};
 pub use links::{CandidateLink, LinkBuilder};
 pub use topology::HybridTopology;

@@ -52,7 +52,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::flows::FlowSpec;
 use crate::monitor::BackgroundStats;
-use crate::network::Network;
+use crate::network::{Network, QueueDiscipline, WFQ_FOREGROUND_WEIGHT};
 use crate::routing::{Demand, RoutingTable};
 use crate::sim::SimConfig;
 
@@ -156,15 +156,24 @@ pub fn solve(
         .collect();
 
     // Effective fluid capacity: configured rate minus offered foreground
-    // load (both classes share the FIFO; on average the foreground occupies
-    // its offered share). Floored at 1 bps so a foreground-saturated link
-    // still has a well-defined — glacial — drain rate.
+    // load (both classes share the link; on average the foreground occupies
+    // its offered share — exact for `Fifo` and for `StrictPriority`, where
+    // foreground service genuinely comes first). Floored at 1 bps so a
+    // foreground-saturated link still has a well-defined — glacial — drain
+    // rate. Under `WeightedFair` the scheduler guarantees the background
+    // class its `1 − WFQ_FOREGROUND_WEIGHT` share whenever foreground is
+    // busy, so the floor rises to that guaranteed fraction of the line rate.
     let mut cap_bps: Vec<f64> = links.iter().map(|l| l.rate_bps).collect();
     for (k, d) in demands.iter().enumerate() {
         if !d.is_background() && d.amount_bps > 0.0 {
             for &l in routes.route(k) {
                 cap_bps[l as usize] -= d.amount_bps;
             }
+        }
+    }
+    if config.discipline == QueueDiscipline::WeightedFair {
+        for (c, l) in cap_bps.iter_mut().zip(links.iter()) {
+            *c = c.max((1.0 - WFQ_FOREGROUND_WEIGHT) * l.rate_bps);
         }
     }
     for c in &mut cap_bps {
@@ -210,6 +219,7 @@ pub fn solve(
 
     let mut t = 0.0f64;
     let mut rate_events = 0u64;
+    let mut truncated = false;
     let mut delivered_bits = 0.0;
     let mut dropped_bits = 0.0;
     let mut backlog_integral = 0.0; // Σ_links ∫ backlog dt (byte-seconds)
@@ -319,7 +329,13 @@ pub fn solve(
             }
         }
         if !next.is_finite() || rate_events > 100_000 {
-            break; // defensive: cannot happen, sources stop at `duration`
+            // Defensive valve — sources stop at `duration`, so a finite
+            // breakpoint always exists while they run, and backlog drains
+            // monotonically afterwards. If it fires anyway, say so: every
+            // statistic below under-counts the cut tail, and silent
+            // truncation is indistinguishable from a clean finish.
+            truncated = true;
+            break;
         }
         let next = next.max(t + 1e-12);
 
@@ -376,6 +392,12 @@ pub fn solve(
         peak_backlog_bytes: peak_backlog,
         rate_events,
         packet_equivalent_events,
+        truncated,
+        truncated_horizon_s: if truncated {
+            (duration - t).max(0.0)
+        } else {
+            0.0
+        },
     };
 
     FluidOutcome {
@@ -516,6 +538,40 @@ mod tests {
         // out of range, so probe the timeline map contract via link 0 at
         // negative time instead.
         assert_eq!(out.backlog_bytes(0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn well_formed_runs_are_never_truncated() {
+        let (net, config) = single_link_inputs(10e6, 20_000.0);
+        let demands = vec![Demand::background(0, 1, 15e6)];
+        let s = solve_for(&net, &demands, &config).stats();
+        assert!(!s.truncated, "{s:?}");
+        assert_eq!(s.truncated_horizon_s, 0.0);
+    }
+
+    #[test]
+    fn safety_valve_records_truncation_instead_of_stopping_silently() {
+        // An infinite-rate source into an unbounded buffer leaves an
+        // infinite backlog when the sources stop: no finite breakpoint
+        // exists, the valve fires, and — the regression — the stats must
+        // say so rather than reading like a clean finish.
+        let (net, config) = single_link_inputs(10e6, 0.0);
+        let demands = vec![Demand::background(0, 1, f64::INFINITY)];
+        let s = solve_for(&net, &demands, &config).stats();
+        assert!(s.truncated, "{s:?}");
+    }
+
+    #[test]
+    fn weighted_fair_floors_fluid_capacity_at_the_background_share() {
+        // 9.5 Mbps foreground on a 10 Mbps link would leave the FIFO fluid
+        // 0.5 Mbps; weighted-fair guarantees background 25% of the line
+        // rate, so an 8 Mbps background flow queues at 8 − 2.5 = 5.5 Mbps.
+        let (net, mut config) = single_link_inputs(10e6, 1e9);
+        config.discipline = QueueDiscipline::WeightedFair;
+        let demands = vec![Demand::new(0, 1, 9.5e6), Demand::background(0, 1, 8e6)];
+        let out = solve_for(&net, &demands, &config);
+        let growth_bps = out.backlog_bytes(0, 1.0) * 8.0;
+        assert!((growth_bps - 5.5e6).abs() < 1e3, "growth {growth_bps}");
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod sim;
 pub mod tcp;
 
 pub use fluid::BackgroundModel;
-pub use monitor::{BackgroundStats, SimReport};
-pub use network::{LinkSpec, Network};
+pub use monitor::{BackgroundStats, ClassReport, PerClassReport, SimReport};
+pub use network::{LinkSpec, Network, QueueDiscipline};
 pub use queue::{QueueKind, QueueStats};
 pub use routing::{RoutingScheme, TrafficClass};
 pub use sim::{ExecMode, SimConfig, Simulation};

@@ -161,6 +161,7 @@ impl FlowMonitor {
             max_link_utilization: link_utilizations.iter().copied().fold(0.0, f64::max),
             link_utilizations,
             background: None,
+            per_class: None,
         }
     }
 }
@@ -192,6 +193,69 @@ pub struct BackgroundStats {
     /// processed (one per hop plus delivery, per packet) — the work the
     /// fluid model avoided.
     pub packet_equivalent_events: f64,
+    /// `true` when the fluid solver's safety valve stopped the trajectory
+    /// early (rate-event cap hit, or a non-finite breakpoint) — every
+    /// statistic above then under-counts the tail of the run. Previously
+    /// the valve fired silently; the hybrid parity suite asserts this stays
+    /// unset on well-formed inputs.
+    pub truncated: bool,
+    /// Simulated seconds the valve cut off: `duration − t_stop`, clamped at
+    /// 0 (0 when not truncated, or when the valve fired during the
+    /// post-duration drain of residual backlog).
+    pub truncated_horizon_s: f64,
+}
+
+/// Packet-level statistics of one traffic class
+/// ([`crate::routing::TrafficClass`]) — the per-class view of a classified
+/// run that the queue disciplines ([`crate::network::QueueDiscipline`]) and
+/// the economics loop read. Delay statistics cover the class's *delivered*
+/// packets; background entries are all zero in hybrid runs, where the
+/// background class is fluid (see [`BackgroundStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Mean one-way delay, milliseconds.
+    pub mean_delay_ms: f64,
+    /// 99th-percentile one-way delay, milliseconds.
+    pub p99_delay_ms: f64,
+    /// Mean total queueing delay per packet, milliseconds.
+    pub mean_queue_delay_ms: f64,
+    /// 99th-percentile total queueing delay per packet, milliseconds.
+    pub p99_queue_delay_ms: f64,
+}
+
+impl ClassReport {
+    /// Summarise one class's delivery samples plus its delivered/dropped
+    /// tallies. Sample vectors arrive in canonical (pop-order) sequence, so
+    /// the derived statistics are bit-identical across execution modes.
+    pub fn from_samples(
+        delays: &SampleStats,
+        queue_delays: &SampleStats,
+        delivered: u64,
+        dropped: u64,
+    ) -> Self {
+        Self {
+            delivered,
+            dropped,
+            mean_delay_ms: delays.mean() * 1e3,
+            p99_delay_ms: delays.quantile(0.99) * 1e3,
+            mean_queue_delay_ms: queue_delays.mean() * 1e3,
+            p99_queue_delay_ms: queue_delays.quantile(0.99) * 1e3,
+        }
+    }
+}
+
+/// The per-class breakdown of a classified run ([`SimReport::per_class`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerClassReport {
+    /// The latency-sensitive foreground class.
+    pub foreground: ClassReport,
+    /// The bulk background class (packet-simulated; zero under the hybrid
+    /// engine, whose background statistics live in [`SimReport::background`]).
+    pub background: ClassReport,
 }
 
 /// Summary of a simulation run — the numbers the paper's Figs. 5, 6 and 11
@@ -227,6 +291,10 @@ pub struct SimReport {
     /// actually modelled background flows as fluid, so reports from
     /// all-foreground runs stay exactly equal to pure packet reports.
     pub background: Option<BackgroundStats>,
+    /// Per-class packet statistics — `Some` only when the demand set carries
+    /// background-tagged demands, so unclassified runs keep their historical
+    /// reports unchanged field for field.
+    pub per_class: Option<PerClassReport>,
 }
 
 #[cfg(test)]

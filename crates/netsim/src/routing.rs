@@ -98,6 +98,15 @@ impl Demand {
     }
 }
 
+/// `true` when any demand carries the background tag — a *classified*
+/// demand set. Classified runs report per-class statistics
+/// ([`crate::monitor::SimReport::per_class`]) and are where the queue
+/// disciplines ([`crate::network::QueueDiscipline`]) differ; on an
+/// unclassified set every discipline degrades to FIFO exactly.
+pub fn any_background(demands: &[Demand]) -> bool {
+    demands.iter().any(Demand::is_background)
+}
+
 /// The routes chosen for a set of demands, stored in one flat arena: route
 /// `k` is the sequence of link ids demand `k` traverses (empty when
 /// `src == dst` or unreachable).

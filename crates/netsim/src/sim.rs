@@ -80,8 +80,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::flows::{ArrivalProcess, EmissionSchedule, FlowSpec};
 use crate::fluid::{self, BackgroundModel, FluidOutcome};
-use crate::monitor::{FlowMonitor, SimReport};
-use crate::network::{DirtyLinks, LinkState, LinkStates, Network, Transmit};
+use crate::monitor::{ClassReport, FlowMonitor, PerClassReport, SampleStats, SimReport};
+use crate::network::{DirtyLinks, LinkState, LinkStates, Network, QueueDiscipline, Transmit};
 use crate::queue::{Event, EventQueue, QueueKind, QueueStats};
 use crate::routing::{compute_routes, Demand, RoutingScheme, RoutingTable};
 
@@ -146,6 +146,14 @@ pub struct SimConfig {
     /// identical `(time, flow, hop)` sequence, so reports are bit-identical
     /// either way — a pure performance knob.
     pub queue: QueueKind,
+    /// Per-link queue discipline between the traffic classes
+    /// ([`crate::network::QueueDiscipline`]). `Fifo` (the default) is the
+    /// historical single-virtual-clock model and reproduces pre-discipline
+    /// reports bit-identically; `StrictPriority` and `WeightedFair` change
+    /// how foreground packets share each link with background service —
+    /// including the fluid backlog in hybrid runs. On a demand set with no
+    /// background class every discipline degrades to `Fifo` exactly.
+    pub discipline: QueueDiscipline,
 }
 
 impl Default for SimConfig {
@@ -161,6 +169,7 @@ impl Default for SimConfig {
             background: BackgroundModel::Packet,
             hop_collapse: true,
             queue: QueueKind::Heap,
+            discipline: QueueDiscipline::Fifo,
         }
     }
 }
@@ -174,6 +183,32 @@ struct FlowStat {
     dropped: u64,
 }
 
+/// Per-class delivery samples of one component, split out of the merged
+/// delivery stream *during* the canonical-order merge — so each class's
+/// sample vector is the classwise subsequence of the global pop order and
+/// per-class statistics inherit the bit-identity contract. Collected only
+/// for classified demand sets (`EngineContext::classify`).
+#[derive(Default)]
+struct ClassSamples {
+    fg_delays: Vec<f64>,
+    fg_queue_delays: Vec<f64>,
+    bg_delays: Vec<f64>,
+    bg_queue_delays: Vec<f64>,
+}
+
+impl ClassSamples {
+    #[inline]
+    fn record(&mut self, demands: &[Demand], e: &Event) {
+        let (delays, queue_delays) = if demands[e.flow as usize].is_background() {
+            (&mut self.bg_delays, &mut self.bg_queue_delays)
+        } else {
+            (&mut self.fg_delays, &mut self.fg_queue_delays)
+        };
+        delays.push(e.time - e.sent_at);
+        queue_delays.push(e.queue_delay);
+    }
+}
+
 /// Everything one component's simulation produced, merged (in component
 /// order) into the global monitor and network state after all components
 /// finish. Every component yields exactly one outcome: zero-flow demand
@@ -183,6 +218,8 @@ struct ComponentOutcome {
     queue_delays: Vec<f64>,
     flow_stats: Vec<FlowStat>,
     links: Vec<(u32, LinkState)>,
+    /// Per-class delivery samples (`Some` iff the run is classified).
+    class_samples: Option<ClassSamples>,
 }
 
 /// One shard's contribution to a time-windowed component run: its delivery
@@ -378,6 +415,10 @@ struct EngineContext<'a> {
     config: &'a SimConfig,
     fluid: Option<&'a FluidOutcome>,
     feeders: &'a [u32],
+    /// Any demand is background-tagged: collect per-class delivery samples
+    /// and publish [`SimReport::per_class`]. Computed once per run so
+    /// unclassified runs pay nothing.
+    classify: bool,
 }
 
 /// Everything the windowed gang shares, borrowed into every worker thread.
@@ -686,7 +727,14 @@ impl Simulation {
         // Restore the serial pop order by merging the per-link streams.
         let mut delays = Vec::with_capacity(expected as usize + flows.len());
         let mut queue_delays = Vec::with_capacity(expected as usize + flows.len());
-        Self::merge_delivery_streams(w, &mut delays, &mut queue_delays);
+        let mut class_samples = ctx.classify.then(ClassSamples::default);
+        Self::merge_delivery_streams(
+            w,
+            &mut delays,
+            &mut queue_delays,
+            demands,
+            &mut class_samples,
+        );
 
         // Extract the dirtied link states and recycle the worker arrays
         // (the emission-guard entries too — `w` serves the next component).
@@ -700,6 +748,7 @@ impl Simulation {
             queue_delays,
             flow_stats,
             links: touched_links,
+            class_samples,
         }
     }
 
@@ -714,6 +763,8 @@ impl Simulation {
         w: &mut WorkerState,
         delays: &mut Vec<f64>,
         queue_delays: &mut Vec<f64>,
+        demands: &[Demand],
+        class_samples: &mut Option<ClassSamples>,
     ) {
         {
             let streams = &w.streams[..w.active_streams];
@@ -725,6 +776,11 @@ impl Simulation {
                 (Some(only), None) => {
                     delays.extend(only.iter().map(|e| e.time - e.sent_at));
                     queue_delays.extend(only.iter().map(|e| e.queue_delay));
+                    if let Some(cs) = class_samples.as_mut() {
+                        for e in only {
+                            cs.record(demands, e);
+                        }
+                    }
                 }
                 _ => {
                     // Max-heap over reversed `Event` order pops the earliest
@@ -741,6 +797,9 @@ impl Simulation {
                     while let Some((e, sid)) = heads.pop() {
                         delays.push(e.time - e.sent_at);
                         queue_delays.push(e.queue_delay);
+                        if let Some(cs) = class_samples.as_mut() {
+                            cs.record(demands, &e);
+                        }
                         let s = sid as usize;
                         cursors[s] += 1;
                         if let Some(&nxt) = streams[s].get(cursors[s]) {
@@ -795,6 +854,7 @@ impl Simulation {
         let EngineContext {
             network,
             routes,
+            demands,
             config,
             fluid,
             feeders,
@@ -802,6 +862,8 @@ impl Simulation {
         } = *ctx;
         let links = network.links();
         let hop_collapse = config.hop_collapse;
+        // One event is one flow crossing hops, so its class is loop-invariant.
+        let background = demands[popped.flow as usize].is_background();
         let mut ev = popped;
         loop {
             let route = routes.route(ev.flow as usize);
@@ -816,12 +878,14 @@ impl Simulation {
             }
             let link = route[ev.hop as usize] as usize;
             let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
-            match w.states.transmit_queued(
+            match w.states.transmit_classed(
                 &links[link],
                 link,
                 ev.time,
                 config.packet_bytes,
                 fluid_backlog,
+                background,
+                config.discipline,
             ) {
                 Transmit::Delivered {
                     arrival,
@@ -1068,7 +1132,12 @@ impl Simulation {
                     .iter_mut()
                     .map(|worker| std::mem::take(&mut worker[ci]))
                     .collect();
-                Some(Self::merge_shard_partials(comps[ci].len(), parts))
+                Some(Self::merge_shard_partials(
+                    comps[ci].len(),
+                    parts,
+                    ctx.demands,
+                    ctx.classify,
+                ))
             })
             .collect();
         (outcomes, queue_stats)
@@ -1257,6 +1326,7 @@ impl Simulation {
         let EngineContext {
             network,
             routes,
+            demands,
             config,
             fluid,
             feeders,
@@ -1265,6 +1335,8 @@ impl Simulation {
         let links = network.links();
         let me_u32 = me as u32;
         let hop_collapse = config.hop_collapse;
+        // One event is one flow crossing hops, so its class is loop-invariant.
+        let background = demands[popped.flow as usize].is_background();
         let mut ev = popped;
         loop {
             let route = routes.route(ev.flow as usize);
@@ -1280,12 +1352,14 @@ impl Simulation {
             let link = route[ev.hop as usize] as usize;
             debug_assert_eq!(plan.owner[link], me_u32, "event on foreign link");
             let fluid_backlog = fluid.map_or(0.0, |f| f.backlog_bytes(link, ev.time));
-            match w.states.transmit_queued(
+            match w.states.transmit_classed(
                 &links[link],
                 link,
                 ev.time,
                 config.packet_bytes,
                 fluid_backlog,
+                background,
+                config.discipline,
             ) {
                 Transmit::Delivered {
                     arrival,
@@ -1398,10 +1472,16 @@ impl Simulation {
     /// the order the serial engine records deliveries in — and per-flow
     /// tallies sum across shards (only the shard owning a flow's last link
     /// delivers it; drops may come from any shard, but counters commute).
-    fn merge_shard_partials(num_flows: usize, mut parts: Vec<ShardPartial>) -> ComponentOutcome {
+    fn merge_shard_partials(
+        num_flows: usize,
+        mut parts: Vec<ShardPartial>,
+        demands: &[Demand],
+        classify: bool,
+    ) -> ComponentOutcome {
         let total: usize = parts.iter().map(|p| p.deliveries.len()).sum();
         let mut delays = Vec::with_capacity(total);
         let mut queue_delays = Vec::with_capacity(total);
+        let mut class_samples = classify.then(ClassSamples::default);
         let mut cursors = vec![0usize; parts.len()];
         for _ in 0..total {
             let mut best: Option<(usize, Event)> = None;
@@ -1420,6 +1500,9 @@ impl Simulation {
             cursors[s] += 1;
             delays.push(e.time - e.sent_at);
             queue_delays.push(e.queue_delay);
+            if let Some(cs) = class_samples.as_mut() {
+                cs.record(demands, &e);
+            }
         }
 
         let mut flow_stats = vec![FlowStat::default(); num_flows];
@@ -1437,6 +1520,7 @@ impl Simulation {
             queue_delays,
             flow_stats,
             links,
+            class_samples,
         }
     }
 
@@ -1469,6 +1553,7 @@ impl Simulation {
             self.config.workers
         };
 
+        let classify = crate::routing::any_background(&self.demands);
         let ctx = EngineContext {
             network: &self.network,
             routes: &self.routes,
@@ -1476,6 +1561,7 @@ impl Simulation {
             config: &self.config,
             fluid,
             feeders: &feeders,
+            classify,
         };
         let (outcomes, queue_stats) = match self.config.mode {
             ExecMode::ComponentSharded => {
@@ -1506,10 +1592,23 @@ impl Simulation {
         // `unroutable_demands_yield_an_empty_report_in_every_mode`) — so a
         // missing outcome here is an engine bug and must fail fast.
         let mut monitor = FlowMonitor::new(self.demands.len());
+        // Per-class sample accumulators, concatenated in the same component
+        // order as the global monitor — each class's vector stays the
+        // classwise subsequence of the canonical sample order.
+        let mut fg_delays = SampleStats::default();
+        let mut fg_queue_delays = SampleStats::default();
+        let mut bg_delays = SampleStats::default();
+        let mut bg_queue_delays = SampleStats::default();
         for (comp, outcome) in comps.iter().zip(outcomes) {
             let o = outcome.expect("every simulated component produces an outcome");
             monitor.delays.record_many(&o.delays);
             monitor.queue_delays.record_many(&o.queue_delays);
+            if let Some(cs) = &o.class_samples {
+                fg_delays.record_many(&cs.fg_delays);
+                fg_queue_delays.record_many(&cs.fg_queue_delays);
+                bg_delays.record_many(&cs.bg_delays);
+                bg_queue_delays.record_many(&cs.bg_queue_delays);
+            }
             for (pos, &f) in comp.iter().enumerate() {
                 let stat = o.flow_stats[pos];
                 monitor.absorb_flow(f as usize, stat.delay_sum, stat.delivered, stat.dropped);
@@ -1533,6 +1632,37 @@ impl Simulation {
             .map(|l| self.network.utilization(l, self.config.duration_s))
             .collect();
         let mut report = monitor.report(utilizations);
+        if classify {
+            // Delivered/dropped tallies split by the per-flow vectors and
+            // the class mask. Under the hybrid engine background flows never
+            // enter the packet engine, so the background entry is all zeroes
+            // there — its statistics live in `report.background`.
+            let (mut fg_delivered, mut fg_dropped) = (0u64, 0u64);
+            let (mut bg_delivered, mut bg_dropped) = (0u64, 0u64);
+            for (k, d) in self.demands.iter().enumerate() {
+                if d.is_background() {
+                    bg_delivered += monitor.flow_delivered[k];
+                    bg_dropped += monitor.flow_dropped[k];
+                } else {
+                    fg_delivered += monitor.flow_delivered[k];
+                    fg_dropped += monitor.flow_dropped[k];
+                }
+            }
+            report.per_class = Some(PerClassReport {
+                foreground: ClassReport::from_samples(
+                    &fg_delays,
+                    &fg_queue_delays,
+                    fg_delivered,
+                    fg_dropped,
+                ),
+                background: ClassReport::from_samples(
+                    &bg_delays,
+                    &bg_queue_delays,
+                    bg_delivered,
+                    bg_dropped,
+                ),
+            });
+        }
         if let Some(f) = fluid_solution {
             if f.num_flows() > 0 {
                 report.background = Some(f.stats());

@@ -255,6 +255,21 @@ impl ClassifiedTraffic {
         });
         TrafficMatrix::from_dist_matrix(m)
     }
+
+    /// Background fraction of the combined offered weight — what sizes the
+    /// background aggregate when lowering a classified mix (e.g.
+    /// `bg_aggregate_gbps = share × total_gbps`) so the class split of the
+    /// simulated load matches the mix's split. `0.0` when the mix carries no
+    /// weight at all.
+    pub fn background_share(&self) -> f64 {
+        let fg = self.foreground.total_weight();
+        let bg = self.background.total_weight();
+        if fg + bg > 0.0 {
+            bg / (fg + bg)
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -397,5 +412,14 @@ mod tests {
         let split = mix.classified(&s);
         assert_eq!(split.background.total_weight(), 0.0);
         assert!(split.foreground.total_weight() > 0.0);
+        assert_eq!(split.background_share(), 0.0);
+    }
+
+    #[test]
+    fn background_share_matches_the_mix_split() {
+        let s = site_set();
+        let split = TrafficMix::designed().classified(&s);
+        // The designed mix is 70% user-facing, 30% DC–DC bulk.
+        assert!((split.background_share() - 0.3).abs() < 1e-9);
     }
 }

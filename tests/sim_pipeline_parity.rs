@@ -25,7 +25,7 @@ use cisp::netsim::routing::{
     compute_routes, compute_routes_avoiding, Demand, RoutingScheme, TrafficClass,
 };
 use cisp::netsim::sim::{ExecMode, SimConfig, Simulation};
-use cisp::netsim::{BackgroundModel, QueueKind, SimReport};
+use cisp::netsim::{BackgroundModel, QueueDiscipline, QueueKind, SimReport};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +62,32 @@ fn test_queue_kinds() -> Vec<QueueKind> {
         })
         .filter(|v| !v.is_empty())
         .unwrap_or_else(|| vec![QueueKind::Heap, QueueKind::Calendar])
+}
+
+/// Queue disciplines under test: `CISP_TEST_DISCIPLINE` (comma-separated
+/// `fifo`/`strict_priority`/`weighted_fair`) or all three by default, so CI
+/// can add a discipline dimension to the parity matrix.
+fn test_disciplines() -> Vec<QueueDiscipline> {
+    std::env::var("CISP_TEST_DISCIPLINE")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| match t.trim().to_ascii_lowercase().as_str() {
+                    "fifo" => Some(QueueDiscipline::Fifo),
+                    "strict_priority" | "sp" => Some(QueueDiscipline::StrictPriority),
+                    "weighted_fair" | "wfq" => Some(QueueDiscipline::WeightedFair),
+                    _ => None,
+                })
+                .collect::<Vec<QueueDiscipline>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| {
+            vec![
+                QueueDiscipline::Fifo,
+                QueueDiscipline::StrictPriority,
+                QueueDiscipline::WeightedFair,
+            ]
+        })
 }
 
 /// A random connected-ish graph: a scrambled spanning chain plus extra
@@ -414,6 +440,57 @@ fn check_hybrid_matches_serial_and_packet_envelope(seed: u64) -> TestCaseResult 
         }
     }
 
+    // (a′) The cross-engine identity holds under every queue discipline,
+    // not just FIFO: per-class virtual clocks must merge identically in the
+    // component-sharded and time-windowed engines.
+    for discipline in test_disciplines() {
+        let dbase = SimConfig { discipline, ..base };
+        let serial_d = Simulation::new(
+            net.clone(),
+            demands.clone(),
+            SimConfig {
+                workers: 1,
+                ..dbase
+            },
+        )
+        .run();
+        for workers in test_worker_counts() {
+            for window_s in [0.0, 1.0] {
+                let windowed = Simulation::new(
+                    net.clone(),
+                    demands.clone(),
+                    SimConfig {
+                        workers,
+                        mode: ExecMode::TimeWindowed { window_s },
+                        ..dbase
+                    },
+                )
+                .run();
+                prop_assert!(
+                    serial_d == windowed,
+                    "{discipline:?} windowed != serial at workers {workers}, window {window_s} \
+                     (seed {seed})"
+                );
+            }
+        }
+    }
+
+    // The fluid solver's safety valve must never fire on a well-formed
+    // workload — a truncated background horizon silently under-reports
+    // delivered bits, which is exactly what `truncated` now surfaces.
+    // (The random tagging can leave a seed with no background demands at
+    // all, in which case there are no background stats to check.)
+    if let Some(bg_stats) = hybrid.background.as_ref() {
+        prop_assert!(
+            !bg_stats.truncated,
+            "fluid safety valve fired on a well-formed workload (seed {seed})"
+        );
+        prop_assert!(
+            bg_stats.truncated_horizon_s == 0.0,
+            "non-zero truncated horizon without truncation (seed {seed})"
+        );
+    }
+
     // (b) Background demands leave the packet engine entirely.
     for (k, d) in demands.iter().enumerate() {
         if d.class == TrafficClass::Background {
@@ -463,6 +540,108 @@ fn check_hybrid_matches_serial_and_packet_envelope(seed: u64) -> TestCaseResult 
             seed
         );
     }
+    Ok(())
+}
+
+/// A random classified packet workload with buffers far too generous to
+/// drop: a one-way ring plus chords, alternating foreground/background
+/// demands (at least one of each), every packet delivered — so per-class
+/// delay statistics compare like for like across disciplines.
+fn random_classified_inputs(seed: u64) -> (Network, Vec<Demand>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc1a5_51f1);
+    let n = rng.gen_range(4usize..9);
+    let mut net = Network::new(n);
+    for i in 0..n {
+        net.add_link(LinkSpec {
+            from: i,
+            to: (i + 1) % n,
+            rate_bps: rng.gen_range(4e6..20e6),
+            propagation_s: rng.gen_range(3e-4..4e-3),
+            buffer_bytes: 5e6,
+        });
+    }
+    for _ in 0..rng.gen_range(0usize..4) {
+        let a = rng.gen_range(0usize..n);
+        let b = rng.gen_range(0usize..n);
+        if a != b {
+            net.add_link(LinkSpec {
+                from: a,
+                to: b,
+                rate_bps: rng.gen_range(4e6..20e6),
+                propagation_s: rng.gen_range(3e-4..4e-3),
+                buffer_bytes: 5e6,
+            });
+        }
+    }
+    let mut demands = Vec::new();
+    for k in 0..rng.gen_range(2usize..7) {
+        let src = rng.gen_range(0usize..n);
+        let dst = (src + rng.gen_range(1..n)) % n;
+        let mut d = Demand::new(src, dst, rng.gen_range(5e5..4e6));
+        if k % 2 == 1 {
+            d.class = TrafficClass::Background;
+        }
+        demands.push(d);
+    }
+    // Guarantee both classes are present and contending.
+    demands.push(Demand::new(0, n / 2, 2e6));
+    let mut bulk = Demand::new(0, n / 2, 4e6);
+    bulk.class = TrafficClass::Background;
+    demands.push(bulk);
+    (net, demands)
+}
+
+/// Satellite property: on a classified packet workload that drops nothing,
+/// strict priority can only help the foreground class — its mean and P99
+/// queueing delay never exceed FIFO's. (Background is packet-simulated here
+/// so the two classes genuinely contend at every hop.)
+fn check_strict_priority_never_hurts_foreground(seed: u64) -> TestCaseResult {
+    let (net, demands) = random_classified_inputs(seed);
+    let base = SimConfig {
+        duration_s: 0.03,
+        seed,
+        workers: 1,
+        background: BackgroundModel::Packet,
+        ..SimConfig::default()
+    };
+    let run = |discipline| {
+        Simulation::new(
+            net.clone(),
+            demands.clone(),
+            SimConfig { discipline, ..base },
+        )
+        .run()
+    };
+    let fifo = run(QueueDiscipline::Fifo);
+    let sp = run(QueueDiscipline::StrictPriority);
+    prop_assert!(
+        fifo.dropped == 0 && sp.dropped == 0,
+        "generous buffers must prevent drops (seed {seed})"
+    );
+    let f = fifo
+        .per_class
+        .expect("classified run must report per-class stats")
+        .foreground;
+    let s = sp
+        .per_class
+        .expect("classified run must report per-class stats")
+        .foreground;
+    prop_assert!(
+        f.delivered + f.dropped == s.delivered + s.dropped,
+        "foreground packet population changed (seed {seed})"
+    );
+    prop_assert!(
+        s.mean_queue_delay_ms <= f.mean_queue_delay_ms + 1e-9,
+        "strict priority raised the foreground mean queueing delay: {} ms vs {} ms (seed {seed})",
+        s.mean_queue_delay_ms,
+        f.mean_queue_delay_ms
+    );
+    prop_assert!(
+        s.p99_queue_delay_ms <= f.p99_queue_delay_ms + 1e-9,
+        "strict priority raised the foreground P99 queueing delay: {} ms vs {} ms (seed {seed})",
+        s.p99_queue_delay_ms,
+        f.p99_queue_delay_ms
+    );
     Ok(())
 }
 
@@ -517,6 +696,15 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         check_hybrid_matches_serial_and_packet_envelope(seed)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn strict_priority_never_hurts_the_foreground_class(seed in 0u64..u64::MAX) {
+        check_strict_priority_never_hurts_foreground(seed)?;
     }
 }
 
@@ -669,6 +857,24 @@ fn golden_end_to_end_backbone_report_matches_snapshot() {
         report, calendar,
         "calendar backend drifted from the heap reference"
     );
+    // On an all-foreground workload every queue discipline degrades to FIFO
+    // exactly (`x + 0.0 == x`, `x * 1.0 == x`): the pre-discipline golden
+    // pins all three, not just the default.
+    for discipline in test_disciplines() {
+        let under_discipline = Simulation::new(
+            lowered.network.clone(),
+            lowered.demands.clone(),
+            SimConfig {
+                discipline,
+                ..config(QueueKind::Heap)
+            },
+        )
+        .run();
+        assert_eq!(
+            report, under_discipline,
+            "{discipline:?} drifted from FIFO on an unclassified workload"
+        );
+    }
     let rendered = format_report_snapshot("end_to_end_backbone", &report);
     assert_snapshot_matches(
         concat!(
@@ -711,9 +917,13 @@ fn golden_hybrid_backbone_report_matches_snapshot() {
         },
     )
     .run();
+    let bg = report
+        .background
+        .as_ref()
+        .expect("classified lowering must produce fluid background stats");
     assert!(
-        report.background.is_some(),
-        "classified lowering must produce fluid background stats"
+        !bg.truncated && bg.truncated_horizon_s == 0.0,
+        "fluid safety valve fired on the pinned hybrid workload"
     );
     assert!(report.delivered > 0);
     let rendered = format_report_snapshot("classified_hybrid_backbone", &report);

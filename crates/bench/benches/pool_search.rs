@@ -1,0 +1,133 @@
+//! Heap-strategy comparison for the pool build's single-source searches:
+//! the lazy-deletion `BinaryHeap` Dijkstras (adjacency-list and CSR) vs the
+//! reusable indexed 4-ary heap of [`cisp_graph::SearchCore`].
+//!
+//! All three produce bit-identical distances and paths (pinned in
+//! `cisp_graph::search` tests and `tests/design_pool_pruning.rs`); this
+//! bench measures only the constant-factor gap on a tower-graph-shaped
+//! input: sparse, geometric, with a site-like source fanning into it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cisp_graph::{dijkstra, CsrGraph, Graph, SearchCore};
+
+/// xorshift64* — deterministic inputs without a PRNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A tower-graph-shaped instance: `n` nodes on a unit square, each linked
+/// to a handful of near neighbours (grid adjacency), weights = Euclidean
+/// distance. Mirrors the hop graph's sparsity without the geodesic cost.
+fn geometric_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = Rng(seed | 1);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.unit(), rng.unit())).collect();
+    let side = (n as f64).sqrt().ceil() as usize;
+    let cell = 1.0 / side as f64;
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); side * side];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let cx = ((x / cell) as usize).min(side - 1);
+        let cy = ((y / cell) as usize).min(side - 1);
+        grid[cy * side + cx].push(i);
+    }
+    let mut g = Graph::new(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let cx = ((x / cell) as usize).min(side - 1) as isize;
+        let cy = ((y / cell) as usize).min(side - 1) as isize;
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                let (nx, ny) = (cx + dx, cy + dy);
+                if nx < 0 || ny < 0 || nx >= side as isize || ny >= side as isize {
+                    continue;
+                }
+                for &j in &grid[ny as usize * side + nx as usize] {
+                    if j <= i {
+                        continue;
+                    }
+                    let (jx, jy) = pts[j];
+                    let d = ((x - jx).powi(2) + (y - jy).powi(2)).sqrt();
+                    if d < 1.5 * cell {
+                        g.add_undirected_edge(i, j, d);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+fn bench_pool_search(c: &mut Criterion) {
+    let n = 8_000;
+    let graph = geometric_graph(n, 42);
+    let csr = CsrGraph::from_graph(&graph);
+    let sources: Vec<usize> = (0..16).map(|k| k * (n / 16)).collect();
+
+    let mut group = c.benchmark_group("pool_search");
+    group.sample_size(10);
+
+    group.bench_function(format!("adjacency_lazy_binary_heap/n={n}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &src in &sources {
+                let tree = dijkstra::shortest_path_tree(&graph, src, None);
+                acc += tree.dist[n - 1 - src];
+            }
+            black_box(acc);
+        })
+    });
+
+    group.bench_function(format!("csr_lazy_binary_heap/n={n}"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &src in &sources {
+                let tree = csr.shortest_path_tree(src, None);
+                acc += tree.dist[n - 1 - src];
+            }
+            black_box(acc);
+        })
+    });
+
+    group.bench_function(format!("csr_indexed_dary_heap/n={n}"), |b| {
+        let mut core = SearchCore::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &src in &sources {
+                core.search(&csr, src, &[], f64::INFINITY);
+                acc += core.dist(n - 1 - src);
+            }
+            black_box(acc);
+        })
+    });
+
+    // The pool build's actual shape: capped multi-target runs.
+    let targets: Vec<usize> = (0..32).map(|k| (k * 251) % n).collect();
+    group.bench_function(format!("csr_indexed_dary_heap_capped/n={n}"), |b| {
+        let mut core = SearchCore::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &src in &sources {
+                core.search(&csr, src, &targets, 0.5);
+                acc += core.dist(targets[0]);
+            }
+            black_box(acc);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_search);
+criterion_main!(benches);

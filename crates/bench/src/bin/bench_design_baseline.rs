@@ -7,15 +7,16 @@
 //! measurements are serial (`parallel: false`) so the recorded baseline does
 //! not depend on the machine's core count.
 //!
-//! Output schema v2 (v1 carried only the per-size engine timings): each
-//! size entry adds the scalar vs compact kernel cost (`kernel_*_ns_per_pair`)
-//! and the incremental repair's metric row-skip ratio; the top level adds
-//! `auto_engine_pool_threshold` (the [`ScoringEngine::Auto`] dispatch point)
-//! and, under `--full`, a `full_scale` object with the paper-scale US
-//! scenario: build and design wall-clock, per-greedy-round cost, and the
-//! candidate-generation pruning counters — with the pruned pool asserted
-//! bit-identical to the oracle-filtered unpruned pool, and both scenarios'
-//! selected link sequences asserted identical, *before* anything is timed.
+//! Output schema v3 (v2 added the kernel costs and the `full_scale` object):
+//! the `full_scale` entry gains a per-stage `stage_profile` of the pool
+//! build (hop sweep / attach / search / extract), the sharded parallel
+//! build time (`build_pruned_parallel_ms`, asserted to emit the identical
+//! pool), the count of zero-attached sites, and the speedup over the
+//! schema-2 recorded baseline (`prior_build_pruned_ms`); `--tiny` emits the
+//! miniature scenario's `stage_profile` at the top level so CI can assert
+//! the schema. As before, the pruned pool is asserted bit-identical to the
+//! oracle-filtered unpruned pool and both scenarios' selected link
+//! sequences asserted identical, *before* anything is timed.
 //!
 //! Run with: `cargo run --release --bin bench_design_baseline [-- PATH]
 //! [--tiny | --full]`. `--tiny` is the CI smoke mode (n = 30 plus the
@@ -31,7 +32,7 @@ use cisp_core::design::{
     AUTO_FULL_RESCORE_MAX_POOL,
 };
 use cisp_core::engine::{RoundUpdate, ScoreContext, ShardState};
-use cisp_core::scenario::{Scenario, ScenarioConfig};
+use cisp_core::scenario::{PoolBuildProfile, Scenario, ScenarioConfig};
 use cisp_core::topology::{mean_stretch_with_link, mean_stretch_with_link_compact, ScoringWeights};
 use cisp_data::towers::TowerRegistryConfig;
 use cisp_graph::{improve_with_link_tracked, ImprovedPairs};
@@ -267,6 +268,11 @@ fn assert_pruning_parity(pruned: &Scenario, unpruned: &Scenario, budget: f64) {
     );
 }
 
+/// The schema-2 recorded serial pool-build time (PR 8's `BENCH_design.json`,
+/// same scenario and seed) — the baseline the CSR-core rebuild is measured
+/// against.
+const PRIOR_BUILD_PRUNED_MS: f64 = 98_706.5;
+
 struct FullScaleReport {
     sites: usize,
     towers: usize,
@@ -274,6 +280,9 @@ struct FullScaleReport {
     budget: f64,
     build_pruned_ms: f64,
     build_unpruned_ms: f64,
+    build_pruned_parallel_ms: f64,
+    profile: PoolBuildProfile,
+    zero_attached_sites: usize,
     generation_prune_ratio: f64,
     pairs_total: u64,
     pairs_bounded_out: u64,
@@ -288,7 +297,10 @@ struct FullScaleReport {
 
 /// The paper-scale US entry: every quantity measured once (this is the
 /// budgeted mode — a full build already takes long enough that medians
-/// would triple the cost for little gain on a quiet runner).
+/// would triple the cost for little gain on a quiet runner). Builds are
+/// timed serial (`pool_workers = 1`) so the recorded numbers don't depend
+/// on the runner's core count; the sharded build is timed separately and
+/// asserted to emit the identical pool.
 fn measure_full_scale() -> FullScaleReport {
     let seed = 42;
     let mut config = ScenarioConfig::us_paper(seed);
@@ -296,6 +308,7 @@ fn measure_full_scale() -> FullScaleReport {
         raw_count: Scale::Full.raw_towers(),
         ..TowerRegistryConfig::default()
     };
+    config.pool_workers = 1;
     let t = Instant::now();
     let pruned = Scenario::build(&config);
     let build_pruned_ms = t.elapsed().as_secs_f64() * 1e3;
@@ -309,6 +322,19 @@ fn measure_full_scale() -> FullScaleReport {
     // Exactness first, timing second.
     assert_pruning_parity(&pruned, &unpruned, budget);
     let stats = pruned.pool_stats().expect("pruned build records stats");
+
+    // The sharded build must emit the bit-identical pool.
+    let mut parallel_config = config.clone();
+    parallel_config.pool_workers = 0;
+    let t = Instant::now();
+    let parallel = Scenario::build(&parallel_config);
+    let build_pruned_parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        parallel.design_input().candidates,
+        pruned.design_input().candidates,
+        "sharded pool build diverged from the serial pool"
+    );
+    assert_eq!(parallel.pool_stats(), pruned.pool_stats());
 
     let t = Instant::now();
     let greedy = pruned.design_greedy(budget);
@@ -327,6 +353,9 @@ fn measure_full_scale() -> FullScaleReport {
         budget,
         build_pruned_ms,
         build_unpruned_ms,
+        build_pruned_parallel_ms,
+        profile: pruned.pool_profile(),
+        zero_attached_sites: pruned.attachment_report().zero_attached().len(),
         generation_prune_ratio: stats.generation_prune_ratio(),
         pairs_total: stats.pairs_total,
         pairs_bounded_out: stats.bucket_pruned + stats.pair_pruned,
@@ -373,6 +402,28 @@ fn size_entry(r: &SizeReport) -> String {
     )
 }
 
+/// Render a [`PoolBuildProfile`] as a JSON object at `indent` spaces.
+fn stage_profile_entry(p: &PoolBuildProfile, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    format!(
+        concat!(
+            "{{\n",
+            "{pad}  \"hop_sweep_ms\": {:.1},\n",
+            "{pad}  \"attach_ms\": {:.1},\n",
+            "{pad}  \"search_ms\": {:.1},\n",
+            "{pad}  \"extract_ms\": {:.1},\n",
+            "{pad}  \"total_ms\": {:.1}\n",
+            "{pad}}}"
+        ),
+        p.hop_sweep_ms,
+        p.attach_ms,
+        p.search_ms,
+        p.extract_ms,
+        p.total_ms,
+        pad = pad,
+    )
+}
+
 fn full_scale_entry(r: &FullScaleReport) -> String {
     format!(
         concat!(
@@ -382,6 +433,11 @@ fn full_scale_entry(r: &FullScaleReport) -> String {
             "    \"pool_candidates\": {},\n",
             "    \"build_pruned_ms\": {:.1},\n",
             "    \"build_unpruned_ms\": {:.1},\n",
+            "    \"build_pruned_parallel_ms\": {:.1},\n",
+            "    \"prior_build_pruned_ms\": {:.1},\n",
+            "    \"build_speedup_vs_prior\": {:.2},\n",
+            "    \"stage_profile\": {},\n",
+            "    \"zero_attached_sites\": {},\n",
             "    \"generation_prune_ratio\": {:.4},\n",
             "    \"pairs_total\": {},\n",
             "    \"pairs_bounded_out\": {},\n",
@@ -392,7 +448,7 @@ fn full_scale_entry(r: &FullScaleReport) -> String {
             "    \"selected_links\": {},\n",
             "    \"total_towers\": {},\n",
             "    \"mean_stretch\": {:.6},\n",
-            "    \"pruning_parity\": \"pruned pool == oracle-filtered unpruned pool; identical selections\"\n",
+            "    \"pruning_parity\": \"pruned pool == oracle-filtered unpruned pool == sharded pool; identical selections\"\n",
             "  }},\n"
         ),
         r.sites,
@@ -401,6 +457,11 @@ fn full_scale_entry(r: &FullScaleReport) -> String {
         r.pool,
         r.build_pruned_ms,
         r.build_unpruned_ms,
+        r.build_pruned_parallel_ms,
+        PRIOR_BUILD_PRUNED_MS,
+        PRIOR_BUILD_PRUNED_MS / r.build_pruned_ms,
+        stage_profile_entry(&r.profile, 4),
+        r.zero_attached_sites,
         r.generation_prune_ratio,
         r.pairs_total,
         r.pairs_bounded_out,
@@ -421,15 +482,30 @@ fn main() {
         .unwrap_or_else(|| "BENCH_design.json".to_string());
     let scale = Scale::from_args();
 
+    let mut tiny_profile = String::new();
     if scale == Scale::Tiny {
         // CI smoke: the miniature scenario's pruning parity, asserted end
-        // to end, plus the smallest synthetic measurement.
+        // to end, plus the smallest synthetic measurement. Also checks the
+        // sharded build emits the identical pool and exports the stage
+        // profile so CI can assert the schema.
         let pruned = Scenario::build(&ScenarioConfig::tiny_test());
         let mut unpruned_config = ScenarioConfig::tiny_test();
         unpruned_config.prune_candidates = false;
         let unpruned = Scenario::build(&unpruned_config);
         assert_pruning_parity(&pruned, &unpruned, 250.0);
-        println!("tiny-scenario pruning parity: ok");
+        let mut serial_config = ScenarioConfig::tiny_test();
+        serial_config.pool_workers = 1;
+        let serial = Scenario::build(&serial_config);
+        assert_eq!(
+            serial.design_input().candidates,
+            pruned.design_input().candidates,
+            "sharded pool build diverged from the serial pool"
+        );
+        tiny_profile = format!(
+            "  \"stage_profile\": {},\n",
+            stage_profile_entry(&serial.pool_profile(), 2)
+        );
+        println!("tiny-scenario pruning + shard parity: ok");
     }
 
     let sizes: &[usize] = if scale == Scale::Tiny {
@@ -460,12 +536,15 @@ fn main() {
     let full_scale = if scale == Scale::Full {
         let r = measure_full_scale();
         println!(
-            "full scale: {} sites, {} towers, pool {} ({:.1}% of pairs bounded out), build {:.0} ms (unpruned {:.0} ms), greedy {:.0} ms ({} rounds, {:.1} ms/round), cisp {:.0} ms, {} links, stretch {:.4}",
+            "full scale: {} sites, {} towers, pool {} ({:.1}% of pairs bounded out), build {:.0} ms serial / {:.0} ms sharded ({:.1}x vs prior {:.0} ms; unpruned {:.0} ms), greedy {:.0} ms ({} rounds, {:.1} ms/round), cisp {:.0} ms, {} links, stretch {:.4}",
             r.sites,
             r.towers,
             r.pool,
             r.generation_prune_ratio * 100.0,
             r.build_pruned_ms,
+            r.build_pruned_parallel_ms,
+            PRIOR_BUILD_PRUNED_MS / r.build_pruned_ms,
+            PRIOR_BUILD_PRUNED_MS,
             r.build_unpruned_ms,
             r.greedy_ms,
             r.greedy_rounds,
@@ -483,15 +562,17 @@ fn main() {
         concat!(
             "{{\n",
             "  \"bench\": \"design greedy: incremental delta-scoring vs full rescore\",\n",
-            "  \"schema\": 2,\n",
+            "  \"schema\": 3,\n",
             "  \"input\": \"synthetic_design_input (all-pairs candidates), serial scoring\",\n",
             "  \"command\": \"cargo run --release --bin bench_design_baseline -- [--tiny|--full]\",\n",
             "  \"auto_engine_pool_threshold\": {},\n",
+            "{}",
             "{}",
             "  \"sizes\": [\n{}\n  ]\n",
             "}}\n"
         ),
         AUTO_FULL_RESCORE_MAX_POOL,
+        tiny_profile,
         full_scale,
         entries.join(",\n")
     );

@@ -71,11 +71,25 @@ pub struct FeasibleHop {
 
 /// The hop-feasibility engine: bundles the terrain, clutter, tower registry
 /// and configuration, and answers per-pair feasibility queries.
+///
+/// Construction precomputes each tower's antenna height above sea level
+/// (ground elevation + usable fraction of the structure), so the all-pairs
+/// sweep looks each tower's elevation up once instead of once per incident
+/// pair. Per-pair assessment fuses path sampling, obstruction lookup and
+/// Fresnel clearance into one early-exit loop — no profile `Vec`s — probing
+/// samples middle-out, because the Earth-bulge clearance requirement peaks
+/// mid-hop and most blocked hops fail there first. Feasibility verdicts are
+/// bit-identical to the reference profile pipeline
+/// ([`profile::obstruction_profile`] → [`fresnel::evaluate_profile`] →
+/// [`fresnel::profile_is_clear`]): the per-sample arithmetic is the same and
+/// "every interior sample clear" does not depend on evaluation order.
 pub struct HopFeasibility<'a> {
     towers: &'a TowerRegistry,
     terrain: &'a TerrainModel,
     clutter: &'a ClutterModel,
     config: HopConfig,
+    /// Per-tower antenna height above sea level, in metres.
+    antenna_asl_m: Vec<f64>,
 }
 
 impl<'a> HopFeasibility<'a> {
@@ -90,11 +104,17 @@ impl<'a> HopFeasibility<'a> {
         assert!(config.frequency_ghz > 0.0);
         assert!(config.k_factor > 0.0);
         assert!(config.usable_height_fraction > 0.0 && config.usable_height_fraction <= 1.0);
+        let antenna_asl_m = towers
+            .towers()
+            .iter()
+            .map(|t| terrain.elevation_m(t.location) + t.height_m * config.usable_height_fraction)
+            .collect();
         Self {
             towers,
             terrain,
             clutter,
             config,
+            antenna_asl_m,
         }
     }
 
@@ -114,47 +134,92 @@ impl<'a> HopFeasibility<'a> {
         }
 
         // Antenna heights above sea level: ground + usable fraction of the
-        // structure.
-        let h_a = self.terrain.elevation_m(ta.location)
-            + ta.height_m * self.config.usable_height_fraction;
-        let h_b = self.terrain.elevation_m(tb.location)
-            + tb.height_m * self.config.usable_height_fraction;
+        // structure (precomputed per tower).
+        let h_a = self.antenna_asl_m[a];
+        let h_b = self.antenna_asl_m[b];
 
-        let n_samples = profile::samples_for_hop(length_km);
-        let obstacles = profile::obstruction_profile(
-            self.terrain,
-            self.clutter,
-            ta.location,
-            tb.location,
-            n_samples,
-        );
-        let samples = fresnel::evaluate_profile(
-            length_km,
-            h_a,
-            h_b,
-            &obstacles,
-            self.config.frequency_ghz,
-            self.config.k_factor,
-        );
-        if fresnel::profile_is_clear(&samples) {
-            Some(FeasibleHop {
-                tower_a: a,
-                tower_b: b,
+        let n = profile::samples_for_hop(length_km);
+        let sampler = geodesic::PathSampler::new(ta.location, tb.location);
+        let denom = (n - 1) as f64;
+        // One interior sample of the reference profile pipeline: the frac,
+        // obstruction and clearance expressions are the same, so the boolean
+        // is too.
+        let clear = |idx: usize| -> bool {
+            let frac = idx as f64 / denom;
+            let p = sampler.point_at(frac);
+            let obstacle_m = self.terrain.elevation_m(p) + self.clutter.clutter_m(p);
+            fresnel::sample_is_clear(
                 length_km,
-            })
-        } else {
-            None
+                h_a,
+                h_b,
+                frac,
+                obstacle_m,
+                self.config.frequency_ghz,
+                self.config.k_factor,
+            )
+        };
+        // Interior samples are indices 1..=n-2 (endpoints are the antennas
+        // themselves); probe them middle-out with early exit.
+        let mid = (n - 1) / 2;
+        let mut lo = mid as isize;
+        let mut hi = mid + 1;
+        while lo >= 1 || hi <= n - 2 {
+            if lo >= 1 {
+                if !clear(lo as usize) {
+                    return None;
+                }
+                lo -= 1;
+            }
+            if hi <= n - 2 {
+                if !clear(hi) {
+                    return None;
+                }
+                hi += 1;
+            }
         }
+        Some(FeasibleHop {
+            tower_a: a,
+            tower_b: b,
+            length_km,
+        })
     }
 
     /// Enumerate every feasible hop in the registry (all tower pairs within
-    /// range, filtered by line-of-sight).
+    /// range, filtered by line-of-sight), serially.
     pub fn all_feasible_hops(&self) -> Vec<FeasibleHop> {
-        self.towers
-            .pairs_within(self.config.max_range_km)
-            .into_iter()
-            .filter_map(|(i, j)| self.assess_pair(i, j))
-            .collect()
+        self.all_feasible_hops_with(1)
+    }
+
+    /// [`Self::all_feasible_hops`] fanned out over `workers` threads
+    /// (`0` = one per core). Pairs are split into contiguous chunks and the
+    /// chunk results concatenated in input order, so the hop list is
+    /// identical — order included — for every worker count.
+    pub fn all_feasible_hops_with(&self, workers: usize) -> Vec<FeasibleHop> {
+        use rayon::prelude::*;
+
+        let pairs = self.towers.pairs_within(self.config.max_range_km);
+        let workers = if workers == 0 {
+            rayon::current_num_threads()
+        } else {
+            workers
+        };
+        if workers <= 1 || pairs.len() <= 1 {
+            return pairs
+                .into_iter()
+                .filter_map(|(i, j)| self.assess_pair(i, j))
+                .collect();
+        }
+        let chunks = crate::links::chunk_ranges(pairs.len(), workers);
+        let per_chunk: Vec<Vec<FeasibleHop>> = chunks
+            .into_par_iter()
+            .map(|(start, end)| {
+                pairs[start..end]
+                    .iter()
+                    .filter_map(|&(i, j)| self.assess_pair(i, j))
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -273,6 +338,86 @@ mod tests {
         let clutter = ClutterModel::none();
         let engine = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());
         assert_eq!(engine.assess_pair(0, 1), engine.assess_pair(1, 0));
+    }
+
+    // The fused early-exit sweep must agree with the reference allocating
+    // pipeline (obstruction_profile → evaluate_profile → profile_is_clear)
+    // on every pair, including marginal ones over real terrain — both the
+    // verdict and the reported length.
+    #[test]
+    fn fused_assessment_matches_reference_pipeline() {
+        let mut towers = Vec::new();
+        for k in 0..14 {
+            let lat = 37.0 + (k % 5) as f64 * 0.55;
+            let lon = -107.0 + (k % 7) as f64 * 0.7;
+            let h = 80.0 + (k * 37 % 200) as f64;
+            towers.push(tower(lat, lon, h));
+        }
+        let reg = registry(towers);
+        let terrain = TerrainModel::united_states(42);
+        let clutter = ClutterModel::with_seed(42);
+        let config = HopConfig::default();
+        let engine = HopFeasibility::new(&reg, &terrain, &clutter, config);
+
+        let reference = |i: usize, j: usize| -> Option<FeasibleHop> {
+            let (a, b) = (i.min(j), i.max(j));
+            let ta = &reg.towers()[a];
+            let tb = &reg.towers()[b];
+            let length_km = geodesic::distance_km(ta.location, tb.location);
+            if length_km > config.max_range_km || length_km < 0.1 {
+                return None;
+            }
+            let h_a = terrain.elevation_m(ta.location) + ta.height_m;
+            let h_b = terrain.elevation_m(tb.location) + tb.height_m;
+            let n = profile::samples_for_hop(length_km);
+            let obstacles =
+                profile::obstruction_profile(&terrain, &clutter, ta.location, tb.location, n);
+            let samples = fresnel::evaluate_profile(
+                length_km,
+                h_a,
+                h_b,
+                &obstacles,
+                config.frequency_ghz,
+                config.k_factor,
+            );
+            fresnel::profile_is_clear(&samples).then_some(FeasibleHop {
+                tower_a: a,
+                tower_b: b,
+                length_km,
+            })
+        };
+
+        let mut assessed = 0;
+        for i in 0..reg.len() {
+            for j in i + 1..reg.len() {
+                assert_eq!(engine.assess_pair(i, j), reference(i, j), "pair {i},{j}");
+                assessed += 1;
+            }
+        }
+        assert!(assessed > 50);
+    }
+
+    // The hop list must be identical — order included — for every worker
+    // count (contiguous chunks merged in input order).
+    #[test]
+    fn parallel_sweep_is_worker_count_invariant() {
+        let mut towers = Vec::new();
+        for k in 0..20 {
+            towers.push(tower(
+                39.0 + (k % 4) as f64 * 0.5,
+                -100.0 + (k % 5) as f64 * 0.6,
+                120.0 + (k * 13 % 150) as f64,
+            ));
+        }
+        let reg = registry(towers);
+        let terrain = TerrainModel::united_states(7);
+        let clutter = ClutterModel::none();
+        let engine = HopFeasibility::new(&reg, &terrain, &clutter, HopConfig::default());
+        let serial = engine.all_feasible_hops();
+        assert!(!serial.is_empty());
+        for workers in [0, 2, 3, 7] {
+            assert_eq!(engine.all_feasible_hops_with(workers), serial);
+        }
     }
 
     #[test]

@@ -11,12 +11,39 @@
 //! configurable radius of the site, reflecting the paper's observation that
 //! each city hosts plenty of towers suitable as path starting points.
 
+use std::time::Instant;
+
 use cisp_data::towers::TowerRegistry;
 use cisp_geo::{geodesic, GeoPoint};
-use cisp_graph::{dijkstra, DistMatrix, Graph};
+use cisp_graph::{dijkstra, CsrGraph, DistMatrix, Graph, SearchCore};
 use serde::{Deserialize, Serialize};
 
 use crate::hops::FeasibleHop;
+
+/// Split `0..len` into at most `workers` contiguous ranges whose sizes
+/// differ by ≤ 1 (used to fan sweeps out with a deterministic merge order).
+pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let w = workers.min(len).max(1);
+    let base = len / w;
+    let remainder = len % w;
+    let mut out = Vec::with_capacity(w);
+    let mut start = 0;
+    for k in 0..w {
+        let size = base + usize::from(k < remainder);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+/// Resolve a worker-count knob: `0` means one worker per core.
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        rayon::current_num_threads()
+    } else {
+        workers
+    }
+}
 
 /// A candidate direct microwave link between two sites.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,12 +87,58 @@ impl Default for LinkBuilderConfig {
     }
 }
 
+/// Per-site tower-attachment report produced by [`LinkBuilder::new`].
+///
+/// A site with zero attached towers can never originate a microwave link
+/// no matter how dense the hop graph is; surfacing those sites up front
+/// turns a silent empty-pool symptom into a diagnosable input problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttachmentReport {
+    /// Number of towers attached to each site, indexed by site.
+    pub attached_per_site: Vec<usize>,
+}
+
+impl AttachmentReport {
+    /// Sites with no tower within the attach radius, ascending.
+    pub fn zero_attached(&self) -> Vec<usize> {
+        self.attached_per_site
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n == 0)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Smallest per-site attachment count (0 when any site is stranded).
+    pub fn min_attached(&self) -> usize {
+        self.attached_per_site.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Wall-clock split of one pool-generation run, summed across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolSearchTimings {
+    /// Time spent in per-site shortest-path searches, milliseconds.
+    pub search_ms: f64,
+    /// Time spent extracting paths and assembling links, milliseconds.
+    pub extract_ms: f64,
+}
+
+impl PoolSearchTimings {
+    fn absorb(&mut self, other: PoolSearchTimings) {
+        self.search_ms += other.search_ms;
+        self.extract_ms += other.extract_ms;
+    }
+}
+
 /// Builds candidate links from sites, towers and feasible hops.
 pub struct LinkBuilder<'a> {
     sites: &'a [GeoPoint],
     towers: &'a TowerRegistry,
     graph: Graph,
+    csr: CsrGraph,
     config: LinkBuilderConfig,
+    attachment: AttachmentReport,
 }
 
 impl<'a> LinkBuilder<'a> {
@@ -85,17 +158,24 @@ impl<'a> LinkBuilder<'a> {
         for hop in hops {
             graph.add_undirected_edge(hop.tower_a, hop.tower_b, hop.length_km);
         }
+        let mut attached_per_site = Vec::with_capacity(sites.len());
+        let mut near: Vec<usize> = Vec::new();
         for (s, &site) in sites.iter().enumerate() {
-            for tower_idx in towers.towers_within(site, config.site_attach_radius_km) {
+            towers.towers_within_into(site, config.site_attach_radius_km, &mut near);
+            for &tower_idx in &near {
                 let d = geodesic::distance_km(site, towers.towers()[tower_idx].location);
                 graph.add_undirected_edge(t + s, tower_idx, d);
             }
+            attached_per_site.push(near.len());
         }
+        let csr = CsrGraph::from_graph(&graph);
         Self {
             sites,
             towers,
             graph,
+            csr,
             config,
+            attachment: AttachmentReport { attached_per_site },
         }
     }
 
@@ -107,6 +187,16 @@ impl<'a> LinkBuilder<'a> {
     /// The combined tower + site graph (towers first, then sites).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The CSR mirror of the combined graph that the search core runs over.
+    pub fn csr_graph(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Per-site tower-attachment report (see [`AttachmentReport`]).
+    pub fn attachment_report(&self) -> &AttachmentReport {
+        &self.attachment
     }
 
     /// The configuration in use.
@@ -145,36 +235,112 @@ impl<'a> LinkBuilder<'a> {
 
     /// Compute candidate links for every connected pair of sites.
     ///
-    /// Runs one Dijkstra per site over the combined graph and extracts every
-    /// site-to-site path, so the overall cost is `S` single-source runs
-    /// rather than `S²` point-to-point runs.
+    /// Runs one single-source search per site over the combined graph and
+    /// extracts every site-to-site path, so the overall cost is `S`
+    /// single-source runs rather than `S²` point-to-point runs. The search
+    /// runs on the CSR core ([`SearchCore`]) with multi-target early
+    /// termination: once every site `b > a` is settled the frontier is
+    /// abandoned. Settle order and distances match the exhaustive
+    /// binary-heap Dijkstra bitwise (pinned in `tests/design_pool_pruning.rs`).
     pub fn all_candidate_links(&self) -> Vec<CandidateLink> {
+        self.all_candidate_links_with(1)
+    }
+
+    /// [`Self::all_candidate_links`] fanned out over `workers` threads
+    /// (`0` = one per core). Sites are split into contiguous chunks and the
+    /// per-chunk results concatenated in order, so the output is identical
+    /// to the serial run for every worker count.
+    pub fn all_candidate_links_with(&self, workers: usize) -> Vec<CandidateLink> {
+        self.all_candidate_links_profiled(workers).0
+    }
+
+    /// [`Self::all_candidate_links_with`] plus a wall-clock split of the
+    /// search and extraction stages (summed across workers).
+    pub fn all_candidate_links_profiled(
+        &self,
+        workers: usize,
+    ) -> (Vec<CandidateLink>, PoolSearchTimings) {
         let n = self.sites.len();
-        let mut links = Vec::new();
-        for a in 0..n {
-            let tree = dijkstra::shortest_path_tree(&self.graph, self.site_node(a), None);
-            for b in (a + 1)..n {
-                if let Some(path) = tree.path_to(self.site_node(b)) {
-                    let tower_path: Vec<usize> = path
-                        .interior_nodes()
-                        .iter()
-                        .copied()
-                        .filter(|&n| n < self.towers.len())
-                        .collect();
-                    // Paths that route *through* another site node are still
-                    // valid microwave paths (the intermediate site hosts
-                    // towers); we only count towers for cost purposes.
-                    links.push(CandidateLink {
-                        site_a: a,
-                        site_b: b,
-                        mw_length_km: path.cost,
-                        tower_count: tower_path.len(),
-                        tower_path,
-                    });
+        let workers = resolve_workers(workers);
+        if workers <= 1 || n <= 2 {
+            let mut ctx = SiteSearchCtx::default();
+            let mut links = Vec::new();
+            for a in 0..n {
+                self.full_links_for_site(a, &mut ctx, &mut links);
+            }
+            return (links, ctx.timings);
+        }
+        use rayon::prelude::*;
+        let chunks = chunk_ranges(n, workers);
+        let per_chunk: Vec<(Vec<CandidateLink>, PoolSearchTimings)> = chunks
+            .into_par_iter()
+            .map(|(start, end)| {
+                let mut ctx = SiteSearchCtx::default();
+                let mut links = Vec::new();
+                for a in start..end {
+                    self.full_links_for_site(a, &mut ctx, &mut links);
                 }
+                (links, ctx.timings)
+            })
+            .collect();
+        let mut links = Vec::new();
+        let mut timings = PoolSearchTimings::default();
+        for (chunk_links, chunk_timings) in per_chunk {
+            links.extend(chunk_links);
+            timings.absorb(chunk_timings);
+        }
+        (links, timings)
+    }
+
+    /// Search from site `a` and append the links to every site `b > a`.
+    fn full_links_for_site(
+        &self,
+        a: usize,
+        ctx: &mut SiteSearchCtx,
+        links: &mut Vec<CandidateLink>,
+    ) {
+        let n = self.sites.len();
+        if a + 1 >= n {
+            return;
+        }
+        ctx.nodes.clear();
+        ctx.nodes.extend((a + 1..n).map(|b| self.site_node(b)));
+        let t0 = Instant::now();
+        ctx.core
+            .search(&self.csr, self.site_node(a), &ctx.nodes, f64::INFINITY);
+        ctx.timings.search_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        for b in (a + 1)..n {
+            let node = self.site_node(b);
+            if ctx.core.node_path_into(node, &mut ctx.path) {
+                // Paths that route *through* another site node are still
+                // valid microwave paths (the intermediate site hosts
+                // towers); we only count towers for cost purposes.
+                links.push(self.assemble_link(a, b, ctx.core.dist(node), &ctx.path));
             }
         }
-        links
+        ctx.timings.extract_ms += t1.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// Build a [`CandidateLink`] from an extracted node path.
+    fn assemble_link(&self, a: usize, b: usize, dist_km: f64, nodes: &[usize]) -> CandidateLink {
+        let interior = if nodes.len() <= 2 {
+            &[][..]
+        } else {
+            &nodes[1..nodes.len() - 1]
+        };
+        let tower_path: Vec<usize> = interior
+            .iter()
+            .copied()
+            .filter(|&v| v < self.towers.len())
+            .collect();
+        CandidateLink {
+            site_a: a,
+            site_b: b,
+            mw_length_km: dist_km,
+            tower_count: tower_path.len(),
+            tower_path,
+        }
     }
 
     /// Compute candidate links for every connected pair of sites, pruned
@@ -207,88 +373,178 @@ impl<'a> LinkBuilder<'a> {
         &self,
         fiber_km: &DistMatrix,
     ) -> (Vec<CandidateLink>, PoolPruneStats) {
+        let (links, stats, _) = self.pruned_candidate_links_profiled(fiber_km, 1);
+        (links, stats)
+    }
+
+    /// [`Self::pruned_candidate_links`] fanned out over `workers` threads
+    /// (`0` = one per core). Deterministic: sites are split into contiguous
+    /// chunks, chunk outputs concatenated in order and stats summed, so
+    /// links and stats are identical to the serial run for every worker
+    /// count.
+    pub fn pruned_candidate_links_with(
+        &self,
+        fiber_km: &DistMatrix,
+        workers: usize,
+    ) -> (Vec<CandidateLink>, PoolPruneStats) {
+        let (links, stats, _) = self.pruned_candidate_links_profiled(fiber_km, workers);
+        (links, stats)
+    }
+
+    /// [`Self::pruned_candidate_links_with`] plus a wall-clock split of the
+    /// search and extraction stages (summed across workers).
+    pub fn pruned_candidate_links_profiled(
+        &self,
+        fiber_km: &DistMatrix,
+        workers: usize,
+    ) -> (Vec<CandidateLink>, PoolPruneStats, PoolSearchTimings) {
+        let n = self.sites.len();
+        assert_eq!(fiber_km.n(), n, "fiber matrix size must match site count");
+        let grid = SiteGrid::build(self.sites);
+        let workers = resolve_workers(workers);
+        let mut stats = PoolPruneStats {
+            pairs_total: (n * n.saturating_sub(1) / 2) as u64,
+            ..PoolPruneStats::default()
+        };
+        let mut timings = PoolSearchTimings::default();
+        let mut links = Vec::new();
+        if workers <= 1 || n <= 2 {
+            let mut ctx = SiteSearchCtx::default();
+            for a in 0..n {
+                self.pruned_links_for_site(a, fiber_km, &grid, &mut ctx, &mut links, &mut stats);
+            }
+            timings = ctx.timings;
+        } else {
+            use rayon::prelude::*;
+            let chunks = chunk_ranges(n, workers);
+            let per_chunk: Vec<(Vec<CandidateLink>, PoolPruneStats, PoolSearchTimings)> = chunks
+                .into_par_iter()
+                .map(|(start, end)| {
+                    let mut ctx = SiteSearchCtx::default();
+                    let mut chunk_links = Vec::new();
+                    let mut chunk_stats = PoolPruneStats::default();
+                    for a in start..end {
+                        self.pruned_links_for_site(
+                            a,
+                            fiber_km,
+                            &grid,
+                            &mut ctx,
+                            &mut chunk_links,
+                            &mut chunk_stats,
+                        );
+                    }
+                    (chunk_links, chunk_stats, ctx.timings)
+                })
+                .collect();
+            for (chunk_links, chunk_stats, chunk_timings) in per_chunk {
+                links.extend(chunk_links);
+                stats.bucket_pruned += chunk_stats.bucket_pruned;
+                stats.pair_pruned += chunk_stats.pair_pruned;
+                stats.unreachable += chunk_stats.unreachable;
+                stats.oracle_dropped += chunk_stats.oracle_dropped;
+                stats.emitted += chunk_stats.emitted;
+                timings.absorb(chunk_timings);
+            }
+        }
+        (links, stats, timings)
+    }
+
+    /// Run the pruned generation for source site `a`: bucket and pair
+    /// bounds, then one capped multi-target search over the CSR core.
+    fn pruned_links_for_site(
+        &self,
+        a: usize,
+        fiber_km: &DistMatrix,
+        grid: &SiteGrid,
+        ctx: &mut SiteSearchCtx,
+        links: &mut Vec<CandidateLink>,
+        stats: &mut PoolPruneStats,
+    ) {
         // Margin between "geodesic already at fiber" and the prune decision:
         // microwave path lengths are sums of geodesic legs, mathematically
         // >= the direct geodesic but computed with ~ulp noise. One
         // millimetre dwarfs that noise by many orders of magnitude while
         // pruning everything the oracle would reject by more than it.
         const GEO_SAFETY_KM: f64 = 1e-6;
-        let n = self.sites.len();
-        assert_eq!(fiber_km.n(), n, "fiber matrix size must match site count");
-        let grid = SiteGrid::build(self.sites);
-        let mut stats = PoolPruneStats {
-            pairs_total: (n * n.saturating_sub(1) / 2) as u64,
-            ..PoolPruneStats::default()
-        };
-        let mut links = Vec::new();
-        let mut targets: Vec<usize> = Vec::new();
-        for a in 0..n {
-            let fib_row = fiber_km.row(a);
-            targets.clear();
-            for bucket in &grid.buckets {
-                // Members paired as (a, b) with b > a only, so every
-                // unordered pair is examined exactly once.
-                let members = || bucket.members.iter().copied().filter(|&b| b > a);
-                let pairs = members().count();
-                if pairs == 0 {
-                    continue;
-                }
-                let max_fib = members().fold(0.0f64, |acc, b| acc.max(fib_row[b]));
-                let lb_geo = (geodesic::distance_km(self.sites[a], bucket.centroid)
-                    - bucket.radius_km)
-                    .max(0.0);
-                if lb_geo >= max_fib + GEO_SAFETY_KM {
-                    stats.bucket_pruned += pairs as u64;
-                    continue;
-                }
-                for b in members() {
-                    if geodesic::distance_km(self.sites[a], self.sites[b])
-                        >= fib_row[b] + GEO_SAFETY_KM
-                    {
-                        stats.pair_pruned += 1;
-                    } else {
-                        targets.push(b);
-                    }
-                }
-            }
-            if targets.is_empty() {
+        let fib_row = fiber_km.row(a);
+        ctx.targets.clear();
+        for bucket in &grid.buckets {
+            // Members paired as (a, b) with b > a only, so every
+            // unordered pair is examined exactly once.
+            let members = || bucket.members.iter().copied().filter(|&b| b > a);
+            let pairs = members().count();
+            if pairs == 0 {
                 continue;
             }
-            targets.sort_unstable();
-            // Every settled distance below the cap is bit-identical to the
-            // unbounded run's, and every unsettled node's tentative distance
-            // exceeds the cap — so the strict `< fiber` extraction below
-            // sees exactly the unbounded run's output.
-            let cap = targets.iter().fold(0.0f64, |acc, &b| acc.max(fib_row[b]));
-            let tree = dijkstra::shortest_path_tree_within(&self.graph, self.site_node(a), cap);
-            for &b in &targets {
-                let node = self.site_node(b);
-                let dist = tree.dist[node];
-                if !dist.is_finite() {
-                    stats.unreachable += 1;
-                } else if dist < fib_row[b] {
-                    let path = tree.path_to(node).expect("settled node has a path");
-                    let tower_path: Vec<usize> = path
-                        .interior_nodes()
-                        .iter()
-                        .copied()
-                        .filter(|&v| v < self.towers.len())
-                        .collect();
-                    links.push(CandidateLink {
-                        site_a: a,
-                        site_b: b,
-                        mw_length_km: path.cost,
-                        tower_count: tower_path.len(),
-                        tower_path,
-                    });
-                    stats.emitted += 1;
+            let max_fib = members().fold(0.0f64, |acc, b| acc.max(fib_row[b]));
+            let lb_geo =
+                (geodesic::distance_km(self.sites[a], bucket.centroid) - bucket.radius_km).max(0.0);
+            if lb_geo >= max_fib + GEO_SAFETY_KM {
+                stats.bucket_pruned += pairs as u64;
+                continue;
+            }
+            for b in members() {
+                if geodesic::distance_km(self.sites[a], self.sites[b]) >= fib_row[b] + GEO_SAFETY_KM
+                {
+                    stats.pair_pruned += 1;
                 } else {
-                    stats.oracle_dropped += 1;
+                    ctx.targets.push(b);
                 }
             }
         }
-        (links, stats)
+        if ctx.targets.is_empty() {
+            return;
+        }
+        ctx.targets.sort_unstable();
+        // Every settled distance below the cap is bit-identical to the
+        // unbounded run's, and every unsettled node's tentative distance
+        // exceeds the cap — so the strict `< fiber` extraction below sees
+        // exactly the unbounded run's output. The search additionally stops
+        // once every target is settled; that only skips work past the last
+        // extraction the loop below would perform.
+        let cap = ctx
+            .targets
+            .iter()
+            .fold(0.0f64, |acc, &b| acc.max(fib_row[b]));
+        ctx.nodes.clear();
+        ctx.nodes
+            .extend(ctx.targets.iter().map(|&b| self.site_node(b)));
+        let t0 = Instant::now();
+        ctx.core
+            .search(&self.csr, self.site_node(a), &ctx.nodes, cap);
+        ctx.timings.search_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        for &b in &ctx.targets {
+            let node = self.site_node(b);
+            let dist = ctx.core.dist(node);
+            if !dist.is_finite() {
+                stats.unreachable += 1;
+            } else if dist < fib_row[b] {
+                let found = ctx.core.node_path_into(node, &mut ctx.path);
+                assert!(found, "settled node has a path");
+                links.push(self.assemble_link(a, b, dist, &ctx.path));
+                stats.emitted += 1;
+            } else {
+                stats.oracle_dropped += 1;
+            }
+        }
+        ctx.timings.extract_ms += t1.elapsed().as_secs_f64() * 1e3;
     }
+}
+
+/// Reusable per-worker scratch for the per-site searches: the search core's
+/// generation-stamped buffers plus target/path vectors, so a sweep over
+/// many sites allocates once per worker instead of once per site.
+#[derive(Default)]
+struct SiteSearchCtx {
+    core: SearchCore,
+    /// Surviving target *site* indices (pruned mode scratch).
+    targets: Vec<usize>,
+    /// Target *node* ids handed to the search core.
+    nodes: Vec<usize>,
+    /// Extracted node path scratch.
+    path: Vec<usize>,
+    timings: PoolSearchTimings,
 }
 
 /// Observational counters of one [`LinkBuilder::pruned_candidate_links`]
@@ -581,6 +837,87 @@ mod tests {
         // And the full generation still finds links — the prune, not the
         // tower graph, removed them.
         assert!(!builder.all_candidate_links().is_empty());
+    }
+
+    #[test]
+    fn attachment_report_surfaces_stranded_sites() {
+        // Site 0 sits on the tower chain; site 1 is ~850 km away with no
+        // tower within the attach radius and must show up as zero-attached.
+        let site_a = GeoPoint::new(40.0, -100.0);
+        let site_b = GeoPoint::new(40.0, -90.0);
+        let reg = TowerRegistry::from_towers(vec![tower(40.0, -100.05)]);
+        let hops = feasible_hops(&reg);
+        let sites = vec![site_a, site_b];
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let report = builder.attachment_report();
+        assert_eq!(report.attached_per_site, vec![1, 0]);
+        assert_eq!(report.zero_attached(), vec![1]);
+        assert_eq!(report.min_attached(), 0);
+        // The report mirrors the graph's own attachment counts.
+        for s in 0..sites.len() {
+            assert_eq!(report.attached_per_site[s], builder.attached_towers(s));
+        }
+    }
+
+    #[test]
+    fn attachment_report_all_attached_has_no_zero_sites() {
+        let (sites, reg) = corridor_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let report = builder.attachment_report();
+        assert!(report.zero_attached().is_empty());
+        assert!(report.min_attached() >= 1);
+    }
+
+    #[test]
+    fn parallel_pool_generation_is_worker_count_invariant() {
+        let (sites, reg) = corridor_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let fiber = DistMatrix::from_fn(sites.len(), |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * 1.3
+        });
+        let serial_full = builder.all_candidate_links();
+        let (serial_pruned, serial_stats) = builder.pruned_candidate_links(&fiber);
+        for workers in [0, 2, 3, 7] {
+            assert_eq!(builder.all_candidate_links_with(workers), serial_full);
+            let (pruned, stats) = builder.pruned_candidate_links_with(&fiber, workers);
+            assert_eq!(pruned, serial_pruned);
+            assert_eq!(stats, serial_stats);
+        }
+    }
+
+    #[test]
+    fn profiled_generation_reports_timings_and_same_pool() {
+        let (sites, reg) = corridor_setup();
+        let hops = feasible_hops(&reg);
+        let builder = LinkBuilder::new(&sites, &reg, &hops, LinkBuilderConfig::default());
+        let fiber = DistMatrix::from_fn(sites.len(), |i, j| {
+            geodesic::distance_km(sites[i], sites[j]) * 2.0
+        });
+        let (expected, expected_stats) = builder.pruned_candidate_links(&fiber);
+        let (pool, stats, timings) = builder.pruned_candidate_links_profiled(&fiber, 1);
+        assert_eq!(pool, expected);
+        assert_eq!(stats, expected_stats);
+        assert!(timings.search_ms >= 0.0 && timings.extract_ms >= 0.0);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_input_exactly() {
+        for len in [0usize, 1, 2, 5, 7, 16, 119] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let chunks = chunk_ranges(len, workers);
+                assert!(chunks.len() <= workers.max(1));
+                let mut expect = 0;
+                for &(start, end) in &chunks {
+                    assert_eq!(start, expect);
+                    assert!(end >= start);
+                    expect = end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
     }
 
     #[test]

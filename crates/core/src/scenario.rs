@@ -28,8 +28,10 @@ use crate::augment::{augment_for_throughput, AugmentConfig, Augmentation};
 use crate::cost::{CostBreakdown, CostModel};
 use crate::design::{DesignConfig, DesignInput, DesignOutcome, Designer};
 use crate::hops::{HopConfig, HopFeasibility};
-use crate::links::{LinkBuilder, LinkBuilderConfig, PoolPruneStats};
+use crate::links::{AttachmentReport, LinkBuilder, LinkBuilderConfig, PoolPruneStats};
 use crate::topology::HybridTopology;
+
+use std::time::Instant;
 
 /// Which terrain model a scenario uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +73,12 @@ pub struct ScenarioConfig {
     /// parity tests can pay for (and compare against) the unpruned pool.
     #[serde(default = "default_true")]
     pub prune_candidates: bool,
+    /// Worker threads for the pool build (hop sweep + per-site searches):
+    /// `0` = one per core, `1` = serial. The pool is identical for every
+    /// value — sites are sharded into contiguous chunks merged in order —
+    /// so this only trades wall-clock for cores.
+    #[serde(default)]
+    pub pool_workers: usize,
 }
 
 // Referenced by the `serde(default)` attribute above; the offline serde
@@ -96,6 +104,7 @@ impl ScenarioConfig {
             links: LinkBuilderConfig::default(),
             design: DesignConfig::default(),
             prune_candidates: true,
+            pool_workers: 0,
         }
     }
 
@@ -125,6 +134,7 @@ impl ScenarioConfig {
             links: LinkBuilderConfig::default(),
             design: DesignConfig::default(),
             prune_candidates: true,
+            pool_workers: 0,
         }
     }
 
@@ -138,6 +148,25 @@ impl ScenarioConfig {
     }
 }
 
+/// Wall-clock split of one [`Scenario::build`] candidate-pool build.
+///
+/// `search_ms`/`extract_ms` are summed across workers, so with
+/// `pool_workers > 1` they can exceed their share of the elapsed
+/// `total_ms`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolBuildProfile {
+    /// Hop feasibility sweep (terrain/Fresnel clearance over all pairs).
+    pub hop_sweep_ms: f64,
+    /// Tower+site graph assembly, site attachment and CSR construction.
+    pub attach_ms: f64,
+    /// Per-site shortest-path searches.
+    pub search_ms: f64,
+    /// Path extraction and link assembly.
+    pub extract_ms: f64,
+    /// Elapsed wall-clock of the whole pool build (sweep through links).
+    pub total_ms: f64,
+}
+
 /// A fully built scenario, ready for design runs.
 pub struct Scenario {
     config: ScenarioConfig,
@@ -146,6 +175,8 @@ pub struct Scenario {
     fiber: FiberNetwork,
     input: DesignInput,
     pool_stats: Option<PoolPruneStats>,
+    pool_profile: PoolBuildProfile,
+    attachment: AttachmentReport,
 }
 
 impl Scenario {
@@ -189,17 +220,32 @@ impl Scenario {
         let fiber = FiberNetwork::synthesize(config.seed, &cities, &config.fiber);
 
         let sites: Vec<GeoPoint> = cities.iter().map(|c| c.location).collect();
+        let build_start = Instant::now();
         let feasibility = HopFeasibility::new(&towers, &terrain, &clutter, config.hops);
-        let hops = feasibility.all_feasible_hops();
+        let hops = feasibility.all_feasible_hops_with(config.pool_workers);
+        let hop_sweep_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+        let attach_start = Instant::now();
         let builder = LinkBuilder::new(&sites, &towers, &hops, config.links);
+        let attach_ms = attach_start.elapsed().as_secs_f64() * 1e3;
+        let attachment = builder.attachment_report().clone();
 
         let traffic = population_product_traffic(&cities);
         let fiber_km = fiber.latency_equivalent_matrix();
-        let (candidates, pool_stats) = if config.prune_candidates {
-            let (links, stats) = builder.pruned_candidate_links(&fiber_km);
-            (links, Some(stats))
+        let (candidates, pool_stats, timings) = if config.prune_candidates {
+            let (links, stats, timings) =
+                builder.pruned_candidate_links_profiled(&fiber_km, config.pool_workers);
+            (links, Some(stats), timings)
         } else {
-            (builder.all_candidate_links(), None)
+            let (links, timings) = builder.all_candidate_links_profiled(config.pool_workers);
+            (links, None, timings)
+        };
+        let pool_profile = PoolBuildProfile {
+            hop_sweep_ms,
+            attach_ms,
+            search_ms: timings.search_ms,
+            extract_ms: timings.extract_ms,
+            total_ms: build_start.elapsed().as_secs_f64() * 1e3,
         };
 
         let input = DesignInput {
@@ -216,6 +262,8 @@ impl Scenario {
             fiber,
             input,
             pool_stats,
+            pool_profile,
+            attachment,
         }
     }
 
@@ -248,6 +296,17 @@ impl Scenario {
     /// with `prune_candidates` (None on the exhaustive path).
     pub fn pool_stats(&self) -> Option<PoolPruneStats> {
         self.pool_stats
+    }
+
+    /// Wall-clock stage split of the candidate-pool build.
+    pub fn pool_profile(&self) -> PoolBuildProfile {
+        self.pool_profile
+    }
+
+    /// Per-site tower-attachment report from the pool build; sites in
+    /// [`AttachmentReport::zero_attached`] can never host a microwave link.
+    pub fn attachment_report(&self) -> &AttachmentReport {
+        &self.attachment
     }
 
     /// Run the cISP design heuristic at a tower budget (on the incremental
@@ -487,6 +546,34 @@ mod tests {
         let b = unpruned.design(250.0);
         assert_eq!(key(&pruned, &a), key(&unpruned, &b));
         assert!((a.mean_stretch - b.mean_stretch).abs() == 0.0);
+    }
+
+    #[test]
+    fn pool_profile_and_attachment_report_are_populated() {
+        let s = tiny();
+        let profile = s.pool_profile();
+        assert!(profile.total_ms > 0.0);
+        assert!(profile.hop_sweep_ms >= 0.0 && profile.attach_ms >= 0.0);
+        assert!(profile.search_ms >= 0.0 && profile.extract_ms >= 0.0);
+        assert!(profile.total_ms >= profile.hop_sweep_ms);
+        let report = s.attachment_report();
+        assert_eq!(report.attached_per_site.len(), s.cities().len());
+        // The tiny scenario's registry seeds towers near every city, so no
+        // site should be stranded.
+        assert!(report.zero_attached().is_empty());
+    }
+
+    #[test]
+    fn pool_workers_do_not_change_the_pool() {
+        let auto = tiny(); // pool_workers = 0 (one per core)
+        let mut serial_config = ScenarioConfig::tiny_test();
+        serial_config.pool_workers = 1;
+        let serial = Scenario::build(&serial_config);
+        assert_eq!(
+            auto.design_input().candidates,
+            serial.design_input().candidates
+        );
+        assert_eq!(auto.pool_stats(), serial.pool_stats());
     }
 
     #[test]

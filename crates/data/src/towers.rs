@@ -94,11 +94,82 @@ pub struct TowerRegistry {
     towers: Vec<Tower>,
     /// Grid index: 0.5°-cell → tower indices, for range queries.
     #[serde(skip)]
-    grid: HashMap<(i32, i32), Vec<usize>>,
+    grid: GridIndex,
 }
 
 /// Cell size of the spatial index, in degrees.
 const CELL_DEG: f64 = 0.5;
+
+/// Flat grid-bucket index: one sorted array of packed cell keys, one CSR
+/// offset array, one contiguous item array.
+///
+/// The previous `HashMap<(i32, i32), Vec<usize>>` paid a hash plus a
+/// pointer-chase per probed cell and scattered every bucket across the heap;
+/// a full `pairs_within` sweep probes hundreds of thousands of cells. Here a
+/// probe is one binary search over a dense `i64` array and the bucket is a
+/// slice of one shared allocation. Buckets hold tower indices in ascending
+/// order (the build sort is by `(key, index)`), matching the hash version's
+/// per-bucket insertion order.
+#[derive(Debug, Clone, Default)]
+struct GridIndex {
+    /// Packed `(lat_cell, lon_cell)` keys, sorted ascending, one per
+    /// non-empty cell.
+    keys: Vec<i64>,
+    /// `offsets[k]..offsets[k + 1]` is cell `k`'s slice of `items`.
+    offsets: Vec<u32>,
+    /// Tower indices, grouped by cell, ascending within each cell.
+    items: Vec<u32>,
+}
+
+/// Pack a grid cell into one orderable key.
+#[inline]
+fn pack_cell(cell: (i32, i32)) -> i64 {
+    ((cell.0 as i64) << 32) | (cell.1 as i64 & 0xFFFF_FFFF)
+}
+
+impl GridIndex {
+    fn build(towers: &[Tower]) -> Self {
+        let mut entries: Vec<(i64, u32)> = towers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (pack_cell(t.location.grid_cell(CELL_DEG)), i as u32))
+            .collect();
+        entries.sort_unstable();
+        let mut keys = Vec::new();
+        let mut offsets = Vec::new();
+        let mut items = Vec::with_capacity(entries.len());
+        for (key, idx) in entries {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                offsets.push(items.len() as u32);
+            }
+            items.push(idx);
+        }
+        offsets.push(items.len() as u32);
+        Self {
+            keys,
+            offsets,
+            items,
+        }
+    }
+
+    /// Tower indices in `cell`, or an empty slice.
+    #[inline]
+    fn bucket(&self, cell: (i32, i32)) -> &[u32] {
+        match self.keys.binary_search(&pack_cell(cell)) {
+            Ok(k) => &self.items[self.offsets[k] as usize..self.offsets[k + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    fn max_occupancy(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 impl TowerRegistry {
     /// Generate a synthetic registry for a bounding box and set of cities.
@@ -191,12 +262,7 @@ impl TowerRegistry {
     /// Build a registry from an explicit tower list (used by tests and by
     /// callers with their own data).
     pub fn from_towers(towers: Vec<Tower>) -> Self {
-        let mut grid: HashMap<(i32, i32), Vec<usize>> = HashMap::new();
-        for (i, t) in towers.iter().enumerate() {
-            grid.entry(t.location.grid_cell(CELL_DEG))
-                .or_default()
-                .push(i);
-        }
+        let grid = GridIndex::build(&towers);
         Self { towers, grid }
     }
 
@@ -223,7 +289,18 @@ impl TowerRegistry {
 
     /// Indices of towers within `radius_km` of `point`.
     pub fn towers_within(&self, point: GeoPoint, radius_km: f64) -> Vec<usize> {
+        let mut result = Vec::new();
+        self.towers_within_into(point, radius_km, &mut result);
+        result
+    }
+
+    /// [`Self::towers_within`] writing into a caller-owned buffer (cleared
+    /// first), so sweeping callers — site attachment, `pairs_within` — reuse
+    /// one allocation across queries. Results are ascending tower indices,
+    /// identical to `towers_within`.
+    pub fn towers_within_into(&self, point: GeoPoint, radius_km: f64, result: &mut Vec<usize>) {
         assert!(radius_km >= 0.0);
+        result.clear();
         // 0.5° of latitude ≈ 55.6 km; pad the cell search generously for
         // longitude shrink at high latitudes.
         let lat_cells = (radius_km / 55.6 / CELL_DEG).ceil() as i32 + 1;
@@ -231,28 +308,27 @@ impl TowerRegistry {
         let lon_cells = (radius_km / (111.32 * cos_lat) / CELL_DEG).ceil() as i32 + 1;
         let (cell_lat, cell_lon) = point.grid_cell(CELL_DEG);
 
-        let mut result = Vec::new();
         for dlat in -lat_cells..=lat_cells {
             for dlon in -lon_cells..=lon_cells {
-                if let Some(indices) = self.grid.get(&(cell_lat + dlat, cell_lon + dlon)) {
-                    for &i in indices {
-                        if geodesic::distance_km(point, self.towers[i].location) <= radius_km {
-                            result.push(i);
-                        }
+                for &i in self.grid.bucket((cell_lat + dlat, cell_lon + dlon)) {
+                    let i = i as usize;
+                    if geodesic::distance_km(point, self.towers[i].location) <= radius_km {
+                        result.push(i);
                     }
                 }
             }
         }
         result.sort_unstable();
-        result
     }
 
     /// All unordered tower pairs within `range_km` of each other, as index
     /// pairs `(i, j)` with `i < j`.
     pub fn pairs_within(&self, range_km: f64) -> Vec<(usize, usize)> {
         let mut pairs = Vec::new();
+        let mut near = Vec::new();
         for i in 0..self.towers.len() {
-            for j in self.towers_within(self.towers[i].location, range_km) {
+            self.towers_within_into(self.towers[i].location, range_km, &mut near);
+            for &j in &near {
                 if j > i {
                     pairs.push((i, j));
                 }
@@ -263,7 +339,7 @@ impl TowerRegistry {
 
     /// Histogram of towers per 0.5° cell (diagnostics / tests).
     pub fn max_cell_occupancy(&self) -> usize {
-        self.grid.values().map(|v| v.len()).max().unwrap_or(0)
+        self.grid.max_occupancy()
     }
 }
 
@@ -381,6 +457,21 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), pairs.len());
+    }
+
+    #[test]
+    fn towers_within_into_reuses_buffer_and_matches() {
+        let reg = small_registry(9);
+        let mut buf = vec![usize::MAX; 7]; // stale contents must be cleared
+        for (k, &(lat, lon)) in [(40.0, -90.0), (35.0, -110.0), (45.0, -75.0)]
+            .iter()
+            .enumerate()
+        {
+            let p = GeoPoint::new(lat, lon);
+            let radius = 80.0 + 40.0 * k as f64;
+            reg.towers_within_into(p, radius, &mut buf);
+            assert_eq!(buf, reg.towers_within(p, radius));
+        }
     }
 
     #[test]

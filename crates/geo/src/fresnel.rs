@@ -144,6 +144,44 @@ pub fn profile_is_clear(samples: &[ClearanceSample]) -> bool {
         .all(|s| s.is_clear())
 }
 
+/// Clearance margin of one profile sample, in metres, without materialising a
+/// [`ClearanceSample`]: identical arithmetic to
+/// [`evaluate_profile`] + [`ClearanceSample::margin_m`] at the same `frac`.
+///
+/// The hop-feasibility sweep uses this to test samples one at a time (and
+/// bail on the first blocked one) instead of building the full profile `Vec`
+/// per pair; because the per-sample expressions are the same, the boolean
+/// verdict is bit-identical to the allocating path.
+#[inline]
+pub fn sample_margin_m(
+    hop_km: f64,
+    h_a_m: f64,
+    h_b_m: f64,
+    frac: f64,
+    obstacle_m: f64,
+    freq_ghz: f64,
+    k: f64,
+) -> f64 {
+    let d1 = hop_km * frac;
+    let d2 = hop_km - d1;
+    (line_of_sight_height_m(h_a_m, h_b_m, frac) - required_clearance_m(d1, d2, freq_ghz, k))
+        - obstacle_m
+}
+
+/// Whether one profile sample is clear; see [`sample_margin_m`].
+#[inline]
+pub fn sample_is_clear(
+    hop_km: f64,
+    h_a_m: f64,
+    h_b_m: f64,
+    frac: f64,
+    obstacle_m: f64,
+    freq_ghz: f64,
+    k: f64,
+) -> bool {
+    sample_margin_m(hop_km, h_a_m, h_b_m, frac, obstacle_m, freq_ghz, k) >= 0.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +282,22 @@ mod tests {
     #[should_panic]
     fn evaluate_profile_requires_two_samples() {
         evaluate_profile(10.0, 100.0, 100.0, &[0.0], 11.0, 1.3);
+    }
+
+    #[test]
+    fn sample_margin_is_bit_identical_to_profile_evaluation() {
+        let obstacles: Vec<f64> = (0..33).map(|i| (i as f64 * 13.7) % 180.0).collect();
+        let (hop, ha, hb, f, k) = (73.0, 210.0, 145.0, 11.0, 1.3);
+        let samples = evaluate_profile(hop, ha, hb, &obstacles, f, k);
+        let n = obstacles.len();
+        for (i, s) in samples.iter().enumerate() {
+            let frac = i as f64 / (n - 1) as f64;
+            let m = sample_margin_m(hop, ha, hb, frac, obstacles[i], f, k);
+            assert!(m == s.margin_m(), "sample {i}: {m} vs {}", s.margin_m());
+            assert_eq!(
+                sample_is_clear(hop, ha, hb, frac, obstacles[i], f, k),
+                s.is_clear()
+            );
+        }
     }
 }

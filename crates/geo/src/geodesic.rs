@@ -89,6 +89,54 @@ pub fn sample_path(a: GeoPoint, b: GeoPoint, n_samples: usize) -> Vec<GeoPoint> 
         .collect()
 }
 
+/// Repeated-slerp sampler for one `a` → `b` great-circle path.
+///
+/// [`intermediate`] recomputes the central angle, its sine, and both unit
+/// vectors on every call — seven trig evaluations that are constant across a
+/// path. `PathSampler` hoists them once, making per-sample cost two sines
+/// plus the vector blend. [`point_at`](PathSampler::point_at) evaluates the
+/// *same expressions in the same order* as `intermediate`, so the returned
+/// points are bit-identical — the hop-feasibility sweep relies on that to
+/// keep line-of-sight verdicts unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSampler {
+    a: GeoPoint,
+    delta: f64,
+    sin_delta: f64,
+    va: [f64; 3],
+    vb: [f64; 3],
+}
+
+impl PathSampler {
+    /// Precompute the path constants for `a` → `b`.
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        let delta = central_angle_rad(a, b);
+        Self {
+            a,
+            delta,
+            sin_delta: delta.sin(),
+            va: a.to_unit_vector(),
+            vb: b.to_unit_vector(),
+        }
+    }
+
+    /// Point at fraction `f ∈ [0, 1]` of the path; bit-identical to
+    /// `intermediate(a, b, f)`.
+    pub fn point_at(&self, f: f64) -> GeoPoint {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        if self.delta < 1e-12 {
+            return self.a;
+        }
+        let wa = ((1.0 - f) * self.delta).sin() / self.sin_delta;
+        let wb = (f * self.delta).sin() / self.sin_delta;
+        GeoPoint::from_unit_vector([
+            wa * self.va[0] + wb * self.vb[0],
+            wa * self.va[1] + wb * self.vb[1],
+            wa * self.va[2] + wb * self.vb[2],
+        ])
+    }
+}
+
 /// Cross-track distance (in km, absolute value) of point `p` from the great
 /// circle through `a` → `b`.
 ///
@@ -179,6 +227,23 @@ mod tests {
         assert_eq!(pts.len(), 50);
         let total = path_length_km(&pts);
         assert!((total - distance_km(nyc(), la())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_sampler_is_bit_identical_to_intermediate() {
+        for (a, b) in [(nyc(), la()), (nyc(), chicago()), (chicago(), la())] {
+            let sampler = PathSampler::new(a, b);
+            for i in 0..=160u32 {
+                let f = i as f64 / 160.0;
+                let p = sampler.point_at(f);
+                let q = intermediate(a, b, f);
+                assert!(p.lat_deg == q.lat_deg && p.lon_deg == q.lon_deg, "f = {f}");
+            }
+        }
+        // Degenerate (coincident endpoints) path takes the early return.
+        let s = PathSampler::new(nyc(), nyc());
+        let p = s.point_at(0.5);
+        assert!(p.lat_deg == nyc().lat_deg && p.lon_deg == nyc().lon_deg);
     }
 
     #[test]

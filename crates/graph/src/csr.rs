@@ -33,13 +33,13 @@ pub const NO_EDGE: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
     /// `offsets[u]..offsets[u + 1]` is node `u`'s out-edge slot range.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Target node per edge slot.
-    targets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
     /// Weight per edge slot.
-    weights: Vec<f64>,
+    pub(crate) weights: Vec<f64>,
     /// Original (insertion-order) edge id per edge slot.
-    edge_ids: Vec<u32>,
+    pub(crate) edge_ids: Vec<u32>,
 }
 
 impl CsrGraph {
@@ -106,7 +106,7 @@ impl CsrGraph {
 
     /// Out-edge slot range of a node.
     #[inline]
-    fn slots(&self, u: usize) -> std::ops::Range<usize> {
+    pub(crate) fn slots(&self, u: usize) -> std::ops::Range<usize> {
         self.offsets[u] as usize..self.offsets[u + 1] as usize
     }
 
@@ -400,5 +400,14 @@ mod tests {
     #[should_panic]
     fn rejects_negative_weights() {
         CsrGraph::from_edges(2, [(0usize, 1usize, -1.0)]);
+    }
+
+    // NaN would make `CsrHeapEntry::cmp`'s `unwrap_or(Equal)` tie-break
+    // nondeterministic; CSR construction is the last gate before the search
+    // cores trust every weight.
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weights() {
+        CsrGraph::from_edges(2, [(0usize, 1usize, f64::NAN)]);
     }
 }

@@ -229,4 +229,21 @@ mod tests {
         let mut g = Graph::new(2);
         g.add_edge(0, 5, 1.0);
     }
+
+    // A NaN weight would silently poison the heap tie-break
+    // (`partial_cmp(..).unwrap_or(Equal)`) and corrupt pop order, so it must
+    // be rejected at insertion, not discovered mid-search.
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_weights() {
+        let mut g = Graph::new(2);
+        g.add_undirected_edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_infinite_weights() {
+        let mut g = Graph::new(2);
+        g.add_undirected_edge(0, 1, f64::INFINITY);
+    }
 }

@@ -14,6 +14,10 @@
 //! * [`csr`] — [`CsrGraph`], the flat compressed-sparse-row adjacency the
 //!   packet simulator routes over, with a predecessor-tracking Dijkstra
 //!   whose trees yield edge-id routes directly,
+//! * [`search`] — [`SearchCore`], a reusable bounded multi-target Dijkstra
+//!   over [`CsrGraph`] (generation-stamped scratch, indexed d-ary heap with
+//!   decrease-key) whose settle order is bit-identical to the lazy-deletion
+//!   implementations; the candidate pool build's per-site search engine,
 //! * [`paths`] — [`PathStore`], arena-backed storage for many short paths
 //!   (offset + link-id arrays; a whole routing table in two allocations),
 //! * [`partition`] — balanced link partitions over path sets and their
@@ -59,6 +63,7 @@ pub mod kshortest;
 pub mod matrix;
 pub mod partition;
 pub mod paths;
+pub mod search;
 pub mod triangle;
 
 pub use bitset::BitSet;
@@ -71,4 +76,5 @@ pub use matrix::{
 };
 pub use partition::{partition_lookahead, partition_path_links};
 pub use paths::PathStore;
+pub use search::SearchCore;
 pub use triangle::UpperTriangleMatrix;

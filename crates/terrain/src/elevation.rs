@@ -15,10 +15,43 @@
 //! configurations place the major ranges at their true locations so that the
 //! designed networks detour where the paper's do.
 
+use cisp_geo::units::EARTH_RADIUS_KM;
 use cisp_geo::{geodesic, GeoPoint};
 use serde::{Deserialize, Serialize};
 
 use crate::noise::{fbm, ridged, FbmParams};
+
+/// Safety margin, in km, added to the per-range chord skip bound so that
+/// floating-point rounding in the chord length can never skip a range whose
+/// Gaussian contribution would have been non-zero. The bound itself is exact
+/// mathematics (see [`RangeAxis::skip_beyond_km`]); the margin only has to
+/// cover ULP-level error, so 1 km is vast.
+const SKIP_MARGIN_KM: f64 = 1.0;
+
+/// Precomputed axis geometry of one [`MountainRange`].
+///
+/// `distance_to_axis_km` recomputes the axis length, the axis bearing, and
+/// two haversines per query even though the axis never moves. The elevation
+/// hot path (hop-feasibility sampling evaluates the terrain at millions of
+/// points) caches the per-axis constants here, plus a conservative reject
+/// radius that skips the whole range with one dot product.
+#[derive(Debug, Clone)]
+struct RangeAxis {
+    /// Axis length `d(start, end)` in km.
+    total_km: f64,
+    /// Initial bearing of the axis at `start`, degrees.
+    bearing_axis_deg: f64,
+    /// Unit vector of `start` (for the chord lower bound).
+    start_unit: [f64; 3],
+    /// Axis shorter than 1 mm: the range degenerates to a point.
+    degenerate: bool,
+    /// Skip the range outright when the chord lower bound on `d(p, start)`
+    /// exceeds this. Since the chord is a lower bound on the great-circle
+    /// distance, `chord > total + 4σ + margin` implies the distance to every
+    /// axis point exceeds `4σ`, where the Gaussian contribution is defined
+    /// to be exactly `0.0` — so skipping is bit-identical.
+    skip_beyond_km: f64,
+}
 
 /// A mountain range modelled as a ridge line with Gaussian cross-section.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -94,6 +127,63 @@ impl MountainRange {
         let x = d / self.half_width_km;
         self.peak_m * (-0.5 * x * x).exp()
     }
+
+    /// Precompute the axis constants reused by every elevation query.
+    fn axis(&self) -> RangeAxis {
+        let total_km = geodesic::distance_km(self.start, self.end);
+        RangeAxis {
+            total_km,
+            bearing_axis_deg: geodesic::initial_bearing_deg(self.start, self.end),
+            start_unit: self.start.to_unit_vector(),
+            degenerate: total_km < 1e-9,
+            skip_beyond_km: total_km + 4.0 * self.half_width_km + SKIP_MARGIN_KM,
+        }
+    }
+
+    /// [`Self::distance_to_axis_km`] with the axis constants supplied from a
+    /// [`RangeAxis`] cache. Every expression reuses or replays the exact
+    /// arithmetic of the uncached version (the cached values are pure
+    /// functions of the axis endpoints), so the result is bit-identical —
+    /// which the `cached_elevation_matches_reference` test pins.
+    fn distance_to_axis_cached_km(&self, axis: &RangeAxis, p: GeoPoint) -> f64 {
+        if axis.degenerate {
+            return geodesic::distance_km(self.start, p);
+        }
+        let total = axis.total_km;
+        let d_sp = geodesic::distance_km(self.start, p);
+        let bearing_p = geodesic::initial_bearing_deg(self.start, p);
+        // cross_track_distance_km inlined so its central angle reuses d_sp
+        // and its axis bearing comes from the cache: same values, computed
+        // once instead of three times.
+        let delta13 = d_sp / EARTH_RADIUS_KM;
+        let theta13 = bearing_p.to_radians();
+        let theta12 = axis.bearing_axis_deg.to_radians();
+        let xt = (delta13.sin() * (theta13 - theta12).sin()).asin().abs() * EARTH_RADIUS_KM;
+        let at = (d_sp * d_sp - xt * xt).max(0.0).sqrt();
+        let mut diff = (axis.bearing_axis_deg - bearing_p).abs();
+        if diff > 180.0 {
+            diff = 360.0 - diff;
+        }
+        let at_signed = if diff > 90.0 { -at } else { at };
+
+        if at_signed < 0.0 {
+            d_sp
+        } else if at_signed > total {
+            geodesic::distance_km(self.end, p)
+        } else {
+            xt
+        }
+    }
+
+    /// [`Self::contribution_m`] over the cached axis geometry.
+    fn contribution_cached_m(&self, axis: &RangeAxis, p: GeoPoint) -> f64 {
+        let d = self.distance_to_axis_cached_km(axis, p);
+        if d > 4.0 * self.half_width_km {
+            return 0.0;
+        }
+        let x = d / self.half_width_km;
+        self.peak_m * (-0.5 * x * x).exp()
+    }
 }
 
 /// Parameters of the base (non-mountain) terrain field.
@@ -125,6 +215,11 @@ pub struct TerrainModel {
     ranges: Vec<MountainRange>,
     /// Extra crest-noise amplitude as a fraction of the local ridge height.
     crest_noise_fraction: f64,
+    /// Per-range axis cache, parallel to `ranges`. Rebuilt by the
+    /// constructor; when absent (e.g. a deserialized model) queries fall
+    /// back to the uncached path, so the cache is purely a speedup.
+    #[serde(skip)]
+    axes: Vec<RangeAxis>,
 }
 
 impl TerrainModel {
@@ -136,11 +231,13 @@ impl TerrainModel {
         crest_noise_fraction: f64,
     ) -> Self {
         assert!((0.0..=1.0).contains(&crest_noise_fraction));
+        let axes = ranges.iter().map(MountainRange::axis).collect();
         Self {
             seed,
             base,
             ranges,
             crest_noise_fraction,
+            axes,
         }
     }
 
@@ -156,6 +253,7 @@ impl TerrainModel {
             },
             ranges: Vec::new(),
             crest_noise_fraction: 0.0,
+            axes: Vec::new(),
         }
     }
 
@@ -321,22 +419,54 @@ impl TerrainModel {
             elevation += self.base.relief_m * rolling;
         }
 
-        for range in &self.ranges {
-            let ridge = range.contribution_m(p);
-            if ridge > 0.0 {
-                let crest_params = FbmParams {
-                    octaves: 4,
-                    base_frequency: 2.5,
-                    lacunarity: 2.0,
-                    gain: 0.55,
-                };
-                let crest = ridged(p.lon_deg, p.lat_deg, self.seed ^ 0xA11C_E5ED, crest_params);
-                let modulation =
-                    1.0 - self.crest_noise_fraction + self.crest_noise_fraction * crest;
-                elevation += ridge * modulation;
+        if !self.ranges.is_empty() {
+            // The crest-noise modulation is the same value for every range
+            // at a given point; compute it at most once per query.
+            let mut modulation: Option<f64> = None;
+            if self.axes.len() == self.ranges.len() {
+                let vp = p.to_unit_vector();
+                for (range, axis) in self.ranges.iter().zip(&self.axes) {
+                    // Chord length is a lower bound on the great-circle
+                    // distance to the axis start; beyond the reject radius
+                    // the Gaussian is exactly zero, so skipping changes
+                    // nothing.
+                    let dx = vp[0] - axis.start_unit[0];
+                    let dy = vp[1] - axis.start_unit[1];
+                    let dz = vp[2] - axis.start_unit[2];
+                    let chord_km = EARTH_RADIUS_KM * (dx * dx + dy * dy + dz * dz).sqrt();
+                    if chord_km > axis.skip_beyond_km {
+                        continue;
+                    }
+                    let ridge = range.contribution_cached_m(axis, p);
+                    if ridge > 0.0 {
+                        let m = *modulation.get_or_insert_with(|| self.crest_modulation(p));
+                        elevation += ridge * m;
+                    }
+                }
+            } else {
+                for range in &self.ranges {
+                    let ridge = range.contribution_m(p);
+                    if ridge > 0.0 {
+                        let m = *modulation.get_or_insert_with(|| self.crest_modulation(p));
+                        elevation += ridge * m;
+                    }
+                }
             }
         }
         elevation.max(0.0)
+    }
+
+    /// The ridged crest-noise modulation factor at `p` (a pure function of
+    /// the point and seed — identical for every range).
+    fn crest_modulation(&self, p: GeoPoint) -> f64 {
+        let crest_params = FbmParams {
+            octaves: 4,
+            base_frequency: 2.5,
+            lacunarity: 2.0,
+            gain: 0.55,
+        };
+        let crest = ridged(p.lon_deg, p.lat_deg, self.seed ^ 0xA11C_E5ED, crest_params);
+        1.0 - self.crest_noise_fraction + self.crest_noise_fraction * crest
     }
 }
 
@@ -450,6 +580,56 @@ mod tests {
 
         // Far away contributes nothing.
         assert_eq!(range.contribution_m(GeoPoint::new(30.0, -85.0)), 0.0);
+    }
+
+    // The cached-axis fast path (chord skip + reused haversine/bearing) must
+    // be bit-identical to a reference evaluation built from the uncached
+    // `contribution_m`, across points near, on, beyond, and far from every
+    // range — any drift here would silently change hop feasibility.
+    #[test]
+    fn cached_elevation_matches_reference() {
+        for t in [TerrainModel::united_states(42), TerrainModel::europe(7)] {
+            let reference = |p: GeoPoint| {
+                let mut elevation = t.base.baseline_m;
+                if t.base.relief_m > 0.0 {
+                    let params = FbmParams {
+                        octaves: 5,
+                        base_frequency: 1.0 / t.base.correlation_deg,
+                        lacunarity: 2.1,
+                        gain: 0.5,
+                    };
+                    elevation += t.base.relief_m * fbm(p.lon_deg, p.lat_deg, t.seed, params);
+                }
+                for range in &t.ranges {
+                    let ridge = range.contribution_m(p);
+                    if ridge > 0.0 {
+                        elevation += ridge * t.crest_modulation(p);
+                    }
+                }
+                elevation.max(0.0)
+            };
+            for i in 0..30 {
+                for j in 0..30 {
+                    let lat = 25.0 + i as f64 * 1.5;
+                    let lon = -125.0 + j as f64 * 5.0;
+                    let p = GeoPoint::new(lat, lon);
+                    let fast = t.elevation_m(p);
+                    let slow = reference(p);
+                    assert!(fast == slow, "divergence at {lat},{lon}: {fast} vs {slow}");
+                }
+            }
+            // Per-range parity of the cached distance itself.
+            for (range, axis) in t.ranges.iter().zip(&t.axes) {
+                for k in 0..20 {
+                    let p = GeoPoint::new(28.0 + k as f64, -120.0 + k as f64 * 4.0);
+                    assert!(
+                        range.distance_to_axis_cached_km(axis, p) == range.distance_to_axis_km(p),
+                        "axis distance diverged for {} at point {k}",
+                        range.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

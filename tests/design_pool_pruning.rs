@@ -10,7 +10,11 @@
 //!   "fiber always wins" to "microwave always wins";
 //! * a designer fed the pruned pool selects exactly the same physical links
 //!   as one fed the full pool, for every scoring engine, serial and
-//!   parallel.
+//!   parallel;
+//! * the CSR search core the generation runs on ([`SearchCore`]) produces
+//!   bit-identical distances, predecessors and tie-broken paths to the
+//!   lazy-deletion reference Dijkstra on the same site+tower graphs;
+//! * sharding the per-site searches over workers never changes the pool.
 
 // The proptest shim's macro expansion is deeply recursive.
 #![recursion_limit = "256"]
@@ -20,7 +24,7 @@ use cisp::core::hops::{HopConfig, HopFeasibility};
 use cisp::core::links::{CandidateLink, LinkBuilder, LinkBuilderConfig};
 use cisp::data::towers::{Tower, TowerRegistry, TowerSource};
 use cisp::geo::{geodesic, GeoPoint};
-use cisp::graph::DistMatrix;
+use cisp::graph::{dijkstra, DistMatrix, SearchCore};
 use cisp::terrain::{clutter::ClutterModel, TerrainModel};
 use proptest::prelude::*;
 
@@ -82,6 +86,10 @@ fn both_pools(
     let builder = LinkBuilder::new(sites, towers, &hops, LinkBuilderConfig::default());
     let full = builder.all_candidate_links();
     let (pruned, stats) = builder.pruned_candidate_links(fiber_km);
+    // Sharding the per-site searches never changes the pool or the stats.
+    let (sharded, sharded_stats) = builder.pruned_candidate_links_with(fiber_km, 3);
+    assert_eq!(sharded, pruned);
+    assert_eq!(sharded_stats, stats);
     // The stats categories must partition the pair universe.
     assert_eq!(
         stats.bucket_pruned
@@ -191,6 +199,70 @@ proptest! {
                 prop_assert!(
                     (of_full.mean_stretch - of_pruned.mean_stretch).abs() == 0.0,
                     "stretch diverged: engine {:?} parallel {}", engine, parallel
+                );
+            }
+        }
+    }
+
+    // The pool build's search core is pinned to the lazy-deletion reference
+    // Dijkstra on the real site+tower graphs the pipeline produces:
+    // bit-identical distances, identical first-writer-wins predecessors and
+    // identical tie-broken node paths, from every site, both uncapped and
+    // under a fiber-like distance cap.
+    #[test]
+    fn csr_core_search_matches_reference_dijkstra(
+        n in 3usize..8,
+        seed in 0u64..10_000,
+        cap_pct in 50u32..200,
+    ) {
+        let (sites, towers) = random_layout(n, seed);
+        let terrain = TerrainModel::flat();
+        let clutter = ClutterModel::none();
+        let hops = HopFeasibility::new(&towers, &terrain, &clutter, HopConfig::default())
+            .all_feasible_hops();
+        let builder = LinkBuilder::new(&sites, &towers, &hops, LinkBuilderConfig::default());
+        let graph = builder.graph();
+        let csr = builder.csr_graph();
+        let node_count = graph.node_count();
+        let mut core = SearchCore::new();
+        let mut buf = Vec::new();
+        for a in 0..n {
+            let source = builder.site_node(a);
+
+            // Uncapped, no targets: full exhaustion vs the reference tree.
+            let reference = dijkstra::shortest_path_tree(graph, source, None);
+            core.search(csr, source, &[], f64::INFINITY);
+            for v in 0..node_count {
+                prop_assert!(
+                    core.dist(v) == reference.dist[v]
+                        || (core.dist(v).is_infinite() && reference.dist[v].is_infinite()),
+                    "dist mismatch at node {} from site {}", v, a
+                );
+                prop_assert_eq!(core.prev(v).map(|(p, _)| p), reference.prev[v]);
+            }
+            for b in 0..n {
+                let t = builder.site_node(b);
+                let got = core.node_path_into(t, &mut buf).then(|| buf.clone());
+                let want = reference.path_to(t).map(|p| p.nodes);
+                prop_assert_eq!(got, want);
+            }
+
+            // Capped multi-target run (the pruned generation's shape): every
+            // settled distance and every target's tentative distance match
+            // the lazy bounded tree.
+            let targets: Vec<usize> = (0..n)
+                .filter(|&b| b != a)
+                .map(|b| builder.site_node(b))
+                .collect();
+            let cap = geodesic::distance_km(sites[a], sites[(a + 1) % n])
+                * (cap_pct as f64 / 100.0);
+            let bounded = dijkstra::shortest_path_tree_within(graph, source, cap);
+            core.search(csr, source, &targets, cap);
+            for &t in &targets {
+                prop_assert!(
+                    core.dist(t) == bounded.dist[t]
+                        || (core.dist(t).is_infinite() && bounded.dist[t].is_infinite()),
+                    "capped dist mismatch at target {}", t
                 );
             }
         }
